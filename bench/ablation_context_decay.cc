@@ -1,0 +1,67 @@
+// Ablation: the search-context decay lambda (Eq. 7). Sweeps lambda and
+// measures top-1 relevance of the first candidate — the quantity the
+// regularization framework (§IV-B) is designed to maximize — restricted to
+// test queries that actually have a search context.
+//
+// Scale knobs: PQSDA_USERS (default 250), PQSDA_TESTS (default 200).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/relevance.h"
+#include "eval/report.h"
+#include "eval/synthetic_adapters.h"
+#include "suggest/pqsda_diversifier.h"
+
+namespace pqsda::bench {
+namespace {
+
+void Main() {
+  const size_t users = EnvSize("USERS", 250);
+  const size_t num_tests = EnvSize("TESTS", 200);
+  std::printf("ablation: context decay lambda (Eq. 7) "
+              "(users=%zu, tests=%zu)\n\n", users, num_tests);
+  BenchEnv env(users);
+  SyntheticQueryCategories cats(env.data);
+
+  // Keep only test queries with non-empty context — lambda is irrelevant
+  // otherwise.
+  std::vector<TestQuery> tests;
+  for (auto& t : SampleTestQueries(env.data, num_tests * 3, 13)) {
+    if (!t.request.context.empty()) tests.push_back(std::move(t));
+    if (tests.size() >= num_tests) break;
+  }
+  std::printf("context-bearing test queries: %zu\n\n", tests.size());
+
+  const std::vector<double> lambdas = {0.0, 1.0 / 3600, 1.0 / 600, 1.0 / 60,
+                                       1.0 / 10};
+  FigureTable table;
+  table.title = "Context-decay ablation: top-1 relevance vs lambda";
+  table.x_label = "lambda";
+  for (double l : lambdas) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", l);
+    table.x_values.push_back(buf);
+  }
+  std::vector<double> row;
+  for (double lambda : lambdas) {
+    PqsdaDiversifierOptions options;
+    options.regularization.decay_lambda = lambda;
+    PqsdaDiversifier diversifier(env.mb_weighted, options);
+    std::vector<double> rel;
+    for (const TestQuery& t : tests) {
+      auto out = diversifier.Suggest(t.request, 5);
+      if (!out.ok() || out->empty()) continue;
+      rel.push_back(ListRelevance(t.request.query, *out, 1,
+                                  env.data.taxonomy, cats));
+    }
+    row.push_back(MeanOf(rel));
+  }
+  table.AddSeries("top-1 relevance", row);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

@@ -1,0 +1,93 @@
+// Ablation: how should the personalization component combine the two
+// rankings (§V-B)? Compares diversification-only, preference-score-only
+// reranking, and the paper's Borda aggregation, on PPR@k over held-out
+// sessions.
+//
+// Scale knobs: PQSDA_USERS (default 250), PQSDA_MAX_EVAL (default 300).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pqsda_engine.h"
+#include "eval/ppr.h"
+#include "eval/report.h"
+#include "rank/borda.h"
+
+namespace pqsda::bench {
+namespace {
+
+void Main() {
+  const size_t users = EnvSize("USERS", 250);
+  const size_t max_eval = EnvSize("MAX_EVAL", 300);
+  std::printf("ablation: rank aggregation in the personalization component "
+              "(users=%zu)\n\n", users);
+
+  SyntheticDataset data = GenerateLog(BenchGeneratorConfig(users));
+  TrainTestSplit split = SplitByRecentSessions(data, 4);
+
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = EnvSize("TOPICS", 16);
+  config.upm.base.gibbs_iterations = EnvSize("GIBBS", 60);
+  config.upm.hyper_rounds = 1;
+  auto engine_or = PqsdaEngine::Build(split.train, config);
+  if (!engine_or.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine_or.status().ToString().c_str());
+    return;
+  }
+  PqsdaEngine& engine = **engine_or;
+
+  FigureTable table;
+  table.title = "Rank-aggregation ablation: PPR@k";
+  table.x_label = "k";
+  table.x_values = RankLabels();
+  const size_t max_k = kRanks.back();
+
+  std::vector<std::vector<double>> ppr_div(kRanks.size()),
+      ppr_pref(kRanks.size()), ppr_borda(kRanks.size());
+  size_t evaluated = 0;
+  for (const TestSession& ts : split.test_sessions) {
+    if (evaluated >= max_eval) break;
+    if (ts.clicked_titles.empty()) continue;
+    SuggestionRequest request = RequestFromTestSession(ts);
+    auto diversified = engine.diversifier().Suggest(request, max_k);
+    if (!diversified.ok() || diversified->empty()) continue;
+    ++evaluated;
+
+    // Preference-only: rank purely by the UPM preference score.
+    std::vector<std::string> items;
+    std::vector<double> prefs;
+    for (const Suggestion& s : *diversified) {
+      items.push_back(s.query);
+      prefs.push_back(
+          engine.personalizer()->PreferenceScore(ts.user, s.query));
+    }
+    auto preference_only = RankByScore(items, prefs);
+    // Borda of both (what PQS-DA ships).
+    auto borda = engine.personalizer()->Rerank(ts.user, *diversified);
+
+    for (size_t ki = 0; ki < kRanks.size(); ++ki) {
+      ppr_div[ki].push_back(
+          ListPpr(*diversified, kRanks[ki], ts.clicked_titles));
+      ppr_pref[ki].push_back(
+          ListPpr(preference_only, kRanks[ki], ts.clicked_titles));
+      ppr_borda[ki].push_back(ListPpr(borda, kRanks[ki], ts.clicked_titles));
+    }
+  }
+  std::printf("evaluated on %zu sessions\n\n", evaluated);
+
+  auto mean_rows = [](const std::vector<std::vector<double>>& per_k) {
+    std::vector<double> out;
+    for (const auto& v : per_k) out.push_back(MeanOf(v));
+    return out;
+  };
+  table.AddSeries("diversification only", mean_rows(ppr_div));
+  table.AddSeries("preference only", mean_rows(ppr_pref));
+  table.AddSeries("Borda (PQS-DA)", mean_rows(ppr_borda));
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

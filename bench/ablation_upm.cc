@@ -1,0 +1,86 @@
+// Ablation: which pieces of the UPM matter? Compares perplexity of the full
+// UPM against variants with hyperparameter learning disabled and with the
+// temporal (Beta) component disabled, plus the topic-count sweep.
+//
+// Scale knobs: PQSDA_USERS (default 200), PQSDA_GIBBS (default 60).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "eval/report.h"
+#include "topic/corpus.h"
+#include "topic/perplexity.h"
+#include "topic/upm.h"
+
+namespace pqsda::bench {
+namespace {
+
+double RunUpm(const QueryLogCorpus& train, const QueryLogCorpus& test,
+              UpmOptions options) {
+  UpmModel model(options);
+  model.Train(train);
+  return EvaluatePerplexity(model, test).perplexity;
+}
+
+void Main() {
+  const size_t users = EnvSize("USERS", 200);
+  std::printf("ablation: UPM components (users=%zu)\n\n", users);
+  BenchEnv env(users);
+  QueryLogCorpus corpus =
+      QueryLogCorpus::Build(env.data.records, env.sessions);
+  QueryLogCorpus train, test;
+  corpus.SplitBySessions(0.2, &train, &test);
+
+  UpmOptions base;
+  base.base.num_topics = EnvSize("TOPICS", 16);
+  base.base.gibbs_iterations = EnvSize("GIBBS", 60);
+  base.hyper_rounds = 2;
+
+  FigureTable table;
+  table.title = "UPM ablation: perplexity (lower is better)";
+  table.x_label = "variant";
+  table.x_values = {"perplexity"};
+
+  {
+    UpmOptions o = base;
+    table.AddSeries("full UPM", {RunUpm(train, test, o)});
+  }
+  {
+    UpmOptions o = base;
+    o.learn_hyperparameters = false;
+    table.AddSeries("no hyperparameter learning",
+                    {RunUpm(train, test, o)});
+  }
+  {
+    UpmOptions o = base;
+    o.use_timestamps = false;
+    table.AddSeries("no temporal component", {RunUpm(train, test, o)});
+  }
+  {
+    UpmOptions o = base;
+    o.learn_hyperparameters = false;
+    o.use_timestamps = false;
+    table.AddSeries("neither", {RunUpm(train, test, o)});
+  }
+  table.Print();
+
+  FigureTable sweep;
+  sweep.title = "UPM topic-count sweep: perplexity";
+  sweep.x_label = "K";
+  std::vector<double> row;
+  for (size_t k : {4, 8, 16, 32}) {
+    UpmOptions o = base;
+    o.base.num_topics = k;
+    sweep.x_values.push_back(std::to_string(k));
+    row.push_back(RunUpm(train, test, o));
+  }
+  sweep.AddSeries("perplexity", row);
+  std::printf("\n");
+  sweep.Print();
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

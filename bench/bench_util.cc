@@ -1,0 +1,50 @@
+#include "bench_util.h"
+
+namespace pqsda::bench {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  std::string full = std::string("PQSDA_") + name;
+  const char* v = std::getenv(full.c_str());
+  if (v == nullptr) return fallback;
+  long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+GeneratorConfig BenchGeneratorConfig(size_t users) {
+  GeneratorConfig config;
+  config.num_users = static_cast<uint32_t>(users);
+  config.sessions_per_user_min = 14;
+  config.sessions_per_user_max = 26;
+  // Every facet is a member of some ambiguous concept: short head queries
+  // are ambiguous, the paper's central premise ("query uncertainty widely
+  // exists in the scenario of general web search", §I).
+  config.facet_config.num_facets = 48;
+  config.facet_config.num_concepts = 16;
+  config.facet_config.facets_per_concept = 3;
+  return config;
+}
+
+BenchEnv::BenchEnv(size_t users)
+    : data(GenerateLog(BenchGeneratorConfig(users))),
+      sessions(Sessionize(data.records)),
+      mb_raw(MultiBipartite::Build(data.records, sessions,
+                                   EdgeWeighting::kRaw)),
+      mb_weighted(MultiBipartite::Build(data.records, sessions,
+                                        EdgeWeighting::kCfIqf)),
+      cg_raw(ClickGraph::Build(data.records, EdgeWeighting::kRaw)),
+      cg_weighted(ClickGraph::Build(data.records, EdgeWeighting::kCfIqf)) {}
+
+double MeanOf(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+std::vector<std::string> RankLabels() {
+  std::vector<std::string> out;
+  for (size_t k : kRanks) out.push_back(std::to_string(k));
+  return out;
+}
+
+}  // namespace pqsda::bench

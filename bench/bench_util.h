@@ -1,0 +1,51 @@
+#ifndef PQSDA_BENCH_BENCH_UTIL_H_
+#define PQSDA_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "graph/click_graph.h"
+#include "graph/multi_bipartite.h"
+#include "log/sessionizer.h"
+#include "suggest/engine.h"
+#include "synthetic/generator.h"
+
+namespace pqsda::bench {
+
+/// Reads an integer knob from the environment (PQSDA_<NAME>), falling back
+/// to `fallback`. Lets every bench scale up toward the paper's sizes
+/// without recompiling, e.g. PQSDA_USERS=5000 PQSDA_TESTS=10000.
+size_t EnvSize(const char* name, size_t fallback);
+
+/// Standard bench dataset: a synthetic log shaped like the paper's (§VI-A),
+/// scaled by PQSDA_USERS (default 300).
+GeneratorConfig BenchGeneratorConfig(size_t users);
+
+/// Everything the figure benches share: the dataset, its sessions and both
+/// weightings of both representations.
+struct BenchEnv {
+  explicit BenchEnv(size_t users);
+
+  SyntheticDataset data;
+  std::vector<Session> sessions;
+  MultiBipartite mb_raw;
+  MultiBipartite mb_weighted;
+  ClickGraph cg_raw;
+  ClickGraph cg_weighted;
+};
+
+/// Mean of a vector (0 for empty) — tiny helper for metric averaging.
+double MeanOf(const std::vector<double>& v);
+
+/// k values reported by the paper's figures.
+inline const std::vector<size_t> kRanks = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+/// Renders kRanks as x-axis labels.
+std::vector<std::string> RankLabels();
+
+}  // namespace pqsda::bench
+
+#endif  // PQSDA_BENCH_BENCH_UTIL_H_

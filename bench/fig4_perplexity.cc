@@ -1,0 +1,84 @@
+// Reproduces Fig. 4 of the paper: document-completion perplexity (Eq. 35) of
+// UPM against LDA, PTM1, PTM2, TOT, MWM, TUM, CTM and SSTM.
+//
+// Scale knobs: PQSDA_USERS (default 250), PQSDA_TOPICS (default 16),
+// PQSDA_GIBBS (default 80).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "eval/report.h"
+#include "topic/click_models.h"
+#include "topic/corpus.h"
+#include "topic/lda.h"
+#include "topic/perplexity.h"
+#include "topic/ptm.h"
+#include "topic/sstm.h"
+#include "topic/tot.h"
+#include "topic/upm.h"
+
+namespace pqsda::bench {
+namespace {
+
+void Main() {
+  const size_t users = EnvSize("USERS", 250);
+  const size_t topics = EnvSize("TOPICS", 16);
+  const size_t gibbs = EnvSize("GIBBS", 80);
+  std::printf("fig4: perplexity of query-log generative models "
+              "(users=%zu, topics=%zu, gibbs=%zu)\n\n",
+              users, topics, gibbs);
+
+  BenchEnv env(users);
+  QueryLogCorpus corpus = QueryLogCorpus::Build(env.data.records,
+                                                env.sessions);
+  QueryLogCorpus train, test;
+  corpus.SplitBySessions(0.2, &train, &test);
+  std::printf("corpus: %zu documents, vocab %zu, %zu urls\n\n",
+              corpus.num_documents(), corpus.vocab_size(), corpus.num_urls());
+
+  TopicModelOptions base;
+  base.num_topics = topics;
+  base.gibbs_iterations = gibbs;
+
+  std::vector<std::unique_ptr<TopicModel>> models;
+  models.push_back(std::make_unique<LdaModel>(base));
+  models.push_back(std::make_unique<Ptm1Model>(base));
+  models.push_back(std::make_unique<Ptm2Model>(base));
+  models.push_back(std::make_unique<TotModel>(base));
+  models.push_back(std::make_unique<MwmModel>(base));
+  models.push_back(std::make_unique<TumModel>(base));
+  models.push_back(std::make_unique<CtmModel>(base));
+  models.push_back(std::make_unique<SstmModel>(base));
+  UpmOptions upm_options;
+  upm_options.base = base;
+  upm_options.hyper_rounds = 2;
+  models.push_back(std::make_unique<UpmModel>(upm_options));
+
+  FigureTable table;
+  table.title = "Fig. 4 Perplexity of search-engine query log models "
+                "(lower is better)";
+  table.x_label = "model";
+  std::vector<double> values;
+  for (auto& model : models) {
+    WallTimer timer;
+    model->Train(train);
+    auto result = EvaluatePerplexity(*model, test);
+    std::printf("  %-5s perplexity %8.1f   (train %5.1fs, %zu predicted "
+                "words)\n",
+                model->name().c_str(), result.perplexity,
+                timer.ElapsedSeconds(), result.predicted_words);
+    table.x_values.push_back(model->name());
+    values.push_back(result.perplexity);
+  }
+  std::printf("\n");
+  table.AddSeries("perplexity", values);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

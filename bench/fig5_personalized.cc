@@ -1,0 +1,164 @@
+// Reproduces Fig. 5 of the paper: Diversity@k and PPR@k of the full PQS-DA
+// pipeline (diversification + personalization) against the personalized
+// baselines FRW(P), BRW(P), HT(P), DQS(P) — baseline lists reranked by our
+// personalization component — plus PHT and CM.
+//
+// Protocol (§VI-C2): each user's most recent sessions are held out; the
+// systems train on the remainder; the input query is the first query of
+// each held-out session and PPR is measured against the titles of the pages
+// clicked later in that session.
+//
+// Scale knobs: PQSDA_USERS (default 250), PQSDA_TEST_SESSIONS (default 4
+// per user), PQSDA_MAX_EVAL (default 400 sessions), PQSDA_TOPICS,
+// PQSDA_GIBBS.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/pqsda_engine.h"
+#include "eval/diversity.h"
+#include "eval/ppr.h"
+#include "eval/report.h"
+#include "eval/synthetic_adapters.h"
+#include "suggest/concept_suggester.h"
+#include "suggest/dqs_suggester.h"
+#include "suggest/hitting_time_suggester.h"
+#include "suggest/random_walk_suggester.h"
+
+namespace pqsda::bench {
+namespace {
+
+double SuggestionListPprHelper(const std::vector<Suggestion>& list, size_t k,
+                               const TestSession& ts) {
+  return ListPpr(list, k, ts.clicked_titles);
+}
+
+struct System {
+  std::string name;
+  /// Produces the final (already personalized, where applicable) list.
+  std::function<StatusOr<std::vector<Suggestion>>(const SuggestionRequest&,
+                                                  size_t)> suggest;
+};
+
+void Main() {
+  const size_t users = EnvSize("USERS", 250);
+  const size_t holdout = EnvSize("TEST_SESSIONS", 4);
+  const size_t max_eval = EnvSize("MAX_EVAL", 400);
+  std::printf("fig5: personalized suggestion quality (users=%zu)\n\n", users);
+
+  SyntheticDataset data = GenerateLog(BenchGeneratorConfig(users));
+  TrainTestSplit split = SplitByRecentSessions(data, holdout);
+  std::printf("train records: %zu, held-out sessions: %zu\n\n",
+              split.train.size(), split.test_sessions.size());
+
+  // Full PQS-DA engine trained on the training portion.
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = EnvSize("TOPICS", 16);
+  config.upm.base.gibbs_iterations = EnvSize("GIBBS", 60);
+  config.upm.hyper_rounds = 1;
+  auto engine_or = PqsdaEngine::Build(split.train, config);
+  if (!engine_or.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine_or.status().ToString().c_str());
+    return;
+  }
+  PqsdaEngine& engine = **engine_or;
+  const Personalizer& personalizer = *engine.personalizer();
+
+  // Baselines on the (weighted) click graph of the training log.
+  ClickGraph cg = ClickGraph::Build(engine.records(), EdgeWeighting::kCfIqf);
+  RandomWalkSuggester frw(cg, WalkDirection::kForward);
+  RandomWalkSuggester brw(cg, WalkDirection::kBackward);
+  HittingTimeSuggester ht(cg);
+  DqsSuggester dqs(cg);
+  PersonalizedHittingTimeSuggester pht(cg, engine.records());
+  SyntheticPageContentProvider provider(data.facets);
+  ConceptSuggester cm(cg, engine.records(), provider);
+
+  auto personalized = [&personalizer](const SuggestionEngine& e) {
+    return [&personalizer, &e](const SuggestionRequest& r, size_t k)
+               -> StatusOr<std::vector<Suggestion>> {
+      auto out = e.Suggest(r, k);
+      if (!out.ok()) return out.status();
+      return personalizer.Rerank(r.user, *out);
+    };
+  };
+
+  std::vector<System> systems;
+  systems.push_back(
+      {"PQS-DA", [&engine](const SuggestionRequest& r, size_t k) {
+         return engine.Suggest(r, k);
+       }});
+  systems.push_back({"FRW(P)", personalized(frw)});
+  systems.push_back({"BRW(P)", personalized(brw)});
+  systems.push_back({"HT(P)", personalized(ht)});
+  systems.push_back({"DQS(P)", personalized(dqs)});
+  systems.push_back({"PHT", [&pht](const SuggestionRequest& r, size_t k) {
+                       return pht.Suggest(r, k);
+                     }});
+  systems.push_back({"CM", [&cm](const SuggestionRequest& r, size_t k) {
+                       return cm.Suggest(r, k);
+                     }});
+
+  ClickedPages pages = ClickedPages::Build(engine.records());
+  SyntheticPageSimilarity sim(data.facets);
+  const size_t max_k = kRanks.back();
+
+  FigureTable div_table;
+  div_table.title = "Fig. 5(a,b) Diversity@k after personalization";
+  div_table.x_label = "k";
+  div_table.x_values = RankLabels();
+  FigureTable ppr_table;
+  ppr_table.title = "Fig. 5(c,d) PPR@k after personalization";
+  ppr_table.x_label = "k";
+  ppr_table.x_values = RankLabels();
+
+  // All systems are evaluated on the *same* sessions; a system that cannot
+  // produce suggestions for a session scores 0 there (all-queries protocol,
+  // as in Fig. 3 — this is where the click graph's coverage limits show).
+  std::vector<const TestSession*> eval_sessions;
+  for (const TestSession& ts : split.test_sessions) {
+    if (eval_sessions.size() >= max_eval) break;
+    eval_sessions.push_back(&ts);
+  }
+  for (const System& system : systems) {
+    std::vector<std::vector<double>> div(kRanks.size()), ppr(kRanks.size());
+    size_t answered = 0;
+    for (const TestSession* ts : eval_sessions) {
+      SuggestionRequest request = RequestFromTestSession(*ts);
+      auto out = system.suggest(request, max_k);
+      if (!out.ok() || out->empty()) {
+        for (size_t ki = 0; ki < kRanks.size(); ++ki) {
+          div[ki].push_back(0.0);
+          ppr[ki].push_back(0.0);
+        }
+        continue;
+      }
+      ++answered;
+      for (size_t ki = 0; ki < kRanks.size(); ++ki) {
+        div[ki].push_back(ListDiversity(*out, kRanks[ki], pages, sim));
+        ppr[ki].push_back(SuggestionListPprHelper(*out, kRanks[ki], *ts));
+      }
+    }
+    std::vector<double> div_row, ppr_row;
+    for (size_t ki = 0; ki < kRanks.size(); ++ki) {
+      div_row.push_back(MeanOf(div[ki]));
+      ppr_row.push_back(MeanOf(ppr[ki]));
+    }
+    div_table.AddSeries(system.name, div_row);
+    ppr_table.AddSeries(system.name, ppr_row);
+    std::printf("  %-7s answered %zu / %zu sessions\n", system.name.c_str(),
+                answered, eval_sessions.size());
+  }
+  std::printf("\n");
+  div_table.Print();
+  std::printf("\n");
+  ppr_table.Print();
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

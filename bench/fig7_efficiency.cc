@@ -1,0 +1,93 @@
+// Reproduces Fig. 7 of the paper: relative per-suggestion latency of the
+// methods as the number of utilized queries grows. Log size is swept by
+// scaling the user population; per-request time is averaged over sampled
+// test queries and reported relative to the fastest cell (the paper reports
+// relative consumed time).
+//
+// Scale knobs: PQSDA_SCALES (comma count fixed; default user scales
+// 100,200,400,800), PQSDA_TESTS (default 30 requests per cell).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "eval/report.h"
+#include "eval/synthetic_adapters.h"
+#include "suggest/concept_suggester.h"
+#include "suggest/dqs_suggester.h"
+#include "suggest/hitting_time_suggester.h"
+#include "suggest/pqsda_diversifier.h"
+#include "suggest/random_walk_suggester.h"
+
+namespace pqsda::bench {
+namespace {
+
+double MeanSuggestLatency(const SuggestionEngine& engine,
+                          const std::vector<TestQuery>& tests) {
+  WallTimer timer;
+  size_t served = 0;
+  for (const TestQuery& t : tests) {
+    auto out = engine.Suggest(t.request, 10);
+    if (out.ok()) ++served;
+  }
+  if (served == 0) return 0.0;
+  return timer.ElapsedSeconds() / static_cast<double>(served);
+}
+
+void Main() {
+  const size_t num_tests = EnvSize("TESTS", 30);
+  std::vector<size_t> scales = {100, 200, 400, 800};
+  std::printf("fig7: per-suggestion latency vs number of utilized queries\n");
+  std::printf("(%zu requests per cell; values relative to the fastest "
+              "cell)\n\n", num_tests);
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> latencies(5);  // per method
+  const std::vector<std::string> names = {"PQS-DA", "DQS", "HT", "FRW", "CM"};
+
+  for (size_t users : scales) {
+    BenchEnv env(users);
+    labels.push_back(std::to_string(env.mb_weighted.num_queries()));
+    auto tests = SampleTestQueries(env.data, num_tests, /*seed=*/99);
+
+    PqsdaDiversifier pqsda(env.mb_weighted);
+    DqsSuggester dqs(env.cg_weighted);
+    HittingTimeSuggester ht(env.cg_weighted);
+    RandomWalkSuggester frw(env.cg_weighted, WalkDirection::kForward);
+    SyntheticPageContentProvider provider(env.data.facets);
+    ConceptSuggester cm(env.cg_weighted, env.data.records, provider);
+
+    const SuggestionEngine* engines[5] = {&pqsda, &dqs, &ht, &frw, &cm};
+    for (size_t m = 0; m < 5; ++m) {
+      double latency = MeanSuggestLatency(*engines[m], tests);
+      latencies[m].push_back(latency);
+      std::printf("  users=%4zu  %-7s %8.2f ms/suggestion\n", users,
+                  names[m].c_str(), latency * 1e3);
+    }
+  }
+
+  double min_latency = 1e100;
+  for (const auto& row : latencies) {
+    for (double v : row) {
+      if (v > 0.0) min_latency = std::min(min_latency, v);
+    }
+  }
+  FigureTable table;
+  table.title = "Fig. 7 Relative consumed time vs #utilized queries";
+  table.x_label = "queries";
+  table.x_values = labels;
+  for (size_t m = 0; m < 5; ++m) {
+    std::vector<double> rel;
+    for (double v : latencies[m]) rel.push_back(v / min_latency);
+    table.AddSeries(names[m], rel);
+  }
+  std::printf("\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

@@ -1,0 +1,114 @@
+// Microbenchmarks of the core computational kernels (google-benchmark):
+// CSR SpMV, SpGEMM (W W^T), the regularization solve, the cross-bipartite
+// hitting-time iteration and one Gibbs sweep of the UPM.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/compact_builder.h"
+#include "solver/regularization.h"
+#include "suggest/hitting_time_suggester.h"
+#include "topic/corpus.h"
+#include "topic/upm.h"
+
+namespace pqsda::bench {
+namespace {
+
+const BenchEnv& Env() {
+  static BenchEnv* env = new BenchEnv(EnvSize("USERS", 150));
+  return *env;
+}
+
+const CompactRepresentation& Rep() {
+  static CompactRepresentation* rep = [] {
+    const BenchEnv& env = Env();
+    CompactBuilder builder(env.mb_weighted);
+    StringId q = env.mb_weighted.QueryId(
+        env.data.facets.concept_tokens()[0]);
+    auto r = builder.Build(q, {}, CompactBuilderOptions{400, 6});
+    return new CompactRepresentation(std::move(r).value());
+  }();
+  return *rep;
+}
+
+void BM_CsrMatVec(benchmark::State& state) {
+  const auto& m = Env().mb_weighted.graph(BipartiteKind::kTerm)
+                      .query_to_object();
+  std::vector<double> x(m.cols(), 1.0), y;
+  for (auto _ : state) {
+    m.MatVec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_CsrMatVec);
+
+void BM_SpGemmSelfTranspose(benchmark::State& state) {
+  const auto& w = Rep().W(BipartiteKind::kTerm);
+  for (auto _ : state) {
+    auto a = w.MultiplySelfTranspose();
+    benchmark::DoNotOptimize(a.nnz());
+  }
+}
+BENCHMARK(BM_SpGemmSelfTranspose);
+
+void BM_RegularizationSolve(benchmark::State& state) {
+  const auto& rep = Rep();
+  std::vector<double> f0(rep.size(), 0.0);
+  f0[0] = 1.0;
+  RegularizationOptions options;
+  for (auto _ : state) {
+    auto f = SolveRegularization(rep, f0, options);
+    benchmark::DoNotOptimize(f.ok());
+  }
+}
+BENCHMARK(BM_RegularizationSolve);
+
+void BM_CrossBipartiteHittingTime(benchmark::State& state) {
+  const auto& rep = Rep();
+  std::vector<const CsrMatrix*> chains = {&rep.P(BipartiteKind::kUrl),
+                                          &rep.P(BipartiteKind::kSession),
+                                          &rep.P(BipartiteKind::kTerm)};
+  std::vector<double> weights = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  for (auto _ : state) {
+    auto h = ChainHittingTime(chains, weights, {0}, 20);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_CrossBipartiteHittingTime);
+
+void BM_CompactBuild(benchmark::State& state) {
+  const BenchEnv& env = Env();
+  CompactBuilder builder(env.mb_weighted);
+  StringId q =
+      env.mb_weighted.QueryId(env.data.facets.concept_tokens()[0]);
+  CompactBuilderOptions options;
+  options.target_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto rep = builder.Build(q, {}, options);
+    benchmark::DoNotOptimize(rep.ok());
+  }
+}
+BENCHMARK(BM_CompactBuild)->Arg(100)->Arg(400)->Arg(800);
+
+void BM_UpmGibbsSweep(benchmark::State& state) {
+  static QueryLogCorpus* corpus = [] {
+    auto* c = new QueryLogCorpus(
+        QueryLogCorpus::Build(Env().data.records, Env().sessions));
+    return c;
+  }();
+  UpmOptions options;
+  options.base.num_topics = 16;
+  options.base.gibbs_iterations = 1;
+  options.learn_hyperparameters = false;
+  for (auto _ : state) {
+    UpmModel model(options);
+    model.Train(*corpus);
+    benchmark::DoNotOptimize(model.num_topics());
+  }
+}
+BENCHMARK(BM_UpmGibbsSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pqsda::bench

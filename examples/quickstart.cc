@@ -1,0 +1,63 @@
+// Quickstart: build a PQS-DA engine over a tiny hand-written query log (the
+// paper's Table I, extended slightly) and ask for suggestions for the
+// ambiguous query "sun".
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/pqsda_engine.h"
+
+using pqsda::PqsdaEngine;
+using pqsda::PqsdaEngineConfig;
+using pqsda::QueryLogRecord;
+using pqsda::SuggestionRequest;
+
+int main() {
+  // A miniature query log: (user, query, clicked URL, timestamp).
+  std::vector<QueryLogRecord> log = {
+      {1, "sun", "www.java.com", 100},
+      {1, "sun java", "java.sun.com", 160},
+      {1, "jvm download", "www.java.com", 220},
+      {2, "sun", "www.nasa.gov", 100},
+      {2, "solar system", "www.nasa.gov", 170},
+      {2, "solar cell", "en.wikipedia.org", 260},
+      {3, "sun oracle", "www.oracle.com", 100},
+      {3, "java", "www.java.com", 172},
+      {4, "sun", "www.thesun.co.uk", 100},
+      {4, "sun daily uk", "www.thesun.co.uk", 150},
+      {5, "sun java", "java.sun.com", 90},
+      {5, "java", "www.java.com", 140},
+  };
+
+  PqsdaEngineConfig config;
+  config.diversifier.compact.target_size = 50;  // tiny log, tiny budget
+  config.upm.base.num_topics = 4;
+  config.upm.base.gibbs_iterations = 40;
+
+  auto engine = PqsdaEngine::Build(log, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  SuggestionRequest request;
+  request.query = "sun";
+  request.timestamp = 300;
+  request.user = 1;  // the java-leaning searcher
+
+  auto suggestions = (*engine)->Suggest(request, 6);
+  if (!suggestions.ok()) {
+    std::fprintf(stderr, "suggest failed: %s\n",
+                 suggestions.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("suggestions for \"%s\" (user %u):\n", request.query.c_str(),
+              request.user);
+  for (size_t i = 0; i < suggestions->size(); ++i) {
+    std::printf("  %zu. %-16s (score %.2f)\n", i + 1,
+                (*suggestions)[i].query.c_str(), (*suggestions)[i].score);
+  }
+  return 0;
+}

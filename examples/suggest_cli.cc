@@ -1,0 +1,86 @@
+// Interactive suggestion server over a TSV query log: builds the full
+// PQS-DA engine from a log file (or a generated demo log when none is
+// given), then reads queries from stdin and prints suggestions.
+//
+//   ./build/examples/suggest_cli [log.tsv]
+//   > sun                      # plain query
+//   > @12 sun                  # personalize for user 12
+//   > quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/pqsda_engine.h"
+#include "log/log_io.h"
+#include "synthetic/generator.h"
+
+using namespace pqsda;
+
+int main(int argc, char** argv) {
+  std::vector<QueryLogRecord> records;
+  if (argc > 1) {
+    auto read = ReadLogTsv(argv[1]);
+    if (!read.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                   read.status().ToString().c_str());
+      return 1;
+    }
+    records = std::move(read).value();
+    std::printf("loaded %zu records from %s\n", records.size(), argv[1]);
+  } else {
+    GeneratorConfig config;
+    config.num_users = 150;
+    auto data = GenerateLog(config);
+    records = std::move(data.records);
+    std::printf("no log given; generated a %zu-record demo log\n",
+                records.size());
+  }
+
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = 12;
+  config.upm.base.gibbs_iterations = 40;
+  std::printf("building engine (representation + UPM training)...\n");
+  auto engine = PqsdaEngine::Build(std::move(records), config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ready. type a query ('@<user-id> <query>' to personalize, "
+              "'quit' to exit)\n");
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+
+    SuggestionRequest request;
+    request.user = kNoUser;
+    if (line[0] == '@') {
+      std::istringstream in(line.substr(1));
+      uint32_t user = 0;
+      in >> user;
+      std::getline(in, request.query);
+      while (!request.query.empty() && request.query.front() == ' ') {
+        request.query.erase(request.query.begin());
+      }
+      request.user = user;
+    } else {
+      request.query = line;
+    }
+    if (request.query.empty()) continue;
+
+    auto suggestions = (*engine)->Suggest(request, 10);
+    if (!suggestions.ok()) {
+      std::printf("  (%s)\n", suggestions.status().ToString().c_str());
+      continue;
+    }
+    for (size_t i = 0; i < suggestions->size(); ++i) {
+      std::printf("  %2zu. %s\n", i + 1, (*suggestions)[i].query.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Regenerates every figure of the paper plus the ablations.
+# Scales are chosen to finish on a 2-core laptop in ~20 minutes; raise
+# PQSDA_USERS / PQSDA_TESTS toward the paper's sizes on bigger machines.
+set -u
+cd "$(dirname "$0")"
+B=build/bench
+run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
+
+run fig3_diversity_relevance PQSDA_USERS=200 PQSDA_TESTS=120
+run fig4_perplexity PQSDA_USERS=250 PQSDA_TOPICS=16 PQSDA_GIBBS=80
+run fig5_personalized PQSDA_USERS=200 PQSDA_MAX_EVAL=300 PQSDA_TOPICS=32 PQSDA_GIBBS=60
+run fig6_hpr PQSDA_USERS=200 PQSDA_MAX_EVAL=300 PQSDA_TOPICS=32 PQSDA_GIBBS=60
+run fig7_efficiency PQSDA_TESTS=25
+run ablation_representation PQSDA_USERS=150 PQSDA_TESTS=100
+run ablation_context_decay PQSDA_USERS=150 PQSDA_TESTS=120
+run ablation_rank_aggregation PQSDA_USERS=150 PQSDA_MAX_EVAL=250 PQSDA_TOPICS=32 PQSDA_GIBBS=60
+run ablation_upm PQSDA_USERS=150 PQSDA_GIBBS=50
+echo "===== micro_kernels ====="
+PQSDA_USERS=120 timeout 900 "$B/micro_kernels" --benchmark_min_time=0.2

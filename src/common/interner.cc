@@ -1,0 +1,20 @@
+#include "common/interner.h"
+
+namespace pqsda {
+
+StringId StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  StringId id = static_cast<StringId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+StringId StringInterner::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return kInvalidStringId;
+  return it->second;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,48 @@
+#ifndef PQSDA_COMMON_INTERNER_H_
+#define PQSDA_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pqsda {
+
+/// Dense id assigned by StringInterner; ids are contiguous from 0.
+using StringId = uint32_t;
+
+/// Sentinel for "not interned".
+inline constexpr StringId kInvalidStringId = UINT32_MAX;
+
+/// Bidirectional string <-> dense-id map. Queries, URLs, terms and user names
+/// are interned once so that all graph/matrix code operates on dense integer
+/// ids.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  StringInterner(const StringInterner&) = default;
+  StringInterner& operator=(const StringInterner&) = default;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  /// Returns the id for `s`, creating one if unseen.
+  StringId Intern(std::string_view s);
+
+  /// Returns the id for `s`, or kInvalidStringId if unseen.
+  StringId Lookup(std::string_view s) const;
+
+  /// Returns the string for an id. Requires id < size().
+  const std::string& Get(StringId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, StringId> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_INTERNER_H_

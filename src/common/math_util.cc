@@ -1,0 +1,138 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pqsda {
+
+double Digamma(double x) {
+  assert(x > 0.0);
+  double result = 0.0;
+  // Shift x up to >= 6 where the asymptotic series is accurate.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double Trigamma(double x) {
+  assert(x > 0.0);
+  double result = 0.0;
+  while (x < 6.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 / 42.0)));
+  return result;
+}
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+double LogMultiBeta(const std::vector<double>& a) {
+  double sum = 0.0;
+  double out = 0.0;
+  for (double v : a) {
+    out += std::lgamma(v);
+    sum += v;
+  }
+  return out - std::lgamma(sum);
+}
+
+double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double BetaPdf(double t, double a, double b) {
+  if (t <= 0.0 || t >= 1.0) return 0.0;
+  return std::exp((a - 1.0) * std::log(t) + (b - 1.0) * std::log(1.0 - t) -
+                  LogBeta(a, b));
+}
+
+double LogSumExp(const std::vector<double>& x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double v : x) s += std::exp(v - m);
+  return m + std::log(s);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double SparseCosine(const std::vector<std::pair<uint32_t, double>>& a,
+                    const std::vector<std::pair<uint32_t, double>>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first == b[j].first) {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    } else if (a[i].first < b[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  for (const auto& [idx, v] : a) {
+    (void)idx;
+    na += v * v;
+  }
+  for (const auto& [idx, v] : b) {
+    (void)idx;
+    nb += v * v;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void NormalizeL1(std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  if (total <= 0.0) return;
+  for (double& x : v) x /= total;
+}
+
+double Norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 1) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace pqsda

@@ -1,0 +1,58 @@
+#ifndef PQSDA_COMMON_MATH_UTIL_H_
+#define PQSDA_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pqsda {
+
+/// Digamma function psi(x) for x > 0 (asymptotic expansion with recurrence
+/// shift). Used by the Dirichlet-hyperparameter gradient (Eqs. 25–27).
+double Digamma(double x);
+
+/// Trigamma function psi'(x) for x > 0.
+double Trigamma(double x);
+
+/// log Gamma(x) for x > 0 (thin wrapper over std::lgamma, kept here so all
+/// special functions share one header).
+double LogGamma(double x);
+
+/// log of the multivariate Beta function: sum(lgamma(a_i)) - lgamma(sum a_i).
+double LogMultiBeta(const std::vector<double>& a);
+
+/// log Beta(a, b).
+double LogBeta(double a, double b);
+
+/// Beta(a,b) density at t in (0,1); returns 0 outside the open interval.
+double BetaPdf(double t, double a, double b);
+
+/// Numerically stable log(sum_i exp(x_i)). Returns -inf for empty input.
+double LogSumExp(const std::vector<double>& x);
+
+/// Cosine similarity of two dense vectors of equal length. Returns 0 when
+/// either vector is all-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Cosine similarity of two sparse vectors given as sorted (index, value)
+/// pairs. Returns 0 when either vector is empty or all-zero.
+double SparseCosine(const std::vector<std::pair<uint32_t, double>>& a,
+                    const std::vector<std::pair<uint32_t, double>>& b);
+
+/// L1-normalizes a vector in place; a zero vector is left untouched.
+void NormalizeL1(std::vector<double>& v);
+
+/// L2 norm.
+double Norm2(const std::vector<double>& v);
+
+/// Mean of a vector; 0 for empty.
+double Mean(const std::vector<double>& v);
+
+/// Biased sample variance; 0 for size < 1.
+double Variance(const std::vector<double>& v);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_MATH_UTIL_H_

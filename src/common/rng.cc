@@ -1,0 +1,142 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pqsda {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(s);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (-n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGamma(double shape) {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia–Tsang note).
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-300);
+    return NextGamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::NextBeta(double a, double b) {
+  double x = NextGamma(a);
+  double y = NextGamma(b);
+  double s = x + y;
+  if (s <= 0.0) return 0.5;
+  return x / s;
+}
+
+size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Rng::NextDirichlet(double alpha, size_t dim) {
+  return NextDirichlet(std::vector<double>(dim, alpha));
+}
+
+std::vector<double> Rng::NextDirichlet(const std::vector<double>& alpha) {
+  std::vector<double> out(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = NextGamma(alpha[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(alpha.size());
+    for (auto& v : out) v = uniform;
+    return out;
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,68 @@
+#ifndef PQSDA_COMMON_RNG_H_
+#define PQSDA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pqsda {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded through
+/// SplitMix64). All stochastic components of the library draw from this type
+/// so that experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Gamma(shape, 1) via Marsaglia–Tsang; shape > 0.
+  double NextGamma(double shape);
+
+  /// Beta(a, b) sample; a, b > 0.
+  double NextBeta(double a, double b);
+
+  /// Samples an index proportional to the (unnormalized, non-negative)
+  /// weights. Returns weights.size()-1 on accumulated-rounding fallthrough.
+  /// Requires a non-empty vector with a positive total weight.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Symmetric Dirichlet(alpha) sample of the given dimension.
+  std::vector<double> NextDirichlet(double alpha, size_t dim);
+
+  /// Dirichlet sample with a per-component parameter vector.
+  std::vector<double> NextDirichlet(const std::vector<double>& alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+#ifndef PQSDA_COMMON_TIMER_H_
+#define PQSDA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pqsda {
+
+/// Monotonic wall-clock timer used by the efficiency benchmarks (Fig. 7).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_TIMER_H_

@@ -1,0 +1,34 @@
+#ifndef PQSDA_COMMON_ZIPF_H_
+#define PQSDA_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pqsda {
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1} by inverse
+/// transform over the precomputed CDF. Used by the synthetic log generator
+/// for query/term/URL popularity, which in real logs is strongly Zipfian.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` items with exponent `s` (s >= 0; s == 0 is
+  /// uniform). Requires n > 0.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular item.
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of the given rank.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_ZIPF_H_

@@ -1,0 +1,67 @@
+#include "core/pqsda_engine.h"
+
+#include "rank/borda.h"
+
+namespace pqsda {
+
+double Personalizer::PreferenceScore(UserId user,
+                                     const std::string& query) const {
+  size_t doc = corpus_->DocumentOf(user);
+  if (doc == SIZE_MAX) return 0.0;
+  return upm_->PreferenceScore(doc, corpus_->WordIds(query));
+}
+
+std::vector<Suggestion> Personalizer::Rerank(
+    UserId user, const std::vector<Suggestion>& list) const {
+  size_t doc = corpus_->DocumentOf(user);
+  if (doc == SIZE_MAX || list.empty()) return list;
+  std::vector<std::string> items;
+  std::vector<double> prefs;
+  items.reserve(list.size());
+  for (const Suggestion& s : list) {
+    items.push_back(s.query);
+    prefs.push_back(upm_->PreferenceScore(doc, corpus_->WordIds(s.query)));
+  }
+  std::vector<Suggestion> preference_ranking = RankByScore(items, prefs);
+  std::vector<std::vector<Suggestion>> lists = {list};
+  for (size_t i = 0; i < preference_weight_; ++i) {
+    lists.push_back(preference_ranking);
+  }
+  return BordaAggregate(lists);
+}
+
+StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
+    std::vector<QueryLogRecord> records, const PqsdaEngineConfig& config) {
+  if (records.empty()) {
+    return Status::InvalidArgument("empty query log");
+  }
+  std::unique_ptr<PqsdaEngine> engine(new PqsdaEngine());
+  SortByUserAndTime(records);
+  engine->records_ = std::move(records);
+  engine->sessions_ = Sessionize(engine->records_, config.sessionizer);
+  engine->mb_ = std::make_unique<MultiBipartite>(MultiBipartite::Build(
+      engine->records_, engine->sessions_, config.weighting));
+  engine->corpus_ = std::make_unique<QueryLogCorpus>(
+      QueryLogCorpus::Build(engine->records_, engine->sessions_));
+  engine->diversifier_ =
+      std::make_unique<PqsdaDiversifier>(*engine->mb_, config.diversifier);
+  if (config.personalize) {
+    engine->upm_ = std::make_unique<UpmModel>(config.upm);
+    engine->upm_->Train(*engine->corpus_);
+    engine->personalizer_ = std::make_unique<Personalizer>(
+        *engine->upm_, *engine->corpus_, config.preference_borda_weight);
+  }
+  return engine;
+}
+
+StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  auto diversified = diversifier_->Suggest(request, k);
+  if (!diversified.ok()) return diversified.status();
+  if (personalizer_ == nullptr || request.user == kNoUser) {
+    return diversified;
+  }
+  return personalizer_->Rerank(request.user, *diversified);
+}
+
+}  // namespace pqsda

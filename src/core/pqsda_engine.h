@@ -1,0 +1,97 @@
+#ifndef PQSDA_CORE_PQSDA_ENGINE_H_
+#define PQSDA_CORE_PQSDA_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/multi_bipartite.h"
+#include "log/sessionizer.h"
+#include "suggest/pqsda_diversifier.h"
+#include "topic/corpus.h"
+#include "topic/upm.h"
+
+namespace pqsda {
+
+/// Reranks any suggestion list for a user (§V-B): score each suggestion by
+/// the UPM preference (Eq. 31), rank by preference, then Borda-aggregate
+/// with the original (diversification) ranking. This is also what the Fig. 5
+/// "(P)" variants apply to the baselines' lists.
+class Personalizer {
+ public:
+  /// Both referents must outlive the Personalizer. `preference_weight` is
+  /// the weighted-Borda multiplicity of the preference ranking relative to
+  /// the diversification ranking (1 = the plain Borda of §V-B; larger
+  /// values personalize more aggressively).
+  Personalizer(const UpmModel& upm, const QueryLogCorpus& corpus,
+               size_t preference_weight = 1)
+      : upm_(&upm), corpus_(&corpus),
+        preference_weight_(preference_weight == 0 ? 1 : preference_weight) {}
+
+  /// Returns the personalized ranking; a user unknown to the corpus gets the
+  /// input list unchanged.
+  std::vector<Suggestion> Rerank(UserId user,
+                                 const std::vector<Suggestion>& list) const;
+
+  /// Raw preference score of one query for a user (Eq. 31).
+  double PreferenceScore(UserId user, const std::string& query) const;
+
+ private:
+  const UpmModel* upm_;
+  const QueryLogCorpus* corpus_;
+  size_t preference_weight_;
+};
+
+/// End-to-end PQS-DA configuration.
+struct PqsdaEngineConfig {
+  EdgeWeighting weighting = EdgeWeighting::kCfIqf;
+  SessionizerOptions sessionizer;
+  PqsdaDiversifierOptions diversifier;
+  UpmOptions upm;
+  /// When false the engine skips UPM training and Suggest returns the
+  /// diversified list as-is (diversification-only mode, as in §VI-B).
+  bool personalize = true;
+  /// Weighted-Borda multiplicity of the preference ranking (see
+  /// Personalizer).
+  size_t preference_borda_weight = 2;
+};
+
+/// The complete PQS-DA system (Fig. 1): query-log representation +
+/// diversification + personalization behind one Suggest call.
+class PqsdaEngine {
+ public:
+  /// Builds the representation, trains the UPM and wires the components.
+  /// `records` is the training log (cleaned; any order — it is re-sorted).
+  static StatusOr<std::unique_ptr<PqsdaEngine>> Build(
+      std::vector<QueryLogRecord> records, const PqsdaEngineConfig& config);
+
+  /// Diversified and (if enabled and the user is known) personalized
+  /// suggestions.
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const;
+
+  const MultiBipartite& representation() const { return *mb_; }
+  const PqsdaDiversifier& diversifier() const { return *diversifier_; }
+  const QueryLogCorpus& corpus() const { return *corpus_; }
+  /// Null when personalization is disabled.
+  const UpmModel* upm() const { return upm_.get(); }
+  const Personalizer* personalizer() const { return personalizer_.get(); }
+  const std::vector<Session>& sessions() const { return sessions_; }
+  const std::vector<QueryLogRecord>& records() const { return records_; }
+
+ private:
+  PqsdaEngine() = default;
+
+  std::vector<QueryLogRecord> records_;
+  std::vector<Session> sessions_;
+  std::unique_ptr<MultiBipartite> mb_;
+  std::unique_ptr<QueryLogCorpus> corpus_;
+  std::unique_ptr<PqsdaDiversifier> diversifier_;
+  std::unique_ptr<UpmModel> upm_;
+  std::unique_ptr<Personalizer> personalizer_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_CORE_PQSDA_ENGINE_H_

@@ -1,0 +1,101 @@
+#include "core/profile_store.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+ProfileStore ProfileStore::FromUpm(const UpmModel& upm,
+                                   const QueryLogCorpus& corpus) {
+  ProfileStore store;
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    UserProfile profile;
+    profile.user = corpus.documents()[d].user;
+    profile.theta = upm.DocumentTopicMixture(d);
+    store.Put(std::move(profile));
+  }
+  return store;
+}
+
+void ProfileStore::Put(UserProfile profile) {
+  num_topics_ = std::max(num_topics_, profile.theta.size());
+  profiles_[profile.user] = std::move(profile);
+}
+
+const UserProfile* ProfileStore::Find(UserId user) const {
+  auto it = profiles_.find(user);
+  if (it == profiles_.end()) return nullptr;
+  return &it->second;
+}
+
+double ProfileStore::UserSimilarity(UserId a, UserId b) const {
+  const UserProfile* pa = Find(a);
+  const UserProfile* pb = Find(b);
+  if (pa == nullptr || pb == nullptr ||
+      pa->theta.size() != pb->theta.size()) {
+    return 0.0;
+  }
+  return CosineSimilarity(pa->theta, pb->theta);
+}
+
+Status ProfileStore::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.precision(10);
+  for (const auto& [user, profile] : profiles_) {
+    out << user;
+    for (double v : profile.theta) out << '\t' << v;
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<ProfileStore> ProfileStore::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  ProfileStore store;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string field;
+    UserProfile profile;
+    if (!std::getline(fields, field, '\t')) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": empty row");
+    }
+    {
+      auto [p, ec] = std::from_chars(field.data(),
+                                     field.data() + field.size(),
+                                     profile.user);
+      if (ec != std::errc() || p != field.data() + field.size()) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad user id: " + field);
+      }
+    }
+    while (std::getline(fields, field, '\t')) {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end != field.c_str() + field.size()) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad theta value: " + field);
+      }
+      profile.theta.push_back(v);
+    }
+    if (profile.theta.empty()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": profile has no topics");
+    }
+    store.Put(std::move(profile));
+  }
+  return store;
+}
+
+}  // namespace pqsda

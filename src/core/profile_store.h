@@ -1,0 +1,66 @@
+#ifndef PQSDA_CORE_PROFILE_STORE_H_
+#define PQSDA_CORE_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "log/record.h"
+#include "topic/corpus.h"
+#include "topic/upm.h"
+
+namespace pqsda {
+
+/// One user's offline profile: the topic vector theta_d of Eq. 30 (§V-A:
+/// "the dth user's search interests are represented by a topic vector ...
+/// concise enough for offline storage and efficient online
+/// personalization").
+struct UserProfile {
+  UserId user = 0;
+  std::vector<double> theta;
+
+  friend bool operator==(const UserProfile&, const UserProfile&) = default;
+};
+
+/// Persistent store of UPM user profiles. Profiles are extracted from a
+/// trained UPM, serialized as a small TSV file (`user \t v0 \t v1 ...`) and
+/// reloaded without retraining.
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// Snapshots theta_d for every document of the corpus.
+  static ProfileStore FromUpm(const UpmModel& upm,
+                              const QueryLogCorpus& corpus);
+
+  /// Writes all profiles; overwrites the file.
+  Status Save(const std::string& path) const;
+
+  /// Reads a store written by Save. Corrupt rows yield a Corruption error
+  /// naming the line.
+  static StatusOr<ProfileStore> Load(const std::string& path);
+
+  /// Adds or replaces one profile.
+  void Put(UserProfile profile);
+
+  /// nullptr if the user has no stored profile.
+  const UserProfile* Find(UserId user) const;
+
+  size_t size() const { return profiles_.size(); }
+  size_t num_topics() const { return num_topics_; }
+
+  /// Cosine similarity between two users' interest vectors — a cheap
+  /// building block for profile-based user clustering; 0 if either user is
+  /// unknown.
+  double UserSimilarity(UserId a, UserId b) const;
+
+ private:
+  std::unordered_map<UserId, UserProfile> profiles_;
+  size_t num_topics_ = 0;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_CORE_PROFILE_STORE_H_

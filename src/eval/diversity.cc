@@ -1,0 +1,60 @@
+#include "eval/diversity.h"
+
+#include <algorithm>
+
+namespace pqsda {
+
+ClickedPages ClickedPages::Build(const std::vector<QueryLogRecord>& records) {
+  ClickedPages out;
+  for (const auto& rec : records) {
+    if (!rec.has_click()) continue;
+    auto& urls = out.pages_[rec.query];
+    if (std::find(urls.begin(), urls.end(), rec.clicked_url) == urls.end()) {
+      urls.push_back(rec.clicked_url);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>* ClickedPages::Pages(
+    const std::string& query) const {
+  auto it = pages_.find(query);
+  if (it == pages_.end()) return nullptr;
+  return &it->second;
+}
+
+double QueryPairDiversity(const std::string& query_a,
+                          const std::string& query_b,
+                          const ClickedPages& pages,
+                          const PageSimilarity& sim) {
+  const std::vector<std::string>* pa = pages.Pages(query_a);
+  const std::vector<std::string>* pb = pages.Pages(query_b);
+  if (pa == nullptr || pb == nullptr || pa->empty() || pb->empty()) {
+    return 1.0;
+  }
+  double total = 0.0;
+  for (const std::string& a : *pa) {
+    for (const std::string& b : *pb) {
+      total += sim.Similarity(a, b);
+    }
+  }
+  double mean = total / (static_cast<double>(pa->size()) *
+                         static_cast<double>(pb->size()));
+  return 1.0 - mean;
+}
+
+double ListDiversity(const std::vector<Suggestion>& list, size_t k,
+                     const ClickedPages& pages, const PageSimilarity& sim) {
+  size_t n = std::min(k, list.size());
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      total += QueryPairDiversity(list[i].query, list[j].query, pages, sim);
+    }
+  }
+  return total / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace pqsda

@@ -1,0 +1,51 @@
+#ifndef PQSDA_EVAL_DIVERSITY_H_
+#define PQSDA_EVAL_DIVERSITY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "log/record.h"
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Pairwise similarity of two web pages, backing sim(p, q) of Eq. 32. The
+/// paper computed it from page content; our benches back it with the
+/// synthetic URL documents.
+class PageSimilarity {
+ public:
+  virtual ~PageSimilarity() = default;
+  virtual double Similarity(const std::string& url_a,
+                            const std::string& url_b) const = 0;
+};
+
+/// Clicked-page sets P(q) per query string, harvested from a log.
+class ClickedPages {
+ public:
+  static ClickedPages Build(const std::vector<QueryLogRecord>& records);
+
+  /// Distinct URLs clicked for the query; nullptr if the query has none.
+  const std::vector<std::string>* Pages(const std::string& query) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> pages_;
+};
+
+/// d(q_i, q_j) of Eq. 32: 1 - mean pairwise page similarity between the two
+/// queries' clicked-page sets. Queries without clicked pages count as
+/// maximally diverse (1), matching the metric's "no evidence of overlap"
+/// reading.
+double QueryPairDiversity(const std::string& query_a,
+                          const std::string& query_b,
+                          const ClickedPages& pages,
+                          const PageSimilarity& sim);
+
+/// D(L) of Eq. 33: mean pairwise diversity over the top-k prefix of the
+/// list. Lists with fewer than 2 entries score 0.
+double ListDiversity(const std::vector<Suggestion>& list, size_t k,
+                     const ClickedPages& pages, const PageSimilarity& sim);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_DIVERSITY_H_

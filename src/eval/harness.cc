@@ -1,0 +1,116 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace pqsda {
+
+std::vector<TestQuery> SampleTestQueries(const SyntheticDataset& data,
+                                         size_t count, uint64_t seed,
+                                         TestSampling sampling) {
+  Rng rng(seed);
+  std::vector<size_t> order;
+  if (sampling == TestSampling::kByRecord) {
+    order.resize(data.records.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  } else {
+    // Uniform over distinct query strings: one random representative
+    // occurrence per query.
+    std::unordered_map<std::string, std::vector<size_t>> occurrences;
+    for (size_t i = 0; i < data.records.size(); ++i) {
+      occurrences[data.records[i].query].push_back(i);
+    }
+    order.reserve(occurrences.size());
+    for (auto& [q, idxs] : occurrences) {
+      (void)q;
+      order.push_back(idxs[rng.NextBounded(idxs.size())]);
+    }
+  }
+  rng.Shuffle(order);
+
+  std::vector<TestQuery> out;
+  for (size_t idx : order) {
+    if (out.size() >= count) break;
+    const QueryLogRecord& rec = data.records[idx];
+    TestQuery tq;
+    tq.request.query = rec.query;
+    tq.request.timestamp = rec.timestamp;
+    tq.request.user = rec.user_id;
+    tq.intent = data.record_facet[idx];
+    // Search context: earlier records of the same ground-truth session.
+    uint32_t session = data.record_session[idx];
+    for (size_t j = idx; j-- > 0;) {
+      if (data.record_session[j] != session) break;
+      tq.request.context.emplace_back(data.records[j].query,
+                                      data.records[j].timestamp);
+    }
+    std::reverse(tq.request.context.begin(), tq.request.context.end());
+    out.push_back(std::move(tq));
+  }
+  return out;
+}
+
+TrainTestSplit SplitByRecentSessions(const SyntheticDataset& data,
+                                     size_t test_sessions_per_user) {
+  // Group record indices by ground-truth session (records are in
+  // (user, time) order, sessions contiguous).
+  std::vector<std::pair<uint32_t, std::vector<size_t>>> sessions;
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    uint32_t s = data.record_session[i];
+    if (sessions.empty() || sessions.back().first != s) {
+      sessions.push_back({s, {}});
+    }
+    sessions.back().second.push_back(i);
+  }
+  // Per user, list their sessions in time order.
+  std::unordered_map<UserId, std::vector<size_t>> user_sessions;
+  for (size_t si = 0; si < sessions.size(); ++si) {
+    user_sessions[data.records[sessions[si].second.front()].user_id]
+        .push_back(si);
+  }
+  std::vector<bool> is_test(sessions.size(), false);
+  for (auto& [user, sids] : user_sessions) {
+    (void)user;
+    size_t n_test = std::min(test_sessions_per_user,
+                             sids.size() > 1 ? sids.size() - 1 : 0);
+    for (size_t i = sids.size() - n_test; i < sids.size(); ++i) {
+      is_test[sids[i]] = true;
+    }
+  }
+
+  TrainTestSplit split;
+  for (size_t si = 0; si < sessions.size(); ++si) {
+    if (!is_test[si]) {
+      for (size_t idx : sessions[si].second) {
+        split.train.push_back(data.records[idx]);
+      }
+      continue;
+    }
+    TestSession ts;
+    ts.user = data.records[sessions[si].second.front()].user_id;
+    ts.intent = data.record_facet[sessions[si].second.front()];
+    for (size_t idx : sessions[si].second) {
+      ts.records.push_back(data.records[idx]);
+      const QueryLogRecord& rec = data.records[idx];
+      if (rec.has_click()) {
+        const UrlDocument* doc = data.facets.FindDocument(rec.clicked_url);
+        if (doc != nullptr) ts.clicked_titles.push_back(doc->title);
+      }
+    }
+    split.test_sessions.push_back(std::move(ts));
+  }
+  return split;
+}
+
+SuggestionRequest RequestFromTestSession(const TestSession& session) {
+  SuggestionRequest request;
+  request.query = session.records.front().query;
+  request.timestamp = session.records.front().timestamp;
+  request.user = session.user;
+  return request;
+}
+
+}  // namespace pqsda

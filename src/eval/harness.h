@@ -1,0 +1,67 @@
+#ifndef PQSDA_EVAL_HARNESS_H_
+#define PQSDA_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "suggest/engine.h"
+#include "synthetic/generator.h"
+
+namespace pqsda {
+
+/// An evaluation input: a suggestion request plus the ground truth the
+/// metrics need.
+struct TestQuery {
+  SuggestionRequest request;
+  /// The user's true information-need facet at this point (HPR oracle).
+  FacetId intent = 0;
+};
+
+/// How test inputs are drawn from the log.
+enum class TestSampling {
+  /// Uniform over records: popular queries appear proportionally often.
+  kByRecord,
+  /// Uniform over *distinct query strings*: the long tail (including
+  /// click-less queries, where the click graph has no edges) is fully
+  /// represented. This is the Fig. 3 protocol reading we adopt.
+  kByDistinctQuery,
+};
+
+/// Samples `count` test inputs (the Fig. 3 protocol: randomly selected
+/// testing queries). Each request carries the query, a timestamp, the user
+/// and the search context (the earlier queries of the same ground-truth
+/// session) of one of its log occurrences.
+std::vector<TestQuery> SampleTestQueries(
+    const SyntheticDataset& data, size_t count, uint64_t seed,
+    TestSampling sampling = TestSampling::kByRecord);
+
+/// One held-out session of the personalization protocol (§VI-C2).
+struct TestSession {
+  UserId user = 0;
+  /// Records of the session, in time order.
+  std::vector<QueryLogRecord> records;
+  /// Ground-truth facet of the session.
+  FacetId intent = 0;
+  /// High-quality fields (titles) of the pages clicked in this session; the
+  /// PPR reference.
+  std::vector<std::string> clicked_titles;
+};
+
+/// Train/test split of the Fig. 5/6 protocol: the most recent
+/// `test_sessions_per_user` ground-truth sessions of every user are held
+/// out; everything else is training data.
+struct TrainTestSplit {
+  std::vector<QueryLogRecord> train;
+  std::vector<TestSession> test_sessions;
+};
+
+TrainTestSplit SplitByRecentSessions(const SyntheticDataset& data,
+                                     size_t test_sessions_per_user);
+
+/// The suggestion request for a held-out session: its first query, no
+/// context (nothing earlier in the session), the session's user.
+SuggestionRequest RequestFromTestSession(const TestSession& session);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_HARNESS_H_

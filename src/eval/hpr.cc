@@ -1,0 +1,62 @@
+#include "eval/hpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqsda {
+
+double SnapToSixPointScale(double value) {
+  value = std::clamp(value, 0.0, 1.0);
+  return std::round(value * 5.0) / 5.0;
+}
+
+SimulatedRater::SimulatedRater(const Taxonomy& taxonomy,
+                               const FacetModel& facets, double noise,
+                               uint64_t seed)
+    : taxonomy_(&taxonomy), facets_(&facets), noise_(noise), rng_(seed) {}
+
+double SimulatedRater::Rate(FacetId intent,
+                            const std::string& suggested_query,
+                            const std::vector<double>* profile_weights) {
+  std::vector<FacetId> owners = facets_->QueryFacets(suggested_query);
+  double best = 0.0;
+  CategoryId intent_cat = facets_->facet(intent).category;
+  double profile_max = 0.0;
+  if (profile_weights != nullptr) {
+    for (double w : *profile_weights) profile_max = std::max(profile_max, w);
+  }
+  for (FacetId f : owners) {
+    if (f == intent) {
+      best = 1.0;
+      break;
+    }
+    // Partial credit by taxonomy closeness: a same-domain suggestion rates
+    // "partially relevant" (the 0.4-0.6 band of the 6-point scale), a far
+    // one near-irrelevant.
+    double rel =
+        taxonomy_->PathRelevance(intent_cat, facets_->facet(f).category);
+    best = std::max(best, 0.9 * rel);
+    // Standing-interest credit: a suggestion serving one of the rater's
+    // strong long-term interests is valuable even off the current intent.
+    if (profile_weights != nullptr && profile_max > 0.0 &&
+        f < profile_weights->size()) {
+      best = std::max(best, 0.85 * (*profile_weights)[f] / profile_max);
+    }
+  }
+  double noisy = best + noise_ * rng_.NextGaussian();
+  return SnapToSixPointScale(noisy);
+}
+
+double SimulatedRater::RateList(FacetId intent,
+                                const std::vector<Suggestion>& list, size_t k,
+                                const std::vector<double>* profile_weights) {
+  size_t n = std::min(k, list.size());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += Rate(intent, list[i].query, profile_weights);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,54 @@
+#ifndef PQSDA_EVAL_HPR_H_
+#define PQSDA_EVAL_HPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "suggest/engine.h"
+#include "synthetic/facet_model.h"
+#include "synthetic/taxonomy.h"
+
+namespace pqsda {
+
+/// Simulated human expert for Human Personalized Relevance (Fig. 6). The
+/// paper recruited experts for four months; the simulator rates a suggestion
+/// against the user's *hidden* current intent facet (which the synthetic
+/// ground truth knows exactly): same facet -> "entirely relevant", facets in
+/// the same taxonomy branch -> partially relevant, unrelated -> irrelevant;
+/// rater noise is added, and the result snaps to the paper's 6-point scale
+/// {0, 0.2, 0.4, 0.6, 0.8, 1}.
+class SimulatedRater {
+ public:
+  /// `noise` is the standard deviation of rater disagreement before
+  /// snapping (paper-scale units; 0 = oracle).
+  SimulatedRater(const Taxonomy& taxonomy, const FacetModel& facets,
+                 double noise = 0.1, uint64_t seed = 99);
+
+  /// Rating of one suggested query for a searcher whose current information
+  /// need is `intent`. `profile_weights` (optional, per-facet) are the
+  /// rater's standing interests: the paper's experts rated suggestions over
+  /// four months of their own searches, so a suggestion serving *any* of
+  /// their strong interests earns a high mark even when it misses the
+  /// current query's facet.
+  double Rate(FacetId intent, const std::string& suggested_query,
+              const std::vector<double>* profile_weights = nullptr);
+
+  /// Mean rating of the top-k prefix.
+  double RateList(FacetId intent, const std::vector<Suggestion>& list,
+                  size_t k,
+                  const std::vector<double>* profile_weights = nullptr);
+
+ private:
+  const Taxonomy* taxonomy_;
+  const FacetModel* facets_;
+  double noise_;
+  Rng rng_;
+};
+
+/// Snaps a value in [0, 1] to the nearest of {0, 0.2, 0.4, 0.6, 0.8, 1}.
+double SnapToSixPointScale(double value);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_HPR_H_

@@ -1,0 +1,61 @@
+#include "eval/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace pqsda {
+
+namespace {
+std::unordered_map<std::string, double> WordBag(const std::string& text) {
+  std::unordered_map<std::string, double> bag;
+  for (const std::string& t : Tokenize(text)) bag[t] += 1.0;
+  return bag;
+}
+
+double BagCosine(const std::unordered_map<std::string, double>& a,
+                 const std::unordered_map<std::string, double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [w, v] : a) {
+    na += v * v;
+    auto it = b.find(w);
+    if (it != b.end()) dot += v * it->second;
+  }
+  for (const auto& [w, v] : b) {
+    (void)w;
+    nb += v * v;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+}  // namespace
+
+double TextCosine(const std::string& a, const std::string& b) {
+  return BagCosine(WordBag(a), WordBag(b));
+}
+
+double SuggestionPpr(const std::string& suggested_query,
+                     const std::vector<std::string>& clicked_titles) {
+  if (clicked_titles.empty()) return 0.0;
+  std::unordered_map<std::string, double> titles;
+  for (const std::string& t : clicked_titles) {
+    for (const std::string& w : Tokenize(t)) titles[w] += 1.0;
+  }
+  return BagCosine(WordBag(suggested_query), titles);
+}
+
+double ListPpr(const std::vector<Suggestion>& list, size_t k,
+               const std::vector<std::string>& clicked_titles) {
+  size_t n = std::min(k, list.size());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += SuggestionPpr(list[i].query, clicked_titles);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,28 @@
+#ifndef PQSDA_EVAL_PPR_H_
+#define PQSDA_EVAL_PPR_H_
+
+#include <string>
+#include <vector>
+
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Cosine similarity between the word bags of two texts (whitespace/punct
+/// tokenized, lowercase). 0 when either side is empty.
+double TextCosine(const std::string& a, const std::string& b);
+
+/// Pseudo Personalized Relevance of one suggestion (§VI-C2): cosine between
+/// the suggested query's word vector and the concatenated high-quality
+/// fields (titles) of the pages the user clicked in the test session.
+double SuggestionPpr(const std::string& suggested_query,
+                     const std::vector<std::string>& clicked_titles);
+
+/// Mean PPR over the top-k prefix of a suggestion list. Empty prefixes or
+/// sessions without clicked titles score 0.
+double ListPpr(const std::vector<Suggestion>& list, size_t k,
+               const std::vector<std::string>& clicked_titles);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_PPR_H_

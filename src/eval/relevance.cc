@@ -1,0 +1,37 @@
+#include "eval/relevance.h"
+
+#include <algorithm>
+
+namespace pqsda {
+
+double QueryPairRelevance(const std::string& query_a,
+                          const std::string& query_b,
+                          const Taxonomy& taxonomy,
+                          const QueryCategoryProvider& categories) {
+  std::vector<CategoryId> ca = categories.Categories(query_a);
+  std::vector<CategoryId> cb = categories.Categories(query_b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  double best = 0.0;
+  for (CategoryId a : ca) {
+    for (CategoryId b : cb) {
+      best = std::max(best, taxonomy.PathRelevance(a, b));
+    }
+  }
+  return best;
+}
+
+double ListRelevance(const std::string& input_query,
+                     const std::vector<Suggestion>& list, size_t k,
+                     const Taxonomy& taxonomy,
+                     const QueryCategoryProvider& categories) {
+  size_t n = std::min(k, list.size());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total +=
+        QueryPairRelevance(input_query, list[i].query, taxonomy, categories);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,41 @@
+#ifndef PQSDA_EVAL_RELEVANCE_H_
+#define PQSDA_EVAL_RELEVANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "suggest/engine.h"
+#include "synthetic/taxonomy.h"
+
+namespace pqsda {
+
+/// Maps a query string to its taxonomy categories, backing the ODP lookup
+/// of Eq. 34. Ambiguous queries are listed under several ODP categories, so
+/// the lookup returns a set; benches implement it over the synthetic ground
+/// truth (one category per owning facet).
+class QueryCategoryProvider {
+ public:
+  virtual ~QueryCategoryProvider() = default;
+  /// All categories of the query; empty when unknown (non-canonical string).
+  virtual std::vector<CategoryId> Categories(
+      const std::string& query) const = 0;
+};
+
+/// R(q_i, q_j) of Eq. 34: |longest common category-path prefix| divided by
+/// the longer path length, maximized over the two queries' category sets
+/// (the best-matching ODP listing pair). Queries without categories score 0.
+double QueryPairRelevance(const std::string& query_a,
+                          const std::string& query_b,
+                          const Taxonomy& taxonomy,
+                          const QueryCategoryProvider& categories);
+
+/// Mean R(input, suggestion) over the top-k prefix of the list (the Fig. 3
+/// relevance@k series). Empty prefixes score 0.
+double ListRelevance(const std::string& input_query,
+                     const std::vector<Suggestion>& list, size_t k,
+                     const Taxonomy& taxonomy,
+                     const QueryCategoryProvider& categories);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_RELEVANCE_H_

@@ -1,0 +1,41 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace pqsda {
+
+void FigureTable::AddSeries(std::string name, std::vector<double> values) {
+  series.push_back(Series{std::move(name), std::move(values)});
+}
+
+std::string FigureTable::ToString() const {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  size_t name_width = x_label.size();
+  for (const Series& s : series) name_width = std::max(name_width, s.name.size());
+  name_width += 2;
+  out << std::left << std::setw(static_cast<int>(name_width)) << x_label;
+  for (const std::string& x : x_values) {
+    out << std::right << std::setw(9) << x;
+  }
+  out << '\n';
+  for (const Series& s : series) {
+    out << std::left << std::setw(static_cast<int>(name_width)) << s.name;
+    for (size_t i = 0; i < x_values.size(); ++i) {
+      if (i < s.values.size()) {
+        out << std::right << std::setw(9) << std::fixed
+            << std::setprecision(4) << s.values[i];
+      } else {
+        out << std::right << std::setw(9) << "-";
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void FigureTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace pqsda

@@ -1,0 +1,35 @@
+#ifndef PQSDA_EVAL_REPORT_H_
+#define PQSDA_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace pqsda {
+
+/// One method's metric values across the swept x-axis (e.g. k = 1..10).
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A figure-shaped table: a title, the x-axis labels (columns) and one row
+/// per method. Print() renders it aligned; the bench binaries use this to
+/// emit the same rows/series the paper's figures report.
+struct FigureTable {
+  std::string title;
+  std::string x_label;
+  std::vector<std::string> x_values;
+  std::vector<Series> series;
+
+  void AddSeries(std::string name, std::vector<double> values);
+
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Renders as a string (tested; Print uses this).
+  std::string ToString() const;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_REPORT_H_

@@ -1,0 +1,47 @@
+#include "eval/synthetic_adapters.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+double SyntheticPageSimilarity::Similarity(const std::string& url_a,
+                                           const std::string& url_b) const {
+  const UrlDocument* da = facets_->FindDocument(url_a);
+  const UrlDocument* db = facets_->FindDocument(url_b);
+  if (da == nullptr || db == nullptr) return 0.0;
+  return SparseCosine(da->term_vector, db->term_vector);
+}
+
+const std::vector<std::pair<uint32_t, double>>*
+SyntheticPageContentProvider::TermVector(const std::string& url) const {
+  const UrlDocument* doc = facets_->FindDocument(url);
+  if (doc == nullptr) return nullptr;
+  if (snippet_terms_ == 0 || doc->term_vector.size() <= snippet_terms_) {
+    return &doc->term_vector;
+  }
+  auto it = truncated_.find(url);
+  if (it == truncated_.end()) {
+    // Keep only the heaviest `snippet_terms_` entries (id-sorted).
+    auto vec = doc->term_vector;
+    std::sort(vec.begin(), vec.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    vec.resize(snippet_terms_);
+    std::sort(vec.begin(), vec.end());
+    it = truncated_.emplace(url, std::move(vec)).first;
+  }
+  return &it->second;
+}
+
+std::vector<CategoryId> SyntheticQueryCategories::Categories(
+    const std::string& query) const {
+  std::vector<CategoryId> out;
+  for (FacetId f : data_->facets.QueryFacets(query)) {
+    out.push_back(data_->facets.facet(f).category);
+  }
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,66 @@
+#ifndef PQSDA_EVAL_SYNTHETIC_ADAPTERS_H_
+#define PQSDA_EVAL_SYNTHETIC_ADAPTERS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/diversity.h"
+#include "eval/relevance.h"
+#include "suggest/concept_suggester.h"
+#include "synthetic/generator.h"
+
+namespace pqsda {
+
+/// PageSimilarity over the synthetic URL documents: cosine of their sparse
+/// term vectors (what the paper computed from real page content).
+class SyntheticPageSimilarity : public PageSimilarity {
+ public:
+  explicit SyntheticPageSimilarity(const FacetModel& facets)
+      : facets_(&facets) {}
+
+  double Similarity(const std::string& url_a,
+                    const std::string& url_b) const override;
+
+ private:
+  const FacetModel* facets_;
+};
+
+/// PageContentProvider (for the CM baseline) over the synthetic URL
+/// documents. `snippet_terms` caps how many of a page's terms the provider
+/// exposes, emulating the lossy snippet/ontology-based concept extraction
+/// the original CM had to work from (0 = full oracle vectors).
+class SyntheticPageContentProvider : public PageContentProvider {
+ public:
+  explicit SyntheticPageContentProvider(const FacetModel& facets,
+                                        size_t snippet_terms = 5)
+      : facets_(&facets), snippet_terms_(snippet_terms) {}
+
+  const std::vector<std::pair<uint32_t, double>>* TermVector(
+      const std::string& url) const override;
+
+ private:
+  const FacetModel* facets_;
+  size_t snippet_terms_;
+  mutable std::unordered_map<std::string,
+                             std::vector<std::pair<uint32_t, double>>>
+      truncated_;
+};
+
+/// QueryCategoryProvider over the synthetic ground truth (stands in for the
+/// ODP directory lookup of Eq. 34).
+class SyntheticQueryCategories : public QueryCategoryProvider {
+ public:
+  explicit SyntheticQueryCategories(const SyntheticDataset& data)
+      : data_(&data) {}
+
+  std::vector<CategoryId> Categories(
+      const std::string& query) const override;
+
+ private:
+  const SyntheticDataset* data_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_EVAL_SYNTHETIC_ADAPTERS_H_

@@ -1,0 +1,49 @@
+#include "graph/bipartite.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pqsda {
+
+double BipartiteGraph::Iqf(size_t j) const {
+  uint32_t n = object_degree_[j];
+  if (n == 0) return 0.0;
+  double iqf = std::log(static_cast<double>(num_queries()) /
+                        static_cast<double>(n));
+  return std::max(iqf, 0.0);
+}
+
+BipartiteGraph BipartiteGraph::ApplyIqf() const {
+  BipartiteGraph out;
+  out.q2o_ = q2o_;
+  std::vector<double> factor(num_objects());
+  for (size_t j = 0; j < num_objects(); ++j) {
+    // Keep a small floor so ubiquitous objects do not disconnect the graph
+    // entirely (iqf == 0 would delete the edge).
+    factor[j] = std::max(Iqf(j), 1e-3);
+  }
+  out.q2o_.ScaleColumns(factor);
+  out.o2q_ = out.q2o_.Transpose();
+  out.object_degree_ = object_degree_;
+  return out;
+}
+
+void BipartiteGraph::Builder::AddEdge(uint32_t query, uint32_t object,
+                                      double weight) {
+  triplets_.push_back(Triplet{query, object, weight});
+}
+
+BipartiteGraph BipartiteGraph::Builder::Build(size_t num_queries,
+                                              size_t num_objects) && {
+  BipartiteGraph g;
+  g.q2o_ = CsrMatrix::FromTriplets(num_queries, num_objects,
+                                   std::move(triplets_));
+  g.o2q_ = g.q2o_.Transpose();
+  g.object_degree_.assign(num_objects, 0);
+  for (size_t j = 0; j < num_objects; ++j) {
+    g.object_degree_[j] = static_cast<uint32_t>(g.o2q_.RowNnz(j));
+  }
+  return g;
+}
+
+}  // namespace pqsda

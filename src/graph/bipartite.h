@@ -1,0 +1,57 @@
+#ifndef PQSDA_GRAPH_BIPARTITE_H_
+#define PQSDA_GRAPH_BIPARTITE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_matrix.h"
+
+namespace pqsda {
+
+/// A weighted bipartite graph between queries (left side, dense ids) and
+/// objects (right side, dense ids — URLs, sessions or terms). Stores both
+/// orientations plus per-object distinct-query degrees (the n^X(o_j) counts
+/// of Eqs. 1–3).
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  const CsrMatrix& query_to_object() const { return q2o_; }
+  const CsrMatrix& object_to_query() const { return o2q_; }
+  size_t num_queries() const { return q2o_.rows(); }
+  size_t num_objects() const { return q2o_.cols(); }
+
+  /// Number of distinct queries connected to object j.
+  uint32_t ObjectQueryDegree(size_t j) const { return object_degree_[j]; }
+
+  /// Inverse query frequency of object j (Eqs. 1–3):
+  /// log(num_distinct_queries / n(o_j)), clamped at >= 0.
+  double Iqf(size_t j) const;
+
+  /// Returns a copy whose edge weights are cfiqf (Eqs. 4–6): each raw count
+  /// c_ij scaled by Iqf(j).
+  BipartiteGraph ApplyIqf() const;
+
+  /// Incremental builder; finalize with Build().
+  class Builder {
+   public:
+    /// Accumulates weight onto edge (query, object).
+    void AddEdge(uint32_t query, uint32_t object, double weight = 1.0);
+    /// Assembles the graph. `num_queries`/`num_objects` must exceed every id
+    /// seen by AddEdge.
+    BipartiteGraph Build(size_t num_queries, size_t num_objects) &&;
+
+   private:
+    std::vector<Triplet> triplets_;
+  };
+
+ private:
+  CsrMatrix q2o_;
+  CsrMatrix o2q_;
+  std::vector<uint32_t> object_degree_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_GRAPH_BIPARTITE_H_

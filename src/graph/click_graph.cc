@@ -1,0 +1,29 @@
+#include "graph/click_graph.h"
+
+namespace pqsda {
+
+ClickGraph ClickGraph::Build(const std::vector<QueryLogRecord>& records,
+                             EdgeWeighting weighting) {
+  ClickGraph cg;
+  BipartiteGraph::Builder builder;
+  std::vector<StringId> record_query(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    record_query[i] = cg.queries_.Intern(records[i].query);
+  }
+  cg.query_counts_.assign(cg.queries_.size(), 0);
+  for (StringId q : record_query) ++cg.query_counts_[q];
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].has_click()) continue;
+    StringId u = cg.urls_.Intern(records[i].clicked_url);
+    builder.AddEdge(record_query[i], u, 1.0);
+  }
+  cg.graph_ = std::move(builder).Build(cg.queries_.size(), cg.urls_.size());
+  if (weighting == EdgeWeighting::kCfIqf) {
+    cg.graph_ = cg.graph_.ApplyIqf();
+  }
+  cg.forward_ = cg.graph_.query_to_object().RowNormalized();
+  cg.backward_ = cg.graph_.object_to_query().RowNormalized();
+  return cg;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,53 @@
+#ifndef PQSDA_GRAPH_CLICK_GRAPH_H_
+#define PQSDA_GRAPH_CLICK_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "graph/bipartite.h"
+#include "graph/multi_bipartite.h"
+#include "log/record.h"
+
+namespace pqsda {
+
+/// The conventional query–URL click graph (Fig. 2(a)); the substrate the
+/// baseline suggesters (FRW, BRW, HT, DQS, PHT) were designed for.
+class ClickGraph {
+ public:
+  /// Builds from a log; only records with clicks contribute edges, but every
+  /// distinct query gets a node (possibly isolated).
+  static ClickGraph Build(const std::vector<QueryLogRecord>& records,
+                          EdgeWeighting weighting);
+
+  size_t num_queries() const { return queries_.size(); }
+  StringId QueryId(const std::string& query) const {
+    return queries_.Lookup(query);
+  }
+  const std::string& QueryString(StringId id) const {
+    return queries_.Get(id);
+  }
+  const StringInterner& queries() const { return queries_; }
+  const StringInterner& urls() const { return urls_; }
+  const BipartiteGraph& graph() const { return graph_; }
+
+  /// Row-normalized query->URL transition matrix (forward walk step).
+  const CsrMatrix& forward() const { return forward_; }
+  /// Row-normalized URL->query transition matrix (backward walk step).
+  const CsrMatrix& backward() const { return backward_; }
+
+  /// Total log occurrences of each query.
+  const std::vector<uint32_t>& query_counts() const { return query_counts_; }
+
+ private:
+  StringInterner queries_;
+  StringInterner urls_;
+  BipartiteGraph graph_;
+  CsrMatrix forward_;
+  CsrMatrix backward_;
+  std::vector<uint32_t> query_counts_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_GRAPH_CLICK_GRAPH_H_

@@ -1,0 +1,155 @@
+#include "graph/csr_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace pqsda {
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
+                                  std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+            });
+  CsrMatrix m(rows, cols);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (size_t row = 0; row < rows; ++row) {
+    while (i < triplets.size() && triplets[i].row == row) {
+      uint32_t col = triplets[i].col;
+      assert(col < cols);
+      double v = 0.0;
+      while (i < triplets.size() && triplets[i].row == row &&
+             triplets[i].col == col) {
+        v += triplets[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        m.col_idx_.push_back(col);
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[row + 1] = m.col_idx_.size();
+  }
+  assert(i == triplets.size());
+  return m;
+}
+
+double CsrMatrix::At(size_t i, size_t j) const {
+  auto idx = RowIndices(i);
+  auto it = std::lower_bound(idx.begin(), idx.end(), static_cast<uint32_t>(j));
+  if (it == idx.end() || *it != j) return 0.0;
+  return values_[row_ptr_[i] + static_cast<size_t>(it - idx.begin())];
+}
+
+double CsrMatrix::RowSum(size_t i) const {
+  double s = 0.0;
+  for (double v : RowValues(i)) s += v;
+  return s;
+}
+
+void CsrMatrix::MatVec(const std::vector<double>& x,
+                       std::vector<double>& y) const {
+  assert(x.size() == cols_);
+  y.assign(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[i] = acc;
+  }
+}
+
+void CsrMatrix::TransposeMatVec(const std::vector<double>& x,
+                                std::vector<double>& y) const {
+  assert(x.size() == rows_);
+  y.assign(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xi;
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  CsrMatrix t(cols_, rows_);
+  std::vector<size_t> counts(cols_, 0);
+  for (uint32_t c : col_idx_) ++counts[c];
+  t.row_ptr_.assign(cols_ + 1, 0);
+  for (size_t c = 0; c < cols_; ++c) {
+    t.row_ptr_[c + 1] = t.row_ptr_[c] + counts[c];
+  }
+  t.col_idx_.resize(nnz());
+  t.values_.resize(nnz());
+  std::vector<size_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      size_t pos = cursor[col_idx_[k]]++;
+      t.col_idx_[pos] = static_cast<uint32_t>(i);
+      t.values_[pos] = values_[k];
+    }
+  }
+  return t;
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix out = *this;
+  for (size_t i = 0; i < rows_; ++i) {
+    double s = RowSum(i);
+    if (s <= 0.0) continue;
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      out.values_[k] = values_[k] / s;
+    }
+  }
+  return out;
+}
+
+void CsrMatrix::ScaleColumns(const std::vector<double>& factor) {
+  assert(factor.size() == cols_);
+  for (size_t k = 0; k < values_.size(); ++k) {
+    values_[k] *= factor[col_idx_[k]];
+  }
+}
+
+void CsrMatrix::Scale(double s) {
+  for (double& v : values_) v *= s;
+}
+
+CsrMatrix CsrMatrix::MultiplySelfTranspose(double drop_tol) const {
+  // Row-wise SpGEMM: (A A^T)(i, j) = sum_k A(i,k) A(j,k). We iterate row i,
+  // scattering through the transpose's rows (columns of A).
+  CsrMatrix at = Transpose();
+  CsrMatrix out(rows_, rows_);
+  out.row_ptr_.assign(rows_ + 1, 0);
+  std::unordered_map<uint32_t, double> acc;
+  for (size_t i = 0; i < rows_; ++i) {
+    acc.clear();
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      uint32_t obj = col_idx_[k];
+      double w = values_[k];
+      for (size_t k2 = at.row_ptr_[obj]; k2 < at.row_ptr_[obj + 1]; ++k2) {
+        acc[at.col_idx_[k2]] += w * at.values_[k2];
+      }
+    }
+    std::vector<std::pair<uint32_t, double>> row(acc.begin(), acc.end());
+    std::sort(row.begin(), row.end());
+    for (const auto& [j, v] : row) {
+      if (std::abs(v) <= drop_tol) continue;
+      out.col_idx_.push_back(j);
+      out.values_.push_back(v);
+    }
+    out.row_ptr_[i + 1] = out.col_idx_.size();
+  }
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,86 @@
+#ifndef PQSDA_GRAPH_CSR_MATRIX_H_
+#define PQSDA_GRAPH_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+namespace pqsda {
+
+/// One (row, col, value) entry used to assemble a CsrMatrix.
+struct Triplet {
+  uint32_t row = 0;
+  uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix of doubles. The workhorse of the graph and
+/// solver layers: bipartite adjacency, query-affinity products and the
+/// regularization system (Eq. 15) are all CSR.
+class CsrMatrix {
+ public:
+  /// Empty rows x cols matrix.
+  CsrMatrix(size_t rows = 0, size_t cols = 0);
+
+  /// Assembles from triplets; duplicate (row, col) entries are summed and
+  /// zero-valued entries dropped.
+  static CsrMatrix FromTriplets(size_t rows, size_t cols,
+                                std::vector<Triplet> triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Column indices of row i (ascending).
+  std::span<const uint32_t> RowIndices(size_t i) const {
+    return {col_idx_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+  }
+  /// Values of row i, aligned with RowIndices.
+  std::span<const double> RowValues(size_t i) const {
+    return {values_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+  }
+  size_t RowNnz(size_t i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
+
+  /// Value at (i, j); 0 if the entry is absent. O(log nnz(row)).
+  double At(size_t i, size_t j) const;
+
+  /// Sum of the values in row i.
+  double RowSum(size_t i) const;
+
+  /// y = A x. x.size() must equal cols(); y is resized to rows().
+  void MatVec(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y = A^T x. x.size() must equal rows(); y is resized to cols().
+  void TransposeMatVec(const std::vector<double>& x,
+                       std::vector<double>& y) const;
+
+  /// A^T as a new CSR matrix.
+  CsrMatrix Transpose() const;
+
+  /// Returns a copy with each row L1-normalized (rows summing to 0 stay 0).
+  CsrMatrix RowNormalized() const;
+
+  /// Scales column j of the matrix by factor[j] (in place).
+  void ScaleColumns(const std::vector<double>& factor);
+
+  /// Scales all values by s (in place).
+  void Scale(double s);
+
+  /// Computes A * A^T (rows x rows) with a per-row sparse accumulator. This
+  /// is the query-affinity product W^X W^{X^T} of the smoothness constraint
+  /// (Eq. 9). Entries below `drop_tol` are dropped to bound fill-in.
+  CsrMatrix MultiplySelfTranspose(double drop_tol = 0.0) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_ptr_;
+  std::vector<uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_GRAPH_CSR_MATRIX_H_

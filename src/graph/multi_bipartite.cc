@@ -1,0 +1,57 @@
+#include "graph/multi_bipartite.h"
+
+#include "text/tokenizer.h"
+
+namespace pqsda {
+
+MultiBipartite MultiBipartite::Build(
+    const std::vector<QueryLogRecord>& records,
+    const std::vector<Session>& sessions, EdgeWeighting weighting) {
+  MultiBipartite mb;
+  mb.weighting_ = weighting;
+
+  // Intern all distinct queries first so ids are stable across bipartites.
+  std::vector<StringId> record_query(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    record_query[i] = mb.queries_.Intern(records[i].query);
+  }
+  mb.query_counts_.assign(mb.queries_.size(), 0);
+  for (StringId q : record_query) ++mb.query_counts_[q];
+
+  BipartiteGraph::Builder url_builder;
+  BipartiteGraph::Builder session_builder;
+  BipartiteGraph::Builder term_builder;
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    StringId q = record_query[i];
+    if (records[i].has_click()) {
+      StringId u = mb.urls_.Intern(records[i].clicked_url);
+      url_builder.AddEdge(q, u, 1.0);
+    }
+    for (const std::string& term : Tokenize(records[i].query)) {
+      if (IsStopword(term)) continue;
+      StringId t = mb.terms_.Intern(term);
+      term_builder.AddEdge(q, t, 1.0);
+    }
+  }
+  for (const Session& s : sessions) {
+    for (size_t idx : s.record_indices) {
+      session_builder.AddEdge(record_query[idx], s.id, 1.0);
+    }
+  }
+
+  size_t nq = mb.queries_.size();
+  mb.graphs_[static_cast<size_t>(BipartiteKind::kUrl)] =
+      std::move(url_builder).Build(nq, mb.urls_.size());
+  mb.graphs_[static_cast<size_t>(BipartiteKind::kSession)] =
+      std::move(session_builder).Build(nq, sessions.size());
+  mb.graphs_[static_cast<size_t>(BipartiteKind::kTerm)] =
+      std::move(term_builder).Build(nq, mb.terms_.size());
+
+  if (weighting == EdgeWeighting::kCfIqf) {
+    for (auto& g : mb.graphs_) g = g.ApplyIqf();
+  }
+  return mb;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,70 @@
+#ifndef PQSDA_GRAPH_MULTI_BIPARTITE_H_
+#define PQSDA_GRAPH_MULTI_BIPARTITE_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "graph/bipartite.h"
+#include "log/record.h"
+#include "log/sessionizer.h"
+
+namespace pqsda {
+
+/// The three bipartites of §III.
+enum class BipartiteKind { kUrl = 0, kSession = 1, kTerm = 2 };
+inline constexpr std::array<BipartiteKind, 3> kAllBipartites = {
+    BipartiteKind::kUrl, BipartiteKind::kSession, BipartiteKind::kTerm};
+
+/// Edge-weight scheme: raw co-occurrence counts, or cfiqf (Eqs. 4–6).
+enum class EdgeWeighting { kRaw, kCfIqf };
+
+/// The multi-bipartite query-log representation of §III: one shared query
+/// side (distinct query strings) connected to URLs, sessions and terms
+/// through three bipartite graphs.
+class MultiBipartite {
+ public:
+  /// Builds the representation from a (user, time)-sorted log and its
+  /// sessions. Stopword terms are excluded from the term bipartite.
+  static MultiBipartite Build(const std::vector<QueryLogRecord>& records,
+                              const std::vector<Session>& sessions,
+                              EdgeWeighting weighting);
+
+  size_t num_queries() const { return queries_.size(); }
+
+  /// Dense id of a query string; kInvalidStringId if the query never
+  /// occurred in the log.
+  StringId QueryId(const std::string& query) const {
+    return queries_.Lookup(query);
+  }
+  const std::string& QueryString(StringId id) const {
+    return queries_.Get(id);
+  }
+  const StringInterner& queries() const { return queries_; }
+  const StringInterner& urls() const { return urls_; }
+  const StringInterner& terms() const { return terms_; }
+
+  const BipartiteGraph& graph(BipartiteKind kind) const {
+    return graphs_[static_cast<size_t>(kind)];
+  }
+
+  EdgeWeighting weighting() const { return weighting_; }
+
+  /// Total log occurrences of each query (used as a popularity prior by some
+  /// baselines).
+  const std::vector<uint32_t>& query_counts() const { return query_counts_; }
+
+ private:
+  StringInterner queries_;
+  StringInterner urls_;
+  StringInterner terms_;
+  std::array<BipartiteGraph, 3> graphs_;
+  std::vector<uint32_t> query_counts_;
+  EdgeWeighting weighting_ = EdgeWeighting::kRaw;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_GRAPH_MULTI_BIPARTITE_H_

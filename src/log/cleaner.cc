@@ -1,0 +1,68 @@
+#include "log/cleaner.h"
+
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace pqsda {
+
+std::vector<QueryLogRecord> CleanLog(std::vector<QueryLogRecord> records,
+                                     const CleanerOptions& options,
+                                     CleanerStats* stats) {
+  CleanerStats local;
+  local.input_records = records.size();
+  SortByUserAndTime(records);
+
+  std::vector<QueryLogRecord> out;
+  out.reserve(records.size());
+  for (auto& rec : records) {
+    if (rec.query.empty()) {
+      ++local.dropped_empty;
+      continue;
+    }
+    if (options.max_chars > 0 && rec.query.size() > options.max_chars) {
+      ++local.dropped_length;
+      continue;
+    }
+    if (options.min_terms > 0 || options.max_terms > 0) {
+      auto terms = Tokenize(rec.query);
+      if (terms.empty() ||
+          (options.min_terms > 0 && terms.size() < options.min_terms) ||
+          (options.max_terms > 0 && terms.size() > options.max_terms)) {
+        ++local.dropped_length;
+        continue;
+      }
+    }
+    if (options.collapse_adjacent_duplicates && !out.empty() &&
+        out.back().user_id == rec.user_id && out.back().query == rec.query) {
+      // Keep the click if the earlier record lacked one.
+      if (!out.back().has_click() && rec.has_click()) {
+        out.back().clicked_url = rec.clicked_url;
+      }
+      ++local.collapsed_duplicates;
+      continue;
+    }
+    out.push_back(std::move(rec));
+  }
+
+  if (options.max_records_per_user > 0) {
+    std::unordered_map<UserId, size_t> counts;
+    for (const auto& rec : out) ++counts[rec.user_id];
+    std::vector<QueryLogRecord> filtered;
+    filtered.reserve(out.size());
+    for (auto& rec : out) {
+      if (counts[rec.user_id] > options.max_records_per_user) {
+        ++local.dropped_robot_users;
+        continue;
+      }
+      filtered.push_back(std::move(rec));
+    }
+    out = std::move(filtered);
+  }
+
+  local.output_records = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,48 @@
+#ifndef PQSDA_LOG_CLEANER_H_
+#define PQSDA_LOG_CLEANER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "log/record.h"
+
+namespace pqsda {
+
+/// Knobs for query-log cleaning, modeled after the preprocessing of
+/// Wang & Zhai (SIGIR'07) that the paper cites (§VI-A): drop empty/overlong
+/// queries, collapse immediate duplicates, and drop hyperactive (likely
+/// robot) users.
+struct CleanerOptions {
+  /// Queries with fewer terms are dropped (0 disables).
+  uint32_t min_terms = 1;
+  /// Queries with more terms are dropped (0 disables).
+  uint32_t max_terms = 10;
+  /// Queries longer than this many characters are dropped (0 disables).
+  uint32_t max_chars = 100;
+  /// Collapse a query identical to the user's immediately preceding one
+  /// (re-click / pagination noise). The click of the later record is kept if
+  /// the earlier one had none.
+  bool collapse_adjacent_duplicates = true;
+  /// Users with more records than this are dropped as robots (0 disables).
+  uint32_t max_records_per_user = 0;
+};
+
+/// Statistics reported by CleanLog for observability.
+struct CleanerStats {
+  size_t input_records = 0;
+  size_t dropped_empty = 0;
+  size_t dropped_length = 0;
+  size_t collapsed_duplicates = 0;
+  size_t dropped_robot_users = 0;
+  size_t output_records = 0;
+};
+
+/// Cleans a query log in canonical (user, time) order; the input is sorted
+/// first. Returns the surviving records.
+std::vector<QueryLogRecord> CleanLog(std::vector<QueryLogRecord> records,
+                                     const CleanerOptions& options,
+                                     CleanerStats* stats = nullptr);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_LOG_CLEANER_H_

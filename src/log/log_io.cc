@@ -1,0 +1,88 @@
+#include "log/log_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace pqsda {
+
+namespace {
+std::string SanitizeField(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+}  // namespace
+
+Status WriteLogTsv(const std::string& path,
+                   const std::vector<QueryLogRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const auto& r : records) {
+    out << r.user_id << '\t' << SanitizeField(r.query) << '\t'
+        << SanitizeField(r.clicked_url) << '\t' << r.timestamp << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<QueryLogRecord> ParseLogLine(const std::string& line) {
+  QueryLogRecord rec;
+  size_t pos = 0;
+  std::string fields[4];
+  for (int i = 0; i < 4; ++i) {
+    size_t tab = line.find('\t', pos);
+    if (i < 3) {
+      if (tab == std::string::npos) {
+        return Status::Corruption("expected 4 tab-separated fields");
+      }
+      fields[i] = line.substr(pos, tab - pos);
+      pos = tab + 1;
+    } else {
+      fields[i] = line.substr(pos);
+    }
+  }
+  {
+    auto [p, ec] = std::from_chars(fields[0].data(),
+                                   fields[0].data() + fields[0].size(),
+                                   rec.user_id);
+    if (ec != std::errc() || p != fields[0].data() + fields[0].size()) {
+      return Status::Corruption("bad user id: " + fields[0]);
+    }
+  }
+  rec.query = fields[1];
+  rec.clicked_url = fields[2];
+  {
+    auto [p, ec] = std::from_chars(fields[3].data(),
+                                   fields[3].data() + fields[3].size(),
+                                   rec.timestamp);
+    if (ec != std::errc() || p != fields[3].data() + fields[3].size()) {
+      return Status::Corruption("bad timestamp: " + fields[3]);
+    }
+  }
+  return rec;
+}
+
+StatusOr<std::vector<QueryLogRecord>> ReadLogTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<QueryLogRecord> records;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto rec = ParseLogLine(line);
+    if (!rec.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                rec.status().message());
+    }
+    records.push_back(std::move(rec).value());
+  }
+  return records;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,27 @@
+#ifndef PQSDA_LOG_LOG_IO_H_
+#define PQSDA_LOG_LOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "log/record.h"
+
+namespace pqsda {
+
+/// Writes records as a tab-separated file with the columns
+/// `user_id\tquery\tclicked_url\ttimestamp` (AOL-log style). Tabs inside
+/// queries/URLs are replaced by spaces.
+Status WriteLogTsv(const std::string& path,
+                   const std::vector<QueryLogRecord>& records);
+
+/// Reads a TSV query log written by WriteLogTsv. Malformed lines produce a
+/// Corruption error naming the line number.
+StatusOr<std::vector<QueryLogRecord>> ReadLogTsv(const std::string& path);
+
+/// Parses a single TSV line (no trailing newline) into a record.
+StatusOr<QueryLogRecord> ParseLogLine(const std::string& line);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_LOG_LOG_IO_H_

@@ -1,0 +1,16 @@
+#include "log/record.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pqsda {
+
+void SortByUserAndTime(std::vector<QueryLogRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const QueryLogRecord& a, const QueryLogRecord& b) {
+                     return std::tie(a.user_id, a.timestamp, a.query) <
+                            std::tie(b.user_id, b.timestamp, b.query);
+                   });
+}
+
+}  // namespace pqsda

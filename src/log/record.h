@@ -1,0 +1,36 @@
+#ifndef PQSDA_LOG_RECORD_H_
+#define PQSDA_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pqsda {
+
+/// Dense user id.
+using UserId = uint32_t;
+
+/// One query-log entry, mirroring Table I of the paper: who searched what,
+/// which URL (if any) was clicked, and when. The entry id is the record's
+/// index in its containing vector.
+struct QueryLogRecord {
+  UserId user_id = 0;
+  std::string query;
+  /// Empty when the query had no click.
+  std::string clicked_url;
+  /// Seconds since epoch.
+  int64_t timestamp = 0;
+
+  bool has_click() const { return !clicked_url.empty(); }
+
+  friend bool operator==(const QueryLogRecord&, const QueryLogRecord&) =
+      default;
+};
+
+/// Orders records by (user, time, query); the canonical order expected by the
+/// sessionizer.
+void SortByUserAndTime(std::vector<QueryLogRecord>& records);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_LOG_RECORD_H_

@@ -1,0 +1,64 @@
+#include "log/sessionizer.h"
+
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace pqsda {
+
+namespace {
+bool SharesTerm(const std::string& a, const std::string& b) {
+  auto ta = Tokenize(a);
+  auto tb = Tokenize(b);
+  std::unordered_set<std::string> set(ta.begin(), ta.end());
+  for (const auto& t : tb) {
+    if (set.count(t) > 0) return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::vector<Session> Sessionize(const std::vector<QueryLogRecord>& records,
+                                const SessionizerOptions& options) {
+  std::vector<Session> sessions;
+  for (size_t i = 0; i < records.size(); ++i) {
+    bool start_new = true;
+    if (!sessions.empty() && !sessions.back().record_indices.empty()) {
+      const Session& cur = sessions.back();
+      size_t prev_idx = cur.record_indices.back();
+      const QueryLogRecord& prev = records[prev_idx];
+      const QueryLogRecord& now = records[i];
+      if (prev.user_id == now.user_id) {
+        int64_t gap = now.timestamp - prev.timestamp;
+        if (gap <= options.max_gap_seconds) {
+          start_new = false;
+        } else if (options.use_lexical_overlap &&
+                   gap <= options.extended_gap_seconds &&
+                   SharesTerm(prev.query, now.query)) {
+          start_new = false;
+        }
+      }
+    }
+    if (start_new) {
+      Session s;
+      s.id = static_cast<SessionId>(sessions.size());
+      s.user_id = records[i].user_id;
+      sessions.push_back(std::move(s));
+    }
+    sessions.back().record_indices.push_back(i);
+  }
+  return sessions;
+}
+
+std::vector<SessionId> RecordToSession(const std::vector<Session>& sessions,
+                                       size_t num_records) {
+  std::vector<SessionId> map(num_records, 0);
+  for (const Session& s : sessions) {
+    for (size_t idx : s.record_indices) {
+      if (idx < num_records) map[idx] = s.id;
+    }
+  }
+  return map;
+}
+
+}  // namespace pqsda

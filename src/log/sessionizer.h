@@ -1,0 +1,52 @@
+#ifndef PQSDA_LOG_SESSIONIZER_H_
+#define PQSDA_LOG_SESSIONIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "log/record.h"
+
+namespace pqsda {
+
+/// Dense session id.
+using SessionId = uint32_t;
+
+/// A session (Definition 1): consecutive queries of one user serving a single
+/// information need. `record_indices` index into the record vector that was
+/// sessionized.
+struct Session {
+  SessionId id = 0;
+  UserId user_id = 0;
+  std::vector<size_t> record_indices;
+
+  size_t size() const { return record_indices.size(); }
+};
+
+/// Knobs for session derivation, following the time-gap + lexical-overlap
+/// heuristic of the context-aware personalization line of work the paper
+/// cites ([25]): a new session starts when the inter-query gap exceeds
+/// `max_gap_seconds`, unless the adjacent queries share a term (an apparent
+/// reformulation), in which case the session is extended up to
+/// `extended_gap_seconds`.
+struct SessionizerOptions {
+  int64_t max_gap_seconds = 30 * 60;
+  int64_t extended_gap_seconds = 60 * 60;
+  /// When false, only the time gap is used.
+  bool use_lexical_overlap = true;
+};
+
+/// Splits records (must be sorted by user and time; see SortByUserAndTime)
+/// into sessions. Every record lands in exactly one session; session ids are
+/// contiguous from 0 in record order.
+std::vector<Session> Sessionize(const std::vector<QueryLogRecord>& records,
+                                const SessionizerOptions& options = {});
+
+/// Returns for each record the id of its session; inverse of Sessionize's
+/// grouping. `num_records` must equal the record count the sessions came
+/// from.
+std::vector<SessionId> RecordToSession(const std::vector<Session>& sessions,
+                                       size_t num_records);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_LOG_SESSIONIZER_H_

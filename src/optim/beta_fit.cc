@@ -1,0 +1,28 @@
+#include "optim/beta_fit.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+std::pair<double, double> FitBetaMoments(const std::vector<double>& samples) {
+  if (samples.empty()) return {1.0, 1.0};
+  double m = Mean(samples);
+  double s2 = Variance(samples);
+  m = std::clamp(m, 1e-4, 1.0 - 1e-4);
+  double bound = m * (1.0 - m);
+  if (s2 <= 1e-8 || s2 >= bound) {
+    // Zero variance (single timestamp) or over-dispersed beyond what a Beta
+    // can express: fall back to a mildly informative fit around the mean.
+    s2 = std::clamp(s2, bound * 0.05, bound * 0.95);
+  }
+  double common = bound / s2 - 1.0;
+  double a = m * common;
+  double b = (1.0 - m) * common;
+  a = std::clamp(a, 0.05, 1000.0);
+  b = std::clamp(b, 0.05, 1000.0);
+  return {a, b};
+}
+
+}  // namespace pqsda

@@ -1,0 +1,19 @@
+#ifndef PQSDA_OPTIM_BETA_FIT_H_
+#define PQSDA_OPTIM_BETA_FIT_H_
+
+#include <utility>
+#include <vector>
+
+namespace pqsda {
+
+/// Fits Beta(a, b) to samples in (0, 1) by the method of moments, exactly as
+/// the UPM updates its temporal parameters (Eqs. 28–29):
+///   a = m * (m(1-m)/s^2 - 1),  b = (1-m) * (m(1-m)/s^2 - 1)
+/// with m the sample mean and s^2 the biased sample variance. Degenerate
+/// inputs (no samples, zero variance, mean at a bound) fall back to a flat
+/// Beta(1, 1); results are clamped to [0.05, 1000] for numerical safety.
+std::pair<double, double> FitBetaMoments(const std::vector<double>& samples);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_OPTIM_BETA_FIT_H_

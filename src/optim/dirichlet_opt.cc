@@ -1,0 +1,78 @@
+#include "optim/dirichlet_opt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+double DirichletMultinomialLogLikelihood(
+    const std::vector<SparseCounts>& group_counts, size_t dim,
+    const std::vector<double>& a) {
+  assert(a.size() == dim);
+  (void)dim;
+  double a_sum = 0.0;
+  for (double v : a) a_sum += v;
+  double ll = 0.0;
+  for (const SparseCounts& counts : group_counts) {
+    double c_total = 0.0;
+    for (const auto& [v, c] : counts) {
+      ll += LogGamma(c + a[v]) - LogGamma(a[v]);
+      c_total += c;
+    }
+    ll += LogGamma(a_sum) - LogGamma(c_total + a_sum);
+  }
+  return ll;
+}
+
+LbfgsResult OptimizeDirichlet(const std::vector<SparseCounts>& group_counts,
+                              size_t dim, std::vector<double>& a,
+                              const LbfgsOptions& options) {
+  assert(a.size() == dim);
+  // Work in log space: x = log a.
+  std::vector<double> x(dim);
+  for (size_t v = 0; v < dim; ++v) {
+    x[v] = std::log(std::max(a[v], 1e-8));
+  }
+
+  auto objective = [&group_counts, dim](const std::vector<double>& x,
+                                        std::vector<double>& grad) -> double {
+    std::vector<double> a(dim);
+    double a_sum = 0.0;
+    for (size_t v = 0; v < dim; ++v) {
+      a[v] = std::exp(std::clamp(x[v], -30.0, 30.0));
+      a_sum += a[v];
+    }
+    grad.assign(dim, 0.0);
+    double neg_ll = 0.0;
+    // Gradient in a-space: sparse per-dimension terms plus one scalar per
+    // group that applies uniformly to every dimension.
+    double uniform = 0.0;
+    double psi_a_sum = Digamma(a_sum);
+    for (const SparseCounts& counts : group_counts) {
+      double c_total = 0.0;
+      for (const auto& [v, c] : counts) {
+        neg_ll -= LogGamma(c + a[v]) - LogGamma(a[v]);
+        grad[v] -= Digamma(c + a[v]) - Digamma(a[v]);
+        c_total += c;
+      }
+      neg_ll -= LogGamma(a_sum) - LogGamma(c_total + a_sum);
+      uniform -= psi_a_sum - Digamma(c_total + a_sum);
+    }
+    // Chain rule to log space: dL/dx_v = a_v * (sparse_v + uniform).
+    for (size_t v = 0; v < dim; ++v) {
+      grad[v] = a[v] * (grad[v] + uniform);
+    }
+    return neg_ll;
+  };
+
+  LbfgsResult result = LbfgsMinimize(objective, x, options);
+  for (size_t v = 0; v < dim; ++v) {
+    a[v] = std::exp(std::clamp(x[v], -30.0, 30.0));
+  }
+  return result;
+}
+
+}  // namespace pqsda

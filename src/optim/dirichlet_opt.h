@@ -1,0 +1,36 @@
+#ifndef PQSDA_OPTIM_DIRICHLET_OPT_H_
+#define PQSDA_OPTIM_DIRICHLET_OPT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "optim/lbfgs.h"
+
+namespace pqsda {
+
+/// Sparse count vector of one group (document): (dimension id, count) pairs.
+using SparseCounts = std::vector<std::pair<uint32_t, double>>;
+
+/// Maximizes the Dirichlet-multinomial likelihood of Eqs. 25–27:
+///   sum_d sum_v [lnG(C_dv + a_v) - lnG(a_v)]
+/// + sum_d [lnG(sum_v a_v) - lnG(sum_v C_dv + sum_v a_v)]
+/// over the pseudo-count vector a (dimension `dim`), given per-group sparse
+/// counts. Optimization runs in log space via L-BFGS so positivity is
+/// structural; sparse counts keep each gradient evaluation linear in the
+/// number of nonzero counts.
+///
+/// `a` carries the initial value on entry and the optimum on exit; the
+/// result reports the final negative log-likelihood.
+LbfgsResult OptimizeDirichlet(const std::vector<SparseCounts>& group_counts,
+                              size_t dim, std::vector<double>& a,
+                              const LbfgsOptions& options = {});
+
+/// Log-likelihood the optimizer maximizes (for testing / monitoring).
+double DirichletMultinomialLogLikelihood(
+    const std::vector<SparseCounts>& group_counts, size_t dim,
+    const std::vector<double>& a);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_OPTIM_DIRICHLET_OPT_H_

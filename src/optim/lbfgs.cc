@@ -1,0 +1,132 @@
+#include "optim/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace pqsda {
+
+namespace {
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double InfNorm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+}  // namespace
+
+LbfgsResult LbfgsMinimize(const ObjectiveFn& objective, std::vector<double>& x,
+                          const LbfgsOptions& options) {
+  const size_t n = x.size();
+  std::vector<double> grad(n, 0.0);
+  double f = objective(x, grad);
+
+  // History of (s, y, rho) pairs.
+  std::deque<std::vector<double>> s_hist, y_hist;
+  std::deque<double> rho_hist;
+
+  LbfgsResult result;
+  result.value = f;
+
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    if (InfNorm(grad) < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for direction d = -H grad.
+    std::vector<double> d = grad;
+    std::vector<double> alpha(s_hist.size(), 0.0);
+    for (size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * Dot(s_hist[i], d);
+      for (size_t j = 0; j < n; ++j) d[j] -= alpha[i] * y_hist[i][j];
+    }
+    if (!s_hist.empty()) {
+      double gamma = Dot(s_hist.back(), y_hist.back()) /
+                     std::max(Dot(y_hist.back(), y_hist.back()), 1e-300);
+      for (double& v : d) v *= gamma;
+    }
+    for (size_t i = 0; i < s_hist.size(); ++i) {
+      double beta = rho_hist[i] * Dot(y_hist[i], d);
+      for (size_t j = 0; j < n; ++j) d[j] += (alpha[i] - beta) * s_hist[i][j];
+    }
+    for (double& v : d) v = -v;
+
+    double directional = Dot(grad, d);
+    if (directional >= 0.0) {
+      // Not a descent direction (numerical trouble): fall back to steepest
+      // descent and drop the history.
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+      for (size_t j = 0; j < n; ++j) d[j] = -grad[j];
+      directional = Dot(grad, d);
+      if (directional >= 0.0) break;  // zero gradient
+    }
+
+    // Weak-Wolfe line search by bracketing/bisection: Armijo for sufficient
+    // decrease plus a curvature condition so the (s, y) pair always has
+    // s.y > 0 and the history stays well-conditioned.
+    const double c2 = 0.9;
+    double step = 1.0, lo = 0.0, hi = 0.0;  // hi == 0 means "unbounded"
+    std::vector<double> x_new(n), grad_new(n, 0.0);
+    double f_new = f;
+    bool accepted = false;
+    for (size_t ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (size_t j = 0; j < n; ++j) x_new[j] = x[j] + step * d[j];
+      f_new = objective(x_new, grad_new);
+      if (!std::isfinite(f_new) ||
+          f_new > f + options.armijo_c * step * directional) {
+        hi = step;  // too long
+      } else if (Dot(grad_new, d) < c2 * directional) {
+        lo = step;  // too short (curvature not yet satisfied)
+      } else {
+        accepted = true;
+        break;
+      }
+      step = hi > 0.0 ? 0.5 * (lo + hi) : 2.0 * step;
+    }
+    if (!accepted) {
+      // Fall back to the last Armijo-satisfying point if the curvature
+      // condition could not be met within the budget.
+      if (lo > 0.0) {
+        step = lo;
+        for (size_t j = 0; j < n; ++j) x_new[j] = x[j] + step * d[j];
+        f_new = objective(x_new, grad_new);
+      } else {
+        break;
+      }
+    }
+
+    std::vector<double> s(n), y(n);
+    for (size_t j = 0; j < n; ++j) {
+      s[j] = x_new[j] - x[j];
+      y[j] = grad_new[j] - grad[j];
+    }
+    double sy = Dot(s, y);
+    if (sy > 1e-12) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (s_hist.size() > options.memory) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+    x = std::move(x_new);
+    grad = std::move(grad_new);
+    f = f_new;
+    result.value = f;
+  }
+  result.value = f;
+  return result;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,45 @@
+#ifndef PQSDA_OPTIM_LBFGS_H_
+#define PQSDA_OPTIM_LBFGS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pqsda {
+
+/// Options for the L-BFGS minimizer.
+struct LbfgsOptions {
+  size_t max_iterations = 60;
+  /// History pairs kept for the inverse-Hessian approximation.
+  size_t memory = 7;
+  /// Convergence: gradient infinity-norm below this.
+  double gradient_tolerance = 1e-5;
+  /// Armijo backtracking constants.
+  double armijo_c = 1e-4;
+  double backtrack_factor = 0.5;
+  size_t max_line_search_steps = 30;
+};
+
+/// Outcome of a minimization.
+struct LbfgsResult {
+  double value = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Objective: returns f(x) and fills `grad` (resized by the callee or
+/// pre-sized by the caller) with the gradient at x.
+using ObjectiveFn =
+    std::function<double(const std::vector<double>& x,
+                         std::vector<double>& grad)>;
+
+/// Limited-memory BFGS with Armijo backtracking line search. `x` holds the
+/// initial point on entry and the minimizer found on exit. Used to optimize
+/// the UPM Dirichlet hyperparameters (Eqs. 25–27), as the paper prescribes
+/// ([30]).
+LbfgsResult LbfgsMinimize(const ObjectiveFn& objective, std::vector<double>& x,
+                          const LbfgsOptions& options = {});
+
+}  // namespace pqsda
+
+#endif  // PQSDA_OPTIM_LBFGS_H_

@@ -1,0 +1,53 @@
+#include "rank/borda.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pqsda {
+
+std::vector<Suggestion> BordaAggregate(
+    const std::vector<std::vector<Suggestion>>& lists) {
+  // Universe and first-appearance order (for deterministic tie-breaks).
+  std::vector<std::string> universe;
+  std::unordered_map<std::string, size_t> index;
+  for (const auto& list : lists) {
+    for (const auto& s : list) {
+      if (index.emplace(s.query, universe.size()).second) {
+        universe.push_back(s.query);
+      }
+    }
+  }
+  const double n = static_cast<double>(universe.size());
+  std::vector<double> points(universe.size(), 0.0);
+  for (const auto& list : lists) {
+    for (size_t rank = 0; rank < list.size(); ++rank) {
+      points[index[list[rank].query]] += n - static_cast<double>(rank);
+    }
+  }
+  std::vector<Suggestion> out;
+  out.reserve(universe.size());
+  for (size_t i = 0; i < universe.size(); ++i) {
+    out.push_back(Suggestion{universe[i], points[i]});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+std::vector<Suggestion> RankByScore(const std::vector<std::string>& items,
+                                    const std::vector<double>& scores) {
+  std::vector<Suggestion> out;
+  out.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out.push_back(Suggestion{items[i], scores[i]});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace pqsda

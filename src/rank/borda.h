@@ -1,0 +1,26 @@
+#ifndef PQSDA_RANK_BORDA_H_
+#define PQSDA_RANK_BORDA_H_
+
+#include <string>
+#include <vector>
+
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Borda's rank-aggregation method [32], used by §V-B to merge the
+/// diversification ranking with the personalized-preference ranking. Each
+/// list awards an item (n - rank) points, where n is the universe size (the
+/// union of all lists) — items missing from a list get 0 from it. Ties in
+/// total points preserve the order of the first list.
+std::vector<Suggestion> BordaAggregate(
+    const std::vector<std::vector<Suggestion>>& lists);
+
+/// Ranks items descending by `scores` and returns them as a Suggestion list
+/// (helper for building the personalization ranking).
+std::vector<Suggestion> RankByScore(const std::vector<std::string>& items,
+                                    const std::vector<double>& scores);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_RANK_BORDA_H_

@@ -1,0 +1,186 @@
+#include "solver/linear_solvers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+double RelativeResidual(const CsrMatrix& a, const std::vector<double>& x,
+                        const std::vector<double>& b) {
+  std::vector<double> ax;
+  a.MatVec(x, ax);
+  double num = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    double d = ax[i] - b[i];
+    num += d * d;
+  }
+  double den = Norm2(b);
+  return std::sqrt(num) / std::max(den, 1e-300);
+}
+
+SolverResult JacobiSolve(const CsrMatrix& a, const std::vector<double>& b,
+                         std::vector<double>& x,
+                         const SolverOptions& options) {
+  assert(a.rows() == a.cols() && b.size() == a.rows());
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  std::vector<double> next(n, 0.0);
+  SolverResult result;
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    for (size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      double off = 0.0;
+      auto idx = a.RowIndices(i);
+      auto val = a.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (idx[k] == i) {
+          diag = val[k];
+        } else {
+          off += val[k] * x[idx[k]];
+        }
+      }
+      next[i] = diag != 0.0 ? (b[i] - off) / diag : 0.0;
+    }
+    x.swap(next);
+    result.iterations = it + 1;
+    result.relative_residual = RelativeResidual(a, x, b);
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SolverResult GaussSeidelSolve(const CsrMatrix& a, const std::vector<double>& b,
+                              std::vector<double>& x,
+                              const SolverOptions& options) {
+  assert(a.rows() == a.cols() && b.size() == a.rows());
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  SolverResult result;
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    for (size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      double off = 0.0;
+      auto idx = a.RowIndices(i);
+      auto val = a.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (idx[k] == i) {
+          diag = val[k];
+        } else {
+          off += val[k] * x[idx[k]];
+        }
+      }
+      if (diag != 0.0) x[i] = (b[i] - off) / diag;
+    }
+    result.iterations = it + 1;
+    result.relative_residual = RelativeResidual(a, x, b);
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SolverResult JacobiSolveParallel(const CsrMatrix& a,
+                                 const std::vector<double>& b,
+                                 std::vector<double>& x,
+                                 const SolverOptions& options,
+                                 size_t threads) {
+  assert(a.rows() == a.cols() && b.size() == a.rows());
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  if (threads == 0) {
+    threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  threads = std::min(threads, std::max<size_t>(n, 1));
+
+  std::vector<double> next(n, 0.0);
+  auto sweep_rows = [&a, &b, &x, &next](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double diag = 0.0;
+      double off = 0.0;
+      auto idx = a.RowIndices(i);
+      auto val = a.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (idx[k] == i) {
+          diag = val[k];
+        } else {
+          off += val[k] * x[idx[k]];
+        }
+      }
+      next[i] = diag != 0.0 ? (b[i] - off) / diag : 0.0;
+    }
+  };
+
+  SolverResult result;
+  const size_t chunk = (n + threads - 1) / threads;
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    std::vector<std::thread> workers;
+    for (size_t t = 1; t < threads; ++t) {
+      size_t begin = t * chunk;
+      if (begin >= n) break;
+      workers.emplace_back(sweep_rows, begin, std::min(begin + chunk, n));
+    }
+    sweep_rows(0, std::min(chunk, n));
+    for (auto& w : workers) w.join();
+    x.swap(next);
+    result.iterations = it + 1;
+    result.relative_residual = RelativeResidual(a, x, b);
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SolverResult ConjugateGradientSolve(const CsrMatrix& a,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& x,
+                                    const SolverOptions& options) {
+  assert(a.rows() == a.cols() && b.size() == a.rows());
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  std::vector<double> r(n), p(n), ap(n);
+  a.MatVec(x, ap);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  p = r;
+  double rs_old = 0.0;
+  for (size_t i = 0; i < n; ++i) rs_old += r[i] * r[i];
+  const double b_norm = std::max(Norm2(b), 1e-300);
+
+  SolverResult result;
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    if (std::sqrt(rs_old) / b_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    a.MatVec(p, ap);
+    double p_ap = 0.0;
+    for (size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    if (p_ap == 0.0) break;
+    double alpha = rs_old / p_ap;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    double rs_new = 0.0;
+    for (size_t i = 0; i < n; ++i) rs_new += r[i] * r[i];
+    double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  result.relative_residual = RelativeResidual(a, x, b);
+  if (result.relative_residual < options.tolerance) result.converged = true;
+  return result;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,58 @@
+#ifndef PQSDA_SOLVER_LINEAR_SOLVERS_H_
+#define PQSDA_SOLVER_LINEAR_SOLVERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_matrix.h"
+
+namespace pqsda {
+
+/// Iteration controls shared by the solvers.
+struct SolverOptions {
+  size_t max_iterations = 500;
+  /// Convergence: ||Ax - b||_2 / max(||b||_2, eps) below this.
+  double tolerance = 1e-9;
+};
+
+/// Outcome of an iterative solve.
+struct SolverResult {
+  size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Relative residual ||Ax - b|| / ||b||.
+double RelativeResidual(const CsrMatrix& a, const std::vector<double>& x,
+                        const std::vector<double>& b);
+
+/// Jacobi iteration on A x = b. Converges for strictly diagonally dominant
+/// A — which Eq. 15's matrix is by construction. `x` is the initial guess on
+/// entry and the solution on exit.
+SolverResult JacobiSolve(const CsrMatrix& a, const std::vector<double>& b,
+                         std::vector<double>& x, const SolverOptions& options);
+
+/// Gauss–Seidel iteration; same requirements as Jacobi, usually ~2x faster.
+SolverResult GaussSeidelSolve(const CsrMatrix& a, const std::vector<double>& b,
+                              std::vector<double>& x,
+                              const SolverOptions& options);
+
+/// Conjugate gradients; requires symmetric positive-definite A.
+SolverResult ConjugateGradientSolve(const CsrMatrix& a,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& x,
+                                    const SolverOptions& options);
+
+/// Multi-threaded Jacobi: each sweep's rows are computed from the previous
+/// iterate, so rows partition perfectly across threads (this is the
+/// "parallelized solver" route §IV-B sketches for scaling Eq. 15).
+/// `threads == 0` uses the hardware concurrency.
+SolverResult JacobiSolveParallel(const CsrMatrix& a,
+                                 const std::vector<double>& b,
+                                 std::vector<double>& x,
+                                 const SolverOptions& options,
+                                 size_t threads = 0);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SOLVER_LINEAR_SOLVERS_H_

@@ -1,0 +1,78 @@
+#include "solver/regularization.h"
+
+#include <cmath>
+
+namespace pqsda {
+
+std::vector<double> BuildF0(
+    const CompactRepresentation& rep, StringId input_query,
+    int64_t input_timestamp,
+    const std::vector<std::pair<StringId, int64_t>>& context,
+    double decay_lambda) {
+  std::vector<double> f0(rep.size(), 0.0);
+  auto it = rep.local_index.find(input_query);
+  if (it != rep.local_index.end()) f0[it->second] = 1.0;
+  for (const auto& [q, ts] : context) {
+    auto cit = rep.local_index.find(q);
+    if (cit == rep.local_index.end()) continue;
+    // Eq. 7: exp(lambda * (t_q' - t_q)) with t_q' <= t_q, i.e. exponential
+    // decay in the elapsed time.
+    double dt = static_cast<double>(ts - input_timestamp);
+    if (dt > 0.0) dt = 0.0;
+    f0[cit->second] = std::max(f0[cit->second],
+                               std::exp(decay_lambda * dt));
+  }
+  return f0;
+}
+
+CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
+                                       const std::array<double, 3>& alpha) {
+  const size_t n = rep.size();
+  double alpha_sum = alpha[0] + alpha[1] + alpha[2];
+  std::vector<Triplet> triplets;
+  for (uint32_t i = 0; i < n; ++i) {
+    triplets.push_back(Triplet{i, i, 1.0 + alpha_sum});
+  }
+  for (size_t x = 0; x < 3; ++x) {
+    const CsrMatrix& s = rep.sym_norm[x];
+    for (uint32_t i = 0; i < n; ++i) {
+      auto idx = s.RowIndices(i);
+      auto val = s.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        triplets.push_back(Triplet{i, idx[k], -alpha[x] * val[k]});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+StatusOr<std::vector<double>> SolveRegularization(
+    const CompactRepresentation& rep, const std::vector<double>& f0,
+    const RegularizationOptions& options) {
+  if (f0.size() != rep.size()) {
+    return Status::InvalidArgument("f0 size does not match representation");
+  }
+  CsrMatrix system = AssembleRegularizationSystem(rep, options.alpha);
+  std::vector<double> f = f0;  // warm start from the seed
+  SolverResult result;
+  switch (options.solver) {
+    case SolverKind::kJacobi:
+      result = JacobiSolve(system, f0, f, options.solver_options);
+      break;
+    case SolverKind::kGaussSeidel:
+      result = GaussSeidelSolve(system, f0, f, options.solver_options);
+      break;
+    case SolverKind::kConjugateGradient:
+      result = ConjugateGradientSolve(system, f0, f, options.solver_options);
+      break;
+  }
+  if (!result.converged) {
+    return Status::NotConverged(
+        "regularization solver: residual " +
+        std::to_string(result.relative_residual) + " after " +
+        std::to_string(result.iterations) + " iterations");
+  }
+  return f;
+}
+
+}  // namespace pqsda

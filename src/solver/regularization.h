@@ -1,0 +1,56 @@
+#ifndef PQSDA_SOLVER_REGULARIZATION_H_
+#define PQSDA_SOLVER_REGULARIZATION_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/compact_builder.h"
+#include "solver/linear_solvers.h"
+
+namespace pqsda {
+
+/// Which iterative solver drives Eq. 15.
+enum class SolverKind { kJacobi, kGaussSeidel, kConjugateGradient };
+
+/// Options for the §IV-B regularization framework.
+struct RegularizationOptions {
+  /// Lagrange multipliers alpha^X for the three smoothness constraints
+  /// (U, S, T), "empirically tuned" per §IV-B: click evidence is the most
+  /// precise relation, sessions next, terms the noisiest.
+  std::array<double, 3> alpha = {0.6, 0.45, 0.25};
+  /// Decay rate of the backward decay function (Eq. 7), per second.
+  /// Context queries minutes old keep most of their weight; hours-old ones
+  /// fade.
+  double decay_lambda = 1.0 / 600.0;
+  SolverKind solver = SolverKind::kGaussSeidel;
+  SolverOptions solver_options;
+};
+
+/// Builds the seed vector F^0 (Eq. 7): entry 1 for the input query, a
+/// backward-decayed value for each context query, 0 elsewhere. Context
+/// queries absent from the compact representation are skipped.
+std::vector<double> BuildF0(
+    const CompactRepresentation& rep, StringId input_query,
+    int64_t input_timestamp,
+    const std::vector<std::pair<StringId, int64_t>>& context,
+    double decay_lambda);
+
+/// Assembles the Eq. 15 coefficient matrix
+/// (1 + sum_X alpha^X) I - sum_X alpha^X S^X over the compact
+/// representation. The result is strictly diagonally dominant (S^X row sums
+/// are <= 1), so the classic iterative solvers converge.
+CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
+                                       const std::array<double, 3>& alpha);
+
+/// Solves Eq. 15 for F* given F^0. Returns the relevance estimate per local
+/// query, or NotConverged if the solver failed to reach tolerance.
+StatusOr<std::vector<double>> SolveRegularization(
+    const CompactRepresentation& rep, const std::vector<double>& f0,
+    const RegularizationOptions& options);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SOLVER_REGULARIZATION_H_

@@ -1,0 +1,146 @@
+#include "suggest/cacb_suggester.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pqsda {
+
+namespace {
+
+// Union-find with path compression.
+uint32_t Find(std::vector<uint32_t>& parent, uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+double Jaccard(std::span<const uint32_t> a, std::span<const uint32_t> b) {
+  // Row indices are sorted in CSR.
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+CacbSuggester::CacbSuggester(const ClickGraph& graph,
+                             const std::vector<QueryLogRecord>& records,
+                             const std::vector<Session>& sessions,
+                             CacbOptions options)
+    : graph_(&graph), options_(options) {
+  const size_t nq = graph.num_queries();
+  const CsrMatrix& q2u = graph.graph().query_to_object();
+  const CsrMatrix& u2q = graph.graph().object_to_query();
+
+  // --- Concept clustering: merge query pairs sharing a URL whose clicked
+  // URL sets are Jaccard-similar (one pass over URL co-click lists, the
+  // spirit of Cao et al.'s agglomerative step). ---
+  std::vector<uint32_t> parent(nq);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (size_t u = 0; u < u2q.rows(); ++u) {
+    auto qs = u2q.RowIndices(u);
+    for (size_t i = 1; i < qs.size(); ++i) {
+      uint32_t a = Find(parent, qs[0]);
+      uint32_t b = Find(parent, qs[i]);
+      if (a == b) continue;
+      if (Jaccard(q2u.RowIndices(qs[0]), q2u.RowIndices(qs[i])) >=
+          options.merge_threshold) {
+        parent[b] = a;
+      }
+    }
+  }
+  concept_of_.assign(nq, 0);
+  std::unordered_map<uint32_t, uint32_t> compact;
+  for (uint32_t q = 0; q < nq; ++q) {
+    uint32_t root = Find(parent, q);
+    auto [it, inserted] =
+        compact.emplace(root, static_cast<uint32_t>(compact.size()));
+    concept_of_[q] = it->second;
+  }
+  num_concepts_ = compact.size();
+
+  // --- Suffix index over concept sequences of sessions. ---
+  for (const Session& s : sessions) {
+    std::vector<uint32_t> concepts;
+    std::vector<StringId> query_ids;
+    for (size_t idx : s.record_indices) {
+      StringId q = graph.QueryId(records[idx].query);
+      if (q == kInvalidStringId) continue;
+      query_ids.push_back(q);
+      concepts.push_back(concept_of_[q]);
+    }
+    for (size_t pos = 0; pos + 1 < query_ids.size(); ++pos) {
+      StringId next = query_ids[pos + 1];
+      // Index every suffix of length 1..max_context ending at pos.
+      for (size_t len = 1; len <= options.max_context && len <= pos + 1;
+           ++len) {
+        std::vector<uint32_t> ctx(concepts.begin() + (pos + 1 - len),
+                                  concepts.begin() + (pos + 1));
+        transitions_[ContextKey(ctx)][next] += 1.0;
+      }
+    }
+  }
+}
+
+std::string CacbSuggester::ContextKey(const std::vector<uint32_t>& concepts) {
+  std::string key;
+  for (uint32_t c : concepts) {
+    key += std::to_string(c);
+    key += '|';
+  }
+  return key;
+}
+
+uint32_t CacbSuggester::ConceptOf(const std::string& query) const {
+  StringId q = graph_->QueryId(query);
+  if (q == kInvalidStringId) return UINT32_MAX;
+  return concept_of_[q];
+}
+
+StatusOr<std::vector<Suggestion>> CacbSuggester::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  StringId input = graph_->QueryId(request.query);
+  if (input == kInvalidStringId) {
+    return Status::NotFound("query not in click graph: " + request.query);
+  }
+  // Concept sequence of the current session: context queries then the input.
+  std::vector<uint32_t> concepts;
+  for (const auto& [q, ts] : request.context) {
+    (void)ts;
+    StringId id = graph_->QueryId(q);
+    if (id != kInvalidStringId) concepts.push_back(concept_of_[id]);
+  }
+  concepts.push_back(concept_of_[input]);
+
+  // Longest-suffix match.
+  for (size_t len = std::min(options_.max_context, concepts.size()); len >= 1;
+       --len) {
+    std::vector<uint32_t> ctx(concepts.end() - len, concepts.end());
+    auto it = transitions_.find(ContextKey(ctx));
+    if (it == transitions_.end()) continue;
+    std::vector<Suggestion> candidates;
+    candidates.reserve(it->second.size());
+    for (const auto& [q, count] : it->second) {
+      candidates.push_back(
+          Suggestion{graph_->QueryString(q), count});
+    }
+    auto out = FinalizeSuggestions(request, std::move(candidates), k);
+    if (!out.empty()) return out;
+  }
+  return std::vector<Suggestion>{};
+}
+
+}  // namespace pqsda

@@ -1,0 +1,64 @@
+#ifndef PQSDA_SUGGEST_CACB_SUGGESTER_H_
+#define PQSDA_SUGGEST_CACB_SUGGESTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/click_graph.h"
+#include "log/sessionizer.h"
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Options for the CACB baseline.
+struct CacbOptions {
+  /// Minimum Jaccard similarity of clicked-URL sets for two queries to be
+  /// merged into one concept.
+  double merge_threshold = 0.5;
+  /// Longest concept-context suffix indexed (the suffix "tree" depth).
+  size_t max_context = 2;
+};
+
+/// CACB — context-aware query suggestion by mining click-through and
+/// session data (Cao et al., KDD'08 [2], simplified). Offline, queries are
+/// clustered into concepts by clicked-URL similarity and every session
+/// becomes a concept sequence; a suffix index maps each recent concept
+/// context to the queries users issued next. Online, the current session's
+/// concept suffix is matched (longest first) and the historical next
+/// queries are suggested by frequency.
+class CacbSuggester : public SuggestionEngine {
+ public:
+  CacbSuggester(const ClickGraph& graph,
+                const std::vector<QueryLogRecord>& records,
+                const std::vector<Session>& sessions,
+                CacbOptions options = {});
+
+  std::string name() const override { return "CACB"; }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+  /// Concept id of a query; UINT32_MAX if the query is unknown.
+  uint32_t ConceptOf(const std::string& query) const;
+
+  size_t num_concepts() const { return num_concepts_; }
+
+ private:
+  /// Key for a concept-context suffix (concept ids joined).
+  static std::string ContextKey(const std::vector<uint32_t>& concepts);
+
+  const ClickGraph* graph_;
+  CacbOptions options_;
+  /// Query id -> concept id (union-find roots compacted).
+  std::vector<uint32_t> concept_of_;
+  size_t num_concepts_ = 0;
+  /// Context key -> (next query id -> count).
+  std::unordered_map<std::string, std::unordered_map<StringId, double>>
+      transitions_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_CACB_SUGGESTER_H_

@@ -1,0 +1,80 @@
+#include "suggest/concept_suggester.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+namespace {
+
+using SparseVec = std::vector<std::pair<uint32_t, double>>;
+
+void Accumulate(std::unordered_map<uint32_t, double>& acc, const SparseVec& v,
+                double scale = 1.0) {
+  for (const auto& [id, w] : v) acc[id] += scale * w;
+}
+
+SparseVec ToSorted(const std::unordered_map<uint32_t, double>& acc) {
+  SparseVec out(acc.begin(), acc.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+ConceptSuggester::ConceptSuggester(const ClickGraph& graph,
+                                   const std::vector<QueryLogRecord>& records,
+                                   const PageContentProvider& pages,
+                                   ConceptSuggesterOptions options)
+    : graph_(&graph), options_(options) {
+  // Query concepts: centroid of clicked pages' term vectors.
+  std::vector<std::unordered_map<uint32_t, double>> acc(graph.num_queries());
+  std::unordered_map<UserId, std::unordered_map<uint32_t, double>> user_acc;
+  for (const auto& rec : records) {
+    if (!rec.has_click()) continue;
+    StringId q = graph.QueryId(rec.query);
+    if (q == kInvalidStringId) continue;
+    const SparseVec* page = pages.TermVector(rec.clicked_url);
+    if (page == nullptr) continue;
+    Accumulate(acc[q], *page);
+    Accumulate(user_acc[rec.user_id], *page);
+  }
+  query_concepts_.resize(graph.num_queries());
+  for (size_t q = 0; q < acc.size(); ++q) {
+    query_concepts_[q] = ToSorted(acc[q]);
+  }
+  for (const auto& [user, a] : user_acc) {
+    user_profiles_.emplace(user, ToSorted(a));
+  }
+}
+
+StatusOr<std::vector<Suggestion>> ConceptSuggester::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  StringId input = graph_->QueryId(request.query);
+  if (input == kInvalidStringId) {
+    return Status::NotFound("query not in click graph: " + request.query);
+  }
+  const SparseVec& input_concept = query_concepts_[input];
+  const SparseVec* profile = nullptr;
+  auto it = user_profiles_.find(request.user);
+  if (request.user != kNoUser && it != user_profiles_.end()) {
+    profile = &it->second;
+  }
+  double w_user = profile != nullptr ? options_.personalization_weight : 0.0;
+
+  std::vector<Suggestion> candidates;
+  for (uint32_t q = 0; q < query_concepts_.size(); ++q) {
+    if (q == input || query_concepts_[q].empty()) continue;
+    double sim_input = SparseCosine(query_concepts_[q], input_concept);
+    if (sim_input <= 0.0) continue;  // unrelated to the input query
+    double score = (1.0 - w_user) * sim_input;
+    if (profile != nullptr) {
+      score += w_user * SparseCosine(query_concepts_[q], *profile);
+    }
+    candidates.push_back(Suggestion{graph_->QueryString(q), score});
+  }
+  return FinalizeSuggestions(request, std::move(candidates), k);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,64 @@
+#ifndef PQSDA_SUGGEST_CONCEPT_SUGGESTER_H_
+#define PQSDA_SUGGEST_CONCEPT_SUGGESTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/click_graph.h"
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Supplies term vectors of web pages (the "concept space"). The CM baseline
+/// needs page content, which the paper's version extracted from search
+/// results; our benches back this with the synthetic URL documents.
+class PageContentProvider {
+ public:
+  virtual ~PageContentProvider() = default;
+
+  /// Sparse id-sorted term vector of a URL; nullptr if unknown.
+  virtual const std::vector<std::pair<uint32_t, double>>* TermVector(
+      const std::string& url) const = 0;
+};
+
+/// Options for the CM baseline.
+struct ConceptSuggesterOptions {
+  /// Weight of the user-profile similarity vs the input-query similarity.
+  double personalization_weight = 0.5;
+};
+
+/// CM baseline (Leung, Ng & Lee, TKDE'08 [13]): concept-based personalized
+/// query suggestion. Every query is embedded as the centroid of its clicked
+/// pages' term vectors; each user is profiled as the centroid of their
+/// clicked queries' concepts; candidates are ranked by a blend of concept
+/// similarity to the input query and to the user profile. The full concept
+/// scan per request is why CM is the slowest system in Fig. 7.
+class ConceptSuggester : public SuggestionEngine {
+ public:
+  ConceptSuggester(const ClickGraph& graph,
+                   const std::vector<QueryLogRecord>& records,
+                   const PageContentProvider& pages,
+                   ConceptSuggesterOptions options = {});
+
+  std::string name() const override { return "CM"; }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+ private:
+  using SparseVec = std::vector<std::pair<uint32_t, double>>;
+
+  const ClickGraph* graph_;
+  ConceptSuggesterOptions options_;
+  /// Concept vector per query id (may be empty for click-less queries).
+  std::vector<SparseVec> query_concepts_;
+  /// Concept profile per user.
+  std::unordered_map<UserId, SparseVec> user_profiles_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_CONCEPT_SUGGESTER_H_

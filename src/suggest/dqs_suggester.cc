@@ -1,0 +1,72 @@
+#include "suggest/dqs_suggester.h"
+
+#include <algorithm>
+
+#include "suggest/hitting_time_suggester.h"
+
+namespace pqsda {
+
+DqsSuggester::DqsSuggester(const ClickGraph& graph, DqsOptions options)
+    : graph_(&graph),
+      options_(options),
+      walker_(graph, WalkDirection::kForward, options.walk) {}
+
+StatusOr<std::vector<Suggestion>> DqsSuggester::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  StringId input = graph_->QueryId(request.query);
+  if (input == kInvalidStringId) {
+    return Status::NotFound("query not in click graph: " + request.query);
+  }
+  auto dist = walker_.WalkDistribution(request.query);
+  if (!dist.ok()) return dist.status();
+
+  // Candidate pool: most relevant queries by walk probability, excluding the
+  // input itself.
+  std::vector<std::pair<double, uint32_t>> scored;
+  for (uint32_t i = 0; i < dist->size(); ++i) {
+    if (i == input || (*dist)[i] <= 0.0) continue;
+    scored.emplace_back((*dist)[i], i);
+  }
+  size_t pool_size = std::min(options_.candidate_pool, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + pool_size, scored.end(),
+                    std::greater<>());
+  scored.resize(pool_size);
+  if (scored.empty()) return std::vector<Suggestion>{};
+
+  // Greedy: most relevant first, then repeatedly the pool query farthest
+  // (largest hitting time) from the selected set.
+  std::vector<uint32_t> selected = {scored[0].second};
+  std::vector<bool> taken(dist->size(), false);
+  taken[scored[0].second] = true;
+  // Request a couple extra so FinalizeSuggestions can drop context queries.
+  const size_t want = k + request.context.size() + 1;
+  while (selected.size() < want && selected.size() < scored.size()) {
+    std::vector<double> h =
+        BipartiteHittingTime(graph_->graph().query_to_object(),
+                           graph_->graph().object_to_query(), selected,
+                             options_.iterations);
+    double best = -1.0;
+    uint32_t best_q = kInvalidStringId;
+    for (const auto& [rel, q] : scored) {
+      (void)rel;
+      if (taken[q]) continue;
+      if (h[q] > best) {
+        best = h[q];
+        best_q = q;
+      }
+    }
+    if (best_q == kInvalidStringId) break;
+    selected.push_back(best_q);
+    taken[best_q] = true;
+  }
+
+  std::vector<Suggestion> out;
+  out.reserve(selected.size());
+  for (size_t rank = 0; rank < selected.size(); ++rank) {
+    out.push_back(Suggestion{graph_->QueryString(selected[rank]),
+                             static_cast<double>(selected.size() - rank)});
+  }
+  return FinalizeSuggestions(request, std::move(out), k);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,45 @@
+#ifndef PQSDA_SUGGEST_DQS_SUGGESTER_H_
+#define PQSDA_SUGGEST_DQS_SUGGESTER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/click_graph.h"
+#include "suggest/engine.h"
+#include "suggest/random_walk_suggester.h"
+
+namespace pqsda {
+
+/// Options for the DQS baseline.
+struct DqsOptions {
+  /// Size of the relevance-filtered candidate pool the greedy diversifier
+  /// selects from.
+  size_t candidate_pool = 60;
+  /// Hitting-time truncation horizon.
+  size_t iterations = 24;
+  RandomWalkOptions walk;
+};
+
+/// DQS baseline (Ma, Lyu & King, AAAI'10 [6]): diversifying query
+/// suggestion on the click graph. A forward random walk yields a relevant
+/// candidate pool; suggestions are then picked greedily, each next one being
+/// the pool query with the *largest* truncated hitting time to the already
+/// selected set — far from the picked ones, hence novel.
+class DqsSuggester : public SuggestionEngine {
+ public:
+  explicit DqsSuggester(const ClickGraph& graph, DqsOptions options = {});
+
+  std::string name() const override { return "DQS"; }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+ private:
+  const ClickGraph* graph_;
+  DqsOptions options_;
+  RandomWalkSuggester walker_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_DQS_SUGGESTER_H_

@@ -1,0 +1,33 @@
+#include "suggest/engine.h"
+
+#include <algorithm>
+
+namespace pqsda {
+
+std::vector<Suggestion> FinalizeSuggestions(
+    const SuggestionRequest& request, std::vector<Suggestion> candidates,
+    size_t k) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<Suggestion> out;
+  out.reserve(std::min(k, candidates.size()));
+  for (auto& c : candidates) {
+    if (out.size() >= k) break;
+    if (c.query == request.query) continue;
+    bool in_context = false;
+    for (const auto& [q, ts] : request.context) {
+      (void)ts;
+      if (q == c.query) {
+        in_context = true;
+        break;
+      }
+    }
+    if (in_context) continue;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,62 @@
+#ifndef PQSDA_SUGGEST_ENGINE_H_
+#define PQSDA_SUGGEST_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "log/record.h"
+
+namespace pqsda {
+
+/// Sentinel user id for non-personalized suggestion requests.
+inline constexpr UserId kNoUser = UINT32_MAX;
+
+/// Everything an engine may use about the request: the input query, its
+/// timestamp, the search context (Definition 2 — earlier queries of the same
+/// session, with timestamps) and, for personalized engines, the user.
+struct SuggestionRequest {
+  std::string query;
+  int64_t timestamp = 0;
+  /// (query, timestamp) of preceding same-session queries, oldest first.
+  std::vector<std::pair<std::string, int64_t>> context;
+  UserId user = kNoUser;
+};
+
+/// One suggested query. Higher score = better; scores are engine-specific
+/// and only comparable within one list.
+struct Suggestion {
+  std::string query;
+  double score = 0.0;
+
+  friend bool operator==(const Suggestion&, const Suggestion&) = default;
+};
+
+/// Interface shared by every query-suggestion method in the library — the
+/// PQS-DA diversifier and all baselines. Implementations are immutable after
+/// construction and safe for concurrent Suggest calls.
+class SuggestionEngine {
+ public:
+  virtual ~SuggestionEngine() = default;
+
+  /// Short method name as used in the paper's figures ("FRW", "HT", ...).
+  virtual std::string name() const = 0;
+
+  /// Returns up to k suggestions, best first. The input query itself and its
+  /// context queries are never suggested. An unknown input query yields
+  /// NotFound.
+  virtual StatusOr<std::vector<Suggestion>> Suggest(
+      const SuggestionRequest& request, size_t k) const = 0;
+};
+
+/// Removes the request's own query/context from a scored candidate list and
+/// truncates to k (shared post-processing helper for engines).
+std::vector<Suggestion> FinalizeSuggestions(
+    const SuggestionRequest& request,
+    std::vector<Suggestion> candidates, size_t k);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_ENGINE_H_

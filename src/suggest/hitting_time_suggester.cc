@@ -1,0 +1,207 @@
+#include "suggest/hitting_time_suggester.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pqsda {
+
+std::vector<double> BipartiteHittingTime(
+    const CsrMatrix& q2u_stochastic, const CsrMatrix& u2q_stochastic,
+    const std::vector<uint32_t>& seed_queries, size_t iterations,
+    const PseudoNode* pseudo) {
+  const size_t nq = q2u_stochastic.rows();
+  const size_t nu = q2u_stochastic.cols();
+  const size_t total_q = nq + (pseudo != nullptr ? 1 : 0);
+
+  std::vector<bool> is_seed(total_q, false);
+  for (uint32_t s : seed_queries) {
+    assert(s < total_q);
+    is_seed[s] = true;
+  }
+
+  double pseudo_total = 0.0;
+  if (pseudo != nullptr) {
+    for (const auto& [u, w] : pseudo->url_edges) {
+      (void)u;
+      pseudo_total += w;
+    }
+  }
+
+  // Pseudo-node edges indexed by URL so the walk can *reach* the pseudo
+  // query (URL rows gain a back-edge to it); without this the pseudo node
+  // would be a source only and hitting times to it would be infinite.
+  std::vector<double> pseudo_weight_of_url;
+  if (pseudo != nullptr) {
+    pseudo_weight_of_url.assign(nu, 0.0);
+    for (const auto& [u, w] : pseudo->url_edges) {
+      if (u < nu) pseudo_weight_of_url[u] += w;
+    }
+  }
+
+  std::vector<double> hq(total_q, 0.0), hu(nu, 0.0);
+  std::vector<double> hq_next(total_q, 0.0), hu_next(nu, 0.0);
+  for (size_t t = 0; t < iterations; ++t) {
+    // URL side first: one hop u -> q.
+    for (size_t u = 0; u < nu; ++u) {
+      double extra = pseudo != nullptr ? pseudo_weight_of_url[u] : 0.0;
+      double s = u2q_stochastic.RowSum(u) + extra;
+      if (s <= 0.0) {
+        hu_next[u] = static_cast<double>(t + 1);
+        continue;
+      }
+      double acc = 0.0;
+      auto idx = u2q_stochastic.RowIndices(u);
+      auto val = u2q_stochastic.RowValues(u);
+      for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hq[idx[k]];
+      acc += extra * hq[nq];
+      hu_next[u] = 1.0 + acc / s;
+    }
+    // Query side: one hop q -> u.
+    for (size_t q = 0; q < nq; ++q) {
+      if (is_seed[q]) {
+        hq_next[q] = 0.0;
+        continue;
+      }
+      double s = q2u_stochastic.RowSum(q);
+      if (s <= 0.0) {
+        hq_next[q] = static_cast<double>(t + 1);
+        continue;
+      }
+      double acc = 0.0;
+      auto idx = q2u_stochastic.RowIndices(q);
+      auto val = q2u_stochastic.RowValues(q);
+      for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hu[idx[k]];
+      hq_next[q] = 1.0 + acc / s;
+    }
+    if (pseudo != nullptr) {
+      size_t q = nq;
+      if (is_seed[q]) {
+        hq_next[q] = 0.0;
+      } else if (pseudo_total <= 0.0) {
+        hq_next[q] = static_cast<double>(t + 1);
+      } else {
+        double acc = 0.0;
+        for (const auto& [u, w] : pseudo->url_edges) {
+          acc += (w / pseudo_total) * hu[u];
+        }
+        hq_next[q] = 1.0 + acc;
+      }
+    }
+    hq.swap(hq_next);
+    hu.swap(hu_next);
+  }
+  return hq;
+}
+
+std::vector<double> ChainHittingTime(
+    const std::vector<const CsrMatrix*>& chains,
+    const std::vector<double>& weights, const std::vector<uint32_t>& seeds,
+    size_t iterations) {
+  assert(!chains.empty() && chains.size() == weights.size());
+  const size_t n = chains[0]->rows();
+  std::vector<bool> is_seed(n, false);
+  for (uint32_t s : seeds) {
+    assert(s < n);
+    is_seed[s] = true;
+  }
+  std::vector<double> h(n, 0.0), next(n, 0.0);
+  for (size_t t = 0; t < iterations; ++t) {
+    for (size_t v = 0; v < n; ++v) {
+      if (is_seed[v]) {
+        next[v] = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      double mass = 0.0;
+      for (size_t x = 0; x < chains.size(); ++x) {
+        auto idx = chains[x]->RowIndices(v);
+        auto val = chains[x]->RowValues(v);
+        for (size_t k = 0; k < idx.size(); ++k) {
+          acc += weights[x] * val[k] * h[idx[k]];
+          mass += weights[x] * val[k];
+        }
+      }
+      if (mass <= 0.0) {
+        next[v] = static_cast<double>(t + 1);
+      } else {
+        // Sub-stochastic rows (drop-tolerance pruning) would leak mass into
+        // an implicit absorbing state; renormalize instead.
+        next[v] = 1.0 + acc / mass;
+      }
+    }
+    h.swap(next);
+  }
+  return h;
+}
+
+HittingTimeSuggester::HittingTimeSuggester(const ClickGraph& graph,
+                                           HittingTimeOptions options)
+    : graph_(&graph), options_(options) {}
+
+StatusOr<std::vector<Suggestion>> HittingTimeSuggester::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  StringId q = graph_->QueryId(request.query);
+  if (q == kInvalidStringId) {
+    return Status::NotFound("query not in click graph: " + request.query);
+  }
+  std::vector<double> h =
+      BipartiteHittingTime(graph_->graph().query_to_object(),
+                           graph_->graph().object_to_query(), {q},
+                           options_.iterations);
+  const double horizon = static_cast<double>(options_.iterations);
+  std::vector<Suggestion> candidates;
+  for (size_t i = 0; i < graph_->num_queries(); ++i) {
+    if (h[i] >= horizon) continue;  // never reached the seed
+    candidates.push_back(Suggestion{
+        graph_->QueryString(static_cast<StringId>(i)), horizon - h[i]});
+  }
+  return FinalizeSuggestions(request, std::move(candidates), k);
+}
+
+PersonalizedHittingTimeSuggester::PersonalizedHittingTimeSuggester(
+    const ClickGraph& graph, const std::vector<QueryLogRecord>& records,
+    HittingTimeOptions options)
+    : graph_(&graph), options_(options) {
+  std::unordered_map<UserId, std::unordered_map<uint32_t, double>> counts;
+  for (const auto& rec : records) {
+    if (!rec.has_click()) continue;
+    StringId u = graph.urls().Lookup(rec.clicked_url);
+    if (u == kInvalidStringId) continue;
+    counts[rec.user_id][u] += 1.0;
+  }
+  for (auto& [user, urls] : counts) {
+    PseudoNode node;
+    node.url_edges.assign(urls.begin(), urls.end());
+    std::sort(node.url_edges.begin(), node.url_edges.end());
+    user_nodes_.emplace(user, std::move(node));
+  }
+}
+
+StatusOr<std::vector<Suggestion>> PersonalizedHittingTimeSuggester::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  StringId q = graph_->QueryId(request.query);
+  if (q == kInvalidStringId) {
+    return Status::NotFound("query not in click graph: " + request.query);
+  }
+  const PseudoNode* pseudo = nullptr;
+  std::vector<uint32_t> seeds = {q};
+  auto it = user_nodes_.find(request.user);
+  if (request.user != kNoUser && it != user_nodes_.end()) {
+    pseudo = &it->second;
+    seeds.push_back(static_cast<uint32_t>(graph_->num_queries()));
+  }
+  std::vector<double> h =
+      BipartiteHittingTime(graph_->graph().query_to_object(),
+                           graph_->graph().object_to_query(), seeds,
+                           options_.iterations, pseudo);
+  const double horizon = static_cast<double>(options_.iterations);
+  std::vector<Suggestion> candidates;
+  for (size_t i = 0; i < graph_->num_queries(); ++i) {
+    if (h[i] >= horizon) continue;
+    candidates.push_back(Suggestion{
+        graph_->QueryString(static_cast<StringId>(i)), horizon - h[i]});
+  }
+  return FinalizeSuggestions(request, std::move(candidates), k);
+}
+
+}  // namespace pqsda

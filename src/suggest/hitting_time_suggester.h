@@ -1,0 +1,95 @@
+#ifndef PQSDA_SUGGEST_HITTING_TIME_SUGGESTER_H_
+#define PQSDA_SUGGEST_HITTING_TIME_SUGGESTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/click_graph.h"
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Extra node grafted onto the query side of a bipartite walk: a pseudo
+/// query (Mei et al. [14]) whose URL edges summarize a user's click history.
+struct PseudoNode {
+  /// (url id, weight) pairs; need not be normalized.
+  std::vector<std::pair<uint32_t, double>> url_edges;
+};
+
+/// Truncated expected hitting time on the alternating query/URL walk of a
+/// click graph. `q2u` and `u2q` carry arbitrary non-negative edge weights
+/// (raw counts or cfiqf); rows are normalized internally. Returns per-query
+/// hitting times to the seed set after `iterations` single hops of the
+/// alternating chain. Queries in `seed_queries` get 0; queries that cannot
+/// reach the seeds (including dangling ones) saturate at the horizon.
+///
+/// If `pseudo` is non-null, a pseudo query node with index q2u.rows() is
+/// appended and its URL edges are mirrored back from the URL side so the
+/// walk can actually hit it; the returned vector then has rows()+1 entries.
+/// Seed ids may refer to the pseudo node. Pseudo edge weights should be on
+/// the same scale as the matrix weights.
+std::vector<double> BipartiteHittingTime(const CsrMatrix& q2u,
+                                         const CsrMatrix& u2q,
+                                         const std::vector<uint32_t>& seed_queries,
+                                         size_t iterations,
+                                         const PseudoNode* pseudo = nullptr);
+
+/// Truncated expected hitting time on a mixture of query-level chains
+/// (Eq. 17): M = sum_x weight[x] * chain[x], each chain row-stochastic (or
+/// sub-stochastic). Used by the cross-bipartite hitting time of §IV-C (three
+/// chains, uniform 1/3 weights) and by DQS (one chain).
+std::vector<double> ChainHittingTime(const std::vector<const CsrMatrix*>& chains,
+                                     const std::vector<double>& weights,
+                                     const std::vector<uint32_t>& seeds,
+                                     size_t iterations);
+
+/// Options for the hitting-time baselines.
+struct HittingTimeOptions {
+  /// Truncation horizon (alternating-walk steps).
+  size_t iterations = 24;
+};
+
+/// HT baseline (Mei et al. [14]): rank candidates by ascending truncated
+/// hitting time to the input query on the click graph.
+class HittingTimeSuggester : public SuggestionEngine {
+ public:
+  explicit HittingTimeSuggester(const ClickGraph& graph,
+                                HittingTimeOptions options = {});
+
+  std::string name() const override { return "HT"; }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+ private:
+  const ClickGraph* graph_;
+  HittingTimeOptions options_;
+};
+
+/// PHT baseline (Mei et al. [14], personalized variant): a pseudo query node
+/// carrying the user's historical clicked URLs is added to the seed set, so
+/// candidates near either the input query or the user's history rank high.
+class PersonalizedHittingTimeSuggester : public SuggestionEngine {
+ public:
+  /// `records` is the training log from which per-user URL click counts are
+  /// collected.
+  PersonalizedHittingTimeSuggester(const ClickGraph& graph,
+                                   const std::vector<QueryLogRecord>& records,
+                                   HittingTimeOptions options = {});
+
+  std::string name() const override { return "PHT"; }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+ private:
+  const ClickGraph* graph_;
+  HittingTimeOptions options_;
+  std::unordered_map<UserId, PseudoNode> user_nodes_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_HITTING_TIME_SUGGESTER_H_

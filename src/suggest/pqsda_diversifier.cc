@@ -1,0 +1,184 @@
+#include "suggest/pqsda_diversifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+
+namespace pqsda {
+
+PqsdaDiversifier::PqsdaDiversifier(const MultiBipartite& mb,
+                                   PqsdaDiversifierOptions options)
+    : mb_(&mb), options_(options), builder_(mb) {}
+
+std::vector<std::pair<StringId, double>> PqsdaDiversifier::TermMatchSeeds(
+    const std::string& query) const {
+  const BipartiteGraph& terms = mb_->graph(BipartiteKind::kTerm);
+  std::unordered_map<StringId, double> scores;
+  for (const std::string& term : Tokenize(query)) {
+    if (IsStopword(term)) continue;
+    StringId t = mb_->terms().Lookup(term);
+    if (t == kInvalidStringId) continue;
+    auto idx = terms.object_to_query().RowIndices(t);
+    auto val = terms.object_to_query().RowValues(t);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      scores[idx[i]] += val[i];
+    }
+  }
+  std::vector<std::pair<StringId, double>> out(scores.begin(), scores.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > 8) out.resize(8);
+  return out;
+}
+
+StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
+    const SuggestionRequest& request, size_t k) const {
+  StringId input = mb_->QueryId(request.query);
+  std::vector<std::pair<StringId, int64_t>> context_ids;
+  for (const auto& [q, ts] : request.context) {
+    StringId id = mb_->QueryId(q);
+    if (id != kInvalidStringId) context_ids.emplace_back(id, ts);
+  }
+  std::vector<StringId> context_only;
+  for (const auto& [id, ts] : context_ids) {
+    (void)ts;
+    context_only.push_back(id);
+  }
+
+  StatusOr<CompactRepresentation> rep_or = Status::Internal("unset");
+  // For a query string the log has never seen, the click-graph methods are
+  // simply stuck; the multi-bipartite is not — seed the walk from the
+  // queries that share the input's terms, weighted by cfiqf (the coverage
+  // advantage of §III in action).
+  std::vector<std::pair<StringId, double>> term_seeds;
+  if (input == kInvalidStringId) {
+    term_seeds = TermMatchSeeds(request.query);
+    if (term_seeds.empty()) {
+      return Status::NotFound("query has no term overlap with the log: " +
+                              request.query);
+    }
+    std::vector<StringId> seeds;
+    for (const auto& [q, w] : term_seeds) {
+      (void)w;
+      seeds.push_back(q);
+    }
+    for (StringId c : context_only) seeds.push_back(c);
+    rep_or = builder_.BuildFromSeeds(seeds, options_.compact);
+  } else {
+    // §IV-A: compact representation around the input + context.
+    rep_or = builder_.Build(input, context_only, options_.compact);
+  }
+  if (!rep_or.ok()) return rep_or.status();
+  const CompactRepresentation& rep = *rep_or;
+
+  // §IV-B: regularization framework for the relevance estimate F*.
+  std::vector<double> f0;
+  if (input != kInvalidStringId) {
+    f0 = BuildF0(rep, input, request.timestamp, context_ids,
+                 options_.regularization.decay_lambda);
+  } else {
+    f0.assign(rep.size(), 0.0);
+    double max_w = term_seeds.front().second;
+    for (const auto& [q, w] : term_seeds) {
+      auto it = rep.local_index.find(q);
+      if (it != rep.local_index.end() && max_w > 0.0) {
+        f0[it->second] = w / max_w;
+      }
+    }
+    for (const auto& [c, ts] : context_ids) {
+      auto it = rep.local_index.find(c);
+      if (it == rep.local_index.end()) continue;
+      double dt = static_cast<double>(ts - request.timestamp);
+      if (dt > 0.0) dt = 0.0;
+      f0[it->second] = std::max(
+          f0[it->second],
+          std::exp(options_.regularization.decay_lambda * dt));
+    }
+  }
+  auto f_or = SolveRegularization(rep, f0, options_.regularization);
+  if (!f_or.ok()) return f_or.status();
+  std::vector<double> f = std::move(f_or).value();
+
+  // The input (when it is a log query) and its context are not candidates;
+  // term-match seeds of an unseen input, by contrast, are perfectly good
+  // suggestions.
+  std::vector<bool> excluded(rep.size(), false);
+  if (input != kInvalidStringId) {
+    excluded[rep.local_index.at(input)] = true;
+  }
+  for (StringId c : context_only) {
+    auto it = rep.local_index.find(c);
+    if (it != rep.local_index.end()) excluded[it->second] = true;
+  }
+
+  // Candidate pool: top queries by F*.
+  std::vector<std::pair<double, uint32_t>> by_relevance;
+  for (uint32_t i = 0; i < rep.size(); ++i) {
+    if (excluded[i]) continue;
+    by_relevance.emplace_back(f[i], i);
+  }
+  size_t pool = std::min(options_.candidate_pool, by_relevance.size());
+  std::partial_sort(by_relevance.begin(), by_relevance.begin() + pool,
+                    by_relevance.end(), std::greater<>());
+  by_relevance.resize(pool);
+
+  DiversificationOutput out;
+  out.relevance = f;
+  out.compact_queries = rep.queries;
+  if (by_relevance.empty()) return out;
+
+  // First candidate: largest F* (Eq. 15).
+  std::vector<uint32_t> selected = {by_relevance[0].second};
+  std::vector<bool> taken(rep.size(), false);
+  taken[selected[0]] = true;
+
+  // §IV-C: remaining candidates by largest cross-bipartite hitting time to
+  // the selected set, uniform 1/3 weight per bipartite (the paper's
+  // no-prior-knowledge setting for N_k).
+  std::vector<const CsrMatrix*> chains = {&rep.P(BipartiteKind::kUrl),
+                                          &rep.P(BipartiteKind::kSession),
+                                          &rep.P(BipartiteKind::kTerm)};
+  std::vector<double> weights(options_.chain_weights.begin(),
+                              options_.chain_weights.end());
+  const size_t want = std::min(k, by_relevance.size());
+  while (selected.size() < want) {
+    std::vector<double> h = ChainHittingTime(chains, weights, selected,
+                                             options_.hitting_iterations);
+    double best = -1.0;
+    uint32_t best_q = UINT32_MAX;
+    for (const auto& [rel, q] : by_relevance) {
+      (void)rel;
+      if (taken[q]) continue;
+      if (h[q] > best) {
+        best = h[q];
+        best_q = q;
+      }
+    }
+    if (best_q == UINT32_MAX) break;
+    selected.push_back(best_q);
+    taken[best_q] = true;
+  }
+
+  // §IV-C: the final candidate list is "sorted with a descending relevance
+  // to the input query" — order the selected set by F*.
+  std::sort(selected.begin(), selected.end(),
+            [&f](uint32_t a, uint32_t b) { return f[a] > f[b]; });
+  out.candidates.reserve(selected.size());
+  for (size_t rank = 0; rank < selected.size(); ++rank) {
+    out.candidates.push_back(
+        Suggestion{mb_->QueryString(rep.queries[selected[rank]]),
+                   static_cast<double>(selected.size() - rank)});
+  }
+  return out;
+}
+
+StatusOr<std::vector<Suggestion>> PqsdaDiversifier::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  auto out = Diversify(request, k);
+  if (!out.ok()) return out.status();
+  return std::move(out->candidates);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,76 @@
+#ifndef PQSDA_SUGGEST_PQSDA_DIVERSIFIER_H_
+#define PQSDA_SUGGEST_PQSDA_DIVERSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/compact_builder.h"
+#include "graph/multi_bipartite.h"
+#include "solver/regularization.h"
+#include "suggest/engine.h"
+#include "suggest/hitting_time_suggester.h"
+
+namespace pqsda {
+
+/// Options for the PQS-DA diversification component (§IV).
+struct PqsdaDiversifierOptions {
+  CompactBuilderOptions compact;
+  RegularizationOptions regularization;
+  /// Truncation horizon l of the cross-bipartite hitting time (Algorithm 1).
+  size_t hitting_iterations = 20;
+  /// Mixing weights of the U/S/T chains in the cross-bipartite walk (the
+  /// paper's no-prior-knowledge N_k is uniform; the representation ablation
+  /// zeroes individual bipartites).
+  std::array<double, 3> chain_weights = {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  /// The argmax of Algorithm 1 is taken over the top-`candidate_pool`
+  /// queries by F* relevance, so diversity never strays into queries with no
+  /// affinity to the input at all. This is the diversity/relevance dial:
+  /// larger pools diversify more aggressively at the cost of tail relevance.
+  size_t candidate_pool = 40;
+};
+
+/// Diagnostics-rich output of one diversification run.
+struct DiversificationOutput {
+  /// Selected candidates, in selection (= relevance) order.
+  std::vector<Suggestion> candidates;
+  /// F* relevance of every compact-representation query (Eq. 15 solution).
+  std::vector<double> relevance;
+  /// Global query ids of the compact representation rows.
+  std::vector<StringId> compact_queries;
+};
+
+/// The diversification component of PQS-DA (§IV): compact multi-bipartite
+/// construction, regularization-framework first candidate (Eq. 15), then
+/// iterative selection of the remaining K-1 candidates by largest
+/// cross-bipartite hitting time to the already-selected set (Algorithm 1).
+class PqsdaDiversifier : public SuggestionEngine {
+ public:
+  explicit PqsdaDiversifier(const MultiBipartite& mb,
+                            PqsdaDiversifierOptions options = {});
+
+  std::string name() const override { return "PQS-DA"; }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+  /// Full-output variant of Suggest.
+  StatusOr<DiversificationOutput> Diversify(const SuggestionRequest& request,
+                                            size_t k) const;
+
+  const PqsdaDiversifierOptions& options() const { return options_; }
+
+  /// For an input string absent from the log: the queries sharing its terms,
+  /// scored by term-bipartite edge weight (descending, capped at 8). Public
+  /// for tests.
+  std::vector<std::pair<StringId, double>> TermMatchSeeds(
+      const std::string& query) const;
+
+ private:
+  const MultiBipartite* mb_;
+  PqsdaDiversifierOptions options_;
+  CompactBuilder builder_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_PQSDA_DIVERSIFIER_H_

@@ -1,0 +1,77 @@
+#include "suggest/random_walk_suggester.h"
+
+namespace pqsda {
+
+RandomWalkSuggester::RandomWalkSuggester(const ClickGraph& graph,
+                                         WalkDirection direction,
+                                         RandomWalkOptions options)
+    : graph_(&graph), direction_(direction), options_(options) {
+  if (direction == WalkDirection::kForward) {
+    step_q2u_ = graph.graph().query_to_object().RowNormalized();
+    step_u2q_ = graph.graph().object_to_query().RowNormalized();
+  } else {
+    // Time-reversed chain: normalize each step over the incoming side.
+    // q -> u with weight / (u's total weight); u -> q' with
+    // weight / (q's total weight); each row then renormalized to be
+    // stochastic.
+    const CsrMatrix& q2o = graph.graph().query_to_object();
+    const CsrMatrix& o2q = graph.graph().object_to_query();
+    std::vector<double> url_sums(o2q.rows());
+    for (size_t u = 0; u < o2q.rows(); ++u) url_sums[u] = o2q.RowSum(u);
+    std::vector<double> query_sums(q2o.rows());
+    for (size_t q = 0; q < q2o.rows(); ++q) query_sums[q] = q2o.RowSum(q);
+
+    CsrMatrix q2u = q2o;
+    std::vector<double> inv_url(url_sums.size());
+    for (size_t u = 0; u < url_sums.size(); ++u) {
+      inv_url[u] = url_sums[u] > 0.0 ? 1.0 / url_sums[u] : 0.0;
+    }
+    q2u.ScaleColumns(inv_url);
+    step_q2u_ = q2u.RowNormalized();
+
+    CsrMatrix u2q = o2q;
+    std::vector<double> inv_query(query_sums.size());
+    for (size_t q = 0; q < query_sums.size(); ++q) {
+      inv_query[q] = query_sums[q] > 0.0 ? 1.0 / query_sums[q] : 0.0;
+    }
+    u2q.ScaleColumns(inv_query);
+    step_u2q_ = u2q.RowNormalized();
+  }
+}
+
+StatusOr<std::vector<double>> RandomWalkSuggester::WalkDistribution(
+    const std::string& query) const {
+  StringId q = graph_->QueryId(query);
+  if (q == kInvalidStringId) {
+    return Status::NotFound("query not in click graph: " + query);
+  }
+  std::vector<double> v(graph_->num_queries(), 0.0);
+  v[q] = 1.0;
+  std::vector<double> start = v;
+  std::vector<double> over_urls, stepped;
+  for (size_t step = 0; step < options_.steps; ++step) {
+    step_q2u_.TransposeMatVec(v, over_urls);
+    step_u2q_.TransposeMatVec(over_urls, stepped);
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = options_.self_transition * start[i] +
+             (1.0 - options_.self_transition) * stepped[i];
+    }
+  }
+  return v;
+}
+
+StatusOr<std::vector<Suggestion>> RandomWalkSuggester::Suggest(
+    const SuggestionRequest& request, size_t k) const {
+  auto dist = WalkDistribution(request.query);
+  if (!dist.ok()) return dist.status();
+  std::vector<Suggestion> candidates;
+  for (size_t i = 0; i < dist->size(); ++i) {
+    if ((*dist)[i] <= 0.0) continue;
+    candidates.push_back(
+        Suggestion{graph_->QueryString(static_cast<StringId>(i)),
+                   (*dist)[i]});
+  }
+  return FinalizeSuggestions(request, std::move(candidates), k);
+}
+
+}  // namespace pqsda

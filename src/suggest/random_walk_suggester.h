@@ -1,0 +1,62 @@
+#ifndef PQSDA_SUGGEST_RANDOM_WALK_SUGGESTER_H_
+#define PQSDA_SUGGEST_RANDOM_WALK_SUGGESTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/click_graph.h"
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Walk direction for the Craswell & Szummer random-walk baselines [15].
+enum class WalkDirection {
+  /// FRW: each two-step hop uses forward-normalized transitions
+  /// (P(u|q) over q's clicks, then P(q'|u) over u's clicks).
+  kForward,
+  /// BRW: the time-reversed chain — transitions normalized over the
+  /// *incoming* side, which boosts rare URLs and rare queries.
+  kBackward,
+};
+
+/// Options shared by FRW and BRW.
+struct RandomWalkOptions {
+  /// Number of two-step (query -> URL -> query) hops.
+  size_t steps = 3;
+  /// Self-transition probability per hop (keeps mass near the start).
+  double self_transition = 0.1;
+};
+
+/// Forward/Backward random-walk suggesters on the click graph: score
+/// candidates by the walk's visiting probability started at the input query.
+class RandomWalkSuggester : public SuggestionEngine {
+ public:
+  RandomWalkSuggester(const ClickGraph& graph, WalkDirection direction,
+                      RandomWalkOptions options = {});
+
+  std::string name() const override {
+    return direction_ == WalkDirection::kForward ? "FRW" : "BRW";
+  }
+
+  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
+                                            size_t k) const override;
+
+  /// Raw walk distribution over all queries, for reuse by other engines
+  /// (DQS uses FRW relevance for its candidate pool).
+  StatusOr<std::vector<double>> WalkDistribution(
+      const std::string& query) const;
+
+ private:
+  const ClickGraph* graph_;
+  WalkDirection direction_;
+  RandomWalkOptions options_;
+  /// Two-step transition matrices: q->u then u->q', normalized according to
+  /// the walk direction.
+  CsrMatrix step_q2u_;
+  CsrMatrix step_u2q_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_RANDOM_WALK_SUGGESTER_H_

@@ -1,0 +1,225 @@
+#include "synthetic/facet_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pqsda {
+
+namespace {
+
+// Root-branch index of a leaf: which top-level subtree it lives in.
+uint32_t TopBranch(const Taxonomy& taxonomy, CategoryId leaf) {
+  auto path = taxonomy.PathFromRoot(leaf);
+  if (path.size() < 2) return 0;
+  return path[1];
+}
+
+std::string JoinTerms(const std::vector<std::string>& terms) {
+  std::string out;
+  for (const auto& t : terms) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace
+
+FacetModel::FacetModel(const Taxonomy& taxonomy,
+                       const FacetModelConfig& config, Rng& rng) {
+  std::vector<CategoryId> leaves = taxonomy.Leaves();
+  assert(!leaves.empty());
+  rng.Shuffle(leaves);
+
+  // Per-top-branch shared terms.
+  std::unordered_map<uint32_t, std::vector<std::string>> branch_terms;
+
+  // --- Facet skeletons: category + vocabulary. ---
+  facets_.resize(config.num_facets);
+  for (FacetId f = 0; f < config.num_facets; ++f) {
+    Facet& facet = facets_[f];
+    facet.id = f;
+    facet.category = leaves[f % leaves.size()];
+    facet.terms.reserve(config.terms_per_facet);
+    for (uint32_t t = 0; t < config.terms_per_facet; ++t) {
+      facet.terms.push_back("w" + std::to_string(f) + "x" + std::to_string(t));
+    }
+    uint32_t branch = TopBranch(taxonomy, facet.category);
+    auto& shared = branch_terms[branch];
+    if (shared.empty()) {
+      for (uint32_t t = 0; t < config.branch_terms_per_branch; ++t) {
+        shared.push_back("b" + std::to_string(branch) + "x" +
+                         std::to_string(t));
+      }
+    }
+  }
+
+  // --- Ambiguous concepts: one token shared across facets from distinct
+  // branches where possible. ---
+  concept_tokens_.reserve(config.num_concepts);
+  concept_members_.resize(config.num_concepts);
+  std::vector<FacetId> order(config.num_facets);
+  for (FacetId f = 0; f < config.num_facets; ++f) order[f] = f;
+  rng.Shuffle(order);
+  size_t cursor = 0;
+  for (uint32_t c = 0; c < config.num_concepts; ++c) {
+    std::string token = "amb" + std::to_string(c);
+    concept_tokens_.push_back(token);
+    for (uint32_t m = 0;
+         m < config.facets_per_concept && cursor < order.size(); ++m) {
+      FacetId f = order[cursor++];
+      facets_[f].concept_token = token;
+      concept_members_[c].push_back(f);
+    }
+  }
+
+  // --- Query pools. ---
+  for (Facet& facet : facets_) {
+    uint32_t branch = TopBranch(taxonomy, facet.category);
+    const auto& shared = branch_terms[branch];
+    facet.query_pool.reserve(config.queries_per_facet);
+    if (!facet.concept_token.empty()) {
+      // The bare ambiguous head query, identical across concept members.
+      facet.query_pool.push_back(facet.concept_token);
+    }
+    while (facet.query_pool.size() < config.queries_per_facet) {
+      std::vector<std::string> parts;
+      if (!facet.concept_token.empty() && rng.NextDouble() < 0.5) {
+        parts.push_back(facet.concept_token);
+      }
+      uint32_t n_terms = 1 + static_cast<uint32_t>(rng.NextBounded(2));
+      for (uint32_t i = 0; i < n_terms; ++i) {
+        parts.push_back(facet.terms[rng.NextBounded(facet.terms.size())]);
+      }
+      if (!shared.empty() && rng.NextDouble() < config.branch_term_prob) {
+        parts.push_back(shared[rng.NextBounded(shared.size())]);
+      }
+      std::string q = JoinTerms(parts);
+      if (std::find(facet.query_pool.begin(), facet.query_pool.end(), q) ==
+          facet.query_pool.end()) {
+        facet.query_pool.push_back(std::move(q));
+      }
+    }
+    facet.query_popularity.resize(facet.query_pool.size());
+    ZipfSampler qz(facet.query_pool.size(), config.query_pop_zipf);
+    for (size_t i = 0; i < facet.query_pool.size(); ++i) {
+      facet.query_popularity[i] = qz.Pmf(i);
+    }
+    query_samplers_.emplace_back(facet.query_pool.size(),
+                                 config.query_pop_zipf);
+    for (const auto& q : facet.query_pool) {
+      query_to_facets_[q].push_back(facet.id);
+    }
+  }
+
+  // --- URLs and documents. ---
+  for (Facet& facet : facets_) {
+    uint32_t branch = TopBranch(taxonomy, facet.category);
+    const auto& shared = branch_terms[branch];
+    facet.urls.reserve(config.urls_per_facet);
+    for (uint32_t u = 0; u < config.urls_per_facet; ++u) {
+      std::string url = "www.f" + std::to_string(facet.id) + "u" +
+                        std::to_string(u) + ".example.com";
+      facet.urls.push_back(url);
+
+      UrlDocument doc;
+      doc.category = facet.category;
+      doc.facet = facet.id;
+      std::unordered_map<uint32_t, double> weights;
+      std::vector<std::string> title_terms;
+      for (uint32_t t = 0; t < config.doc_terms_per_url; ++t) {
+        const std::string* term = nullptr;
+        if (!shared.empty() && rng.NextDouble() < 0.30) {
+          term = &shared[rng.NextBounded(shared.size())];
+        } else {
+          term = &facet.terms[rng.NextBounded(facet.terms.size())];
+        }
+        uint32_t id = TermIdOrIntern(*term);
+        weights[id] += 1.0;
+        if (title_terms.size() < 6) title_terms.push_back(*term);
+      }
+      if (!facet.concept_token.empty()) {
+        weights[TermIdOrIntern(facet.concept_token)] += 1.0;
+      }
+      doc.term_vector.assign(weights.begin(), weights.end());
+      std::sort(doc.term_vector.begin(), doc.term_vector.end());
+      doc.title = JoinTerms(title_terms);
+      documents_.emplace(url, std::move(doc));
+    }
+    facet.url_popularity.resize(facet.urls.size());
+    ZipfSampler uz(facet.urls.size(), config.url_pop_zipf);
+    for (size_t i = 0; i < facet.urls.size(); ++i) {
+      facet.url_popularity[i] = uz.Pmf(i);
+    }
+    url_samplers_.emplace_back(facet.urls.size(), config.url_pop_zipf);
+  }
+
+  // Intern all query terms so QueryTermVector covers query-only words too.
+  for (const Facet& facet : facets_) {
+    for (const std::string& t : facet.terms) TermIdOrIntern(t);
+  }
+  for (const auto& [branch, terms] : branch_terms) {
+    (void)branch;
+    for (const std::string& t : terms) TermIdOrIntern(t);
+  }
+  for (const std::string& t : concept_tokens_) TermIdOrIntern(t);
+}
+
+size_t FacetModel::SampleQueryIndex(FacetId id, Rng& rng) const {
+  return query_samplers_[id].Sample(rng);
+}
+
+size_t FacetModel::SampleUrlIndex(FacetId id, Rng& rng) const {
+  return url_samplers_[id].Sample(rng);
+}
+
+const UrlDocument* FacetModel::FindDocument(const std::string& url) const {
+  auto it = documents_.find(url);
+  if (it == documents_.end()) return nullptr;
+  return &it->second;
+}
+
+bool FacetModel::QueryFacet(const std::string& query, FacetId* facet) const {
+  auto it = query_to_facets_.find(query);
+  if (it == query_to_facets_.end() || it->second.empty()) return false;
+  *facet = it->second.front();
+  return true;
+}
+
+std::vector<FacetId> FacetModel::QueryFacets(const std::string& query) const {
+  auto it = query_to_facets_.find(query);
+  if (it == query_to_facets_.end()) return {};
+  return it->second;
+}
+
+uint32_t FacetModel::TermIdOrIntern(const std::string& term) {
+  return term_interner_.Intern(term);
+}
+
+uint32_t FacetModel::TermId(const std::string& term) const {
+  return term_interner_.Lookup(term);
+}
+
+size_t FacetModel::vocab_size() const { return term_interner_.size(); }
+
+std::vector<std::pair<uint32_t, double>> FacetModel::QueryTermVector(
+    const std::string& query) const {
+  std::unordered_map<uint32_t, double> weights;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t space = query.find(' ', start);
+    std::string term = query.substr(
+        start, space == std::string::npos ? std::string::npos : space - start);
+    if (!term.empty()) {
+      uint32_t id = TermId(term);
+      if (id != kInvalidStringId) weights[id] += 1.0;
+    }
+    if (space == std::string::npos) break;
+    start = space + 1;
+  }
+  std::vector<std::pair<uint32_t, double>> out(weights.begin(), weights.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,149 @@
+#ifndef PQSDA_SYNTHETIC_FACET_MODEL_H_
+#define PQSDA_SYNTHETIC_FACET_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "synthetic/taxonomy.h"
+
+namespace pqsda {
+
+/// Dense facet id.
+using FacetId = uint32_t;
+
+/// A facet is one ground-truth interpretation of an information need: a leaf
+/// category plus its own term pool, URL pool and a pool of canonical query
+/// strings. Facets are the unit of diversity: a diversified suggestion list
+/// should cover many facets; a personalized ranking should put the user's
+/// preferred facets first.
+struct Facet {
+  FacetId id = 0;
+  CategoryId category = 0;
+  /// Facet-specific vocabulary.
+  std::vector<std::string> terms;
+  /// URLs belonging to this facet; index aligns with url_popularity.
+  std::vector<std::string> urls;
+  std::vector<double> url_popularity;
+  /// Canonical query strings; identical information needs produce identical
+  /// strings across users, which is what makes query-graph methods work.
+  std::vector<std::string> query_pool;
+  std::vector<double> query_popularity;
+  /// The ambiguous concept token shared with other facets ("" if none). When
+  /// non-empty, query_pool[0] is the bare token — the genuinely ambiguous
+  /// head query shared verbatim across all facets of the concept.
+  std::string concept_token;
+};
+
+/// Configuration for FacetModel.
+struct FacetModelConfig {
+  uint32_t num_facets = 64;
+  uint32_t terms_per_facet = 24;
+  uint32_t urls_per_facet = 16;
+  /// Large pools with a steep popularity law give the canonical long tail of
+  /// real query logs: most distinct queries occur a handful of times and a
+  /// sizable fraction never receives a click — the regime in which the click
+  /// graph's coverage problem (§III) actually bites.
+  uint32_t queries_per_facet = 120;
+  /// Number of ambiguous "sun"-style concepts.
+  uint32_t num_concepts = 12;
+  /// How many facets share each concept token.
+  uint32_t facets_per_concept = 3;
+  /// Shared terms per top-level taxonomy branch (connect related facets in
+  /// the query-term bipartite).
+  uint32_t branch_terms_per_branch = 12;
+  /// Probability that a pool query draws one branch term.
+  double branch_term_prob = 0.35;
+  /// Zipf exponents for query/URL popularity inside a facet.
+  double query_pop_zipf = 1.25;
+  double url_pop_zipf = 1.0;
+  /// Terms sampled into each URL's synthetic document.
+  uint32_t doc_terms_per_url = 12;
+};
+
+/// Synthetic web-page content attached to a URL; consumed by the Diversity
+/// metric (Eq. 32: page-pair similarity) and by PPR (title field).
+struct UrlDocument {
+  CategoryId category = 0;
+  FacetId facet = 0;
+  /// Sparse (term-id, weight) vector over the FacetModel's term interner,
+  /// sorted by term id.
+  std::vector<std::pair<uint32_t, double>> term_vector;
+  /// High-quality field (HTML title stand-in): the document's top terms.
+  std::string title;
+};
+
+/// Builds and owns the facets, their concept structure, and the synthetic
+/// documents of their URLs.
+class FacetModel {
+ public:
+  FacetModel(const Taxonomy& taxonomy, const FacetModelConfig& config,
+             Rng& rng);
+
+  FacetModel(const FacetModel&) = delete;
+  FacetModel& operator=(const FacetModel&) = delete;
+  FacetModel(FacetModel&&) = default;
+  FacetModel& operator=(FacetModel&&) = default;
+
+  const std::vector<Facet>& facets() const { return facets_; }
+  const Facet& facet(FacetId id) const { return facets_[id]; }
+  size_t num_facets() const { return facets_.size(); }
+
+  /// All concept tokens ("sun"-style ambiguous heads).
+  const std::vector<std::string>& concept_tokens() const {
+    return concept_tokens_;
+  }
+
+  /// Facets sharing the given concept token index.
+  const std::vector<FacetId>& concept_facets(size_t concept_index) const {
+    return concept_members_[concept_index];
+  }
+
+  /// Samples a query-pool index for a facet, Zipf-weighted.
+  size_t SampleQueryIndex(FacetId id, Rng& rng) const;
+
+  /// Samples a URL index for a facet, Zipf-weighted.
+  size_t SampleUrlIndex(FacetId id, Rng& rng) const;
+
+  /// Synthetic document for a URL string; nullptr if unknown.
+  const UrlDocument* FindDocument(const std::string& url) const;
+
+  /// Ground-truth facet of a canonical query string. For ambiguous bare
+  /// concept queries this returns the first owning facet; use
+  /// QueryFacets() for the full set. Returns false if the query string is
+  /// not canonical.
+  bool QueryFacet(const std::string& query, FacetId* facet) const;
+
+  /// All facets whose pool contains this query string.
+  std::vector<FacetId> QueryFacets(const std::string& query) const;
+
+  /// Interner mapping document/query terms to dense ids (for cosine math).
+  uint32_t TermIdOrIntern(const std::string& term);
+  /// Lookup without interning; UINT32_MAX if unseen.
+  uint32_t TermId(const std::string& term) const;
+  size_t vocab_size() const;
+
+  /// Sparse, id-sorted term vector of a query string (unknown terms are
+  /// skipped).
+  std::vector<std::pair<uint32_t, double>> QueryTermVector(
+      const std::string& query) const;
+
+ private:
+  std::vector<Facet> facets_;
+  std::vector<std::string> concept_tokens_;
+  std::vector<std::vector<FacetId>> concept_members_;
+  std::vector<ZipfSampler> query_samplers_;
+  std::vector<ZipfSampler> url_samplers_;
+  std::unordered_map<std::string, UrlDocument> documents_;
+  std::unordered_map<std::string, std::vector<FacetId>> query_to_facets_;
+  StringInterner term_interner_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SYNTHETIC_FACET_MODEL_H_

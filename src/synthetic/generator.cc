@@ -1,0 +1,88 @@
+#include "synthetic/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pqsda {
+
+bool SyntheticDataset::QueryCategory(const std::string& query,
+                                     CategoryId* category) const {
+  FacetId f;
+  if (!facets.QueryFacet(query, &f)) return false;
+  *category = facets.facet(f).category;
+  return true;
+}
+
+SyntheticDataset GenerateLog(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Taxonomy taxonomy =
+      Taxonomy::BuildUniform(config.taxonomy_depth, config.taxonomy_branching);
+  FacetModel facets(taxonomy, config.facet_config, rng);
+  SyntheticDataset data(std::move(taxonomy), std::move(facets));
+  data.config = config;
+
+  data.users.reserve(config.num_users);
+  for (UserId u = 0; u < config.num_users; ++u) {
+    data.users.emplace_back(u, data.facets, config.user_config, rng);
+  }
+
+  uint32_t session_counter = 0;
+  for (const SimulatedUser& user : data.users) {
+    uint32_t n_sessions = static_cast<uint32_t>(
+        rng.NextInt(config.sessions_per_user_min,
+                    config.sessions_per_user_max));
+    // Session start offsets: sorted uniform draws over the log span.
+    std::vector<int64_t> starts(n_sessions);
+    for (auto& s : starts) {
+      s = config.start_time +
+          static_cast<int64_t>(rng.NextBounded(
+              static_cast<uint64_t>(config.duration_seconds)));
+    }
+    std::sort(starts.begin(), starts.end());
+
+    // Sessions must not overlap: a session's records extend past its start,
+    // so push each start beyond the previous session's last record.
+    int64_t cursor = 0;
+    for (uint32_t s = 0; s < n_sessions; ++s) {
+      starts[s] = std::max(starts[s], cursor);
+      double t_norm = static_cast<double>(starts[s] - config.start_time) /
+                      static_cast<double>(config.duration_seconds);
+      FacetId facet = user.SampleFacet(t_norm, rng);
+      uint32_t n_queries = static_cast<uint32_t>(
+          rng.NextInt(config.queries_per_session_min,
+                      config.queries_per_session_max));
+      int64_t t = starts[s];
+      uint32_t session_id = session_counter++;
+      std::vector<size_t> used_queries;
+      for (uint32_t q = 0; q < n_queries; ++q) {
+        size_t qi = user.SampleQuery(data.facets, facet, rng);
+        // Prefer a fresh phrasing within a session (reformulation).
+        for (int attempt = 0;
+             attempt < 4 && std::find(used_queries.begin(),
+                                      used_queries.end(),
+                                      qi) != used_queries.end();
+             ++attempt) {
+          qi = user.SampleQuery(data.facets, facet, rng);
+        }
+        used_queries.push_back(qi);
+
+        QueryLogRecord rec;
+        rec.user_id = user.id();
+        rec.query = data.facets.facet(facet).query_pool[qi];
+        rec.timestamp = t;
+        if (rng.NextDouble() < config.click_prob) {
+          size_t ui = user.SampleUrl(data.facets, facet, rng);
+          rec.clicked_url = data.facets.facet(facet).urls[ui];
+        }
+        data.records.push_back(std::move(rec));
+        data.record_facet.push_back(facet);
+        data.record_session.push_back(session_id);
+        t += rng.NextInt(config.gap_min_seconds, config.gap_max_seconds);
+      }
+      cursor = t + 5 * 60;  // inter-session spacing
+    }
+  }
+  return data;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,69 @@
+#ifndef PQSDA_SYNTHETIC_GENERATOR_H_
+#define PQSDA_SYNTHETIC_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "log/record.h"
+#include "synthetic/facet_model.h"
+#include "synthetic/taxonomy.h"
+#include "synthetic/user_model.h"
+
+namespace pqsda {
+
+/// Everything that controls the synthetic query log. The defaults produce a
+/// laptop-scale log (~40k records) whose statistical structure matches what
+/// the paper's methods exploit; scale `num_users` up for the full-size runs.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  uint32_t num_users = 400;
+  uint32_t sessions_per_user_min = 14;
+  uint32_t sessions_per_user_max = 30;
+  uint32_t queries_per_session_min = 1;
+  uint32_t queries_per_session_max = 5;
+  /// Probability a query receives a click.
+  double click_prob = 0.72;
+  /// Log start time (epoch seconds) and total span.
+  int64_t start_time = 1355270400;  // 2012-12-12, as in Table I.
+  int64_t duration_seconds = 120LL * 24 * 3600;
+  /// Within-session inter-query gap bounds (seconds).
+  int64_t gap_min_seconds = 10;
+  int64_t gap_max_seconds = 240;
+  uint32_t taxonomy_depth = 3;
+  uint32_t taxonomy_branching = 4;
+  FacetModelConfig facet_config;
+  UserModelConfig user_config;
+};
+
+/// The generated log plus the ground truth that the paper obtained from real
+/// resources (ODP categories, clicked-page content, human raters).
+struct SyntheticDataset {
+  GeneratorConfig config;
+  Taxonomy taxonomy;
+  FacetModel facets;
+  std::vector<SimulatedUser> users;
+  /// Records in (user, time) order.
+  std::vector<QueryLogRecord> records;
+  /// Ground-truth facet of each record (the user's actual intent).
+  std::vector<FacetId> record_facet;
+  /// Ground-truth session index of each record (generation-time grouping;
+  /// the sessionizer is evaluated against this).
+  std::vector<uint32_t> record_session;
+
+  SyntheticDataset(Taxonomy tax, FacetModel fm)
+      : taxonomy(std::move(tax)), facets(std::move(fm)) {}
+  SyntheticDataset(const SyntheticDataset&) = delete;
+  SyntheticDataset& operator=(const SyntheticDataset&) = delete;
+  SyntheticDataset(SyntheticDataset&&) = default;
+
+  /// Ground-truth category of a canonical query (its primary facet's leaf);
+  /// returns false for non-canonical strings.
+  bool QueryCategory(const std::string& query, CategoryId* category) const;
+};
+
+/// Generates the synthetic dataset deterministically from config.seed.
+SyntheticDataset GenerateLog(const GeneratorConfig& config);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SYNTHETIC_GENERATOR_H_

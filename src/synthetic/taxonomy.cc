@@ -1,0 +1,76 @@
+#include "synthetic/taxonomy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pqsda {
+
+Taxonomy Taxonomy::BuildUniform(uint32_t depth, uint32_t branching) {
+  Taxonomy tax;
+  std::vector<CategoryId> frontier = {0};
+  for (uint32_t level = 0; level < depth; ++level) {
+    std::vector<CategoryId> next;
+    for (CategoryId parent : frontier) {
+      for (uint32_t b = 0; b < branching; ++b) {
+        std::string label = "c" + std::to_string(level) + "_" +
+                            std::to_string(parent) + "_" + std::to_string(b);
+        next.push_back(tax.AddChild(parent, std::move(label)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tax;
+}
+
+CategoryId Taxonomy::AddChild(CategoryId parent, std::string label) {
+  assert(parent < nodes_.size());
+  CategoryId id = static_cast<CategoryId>(nodes_.size());
+  nodes_.push_back(Node{parent, std::move(label), {}});
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+std::vector<CategoryId> Taxonomy::PathFromRoot(CategoryId node) const {
+  assert(node < nodes_.size());
+  std::vector<CategoryId> path;
+  CategoryId cur = node;
+  for (;;) {
+    path.push_back(cur);
+    if (cur == 0) break;
+    cur = nodes_[cur].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string Taxonomy::PathString(CategoryId node) const {
+  std::string out;
+  for (CategoryId id : PathFromRoot(node)) {
+    if (!out.empty()) out += '/';
+    out += nodes_[id].label;
+  }
+  return out;
+}
+
+std::vector<CategoryId> Taxonomy::Leaves() const {
+  std::vector<CategoryId> leaves;
+  for (CategoryId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].children.empty()) leaves.push_back(id);
+  }
+  return leaves;
+}
+
+double Taxonomy::PathRelevance(CategoryId a, CategoryId b) const {
+  std::vector<CategoryId> pa = PathFromRoot(a);
+  std::vector<CategoryId> pb = PathFromRoot(b);
+  size_t common = 0;
+  while (common < pa.size() && common < pb.size() &&
+         pa[common] == pb[common]) {
+    ++common;
+  }
+  size_t longest = std::max(pa.size(), pb.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(common) / static_cast<double>(longest);
+}
+
+}  // namespace pqsda

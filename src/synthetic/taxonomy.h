@@ -1,0 +1,66 @@
+#ifndef PQSDA_SYNTHETIC_TAXONOMY_H_
+#define PQSDA_SYNTHETIC_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pqsda {
+
+/// Node id inside a Taxonomy; the root is node 0.
+using CategoryId = uint32_t;
+
+/// A synthetic hierarchical category tree standing in for the Open Directory
+/// Project (ODP) taxonomy that the paper's Relevance metric (Eq. 34) needs.
+/// Each generated facet is attached to one leaf; relevance between two
+/// queries is computed from their categories' paths.
+class Taxonomy {
+ public:
+  Taxonomy() { nodes_.push_back(Node{0, "Top", {}}); }
+
+  Taxonomy(const Taxonomy&) = delete;
+  Taxonomy& operator=(const Taxonomy&) = delete;
+  Taxonomy(Taxonomy&&) = default;
+  Taxonomy& operator=(Taxonomy&&) = default;
+
+  /// Builds a uniform random tree: `depth` levels below the root, each
+  /// internal node with `branching` children.
+  static Taxonomy BuildUniform(uint32_t depth, uint32_t branching);
+
+  /// Adds a child under `parent` and returns its id.
+  CategoryId AddChild(CategoryId parent, std::string label);
+
+  /// Node ids from the root (inclusive) down to `node` (inclusive).
+  std::vector<CategoryId> PathFromRoot(CategoryId node) const;
+
+  /// "Top/Science/Astronomy"-style rendering of the path.
+  std::string PathString(CategoryId node) const;
+
+  /// All leaves in id order.
+  std::vector<CategoryId> Leaves() const;
+
+  /// Eq. 34: |longest common path prefix| / max(|path_a|, |path_b|).
+  /// Identical categories score 1; categories sharing only the root score
+  /// 1/depth.
+  double PathRelevance(CategoryId a, CategoryId b) const;
+
+  CategoryId parent(CategoryId node) const { return nodes_[node].parent; }
+  const std::string& label(CategoryId node) const {
+    return nodes_[node].label;
+  }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    CategoryId parent;
+    std::string label;
+    std::vector<CategoryId> children;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SYNTHETIC_TAXONOMY_H_

@@ -1,0 +1,91 @@
+#include "synthetic/user_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pqsda {
+
+namespace {
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+SimulatedUser::SimulatedUser(UserId id, const FacetModel& facets,
+                             const UserModelConfig& config, Rng& rng)
+    : id_(id),
+      num_facets_(facets.num_facets()),
+      exploration_prob_(config.exploration_prob),
+      url_bias_strength_(config.url_bias_strength),
+      query_bias_strength_(config.query_bias_strength),
+      bias_seed_(MixHash(0xA5A5A5A5ULL, id)) {
+  assert(num_facets_ > 0);
+  uint32_t k = std::min<uint32_t>(config.facets_of_interest,
+                                  static_cast<uint32_t>(num_facets_));
+  std::vector<FacetId> all(num_facets_);
+  for (size_t f = 0; f < num_facets_; ++f) all[f] = static_cast<FacetId>(f);
+  rng.Shuffle(all);
+  support_.assign(all.begin(), all.begin() + k);
+  start_weights_ = rng.NextDirichlet(config.preference_concentration, k);
+  // Drift: the late mixture re-draws weights and may swap one support facet
+  // for a fresh one (interest change over time).
+  end_weights_ = rng.NextDirichlet(config.preference_concentration, k);
+  if (k < num_facets_ && rng.NextDouble() < 0.5) {
+    support_.push_back(all[k]);
+    start_weights_.push_back(0.0);
+    double w = 0.3 + 0.4 * rng.NextDouble();
+    for (auto& v : end_weights_) v *= (1.0 - w);
+    end_weights_.push_back(w);
+  }
+}
+
+std::vector<double> SimulatedUser::FacetWeightsAt(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  std::vector<double> weights(num_facets_,
+                              exploration_prob_ / static_cast<double>(
+                                                      num_facets_));
+  for (size_t i = 0; i < support_.size(); ++i) {
+    double w = (1.0 - t) * start_weights_[i] + t * end_weights_[i];
+    weights[support_[i]] += (1.0 - exploration_prob_) * w;
+  }
+  return weights;
+}
+
+FacetId SimulatedUser::SampleFacet(double t, Rng& rng) const {
+  std::vector<double> weights = FacetWeightsAt(t);
+  return static_cast<FacetId>(rng.NextDiscrete(weights));
+}
+
+double SimulatedUser::Bias(FacetId f, size_t index, int stream,
+                           double strength) const {
+  uint64_t h = MixHash(bias_seed_, MixHash(f * 2654435761ULL + stream,
+                                           index + 1));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 1.0 + u * (strength - 1.0);
+}
+
+size_t SimulatedUser::SampleUrl(const FacetModel& facets, FacetId f,
+                                Rng& rng) const {
+  const Facet& facet = facets.facet(f);
+  std::vector<double> weights(facet.urls.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = facet.url_popularity[i] * Bias(f, i, 0, url_bias_strength_);
+  }
+  return rng.NextDiscrete(weights);
+}
+
+size_t SimulatedUser::SampleQuery(const FacetModel& facets, FacetId f,
+                                  Rng& rng) const {
+  const Facet& facet = facets.facet(f);
+  std::vector<double> weights(facet.query_pool.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] =
+        facet.query_popularity[i] * Bias(f, i, 1, query_bias_strength_);
+  }
+  return rng.NextDiscrete(weights);
+}
+
+}  // namespace pqsda

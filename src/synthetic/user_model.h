@@ -1,0 +1,79 @@
+#ifndef PQSDA_SYNTHETIC_USER_MODEL_H_
+#define PQSDA_SYNTHETIC_USER_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "log/record.h"
+#include "synthetic/facet_model.h"
+
+namespace pqsda {
+
+/// Configuration for simulated users.
+struct UserModelConfig {
+  /// Size of the facet support each user concentrates on.
+  uint32_t facets_of_interest = 5;
+  /// Dirichlet concentration over the support (small = skewed).
+  double preference_concentration = 0.7;
+  /// Per-user multiplicative bias applied to preferred URLs/queries of a
+  /// facet ("Toyota vs Ford" effect motivating UPM's per-user priors).
+  /// Strong biases reproduce the heavy re-finding behaviour of real logs
+  /// (users re-issue their own phrasings and re-click their own pages for a
+  /// large share of traffic), which is what per-user emission models (UPM)
+  /// exploit.
+  double url_bias_strength = 8.0;
+  double query_bias_strength = 8.0;
+  /// Probability mass any facet outside the support can still receive
+  /// (exploration; keeps the log from being perfectly separable).
+  double exploration_prob = 0.08;
+};
+
+/// A simulated search-engine user: a facet preference that drifts linearly
+/// over normalized time (web dynamics, §I), plus deterministic per-user
+/// biases over each facet's URLs and query phrasings (per-user word/URL
+/// preference, §V-A).
+class SimulatedUser {
+ public:
+  SimulatedUser(UserId id, const FacetModel& facets,
+                const UserModelConfig& config, Rng& rng);
+
+  UserId id() const { return id_; }
+
+  /// Facet preference at normalized time t in [0,1]: linear interpolation
+  /// between the user's early and late mixtures, flattened by the
+  /// exploration mass.
+  std::vector<double> FacetWeightsAt(double t) const;
+
+  /// Samples the facet of the next information need at time t.
+  FacetId SampleFacet(double t, Rng& rng) const;
+
+  /// Samples a URL index of facet f, combining facet popularity with this
+  /// user's URL bias.
+  size_t SampleUrl(const FacetModel& facets, FacetId f, Rng& rng) const;
+
+  /// Samples a query-pool index of facet f, combining query popularity with
+  /// this user's phrasing bias.
+  size_t SampleQuery(const FacetModel& facets, FacetId f, Rng& rng) const;
+
+  /// Deterministic per-user bias factor in [1, strength] for item `index`
+  /// of facet `f` in stream `stream` (0 = URLs, 1 = queries).
+  double Bias(FacetId f, size_t index, int stream, double strength) const;
+
+  const std::vector<FacetId>& support() const { return support_; }
+
+ private:
+  UserId id_ = 0;
+  size_t num_facets_ = 0;
+  double exploration_prob_ = 0.0;
+  double url_bias_strength_ = 1.0;
+  double query_bias_strength_ = 1.0;
+  std::vector<FacetId> support_;
+  std::vector<double> start_weights_;
+  std::vector<double> end_weights_;
+  uint64_t bias_seed_ = 0;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SYNTHETIC_USER_MODEL_H_

@@ -1,0 +1,49 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace pqsda {
+
+namespace {
+// Small closed-class list; enough for query-log text which is already terse.
+constexpr std::array<std::string_view, 28> kStopwords = {
+    "a",   "an",  "and", "are", "as",   "at",   "be",  "by",  "for", "from",
+    "how", "in",  "is",  "it",  "of",   "on",   "or",  "the", "this", "to",
+    "was", "what", "when", "where", "which", "who", "will", "with"};
+}  // namespace
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool IsStopword(std::string_view term) {
+  for (std::string_view s : kStopwords) {
+    if (s == term) return true;
+  }
+  return false;
+}
+
+}  // namespace pqsda

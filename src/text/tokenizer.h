@@ -1,0 +1,26 @@
+#ifndef PQSDA_TEXT_TOKENIZER_H_
+#define PQSDA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pqsda {
+
+/// Splits a raw query string into normalized terms. Normalization lowercases
+/// ASCII, treats any non-alphanumeric character as a separator and drops
+/// empty tokens. This mirrors the minimal preprocessing the paper applies
+/// when building the query-term bipartite (§III).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Lowercases ASCII characters in place.
+std::string ToLowerAscii(std::string_view text);
+
+/// True if the term is in the built-in English stopword list. Stopwords are
+/// dropped from the query-term bipartite because they carry no facet signal
+/// (their iqf^T is near zero anyway; dropping them also shrinks the graph).
+bool IsStopword(std::string_view term);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TEXT_TOKENIZER_H_

@@ -1,0 +1,16 @@
+#include "text/vocabulary.h"
+
+namespace pqsda {
+
+TermId Vocabulary::Add(std::string_view term) {
+  TermId id = interner_.Intern(term);
+  if (id >= query_freq_.size()) query_freq_.resize(id + 1, 0);
+  return id;
+}
+
+void Vocabulary::CountQueryOccurrence(TermId id) {
+  if (id >= query_freq_.size()) query_freq_.resize(id + 1, 0);
+  ++query_freq_[id];
+}
+
+}  // namespace pqsda

@@ -1,0 +1,51 @@
+#ifndef PQSDA_TEXT_VOCABULARY_H_
+#define PQSDA_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace pqsda {
+
+/// Dense term id.
+using TermId = StringId;
+
+/// A term vocabulary with document frequencies. Wraps a StringInterner and
+/// tracks how many distinct queries each term occurs in; this count feeds
+/// iqf^T (Eq. 3).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Interns a term, returning its id.
+  TermId Add(std::string_view term);
+
+  /// Looks up a term; kInvalidStringId if absent.
+  TermId Lookup(std::string_view term) const { return interner_.Lookup(term); }
+
+  const std::string& Term(TermId id) const { return interner_.Get(id); }
+
+  /// Increments the query-frequency counter of a term.
+  void CountQueryOccurrence(TermId id);
+
+  /// Number of distinct queries the term occurred in.
+  uint32_t QueryFrequency(TermId id) const { return query_freq_[id]; }
+
+  size_t size() const { return interner_.size(); }
+
+ private:
+  StringInterner interner_;
+  std::vector<uint32_t> query_freq_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TEXT_VOCABULARY_H_

@@ -1,0 +1,294 @@
+#include "topic/click_models.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+namespace {
+
+double BlockLogLikelihood(const std::vector<uint32_t>& items,
+                          const std::vector<double>& count, double total,
+                          double prior, size_t dim, size_t items_before = 0) {
+  double ll = 0.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    int prev = 0;
+    for (size_t j = 0; j < i; ++j) {
+      if (items[j] == items[i]) ++prev;
+    }
+    ll += std::log(count[items[i]] + prior + static_cast<double>(prev));
+    ll -= std::log(total + prior * static_cast<double>(dim) +
+                   static_cast<double>(items_before + i));
+  }
+  return ll;
+}
+
+std::vector<double> SmoothedMixture(const std::vector<double>& counts,
+                                    double total, double alpha) {
+  const size_t k_count = counts.size();
+  std::vector<double> theta(k_count);
+  double denom = total + static_cast<double>(k_count) * alpha;
+  for (size_t k = 0; k < k_count; ++k) theta[k] = (counts[k] + alpha) / denom;
+  return theta;
+}
+
+std::vector<double> MixPredictive(
+    const std::vector<double>& theta,
+    const std::vector<std::vector<double>>& topic_item,
+    const std::vector<double>& topic_total, double prior, size_t dim) {
+  std::vector<double> p(dim, 0.0);
+  for (size_t k = 0; k < theta.size(); ++k) {
+    double denom = topic_total[k] + prior * static_cast<double>(dim);
+    double scale = theta[k] / denom;
+    for (size_t v = 0; v < dim; ++v) {
+      p[v] += scale * (topic_item[k][v] + prior);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MWM ----
+
+MwmModel::MwmModel(TopicModelOptions options) : options_(options) {}
+
+void MwmModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  word_vocab_ = corpus.vocab_size();
+  combined_vocab_ = word_vocab_ + corpus.num_urls();
+  docs_ = corpus.num_documents();
+
+  struct Token {
+    uint32_t doc;
+    uint32_t item;  // word id, or word_vocab_ + url id
+  };
+  std::vector<Token> tokens;
+  for (uint32_t d = 0; d < docs_; ++d) {
+    for (const SessionObservation& s : corpus.documents()[d].sessions) {
+      for (uint32_t w : s.words) tokens.push_back(Token{d, w});
+      for (uint32_t u : s.urls) {
+        tokens.push_back(Token{d, static_cast<uint32_t>(word_vocab_) + u});
+      }
+    }
+  }
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_token_.assign(K, std::vector<double>(combined_vocab_, 0.0));
+  topic_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<uint32_t> z(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    z[i] = static_cast<uint32_t>(rng.NextBounded(K));
+    doc_topic_[tokens[i].doc][z[i]] += 1.0;
+    topic_token_[z[i]][tokens[i].item] += 1.0;
+    topic_total_[z[i]] += 1.0;
+    doc_total_[tokens[i].doc] += 1.0;
+  }
+  const double v_beta = static_cast<double>(combined_vocab_) * options_.beta;
+  std::vector<double> weights(K);
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      uint32_t d = tokens[i].doc, v = tokens[i].item, old = z[i];
+      doc_topic_[d][old] -= 1.0;
+      topic_token_[old][v] -= 1.0;
+      topic_total_[old] -= 1.0;
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] = (doc_topic_[d][k] + options_.alpha) *
+                     (topic_token_[k][v] + options_.beta) /
+                     (topic_total_[k] + v_beta);
+      }
+      uint32_t knew = static_cast<uint32_t>(rng.NextDiscrete(weights));
+      z[i] = knew;
+      doc_topic_[d][knew] += 1.0;
+      topic_token_[knew][v] += 1.0;
+      topic_total_[knew] += 1.0;
+    }
+  }
+}
+
+std::vector<double> MwmModel::DocumentTopicMixture(size_t doc) const {
+  return SmoothedMixture(doc_topic_[doc], doc_total_[doc], options_.alpha);
+}
+
+std::vector<double> MwmModel::PredictiveWordDistribution(size_t doc) const {
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  // Mix over the combined space, then renormalize over the word slice.
+  std::vector<double> p = MixPredictive(theta, topic_token_, topic_total_,
+                                        options_.beta, combined_vocab_);
+  p.resize(word_vocab_);
+  NormalizeL1(p);
+  return p;
+}
+
+// ---------------------------------------------------------------- TUM ----
+
+TumModel::TumModel(TopicModelOptions options) : options_(options) {}
+
+void TumModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  vocab_ = corpus.vocab_size();
+  num_urls_ = corpus.num_urls();
+  docs_ = corpus.num_documents();
+
+  struct Token {
+    uint32_t doc;
+    uint32_t item;
+    bool is_url;
+  };
+  std::vector<Token> tokens;
+  for (uint32_t d = 0; d < docs_; ++d) {
+    for (const SessionObservation& s : corpus.documents()[d].sessions) {
+      for (uint32_t w : s.words) tokens.push_back(Token{d, w, false});
+      for (uint32_t u : s.urls) tokens.push_back(Token{d, u, true});
+    }
+  }
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_word_.assign(K, std::vector<double>(vocab_, 0.0));
+  topic_word_total_.assign(K, 0.0);
+  topic_url_.assign(K, std::vector<double>(num_urls_, 0.0));
+  topic_url_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<uint32_t> z(tokens.size());
+  auto apply = [&](const Token& t, uint32_t k, double sign) {
+    doc_topic_[t.doc][k] += sign;
+    doc_total_[t.doc] += sign;
+    if (t.is_url) {
+      topic_url_[k][t.item] += sign;
+      topic_url_total_[k] += sign;
+    } else {
+      topic_word_[k][t.item] += sign;
+      topic_word_total_[k] += sign;
+    }
+  };
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    z[i] = static_cast<uint32_t>(rng.NextBounded(K));
+    apply(tokens[i], z[i], +1.0);
+  }
+  std::vector<double> weights(K);
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      apply(tokens[i], z[i], -1.0);
+      for (size_t k = 0; k < K; ++k) {
+        double emit;
+        if (tokens[i].is_url) {
+          emit = (topic_url_[k][tokens[i].item] + options_.delta) /
+                 (topic_url_total_[k] +
+                  options_.delta * static_cast<double>(num_urls_));
+        } else {
+          emit = (topic_word_[k][tokens[i].item] + options_.beta) /
+                 (topic_word_total_[k] +
+                  options_.beta * static_cast<double>(vocab_));
+        }
+        weights[k] = (doc_topic_[tokens[i].doc][k] + options_.alpha) * emit;
+      }
+      z[i] = static_cast<uint32_t>(rng.NextDiscrete(weights));
+      apply(tokens[i], z[i], +1.0);
+    }
+  }
+}
+
+std::vector<double> TumModel::DocumentTopicMixture(size_t doc) const {
+  return SmoothedMixture(doc_topic_[doc], doc_total_[doc], options_.alpha);
+}
+
+std::vector<double> TumModel::PredictiveWordDistribution(size_t doc) const {
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  return MixPredictive(theta, topic_word_, topic_word_total_, options_.beta,
+                       vocab_);
+}
+
+// ---------------------------------------------------------------- CTM ----
+
+CtmModel::CtmModel(TopicModelOptions options) : options_(options) {}
+
+void CtmModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  vocab_ = corpus.vocab_size();
+  num_urls_ = corpus.num_urls();
+  docs_ = corpus.num_documents();
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_word_.assign(K, std::vector<double>(vocab_, 0.0));
+  topic_word_total_.assign(K, 0.0);
+  topic_url_.assign(K, std::vector<double>(num_urls_, 0.0));
+  topic_url_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+
+  struct Block {
+    uint32_t doc;
+    const SessionObservation* session;
+    uint32_t topic;
+  };
+  std::vector<Block> blocks;
+  for (uint32_t d = 0; d < docs_; ++d) {
+    for (const SessionObservation& s : corpus.documents()[d].sessions) {
+      blocks.push_back(Block{d, &s, 0});
+    }
+  }
+
+  Rng rng(options_.seed);
+  auto apply = [&](const Block& b, double sign) {
+    for (uint32_t w : b.session->words) {
+      topic_word_[b.topic][w] += sign;
+      topic_word_total_[b.topic] += sign;
+    }
+    for (uint32_t u : b.session->urls) {
+      topic_url_[b.topic][u] += sign;
+      topic_url_total_[b.topic] += sign;
+    }
+    doc_topic_[b.doc][b.topic] += sign;
+    doc_total_[b.doc] += sign;
+  };
+  for (Block& b : blocks) {
+    b.topic = static_cast<uint32_t>(rng.NextBounded(K));
+    apply(b, +1.0);
+  }
+
+  std::vector<double> logw(K);
+  std::vector<const SessionObservation*> sweep_sessions;
+  std::vector<uint32_t> sweep_topics;
+  for (const Block& b : blocks) sweep_sessions.push_back(b.session);
+  sweep_topics.resize(blocks.size());
+
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    for (Block& b : blocks) {
+      apply(b, -1.0);
+      for (size_t k = 0; k < K; ++k) {
+        double lw = std::log(doc_topic_[b.doc][k] + options_.alpha);
+        lw += BlockLogLikelihood(b.session->words, topic_word_[k],
+                                 topic_word_total_[k], options_.beta, vocab_);
+        lw += BlockLogLikelihood(b.session->urls, topic_url_[k],
+                                 topic_url_total_[k], options_.delta,
+                                 num_urls_);
+        lw += SessionLogPrior(k, *b.session);
+        logw[k] = lw;
+      }
+      double lse = LogSumExp(logw);
+      std::vector<double> w(K);
+      for (size_t k = 0; k < K; ++k) w[k] = std::exp(logw[k] - lse);
+      b.topic = static_cast<uint32_t>(rng.NextDiscrete(w));
+      apply(b, +1.0);
+    }
+    for (size_t i = 0; i < blocks.size(); ++i) sweep_topics[i] = blocks[i].topic;
+    AfterSweep(sweep_sessions, sweep_topics);
+  }
+}
+
+std::vector<double> CtmModel::DocumentTopicMixture(size_t doc) const {
+  return SmoothedMixture(doc_topic_[doc], doc_total_[doc], options_.alpha);
+}
+
+std::vector<double> CtmModel::PredictiveWordDistribution(size_t doc) const {
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  return MixPredictive(theta, topic_word_, topic_word_total_, options_.beta,
+                       vocab_);
+}
+
+}  // namespace pqsda

@@ -1,0 +1,105 @@
+#ifndef PQSDA_TOPIC_CLICK_MODELS_H_
+#define PQSDA_TOPIC_CLICK_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "topic/model.h"
+
+namespace pqsda {
+
+/// MWM — Meta-word Model (Jiang et al., DASFAA'13 [34]): clicked URLs are
+/// folded into the vocabulary as meta-words and a word-level LDA runs over
+/// the combined token stream. Word prediction renormalizes over the word
+/// sub-vocabulary.
+class MwmModel : public TopicModel {
+ public:
+  explicit MwmModel(TopicModelOptions options = {});
+
+  std::string name() const override { return "MWM"; }
+  void Train(const QueryLogCorpus& corpus) override;
+  std::vector<double> PredictiveWordDistribution(size_t doc) const override;
+  std::vector<double> DocumentTopicMixture(size_t doc) const override;
+  size_t num_topics() const override { return options_.num_topics; }
+
+ private:
+  TopicModelOptions options_;
+  size_t word_vocab_ = 0;
+  size_t combined_vocab_ = 0;
+  size_t docs_ = 0;
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<std::vector<double>> topic_token_;
+  std::vector<double> topic_total_;
+  std::vector<double> doc_total_;
+};
+
+/// TUM — Term-URL Model [34]: word-level topics with *separate* emission
+/// distributions for terms and URLs; both token kinds share the user's topic
+/// mixture but never compete in one multinomial (unlike MWM).
+class TumModel : public TopicModel {
+ public:
+  explicit TumModel(TopicModelOptions options = {});
+
+  std::string name() const override { return "TUM"; }
+  void Train(const QueryLogCorpus& corpus) override;
+  std::vector<double> PredictiveWordDistribution(size_t doc) const override;
+  std::vector<double> DocumentTopicMixture(size_t doc) const override;
+  size_t num_topics() const override { return options_.num_topics; }
+
+ private:
+  TopicModelOptions options_;
+  size_t vocab_ = 0;
+  size_t num_urls_ = 0;
+  size_t docs_ = 0;
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<std::vector<double>> topic_word_;
+  std::vector<double> topic_word_total_;
+  std::vector<std::vector<double>> topic_url_;
+  std::vector<double> topic_url_total_;
+  std::vector<double> doc_total_;
+};
+
+/// CTM — Clickthrough Model [34]: one topic per *session*; all words and
+/// clicked URLs of the session are emitted from that topic's global word and
+/// URL distributions. The structural ancestor of SSTM and UPM.
+class CtmModel : public TopicModel {
+ public:
+  explicit CtmModel(TopicModelOptions options = {});
+
+  std::string name() const override { return "CTM"; }
+  void Train(const QueryLogCorpus& corpus) override;
+  std::vector<double> PredictiveWordDistribution(size_t doc) const override;
+  std::vector<double> DocumentTopicMixture(size_t doc) const override;
+  size_t num_topics() const override { return options_.num_topics; }
+
+ protected:
+  /// SSTM hook: extra per-topic log weight for a session (time prior).
+  virtual double SessionLogPrior(size_t topic,
+                                 const SessionObservation& session) const {
+    (void)topic;
+    (void)session;
+    return 0.0;
+  }
+  /// SSTM hook: called after each sweep with the topic of every session.
+  virtual void AfterSweep(const std::vector<const SessionObservation*>& sessions,
+                          const std::vector<uint32_t>& topics) {
+    (void)sessions;
+    (void)topics;
+  }
+
+  TopicModelOptions options_;
+  size_t vocab_ = 0;
+  size_t num_urls_ = 0;
+  size_t docs_ = 0;
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<std::vector<double>> topic_word_;
+  std::vector<double> topic_word_total_;
+  std::vector<std::vector<double>> topic_url_;
+  std::vector<double> topic_url_total_;
+  std::vector<double> doc_total_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_CLICK_MODELS_H_

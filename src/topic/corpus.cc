@@ -1,0 +1,108 @@
+#include "topic/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "text/tokenizer.h"
+
+namespace pqsda {
+
+QueryLogCorpus QueryLogCorpus::Build(
+    const std::vector<QueryLogRecord>& records,
+    const std::vector<Session>& sessions) {
+  QueryLogCorpus corpus;
+
+  int64_t t_min = std::numeric_limits<int64_t>::max();
+  int64_t t_max = std::numeric_limits<int64_t>::min();
+  for (const auto& rec : records) {
+    t_min = std::min(t_min, rec.timestamp);
+    t_max = std::max(t_max, rec.timestamp);
+  }
+  double span = static_cast<double>(std::max<int64_t>(t_max - t_min, 1));
+
+  for (const Session& s : sessions) {
+    if (s.record_indices.empty()) continue;
+    UserId user = s.user_id;
+    if (user >= corpus.user_to_document_.size()) {
+      corpus.user_to_document_.resize(user + 1, SIZE_MAX);
+    }
+    if (corpus.user_to_document_[user] == SIZE_MAX) {
+      corpus.user_to_document_[user] = corpus.documents_.size();
+      corpus.documents_.push_back(UserDocument{user, {}});
+    }
+    UserDocument& doc = corpus.documents_[corpus.user_to_document_[user]];
+
+    SessionObservation obs;
+    int64_t ts_sum = 0;
+    for (size_t idx : s.record_indices) {
+      const QueryLogRecord& rec = records[idx];
+      obs.query_offsets.push_back(static_cast<uint32_t>(obs.words.size()));
+      for (const std::string& w : Tokenize(rec.query)) {
+        obs.words.push_back(corpus.words_.Intern(w));
+      }
+      if (rec.has_click()) {
+        obs.urls.push_back(corpus.urls_.Intern(rec.clicked_url));
+        obs.url_query_index.push_back(
+            static_cast<uint32_t>(obs.query_offsets.size() - 1));
+      }
+      ts_sum += rec.timestamp;
+    }
+    double mean_ts =
+        static_cast<double>(ts_sum) / static_cast<double>(s.size());
+    obs.timestamp = std::clamp((mean_ts - static_cast<double>(t_min)) / span,
+                               0.01, 0.99);
+    if (!obs.words.empty()) doc.sessions.push_back(std::move(obs));
+  }
+  return corpus;
+}
+
+std::vector<uint32_t> QueryLogCorpus::WordIds(const std::string& query) const {
+  std::vector<uint32_t> ids;
+  for (const std::string& w : Tokenize(query)) {
+    StringId id = words_.Lookup(w);
+    if (id != kInvalidStringId) ids.push_back(id);
+  }
+  return ids;
+}
+
+size_t QueryLogCorpus::DocumentOf(UserId user) const {
+  if (user >= user_to_document_.size()) return SIZE_MAX;
+  return user_to_document_[user];
+}
+
+QueryLogCorpus QueryLogCorpus::ShellLike(const QueryLogCorpus& src) {
+  QueryLogCorpus out;
+  out.words_ = src.words_;
+  out.urls_ = src.urls_;
+  out.user_to_document_ = src.user_to_document_;
+  out.documents_.reserve(src.documents_.size());
+  for (const auto& doc : src.documents_) {
+    out.documents_.push_back(UserDocument{doc.user, {}});
+  }
+  return out;
+}
+
+void QueryLogCorpus::SplitBySessions(double holdout_fraction,
+                                     QueryLogCorpus* train,
+                                     QueryLogCorpus* test) const {
+  *train = ShellLike(*this);
+  *test = ShellLike(*this);
+  for (size_t d = 0; d < documents_.size(); ++d) {
+    const auto& sessions = documents_[d].sessions;
+    size_t n_test = static_cast<size_t>(
+        std::floor(holdout_fraction * static_cast<double>(sessions.size())));
+    // Keep at least one training session.
+    n_test = std::min(n_test, sessions.size() > 0 ? sessions.size() - 1 : 0);
+    size_t n_train = sessions.size() - n_test;
+    for (size_t s = 0; s < sessions.size(); ++s) {
+      if (s < n_train) {
+        train->documents_[d].sessions.push_back(sessions[s]);
+      } else {
+        test->documents_[d].sessions.push_back(sessions[s]);
+      }
+    }
+  }
+}
+
+}  // namespace pqsda

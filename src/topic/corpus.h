@@ -1,0 +1,97 @@
+#ifndef PQSDA_TOPIC_CORPUS_H_
+#define PQSDA_TOPIC_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "log/record.h"
+#include "log/sessionizer.h"
+
+namespace pqsda {
+
+/// One session as the topic models see it: the bag of query words, the bag
+/// of clicked URLs (empty = the paper's X_ds = 0 indicator) and the session
+/// timestamp normalized into (0, 1) over the log span (for the Beta
+/// temporal components).
+struct SessionObservation {
+  std::vector<uint32_t> words;
+  std::vector<uint32_t> urls;
+  /// Start offset in `words` of each query of the session (query-level
+  /// models assign one topic per [offset, next offset) block).
+  std::vector<uint32_t> query_offsets;
+  /// For each entry of `urls`: index of the query (into query_offsets) whose
+  /// click produced it.
+  std::vector<uint32_t> url_query_index;
+  double timestamp = 0.5;
+
+  size_t num_queries() const { return query_offsets.size(); }
+
+  /// Word ids of query block qi.
+  std::pair<uint32_t, uint32_t> QueryWordRange(size_t qi) const {
+    uint32_t begin = query_offsets[qi];
+    uint32_t end = qi + 1 < query_offsets.size()
+                       ? query_offsets[qi + 1]
+                       : static_cast<uint32_t>(words.size());
+    return {begin, end};
+  }
+};
+
+/// One "document" of the UPM: all of one user's sessions (§V-A organizes the
+/// query log entries of each user as a document).
+struct UserDocument {
+  UserId user = 0;
+  std::vector<SessionObservation> sessions;
+
+  size_t TotalWords() const {
+    size_t n = 0;
+    for (const auto& s : sessions) n += s.words.size();
+    return n;
+  }
+};
+
+/// The query log recast as a topic-model corpus: per-user documents of
+/// sessions, with word and URL vocabularies interned to dense ids.
+class QueryLogCorpus {
+ public:
+  /// Builds from a (user, time)-sorted log and its sessions. Stopwords are
+  /// kept (models smooth them away); timestamps are normalized over the
+  /// observed span and clamped into [0.01, 0.99].
+  static QueryLogCorpus Build(const std::vector<QueryLogRecord>& records,
+                              const std::vector<Session>& sessions);
+
+  const std::vector<UserDocument>& documents() const { return documents_; }
+  size_t num_documents() const { return documents_.size(); }
+  size_t vocab_size() const { return words_.size(); }
+  size_t num_urls() const { return urls_.size(); }
+
+  const StringInterner& words() const { return words_; }
+  const StringInterner& urls() const { return urls_; }
+
+  /// Word ids of a query string (known words only).
+  std::vector<uint32_t> WordIds(const std::string& query) const;
+
+  /// Document index of a user; SIZE_MAX if the user has no document.
+  size_t DocumentOf(UserId user) const;
+
+  /// Splits off the last `holdout_fraction` of each document's sessions into
+  /// a test corpus; the remainder stays in the returned train corpus. Both
+  /// share this corpus's vocabularies. Documents keep their indices (a
+  /// document with too few sessions simply has an empty test entry).
+  void SplitBySessions(double holdout_fraction, QueryLogCorpus* train,
+                       QueryLogCorpus* test) const;
+
+ private:
+  std::vector<UserDocument> documents_;
+  std::vector<size_t> user_to_document_;
+  StringInterner words_;
+  StringInterner urls_;
+
+  static QueryLogCorpus ShellLike(const QueryLogCorpus& src);
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_CORPUS_H_

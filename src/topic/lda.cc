@@ -1,0 +1,91 @@
+#include "topic/lda.h"
+
+#include <cassert>
+
+namespace pqsda {
+
+LdaModel::LdaModel(TopicModelOptions options) : options_(options) {}
+
+void LdaModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  vocab_ = corpus.vocab_size();
+  docs_ = corpus.num_documents();
+  std::vector<WordToken> tokens = FlattenWordTokens(corpus);
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_word_.assign(K, std::vector<double>(vocab_, 0.0));
+  topic_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<uint32_t> z(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    z[i] = static_cast<uint32_t>(rng.NextBounded(K));
+    doc_topic_[tokens[i].doc][z[i]] += 1.0;
+    topic_word_[z[i]][tokens[i].word] += 1.0;
+    topic_total_[z[i]] += 1.0;
+    doc_total_[tokens[i].doc] += 1.0;
+  }
+
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+  const double v_beta = static_cast<double>(vocab_) * beta;
+  std::vector<double> weights(K);
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint32_t d = tokens[i].doc;
+      const uint32_t w = tokens[i].word;
+      uint32_t old = z[i];
+      doc_topic_[d][old] -= 1.0;
+      topic_word_[old][w] -= 1.0;
+      topic_total_[old] -= 1.0;
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] = (doc_topic_[d][k] + alpha) *
+                     (topic_word_[k][w] + beta) / (topic_total_[k] + v_beta);
+      }
+      uint32_t knew = static_cast<uint32_t>(rng.NextDiscrete(weights));
+      z[i] = knew;
+      doc_topic_[d][knew] += 1.0;
+      topic_word_[knew][w] += 1.0;
+      topic_total_[knew] += 1.0;
+    }
+  }
+}
+
+std::vector<double> LdaModel::DocumentTopicMixture(size_t doc) const {
+  const size_t K = options_.num_topics;
+  std::vector<double> theta(K);
+  double denom = doc_total_[doc] + static_cast<double>(K) * options_.alpha;
+  for (size_t k = 0; k < K; ++k) {
+    theta[k] = (doc_topic_[doc][k] + options_.alpha) / denom;
+  }
+  return theta;
+}
+
+std::vector<double> LdaModel::TopicWordDistribution(size_t topic) const {
+  std::vector<double> phi(vocab_);
+  double denom =
+      topic_total_[topic] + static_cast<double>(vocab_) * options_.beta;
+  for (size_t w = 0; w < vocab_; ++w) {
+    phi[w] = (topic_word_[topic][w] + options_.beta) / denom;
+  }
+  return phi;
+}
+
+std::vector<double> LdaModel::PredictiveWordDistribution(size_t doc) const {
+  assert(doc < docs_);
+  const size_t K = options_.num_topics;
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  std::vector<double> p(vocab_, 0.0);
+  for (size_t k = 0; k < K; ++k) {
+    double denom =
+        topic_total_[k] + static_cast<double>(vocab_) * options_.beta;
+    double scale = theta[k] / denom;
+    for (size_t w = 0; w < vocab_; ++w) {
+      p[w] += scale * (topic_word_[k][w] + options_.beta);
+    }
+  }
+  return p;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,41 @@
+#ifndef PQSDA_TOPIC_LDA_H_
+#define PQSDA_TOPIC_LDA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "topic/model.h"
+
+namespace pqsda {
+
+/// Latent Dirichlet Allocation [19] with collapsed Gibbs sampling; the
+/// classic baseline of Fig. 4. Word-level topic assignments, global
+/// topic-word distributions, one document per user.
+class LdaModel : public TopicModel {
+ public:
+  explicit LdaModel(TopicModelOptions options = {});
+
+  std::string name() const override { return "LDA"; }
+  void Train(const QueryLogCorpus& corpus) override;
+  std::vector<double> PredictiveWordDistribution(size_t doc) const override;
+  std::vector<double> DocumentTopicMixture(size_t doc) const override;
+  size_t num_topics() const override { return options_.num_topics; }
+
+  /// phi_k: smoothed topic-word distribution.
+  std::vector<double> TopicWordDistribution(size_t topic) const;
+
+ protected:
+  TopicModelOptions options_;
+  size_t vocab_ = 0;
+  size_t docs_ = 0;
+  /// n_dk, n_kw, n_k counts after the final sweep.
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<std::vector<double>> topic_word_;
+  std::vector<double> topic_total_;
+  std::vector<double> doc_total_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_LDA_H_

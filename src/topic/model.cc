@@ -1,0 +1,17 @@
+#include "topic/model.h"
+
+namespace pqsda {
+
+std::vector<WordToken> FlattenWordTokens(const QueryLogCorpus& corpus) {
+  std::vector<WordToken> tokens;
+  for (uint32_t d = 0; d < corpus.num_documents(); ++d) {
+    for (const SessionObservation& s : corpus.documents()[d].sessions) {
+      for (uint32_t w : s.words) {
+        tokens.push_back(WordToken{d, w, s.timestamp});
+      }
+    }
+  }
+  return tokens;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,63 @@
+#ifndef PQSDA_TOPIC_MODEL_H_
+#define PQSDA_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topic/corpus.h"
+
+namespace pqsda {
+
+/// Hyperparameters and Gibbs controls shared by all topic models.
+struct TopicModelOptions {
+  size_t num_topics = 20;
+  /// Symmetric document-topic prior (initial value; UPM learns it).
+  double alpha = 0.5;
+  /// Symmetric topic-word prior (initial value; UPM learns it per word).
+  double beta = 0.01;
+  /// Symmetric topic-URL prior (initial value; UPM learns it per URL).
+  double delta = 0.01;
+  size_t gibbs_iterations = 120;
+  uint64_t seed = 7;
+};
+
+/// Common interface of the generative models compared in Fig. 4 (LDA, TOT,
+/// PTM1/2, MWM, TUM, CTM, SSTM and the paper's UPM). Train once, then query
+/// per-document predictive distributions for the document-completion
+/// perplexity (Eq. 35) and topic mixtures for personalization.
+class TopicModel {
+ public:
+  virtual ~TopicModel() = default;
+
+  /// Name as used in Fig. 4.
+  virtual std::string name() const = 0;
+
+  /// Runs Gibbs sampling (and any hyperparameter learning) on the corpus.
+  virtual void Train(const QueryLogCorpus& corpus) = 0;
+
+  /// Smoothed p(w | document d) over the full vocabulary, derived from the
+  /// trained state. Sums to 1.
+  virtual std::vector<double> PredictiveWordDistribution(size_t doc) const = 0;
+
+  /// theta_d: the document's (user's) topic mixture.
+  virtual std::vector<double> DocumentTopicMixture(size_t doc) const = 0;
+
+  virtual size_t num_topics() const = 0;
+};
+
+/// One word token flattened out of a corpus, with its provenance.
+struct WordToken {
+  uint32_t doc = 0;
+  uint32_t word = 0;
+  /// Normalized timestamp of the token's session.
+  double timestamp = 0.5;
+};
+
+/// Flattens all documents' session words into a token list (for word-level
+/// Gibbs samplers).
+std::vector<WordToken> FlattenWordTokens(const QueryLogCorpus& corpus);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_MODEL_H_

@@ -1,0 +1,107 @@
+#include "topic/parallel_lda.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pqsda {
+
+ParallelLdaModel::ParallelLdaModel(TopicModelOptions options, size_t threads)
+    : LdaModel(options),
+      threads_(threads != 0 ? threads
+                            : std::max<size_t>(
+                                  std::thread::hardware_concurrency(), 1)) {}
+
+void ParallelLdaModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  vocab_ = corpus.vocab_size();
+  docs_ = corpus.num_documents();
+  std::vector<WordToken> tokens = FlattenWordTokens(corpus);
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_word_.assign(K, std::vector<double>(vocab_, 0.0));
+  topic_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+
+  Rng init_rng(options_.seed);
+  std::vector<uint32_t> z(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    z[i] = static_cast<uint32_t>(init_rng.NextBounded(K));
+    doc_topic_[tokens[i].doc][z[i]] += 1.0;
+    topic_word_[z[i]][tokens[i].word] += 1.0;
+    topic_total_[z[i]] += 1.0;
+    doc_total_[tokens[i].doc] += 1.0;
+  }
+
+  // Shard tokens by *document* so the doc-topic counts of a document are
+  // touched by exactly one thread; only the topic-word counts are
+  // approximate (AD-LDA).
+  const size_t shards = std::min(threads_, std::max<size_t>(docs_, 1));
+  std::vector<std::vector<size_t>> shard_tokens(shards);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    shard_tokens[tokens[i].doc % shards].push_back(i);
+  }
+
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+  const double v_beta = static_cast<double>(vocab_) * beta;
+
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    // Per-shard private copies of the global counts.
+    std::vector<std::vector<std::vector<double>>> local_tw(
+        shards, topic_word_);
+    std::vector<std::vector<double>> local_tt(shards, topic_total_);
+
+    auto sweep = [&](size_t shard) {
+      Rng rng(options_.seed + 0x9E37ULL * (it * shards + shard + 1));
+      std::vector<double> weights(K);
+      auto& tw = local_tw[shard];
+      auto& tt = local_tt[shard];
+      for (size_t i : shard_tokens[shard]) {
+        const uint32_t d = tokens[i].doc;
+        const uint32_t w = tokens[i].word;
+        uint32_t old = z[i];
+        doc_topic_[d][old] -= 1.0;
+        tw[old][w] -= 1.0;
+        tt[old] -= 1.0;
+        for (size_t k = 0; k < K; ++k) {
+          weights[k] = (doc_topic_[d][k] + alpha) *
+                       std::max(tw[k][w] + beta, beta) /
+                       std::max(tt[k] + v_beta, v_beta);
+        }
+        uint32_t knew = static_cast<uint32_t>(rng.NextDiscrete(weights));
+        z[i] = knew;
+        doc_topic_[d][knew] += 1.0;
+        tw[knew][w] += 1.0;
+        tt[knew] += 1.0;
+      }
+    };
+
+    std::vector<std::thread> workers;
+    for (size_t s = 1; s < shards; ++s) workers.emplace_back(sweep, s);
+    sweep(0);
+    for (auto& t : workers) t.join();
+
+    // Merge: global += sum of per-shard deltas.
+    for (size_t s = 0; s < shards; ++s) {
+      for (size_t k = 0; k < K; ++k) {
+        for (size_t w = 0; w < vocab_; ++w) {
+          local_tw[s][k][w] -= topic_word_[k][w];
+        }
+        local_tt[s][k] -= topic_total_[k];
+      }
+    }
+    for (size_t s = 0; s < shards; ++s) {
+      for (size_t k = 0; k < K; ++k) {
+        for (size_t w = 0; w < vocab_; ++w) {
+          topic_word_[k][w] += local_tw[s][k][w];
+        }
+        topic_total_[k] += local_tt[s][k];
+      }
+    }
+  }
+}
+
+}  // namespace pqsda

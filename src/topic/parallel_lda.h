@@ -1,0 +1,35 @@
+#ifndef PQSDA_TOPIC_PARALLEL_LDA_H_
+#define PQSDA_TOPIC_PARALLEL_LDA_H_
+
+#include <cstddef>
+#include <string>
+
+#include "topic/lda.h"
+
+namespace pqsda {
+
+/// Approximate-distributed LDA (the AD-LDA paradigm of Newman et al. [31],
+/// which the paper names as the route to scaling the UPM family "to very
+/// large datasets"). Word tokens are partitioned across threads; each
+/// thread sweeps its shard against a private copy of the topic-word counts,
+/// and the shards' count deltas are merged after every sweep. The result is
+/// a slightly stale-count Gibbs chain that converges to the same
+/// distribution in practice while using all cores.
+class ParallelLdaModel : public LdaModel {
+ public:
+  /// `threads == 0` uses the hardware concurrency.
+  explicit ParallelLdaModel(TopicModelOptions options = {},
+                            size_t threads = 0);
+
+  std::string name() const override { return "LDA-par"; }
+  void Train(const QueryLogCorpus& corpus) override;
+
+  size_t threads() const { return threads_; }
+
+ private:
+  size_t threads_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_PARALLEL_LDA_H_

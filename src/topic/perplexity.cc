@@ -1,0 +1,31 @@
+#include "topic/perplexity.h"
+
+#include <cmath>
+
+namespace pqsda {
+
+PerplexityResult EvaluatePerplexity(const TopicModel& model,
+                                    const QueryLogCorpus& test) {
+  PerplexityResult result;
+  for (size_t d = 0; d < test.num_documents(); ++d) {
+    const UserDocument& doc = test.documents()[d];
+    if (doc.sessions.empty()) continue;
+    std::vector<double> p = model.PredictiveWordDistribution(d);
+    for (const SessionObservation& s : doc.sessions) {
+      for (uint32_t w : s.words) {
+        double pw = w < p.size() ? p[w] : 0.0;
+        result.log_likelihood += std::log(std::max(pw, 1e-12));
+        ++result.predicted_words;
+      }
+    }
+  }
+  if (result.predicted_words == 0) {
+    result.perplexity = 0.0;
+    return result;
+  }
+  result.perplexity = std::exp(-result.log_likelihood /
+                               static_cast<double>(result.predicted_words));
+  return result;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,25 @@
+#ifndef PQSDA_TOPIC_PERPLEXITY_H_
+#define PQSDA_TOPIC_PERPLEXITY_H_
+
+#include "topic/model.h"
+
+namespace pqsda {
+
+/// Outcome of a perplexity evaluation.
+struct PerplexityResult {
+  double perplexity = 0.0;
+  double log_likelihood = 0.0;
+  size_t predicted_words = 0;
+};
+
+/// Document-completion perplexity (Eq. 35, the Fig. 4 protocol): the model
+/// was trained on the observed portion of each user's history; this
+/// evaluates how well its per-document predictive distribution explains the
+/// held-out query words. `test` must share document indices and vocabularies
+/// with the training corpus (see QueryLogCorpus::SplitBySessions).
+PerplexityResult EvaluatePerplexity(const TopicModel& model,
+                                    const QueryLogCorpus& test);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_PERPLEXITY_H_

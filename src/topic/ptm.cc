@@ -1,0 +1,143 @@
+#include "topic/ptm.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace pqsda {
+
+namespace {
+
+// Log sequential Dirichlet-multinomial likelihood of emitting `items` from
+// the distribution with counts `count[k][item]` (block already removed),
+// total `total[k]` and symmetric prior `prior` over `dim` outcomes.
+double BlockLogLikelihood(const std::vector<uint32_t>& items, size_t begin,
+                          size_t end, const std::vector<double>& count,
+                          double total, double prior, size_t dim) {
+  double ll = 0.0;
+  // c_sofar counts earlier occurrences of each item within the block; the
+  // blocks are tiny (query/session length), so a linear scan suffices.
+  for (size_t i = begin; i < end; ++i) {
+    int prev = 0;
+    for (size_t j = begin; j < i; ++j) {
+      if (items[j] == items[i]) ++prev;
+    }
+    ll += std::log(count[items[i]] + prior + static_cast<double>(prev));
+    ll -= std::log(total + prior * static_cast<double>(dim) +
+                   static_cast<double>(i - begin));
+  }
+  return ll;
+}
+
+}  // namespace
+
+Ptm1Model::Ptm1Model(TopicModelOptions options) : options_(options) {}
+
+void Ptm1Model::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  vocab_ = corpus.vocab_size();
+  num_urls_ = corpus.num_urls();
+  docs_ = corpus.num_documents();
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_word_.assign(K, std::vector<double>(vocab_, 0.0));
+  topic_word_total_.assign(K, 0.0);
+  topic_url_.assign(K, std::vector<double>(num_urls_, 0.0));
+  topic_url_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+
+  // Collect query blocks: (doc, session, query-index) with topic state.
+  struct Block {
+    uint32_t doc;
+    const SessionObservation* session;
+    uint32_t query;
+    uint32_t topic;
+  };
+  std::vector<Block> blocks;
+  for (uint32_t d = 0; d < docs_; ++d) {
+    for (const SessionObservation& s : corpus.documents()[d].sessions) {
+      for (uint32_t qi = 0; qi < s.num_queries(); ++qi) {
+        blocks.push_back(Block{d, &s, qi, 0});
+      }
+    }
+  }
+
+  Rng rng(options_.seed);
+  auto apply = [&](const Block& b, double sign) {
+    auto [begin, end] = b.session->QueryWordRange(b.query);
+    for (uint32_t i = begin; i < end; ++i) {
+      topic_word_[b.topic][b.session->words[i]] += sign;
+      topic_word_total_[b.topic] += sign;
+    }
+    doc_topic_[b.doc][b.topic] += sign;
+    doc_total_[b.doc] += sign;
+    if (use_urls()) {
+      for (size_t u = 0; u < b.session->urls.size(); ++u) {
+        if (b.session->url_query_index[u] != b.query) continue;
+        topic_url_[b.topic][b.session->urls[u]] += sign;
+        topic_url_total_[b.topic] += sign;
+      }
+    }
+  };
+
+  for (Block& b : blocks) {
+    b.topic = static_cast<uint32_t>(rng.NextBounded(K));
+    apply(b, +1.0);
+  }
+
+  std::vector<double> logw(K);
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    for (Block& b : blocks) {
+      apply(b, -1.0);
+      auto [begin, end] = b.session->QueryWordRange(b.query);
+      for (size_t k = 0; k < K; ++k) {
+        double lw = std::log(doc_topic_[b.doc][k] + options_.alpha);
+        lw += BlockLogLikelihood(b.session->words, begin, end, topic_word_[k],
+                                 topic_word_total_[k], options_.beta, vocab_);
+        if (use_urls()) {
+          // URL emissions of this query.
+          for (size_t u = 0; u < b.session->urls.size(); ++u) {
+            if (b.session->url_query_index[u] != b.query) continue;
+            lw += std::log(topic_url_[k][b.session->urls[u]] +
+                           options_.delta) -
+                  std::log(topic_url_total_[k] +
+                           options_.delta * static_cast<double>(num_urls_));
+          }
+        }
+        logw[k] = lw;
+      }
+      double lse = LogSumExp(logw);
+      std::vector<double> w(K);
+      for (size_t k = 0; k < K; ++k) w[k] = std::exp(logw[k] - lse);
+      b.topic = static_cast<uint32_t>(rng.NextDiscrete(w));
+      apply(b, +1.0);
+    }
+  }
+}
+
+std::vector<double> Ptm1Model::DocumentTopicMixture(size_t doc) const {
+  const size_t K = options_.num_topics;
+  std::vector<double> theta(K);
+  double denom = doc_total_[doc] + static_cast<double>(K) * options_.alpha;
+  for (size_t k = 0; k < K; ++k) {
+    theta[k] = (doc_topic_[doc][k] + options_.alpha) / denom;
+  }
+  return theta;
+}
+
+std::vector<double> Ptm1Model::PredictiveWordDistribution(size_t doc) const {
+  const size_t K = options_.num_topics;
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  std::vector<double> p(vocab_, 0.0);
+  for (size_t k = 0; k < K; ++k) {
+    double denom = topic_word_total_[k] +
+                   static_cast<double>(vocab_) * options_.beta;
+    double scale = theta[k] / denom;
+    for (size_t w = 0; w < vocab_; ++w) {
+      p[w] += scale * (topic_word_[k][w] + options_.beta);
+    }
+  }
+  return p;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,55 @@
+#ifndef PQSDA_TOPIC_PTM_H_
+#define PQSDA_TOPIC_PTM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "topic/model.h"
+
+namespace pqsda {
+
+/// PTM1 (Carman et al., CIKM'10 [21]): personalization topic model for
+/// query logs. One topic per *query* (all words of a query share the
+/// topic), per-user topic mixtures, global topic-word distributions.
+class Ptm1Model : public TopicModel {
+ public:
+  explicit Ptm1Model(TopicModelOptions options = {});
+
+  std::string name() const override { return "PTM1"; }
+  void Train(const QueryLogCorpus& corpus) override;
+  std::vector<double> PredictiveWordDistribution(size_t doc) const override;
+  std::vector<double> DocumentTopicMixture(size_t doc) const override;
+  size_t num_topics() const override { return options_.num_topics; }
+
+ protected:
+  /// True for PTM2: query blocks also emit their clicked URLs from a global
+  /// topic-URL distribution, coupling word topics to clickthrough.
+  virtual bool use_urls() const { return false; }
+
+  TopicModelOptions options_;
+  size_t vocab_ = 0;
+  size_t num_urls_ = 0;
+  size_t docs_ = 0;
+  std::vector<std::vector<double>> doc_topic_;
+  std::vector<std::vector<double>> topic_word_;
+  std::vector<double> topic_word_total_;
+  std::vector<std::vector<double>> topic_url_;
+  std::vector<double> topic_url_total_;
+  std::vector<double> doc_total_;
+};
+
+/// PTM2 [21]: PTM1 plus clicked-URL emission per query.
+class Ptm2Model : public Ptm1Model {
+ public:
+  explicit Ptm2Model(TopicModelOptions options = {}) : Ptm1Model(options) {}
+
+  std::string name() const override { return "PTM2"; }
+
+ protected:
+  bool use_urls() const override { return true; }
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_PTM_H_

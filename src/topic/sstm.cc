@@ -1,0 +1,36 @@
+#include "topic/sstm.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "optim/beta_fit.h"
+
+namespace pqsda {
+
+SstmModel::SstmModel(TopicModelOptions options) : CtmModel(options) {}
+
+void SstmModel::Train(const QueryLogCorpus& corpus) {
+  beta_params_.assign(options_.num_topics, {1.0, 1.0});
+  CtmModel::Train(corpus);
+}
+
+double SstmModel::SessionLogPrior(size_t topic,
+                                  const SessionObservation& session) const {
+  double pdf = BetaPdf(session.timestamp, beta_params_[topic].first,
+                       beta_params_[topic].second);
+  return std::log(pdf + 1e-8);
+}
+
+void SstmModel::AfterSweep(
+    const std::vector<const SessionObservation*>& sessions,
+    const std::vector<uint32_t>& topics) {
+  std::vector<std::vector<double>> stamps(options_.num_topics);
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    stamps[topics[i]].push_back(sessions[i]->timestamp);
+  }
+  for (size_t k = 0; k < options_.num_topics; ++k) {
+    beta_params_[k] = FitBetaMoments(stamps[k]);
+  }
+}
+
+}  // namespace pqsda

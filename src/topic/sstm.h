@@ -1,0 +1,39 @@
+#ifndef PQSDA_TOPIC_SSTM_H_
+#define PQSDA_TOPIC_SSTM_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topic/click_models.h"
+
+namespace pqsda {
+
+/// SSTM (Jiang & Ng, SIGIR'13 [35]): session-level clickthrough topics with
+/// per-topic temporal (Beta) patterns — CTM plus a topics-over-time prior on
+/// the session timestamp, with the Beta parameters re-fit by moments after
+/// each sweep.
+class SstmModel : public CtmModel {
+ public:
+  explicit SstmModel(TopicModelOptions options = {});
+
+  std::string name() const override { return "SSTM"; }
+  void Train(const QueryLogCorpus& corpus) override;
+
+  std::pair<double, double> TopicBeta(size_t k) const {
+    return beta_params_[k];
+  }
+
+ protected:
+  double SessionLogPrior(size_t topic,
+                         const SessionObservation& session) const override;
+  void AfterSweep(const std::vector<const SessionObservation*>& sessions,
+                  const std::vector<uint32_t>& topics) override;
+
+ private:
+  std::vector<std::pair<double, double>> beta_params_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_SSTM_H_

@@ -1,0 +1,74 @@
+#include "topic/tot.h"
+
+#include "common/math_util.h"
+#include "optim/beta_fit.h"
+
+namespace pqsda {
+
+TotModel::TotModel(TopicModelOptions options) : LdaModel(options) {}
+
+void TotModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.num_topics;
+  vocab_ = corpus.vocab_size();
+  docs_ = corpus.num_documents();
+  std::vector<WordToken> tokens = FlattenWordTokens(corpus);
+
+  doc_topic_.assign(docs_, std::vector<double>(K, 0.0));
+  topic_word_.assign(K, std::vector<double>(vocab_, 0.0));
+  topic_total_.assign(K, 0.0);
+  doc_total_.assign(docs_, 0.0);
+  beta_params_.assign(K, {1.0, 1.0});
+
+  Rng rng(options_.seed);
+  std::vector<uint32_t> z(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    z[i] = static_cast<uint32_t>(rng.NextBounded(K));
+    doc_topic_[tokens[i].doc][z[i]] += 1.0;
+    topic_word_[z[i]][tokens[i].word] += 1.0;
+    topic_total_[z[i]] += 1.0;
+    doc_total_[tokens[i].doc] += 1.0;
+  }
+
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+  const double v_beta = static_cast<double>(vocab_) * beta;
+  std::vector<double> weights(K);
+  std::vector<std::vector<double>> topic_timestamps(K);
+
+  for (size_t it = 0; it < options_.gibbs_iterations; ++it) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint32_t d = tokens[i].doc;
+      const uint32_t w = tokens[i].word;
+      const double t = tokens[i].timestamp;
+      uint32_t old = z[i];
+      doc_topic_[d][old] -= 1.0;
+      topic_word_[old][w] -= 1.0;
+      topic_total_[old] -= 1.0;
+      for (size_t k = 0; k < K; ++k) {
+        double time_term =
+            BetaPdf(t, beta_params_[k].first, beta_params_[k].second);
+        weights[k] = (doc_topic_[d][k] + alpha) *
+                     (topic_word_[k][w] + beta) /
+                     (topic_total_[k] + v_beta) * (time_term + 1e-8);
+      }
+      uint32_t knew = static_cast<uint32_t>(rng.NextDiscrete(weights));
+      z[i] = knew;
+      doc_topic_[d][knew] += 1.0;
+      topic_word_[knew][w] += 1.0;
+      topic_total_[knew] += 1.0;
+    }
+    // Re-fit the Beta temporal parameters every few sweeps (Eqs. 28–29
+    // style moment updates).
+    if (it % 10 == 9 || it + 1 == options_.gibbs_iterations) {
+      for (auto& v : topic_timestamps) v.clear();
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        topic_timestamps[z[i]].push_back(tokens[i].timestamp);
+      }
+      for (size_t k = 0; k < K; ++k) {
+        beta_params_[k] = FitBetaMoments(topic_timestamps[k]);
+      }
+    }
+  }
+}
+
+}  // namespace pqsda

@@ -1,0 +1,32 @@
+#ifndef PQSDA_TOPIC_TOT_H_
+#define PQSDA_TOPIC_TOT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topic/lda.h"
+
+namespace pqsda {
+
+/// Topics-over-Time (Wang & McCallum [29]): LDA whose sampling weight is
+/// additionally shaped by a per-topic Beta distribution over normalized
+/// timestamps, re-fit by moments between sweeps. Captures the temporal
+/// prominence of topics, which plain LDA ignores.
+class TotModel : public LdaModel {
+ public:
+  explicit TotModel(TopicModelOptions options = {});
+
+  std::string name() const override { return "TOT"; }
+  void Train(const QueryLogCorpus& corpus) override;
+
+  /// (a, b) of topic k's Beta over time.
+  std::pair<double, double> TopicBeta(size_t k) const { return beta_params_[k]; }
+
+ private:
+  std::vector<std::pair<double, double>> beta_params_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_TOT_H_

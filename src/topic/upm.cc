@@ -1,0 +1,236 @@
+#include "topic/upm.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "optim/beta_fit.h"
+#include "optim/dirichlet_opt.h"
+
+namespace pqsda {
+
+UpmModel::UpmModel(UpmOptions options) : options_(options) {}
+
+void UpmModel::Train(const QueryLogCorpus& corpus) {
+  const size_t K = options_.base.num_topics;
+  vocab_ = corpus.vocab_size();
+  num_urls_ = corpus.num_urls();
+  docs_ = corpus.num_documents();
+
+  alpha_.assign(K, options_.base.alpha);
+  beta_.assign(K, std::vector<double>(vocab_, options_.base.beta));
+  delta_.assign(K, std::vector<double>(num_urls_, options_.base.delta));
+  beta_sum_.assign(K, options_.base.beta * static_cast<double>(vocab_));
+  delta_sum_.assign(K, options_.base.delta * static_cast<double>(num_urls_));
+  tau_.assign(K, {1.0, 1.0});
+
+  c_dk_.assign(docs_, std::vector<double>(K, 0.0));
+  c_d_total_.assign(docs_, 0.0);
+  c_wkd_.assign(docs_, std::vector<SparseMap>(K));
+  c_wkd_total_.assign(docs_, std::vector<double>(K, 0.0));
+  c_ukd_.assign(docs_, std::vector<SparseMap>(K));
+  c_ukd_total_.assign(docs_, std::vector<double>(K, 0.0));
+
+  struct Block {
+    uint32_t doc;
+    const SessionObservation* session;
+    uint32_t topic;
+  };
+  std::vector<Block> blocks;
+  unigram_.assign(vocab_, 1.0);  // add-one smoothing
+  double total_words = static_cast<double>(vocab_);
+  for (uint32_t d = 0; d < docs_; ++d) {
+    for (const SessionObservation& s : corpus.documents()[d].sessions) {
+      blocks.push_back(Block{d, &s, 0});
+      for (uint32_t w : s.words) {
+        unigram_[w] += 1.0;
+        total_words += 1.0;
+      }
+    }
+  }
+  for (double& u : unigram_) u /= total_words;
+
+  Rng rng(options_.base.seed);
+  auto apply = [this](const Block& b, double sign) {
+    c_dk_[b.doc][b.topic] += sign;
+    c_d_total_[b.doc] += sign;
+    for (uint32_t w : b.session->words) {
+      c_wkd_[b.doc][b.topic][w] += sign;
+      c_wkd_total_[b.doc][b.topic] += sign;
+    }
+    for (uint32_t u : b.session->urls) {
+      c_ukd_[b.doc][b.topic][u] += sign;
+      c_ukd_total_[b.doc][b.topic] += sign;
+    }
+  };
+  for (Block& b : blocks) {
+    b.topic = static_cast<uint32_t>(rng.NextBounded(K));
+    apply(b, +1.0);
+  }
+
+  const size_t total_iters = options_.base.gibbs_iterations;
+  const size_t hyper_interval =
+      options_.learn_hyperparameters && options_.hyper_rounds > 0
+          ? std::max<size_t>(total_iters / (options_.hyper_rounds + 1), 1)
+          : total_iters + 1;
+
+  std::vector<double> logw(K);
+  std::vector<std::vector<double>> topic_stamps(K);
+  for (size_t it = 0; it < total_iters; ++it) {
+    for (Block& b : blocks) {
+      apply(b, -1.0);
+      const SparseMap* wm;
+      const SparseMap* um;
+      for (size_t k = 0; k < K; ++k) {
+        double lw = std::log(c_dk_[b.doc][k] + alpha_[k]);
+        wm = &c_wkd_[b.doc][k];
+        um = &c_ukd_[b.doc][k];
+        // Sequential Dirichlet-multinomial over the session's words under
+        // the per-document distribution with prior beta_k (Eq. 23).
+        const auto& words = b.session->words;
+        for (size_t i = 0; i < words.size(); ++i) {
+          int prev = 0;
+          for (size_t j = 0; j < i; ++j) {
+            if (words[j] == words[i]) ++prev;
+          }
+          auto itc = wm->find(words[i]);
+          double c = itc != wm->end() ? itc->second : 0.0;
+          lw += std::log(c + beta_[k][words[i]] + static_cast<double>(prev));
+          lw -= std::log(c_wkd_total_[b.doc][k] + beta_sum_[k] +
+                         static_cast<double>(i));
+        }
+        const auto& urls = b.session->urls;
+        for (size_t i = 0; i < urls.size(); ++i) {
+          int prev = 0;
+          for (size_t j = 0; j < i; ++j) {
+            if (urls[j] == urls[i]) ++prev;
+          }
+          auto itc = um->find(urls[i]);
+          double c = itc != um->end() ? itc->second : 0.0;
+          lw += std::log(c + delta_[k][urls[i]] + static_cast<double>(prev));
+          lw -= std::log(c_ukd_total_[b.doc][k] + delta_sum_[k] +
+                         static_cast<double>(i));
+        }
+        if (options_.use_timestamps) {
+          lw += std::log(
+              BetaPdf(b.session->timestamp, tau_[k].first, tau_[k].second) +
+              1e-8);
+        }
+        logw[k] = lw;
+      }
+      double lse = LogSumExp(logw);
+      std::vector<double> w(K);
+      for (size_t k = 0; k < K; ++k) w[k] = std::exp(logw[k] - lse);
+      b.topic = static_cast<uint32_t>(rng.NextDiscrete(w));
+      apply(b, +1.0);
+    }
+
+    // Temporal parameters by moments (Eqs. 28–29), every sweep.
+    if (options_.use_timestamps) {
+      for (auto& v : topic_stamps) v.clear();
+      for (const Block& b : blocks) {
+        topic_stamps[b.topic].push_back(b.session->timestamp);
+      }
+      for (size_t k = 0; k < K; ++k) tau_[k] = FitBetaMoments(topic_stamps[k]);
+    }
+
+    if ((it + 1) % hyper_interval == 0 && it + 1 < total_iters) {
+      OptimizeHyperparameters();
+    }
+  }
+  if (options_.learn_hyperparameters) OptimizeHyperparameters();
+}
+
+void UpmModel::OptimizeHyperparameters() {
+  const size_t K = options_.base.num_topics;
+  // alpha (Eq. 25): groups = documents, counts = C_dk.
+  {
+    std::vector<SparseCounts> groups(docs_);
+    for (size_t d = 0; d < docs_; ++d) {
+      for (uint32_t k = 0; k < K; ++k) {
+        if (c_dk_[d][k] > 0.0) groups[d].emplace_back(k, c_dk_[d][k]);
+      }
+    }
+    OptimizeDirichlet(groups, K, alpha_, options_.lbfgs);
+  }
+  // beta_.k (Eq. 26): per topic, groups = documents, counts = C_kwd.
+  for (size_t k = 0; k < K; ++k) {
+    std::vector<SparseCounts> groups(docs_);
+    for (size_t d = 0; d < docs_; ++d) {
+      groups[d].assign(c_wkd_[d][k].begin(), c_wkd_[d][k].end());
+    }
+    OptimizeDirichlet(groups, vocab_, beta_[k], options_.lbfgs);
+    beta_sum_[k] = 0.0;
+    for (double v : beta_[k]) beta_sum_[k] += v;
+  }
+  // delta_.k (Eq. 27).
+  for (size_t k = 0; k < K; ++k) {
+    std::vector<SparseCounts> groups(docs_);
+    for (size_t d = 0; d < docs_; ++d) {
+      groups[d].assign(c_ukd_[d][k].begin(), c_ukd_[d][k].end());
+    }
+    OptimizeDirichlet(groups, num_urls_, delta_[k], options_.lbfgs);
+    delta_sum_[k] = 0.0;
+    for (double v : delta_[k]) delta_sum_[k] += v;
+  }
+}
+
+std::vector<double> UpmModel::DocumentTopicMixture(size_t doc) const {
+  const size_t K = options_.base.num_topics;
+  std::vector<double> theta(K);
+  double alpha_total = 0.0;
+  for (double a : alpha_) alpha_total += a;
+  double denom = c_d_total_[doc] + alpha_total;
+  for (size_t k = 0; k < K; ++k) {
+    // Eq. 30.
+    theta[k] = (c_dk_[doc][k] + alpha_[k]) / denom;
+  }
+  return theta;
+}
+
+double UpmModel::WordProbability(size_t doc, size_t topic,
+                                 uint32_t word) const {
+  const SparseMap& m = c_wkd_[doc][topic];
+  auto it = m.find(word);
+  double c = it != m.end() ? it->second : 0.0;
+  return (c + beta_[topic][word]) /
+         (c_wkd_total_[doc][topic] + beta_sum_[topic]);
+}
+
+std::vector<double> UpmModel::PredictiveWordDistribution(size_t doc) const {
+  const size_t K = options_.base.num_topics;
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  std::vector<double> p(vocab_, 0.0);
+  for (size_t k = 0; k < K; ++k) {
+    // Smoothed per-user distribution: learned shared prior beta_k carries
+    // the mass for words this user never typed.
+    double denom = c_wkd_total_[doc][k] + beta_sum_[k];
+    double scale = theta[k] / denom;
+    for (size_t w = 0; w < vocab_; ++w) {
+      p[w] += scale * beta_[k][w];
+    }
+    for (const auto& [w, c] : c_wkd_[doc][k]) {
+      p[w] += scale * c;
+    }
+  }
+  return p;
+}
+
+double UpmModel::PreferenceScore(size_t doc,
+                                 const std::vector<uint32_t>& words) const {
+  if (doc >= docs_ || words.empty()) return 1e-9;
+  const size_t K = options_.base.num_topics;
+  std::vector<double> theta = DocumentTopicMixture(doc);
+  double score = 0.0;
+  for (uint32_t w : words) {
+    if (w >= vocab_) continue;
+    double pw = 0.0;
+    for (size_t k = 0; k < K; ++k) {
+      pw += theta[k] * WordProbability(doc, k, w);
+    }
+    score += pw / unigram_[w];
+  }
+  return score / static_cast<double>(words.size());
+}
+
+}  // namespace pqsda

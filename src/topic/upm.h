@@ -1,0 +1,96 @@
+#ifndef PQSDA_TOPIC_UPM_H_
+#define PQSDA_TOPIC_UPM_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "optim/lbfgs.h"
+#include "topic/model.h"
+
+namespace pqsda {
+
+/// Options of the User Profiling Model.
+struct UpmOptions {
+  TopicModelOptions base;
+  /// Learn alpha, beta, delta by L-BFGS on the complete likelihood
+  /// (Eqs. 25–27); when false the symmetric initial values are kept (used by
+  /// the hyperparameter ablation).
+  bool learn_hyperparameters = true;
+  /// Number of hyperparameter-optimization rounds interleaved with Gibbs.
+  size_t hyper_rounds = 2;
+  /// Include the Beta temporal term (Eq. 22) in sampling.
+  bool use_timestamps = true;
+  LbfgsOptions lbfgs;
+};
+
+/// UPM — User Profiling Model (§V-A). One document per user; one topic per
+/// session; the session's words and URLs are emitted from *per-document*
+/// multinomials phi_kd / Omega_kd whose Dirichlet priors beta_k / delta_k
+/// are shared across users and learned — that sharing is what lets a user's
+/// sparse history borrow strength while keeping their personal word/URL
+/// preferences (the "Toyota vs Ford" effect). Session timestamps follow
+/// per-topic Beta distributions (Eqs. 28–29).
+class UpmModel : public TopicModel {
+ public:
+  explicit UpmModel(UpmOptions options = {});
+
+  std::string name() const override { return "UPM"; }
+  void Train(const QueryLogCorpus& corpus) override;
+  std::vector<double> PredictiveWordDistribution(size_t doc) const override;
+  std::vector<double> DocumentTopicMixture(size_t doc) const override;
+  size_t num_topics() const override { return options_.base.num_topics; }
+
+  /// Eq. 31: the user's preference score of a query given as word ids —
+  /// the mean, over the query's words, of the profile-weighted per-user
+  /// predictive word probability, normalized by the corpus unigram
+  /// probability (lift). The lift controls for global word popularity so
+  /// the score ranks queries by *user-specific* preference rather than by
+  /// how common their words are. Returns a floor value for docs out of
+  /// range (unknown users).
+  double PreferenceScore(size_t doc, const std::vector<uint32_t>& words) const;
+
+  /// Learned hyperparameters (for inspection/tests).
+  const std::vector<double>& alpha() const { return alpha_; }
+  const std::vector<std::vector<double>>& beta() const { return beta_; }
+  const std::vector<std::vector<double>>& delta() const { return delta_; }
+  std::pair<double, double> TopicBeta(size_t k) const { return tau_[k]; }
+
+ private:
+  using SparseMap = std::unordered_map<uint32_t, double>;
+
+  double WordProbability(size_t doc, size_t topic, uint32_t word) const;
+
+  void OptimizeHyperparameters();
+
+  UpmOptions options_;
+  size_t vocab_ = 0;
+  size_t num_urls_ = 0;
+  size_t docs_ = 0;
+
+  /// alpha_k (K), beta_[k][w] (K x V), delta_[k][u] (K x U).
+  std::vector<double> alpha_;
+  std::vector<std::vector<double>> beta_;
+  std::vector<double> beta_sum_;
+  std::vector<std::vector<double>> delta_;
+  std::vector<double> delta_sum_;
+  /// Per-topic Beta over session timestamps.
+  std::vector<std::pair<double, double>> tau_;
+
+  /// Smoothed corpus unigram probabilities (for the preference-score lift).
+  std::vector<double> unigram_;
+  /// C_dk (D x K) and its row sums.
+  std::vector<std::vector<double>> c_dk_;
+  std::vector<double> c_d_total_;
+  /// C_kwd: per (doc, topic) sparse word counts, plus per-(doc, topic)
+  /// totals. Same for URLs.
+  std::vector<std::vector<SparseMap>> c_wkd_;
+  std::vector<std::vector<double>> c_wkd_total_;
+  std::vector<std::vector<SparseMap>> c_ukd_;
+  std::vector<std::vector<double>> c_ukd_total_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_TOPIC_UPM_H_

@@ -1,0 +1,322 @@
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+
+namespace pqsda {
+namespace {
+
+// ----------------------------------------------------------- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+// -------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.NextU64() != b.NextU64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(13), 13u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(13);
+  const double shape = 3.5;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape);
+  EXPECT_NEAR(sum / n, shape, 0.1);
+}
+
+TEST(RngTest, GammaSmallShapePositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.NextGamma(0.2), 0.0);
+}
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(17);
+  const double a = 2.0, b = 6.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextBeta(a, b);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, a / (a + b), 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextDiscrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(23);
+  auto v = rng.NextDirichlet(0.5, 8);
+  double total = 0.0;
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------- Zipf ----
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfSampler z(4, 0.0);
+  EXPECT_NEAR(z.Pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(z.Pmf(3), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.1);
+  double total = 0.0;
+  for (size_t i = 0; i < z.size(); ++i) total += z.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, MonotoneDecreasing) {
+  ZipfSampler z(50, 1.0);
+  for (size_t i = 1; i < z.size(); ++i) EXPECT_LE(z.Pmf(i), z.Pmf(i - 1));
+}
+
+TEST(ZipfTest, SampleMatchesHeadProbability) {
+  ZipfSampler z(10, 1.0);
+  Rng rng(31);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(rng) == 0) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / n, z.Pmf(0), 0.02);
+}
+
+// --------------------------------------------------------- Interner ----
+
+TEST(InternerTest, AssignsDenseIds) {
+  StringInterner in;
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Intern("b"), 1u);
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(InternerTest, LookupMissReturnsSentinel) {
+  StringInterner in;
+  in.Intern("x");
+  EXPECT_EQ(in.Lookup("y"), kInvalidStringId);
+  EXPECT_EQ(in.Lookup("x"), 0u);
+}
+
+TEST(InternerTest, GetRoundTrips) {
+  StringInterner in;
+  StringId id = in.Intern("hello world");
+  EXPECT_EQ(in.Get(id), "hello world");
+}
+
+TEST(InternerTest, CopyKeepsIdsConsistent) {
+  StringInterner in;
+  in.Intern("a");
+  in.Intern("b");
+  StringInterner copy = in;
+  EXPECT_EQ(copy.Lookup("b"), 1u);
+  EXPECT_EQ(copy.Intern("c"), 2u);
+  EXPECT_EQ(in.size(), 2u);  // original untouched
+}
+
+// -------------------------------------------------------- MathUtil ----
+
+TEST(MathUtilTest, DigammaMatchesKnownValues) {
+  // psi(1) = -gamma, psi(2) = 1 - gamma.
+  const double gamma = 0.5772156649015329;
+  EXPECT_NEAR(Digamma(1.0), -gamma, 1e-8);
+  EXPECT_NEAR(Digamma(2.0), 1.0 - gamma, 1e-8);
+  EXPECT_NEAR(Digamma(0.5), -gamma - 2.0 * std::log(2.0), 1e-8);
+}
+
+TEST(MathUtilTest, DigammaRecurrence) {
+  // psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 1.7, 4.2}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-9);
+  }
+}
+
+TEST(MathUtilTest, TrigammaKnownValue) {
+  // psi'(1) = pi^2/6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-7);
+}
+
+TEST(MathUtilTest, LogBetaSymmetric) {
+  EXPECT_NEAR(LogBeta(2.0, 3.0), LogBeta(3.0, 2.0), 1e-12);
+  EXPECT_NEAR(LogBeta(1.0, 1.0), 0.0, 1e-12);  // Beta(1,1) = 1
+}
+
+TEST(MathUtilTest, BetaPdfIntegratesToOne) {
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 1; i < n; ++i) {
+    sum += BetaPdf(static_cast<double>(i) / n, 2.5, 4.0) / n;
+  }
+  EXPECT_NEAR(sum, 1.0, 0.01);
+}
+
+TEST(MathUtilTest, BetaPdfZeroOutsideSupport) {
+  EXPECT_EQ(BetaPdf(0.0, 2.0, 2.0), 0.0);
+  EXPECT_EQ(BetaPdf(1.0, 2.0, 2.0), 0.0);
+  EXPECT_EQ(BetaPdf(-0.5, 2.0, 2.0), 0.0);
+}
+
+TEST(MathUtilTest, LogSumExpStable) {
+  std::vector<double> x = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(x), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathUtilTest, CosineOrthogonalAndParallel) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 2}, {2, 4}), 1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MathUtilTest, SparseCosineMatchesDense) {
+  std::vector<std::pair<uint32_t, double>> a = {{0, 1.0}, {2, 2.0}};
+  std::vector<std::pair<uint32_t, double>> b = {{0, 3.0}, {1, 1.0}};
+  double dense = CosineSimilarity({1, 0, 2}, {3, 1, 0});
+  EXPECT_NEAR(SparseCosine(a, b), dense, 1e-12);
+}
+
+TEST(MathUtilTest, NormalizeL1) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeL1(v);
+  EXPECT_NEAR(v[0], 0.25, 1e-12);
+  EXPECT_NEAR(v[1], 0.75, 1e-12);
+  std::vector<double> zero = {0.0, 0.0};
+  NormalizeL1(zero);
+  EXPECT_EQ(zero[0], 0.0);
+}
+
+TEST(MathUtilTest, MeanVariance) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Mean(v), 2.5, 1e-12);
+  EXPECT_NEAR(Variance(v), 1.25, 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,382 @@
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "eval/diversity.h"
+#include "eval/harness.h"
+#include "eval/hpr.h"
+#include "eval/ppr.h"
+#include "eval/relevance.h"
+#include "eval/report.h"
+#include "eval/synthetic_adapters.h"
+
+namespace pqsda {
+namespace {
+
+// A page-similarity stub keyed by domain prefix: same first letter = 1.
+class PrefixSimilarity : public PageSimilarity {
+ public:
+  double Similarity(const std::string& a,
+                    const std::string& b) const override {
+    if (a.empty() || b.empty()) return 0.0;
+    return a[0] == b[0] ? 1.0 : 0.0;
+  }
+};
+
+std::vector<QueryLogRecord> EvalLog() {
+  return {
+      {1, "q1", "aaa.com", 10},
+      {1, "q1", "abc.com", 20},
+      {1, "q2", "axy.com", 30},
+      {2, "q3", "zzz.com", 10},
+      {2, "q4", "", 20},
+  };
+}
+
+// -------------------------------------------------------- Diversity ----
+
+TEST(DiversityTest, ClickedPagesDedups) {
+  std::vector<QueryLogRecord> recs = {
+      {1, "q", "a.com", 1}, {2, "q", "a.com", 2}, {1, "q", "b.com", 3}};
+  auto pages = ClickedPages::Build(recs);
+  ASSERT_NE(pages.Pages("q"), nullptr);
+  EXPECT_EQ(pages.Pages("q")->size(), 2u);
+  EXPECT_EQ(pages.Pages("missing"), nullptr);
+}
+
+TEST(DiversityTest, SameClusterPairNotDiverse) {
+  auto pages = ClickedPages::Build(EvalLog());
+  PrefixSimilarity sim;
+  // q1 and q2 both click a*-domains -> similarity 1 -> diversity 0.
+  EXPECT_NEAR(QueryPairDiversity("q1", "q2", pages, sim), 0.0, 1e-12);
+  // q1 vs q3 -> fully diverse.
+  EXPECT_NEAR(QueryPairDiversity("q1", "q3", pages, sim), 1.0, 1e-12);
+}
+
+TEST(DiversityTest, NoClickCountsAsDiverse) {
+  auto pages = ClickedPages::Build(EvalLog());
+  PrefixSimilarity sim;
+  EXPECT_EQ(QueryPairDiversity("q1", "q4", pages, sim), 1.0);
+}
+
+TEST(DiversityTest, ListDiversityAverages) {
+  auto pages = ClickedPages::Build(EvalLog());
+  PrefixSimilarity sim;
+  std::vector<Suggestion> mixed = {{"q1", 0}, {"q2", 0}, {"q3", 0}};
+  // Pairs: (q1,q2)=0, (q1,q3)=1, (q2,q3)=1 -> mean = 2/3.
+  EXPECT_NEAR(ListDiversity(mixed, 3, pages, sim), 2.0 / 3.0, 1e-12);
+  // Prefix of 2 same-cluster queries -> 0.
+  EXPECT_NEAR(ListDiversity(mixed, 2, pages, sim), 0.0, 1e-12);
+  // Single element -> 0 by definition.
+  EXPECT_EQ(ListDiversity(mixed, 1, pages, sim), 0.0);
+}
+
+// -------------------------------------------------------- Relevance ----
+
+class MapCategories : public QueryCategoryProvider {
+ public:
+  void Add(const std::string& q, CategoryId c) { map_[q].push_back(c); }
+  std::vector<CategoryId> Categories(const std::string& q) const override {
+    auto it = map_.find(q);
+    if (it == map_.end()) return {};
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<CategoryId>> map_;
+};
+
+TEST(RelevanceTest, PairAndListRelevance) {
+  Taxonomy tax;
+  CategoryId a = tax.AddChild(0, "a");
+  CategoryId a1 = tax.AddChild(a, "a1");
+  CategoryId a2 = tax.AddChild(a, "a2");
+  CategoryId b = tax.AddChild(0, "b");
+  MapCategories cats;
+  cats.Add("in", a1);
+  cats.Add("same", a1);
+  cats.Add("sibling", a2);
+  cats.Add("far", b);
+  EXPECT_NEAR(QueryPairRelevance("in", "same", tax, cats), 1.0, 1e-12);
+  EXPECT_NEAR(QueryPairRelevance("in", "sibling", tax, cats), 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(QueryPairRelevance("in", "unknown", tax, cats), 0.0, 1e-12);
+  // Multi-listing queries use the best-matching category pair.
+  cats.Add("ambiguous", b);
+  cats.Add("ambiguous", a1);
+  EXPECT_NEAR(QueryPairRelevance("in", "ambiguous", tax, cats), 1.0, 1e-12);
+
+  std::vector<Suggestion> list = {{"same", 0}, {"sibling", 0}, {"far", 0}};
+  double expected =
+      (1.0 + 2.0 / 3.0 + tax.PathRelevance(a1, b)) / 3.0;
+  EXPECT_NEAR(ListRelevance("in", list, 3, tax, cats), expected, 1e-12);
+  EXPECT_NEAR(ListRelevance("in", list, 1, tax, cats), 1.0, 1e-12);
+  EXPECT_EQ(ListRelevance("in", {}, 5, tax, cats), 0.0);
+}
+
+// -------------------------------------------------------------- PPR ----
+
+TEST(PprTest, TextCosine) {
+  EXPECT_NEAR(TextCosine("sun java", "sun java"), 1.0, 1e-12);
+  EXPECT_NEAR(TextCosine("sun", "moon"), 0.0, 1e-12);
+  EXPECT_EQ(TextCosine("", "x"), 0.0);
+}
+
+TEST(PprTest, SuggestionPprAgainstTitles) {
+  std::vector<std::string> titles = {"java runtime download",
+                                     "java virtual machine"};
+  double match = SuggestionPpr("java download", titles);
+  double miss = SuggestionPpr("solar energy", titles);
+  EXPECT_GT(match, 0.0);
+  EXPECT_EQ(miss, 0.0);
+  EXPECT_EQ(SuggestionPpr("java", {}), 0.0);
+}
+
+TEST(PprTest, ListPprAverages) {
+  std::vector<std::string> titles = {"java runtime"};
+  std::vector<Suggestion> list = {{"java", 0}, {"solar", 0}};
+  double both = ListPpr(list, 2, titles);
+  double first = ListPpr(list, 1, titles);
+  EXPECT_GT(first, both);  // the non-matching second entry dilutes
+  EXPECT_EQ(ListPpr({}, 3, titles), 0.0);
+}
+
+// -------------------------------------------------------------- HPR ----
+
+TEST(HprTest, SnapToScale) {
+  EXPECT_DOUBLE_EQ(SnapToSixPointScale(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SnapToSixPointScale(0.09), 0.0);
+  EXPECT_DOUBLE_EQ(SnapToSixPointScale(0.11), 0.2);
+  EXPECT_DOUBLE_EQ(SnapToSixPointScale(0.95), 1.0);
+  EXPECT_DOUBLE_EQ(SnapToSixPointScale(1.7), 1.0);
+  EXPECT_DOUBLE_EQ(SnapToSixPointScale(-0.4), 0.0);
+}
+
+TEST(HprTest, OracleRaterScoresExactFacetFull) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 3);
+  Rng rng(1);
+  FacetModelConfig fconfig;
+  fconfig.num_facets = 9;
+  fconfig.num_concepts = 2;
+  FacetModel facets(tax, fconfig, rng);
+  SimulatedRater rater(tax, facets, /*noise=*/0.0, 1);
+  const Facet& f = facets.facets()[0];
+  // A facet-specific query (pool entry beyond a possible ambiguous head).
+  double r = rater.Rate(f.id, f.query_pool[1]);
+  EXPECT_DOUBLE_EQ(r, 1.0);
+  // A non-canonical query is irrelevant.
+  EXPECT_LE(rater.Rate(f.id, "garbage query"), 0.2);
+}
+
+TEST(HprTest, StandingInterestEarnsCredit) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 3);
+  Rng rng(3);
+  FacetModelConfig fconfig;
+  fconfig.num_facets = 9;
+  fconfig.num_concepts = 0;
+  FacetModel facets(tax, fconfig, rng);
+  SimulatedRater rater(tax, facets, 0.0, 5);
+  const Facet& f0 = facets.facets()[0];
+  const Facet& far = facets.facets()[8];
+  // Without a profile, a far-away facet's query rates poorly.
+  double plain = rater.Rate(f0.id, far.query_pool[1]);
+  // With a profile that loves that facet, it rates much higher.
+  std::vector<double> profile(9, 0.01);
+  profile[far.id] = 0.9;
+  double with_profile = rater.Rate(f0.id, far.query_pool[1], &profile);
+  EXPECT_GT(with_profile, plain);
+  EXPECT_GE(with_profile, 0.6);
+}
+
+TEST(HprTest, RateListAverages) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 3);
+  Rng rng(2);
+  FacetModelConfig fconfig;
+  fconfig.num_facets = 9;
+  fconfig.num_concepts = 0;
+  FacetModel facets(tax, fconfig, rng);
+  SimulatedRater rater(tax, facets, 0.0, 2);
+  const Facet& f0 = facets.facets()[0];
+  const Facet& f1 = facets.facets()[1];
+  std::vector<Suggestion> list = {{f0.query_pool[1], 0},
+                                  {f1.query_pool[1], 0}};
+  double top1 = rater.RateList(f0.id, list, 1);
+  double top2 = rater.RateList(f0.id, list, 2);
+  EXPECT_DOUBLE_EQ(top1, 1.0);
+  EXPECT_LT(top2, 1.0);
+}
+
+// ----------------------------------------------------------- Report ----
+
+TEST(ReportTest, TableRendersAllSeries) {
+  FigureTable t;
+  t.title = "Fig X";
+  t.x_label = "k";
+  t.x_values = {"1", "5"};
+  t.AddSeries("PQS-DA", {0.5, 0.75});
+  t.AddSeries("FRW", {0.3});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Fig X"), std::string::npos);
+  EXPECT_NE(s.find("PQS-DA"), std::string::npos);
+  EXPECT_NE(s.find("0.7500"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);  // missing cell placeholder
+}
+
+// ----------------------------------------- Adapters and harness ----
+
+class AdapterTest : public testing::Test {
+ protected:
+  static const SyntheticDataset& data() {
+    static SyntheticDataset* d = [] {
+      GeneratorConfig config;
+      config.num_users = 30;
+      config.sessions_per_user_min = 5;
+      config.sessions_per_user_max = 9;
+      return new SyntheticDataset(GenerateLog(config));
+    }();
+    return *d;
+  }
+};
+
+TEST_F(AdapterTest, PageSimilaritySelfIsOne) {
+  SyntheticPageSimilarity sim(data().facets);
+  const Facet& f = data().facets.facets()[0];
+  EXPECT_NEAR(sim.Similarity(f.urls[0], f.urls[0]), 1.0, 1e-9);
+  EXPECT_EQ(sim.Similarity(f.urls[0], "unknown.com"), 0.0);
+}
+
+TEST_F(AdapterTest, SameFacetPagesMoreSimilarThanCrossBranchOnAverage) {
+  SyntheticPageSimilarity sim(data().facets);
+  const Facet& f0 = data().facets.facets()[0];
+  // Pick a facet under a different top-level taxonomy branch so the pages
+  // share no branch vocabulary.
+  auto top_branch = [&](CategoryId c) {
+    auto path = data().taxonomy.PathFromRoot(c);
+    return path.size() > 1 ? path[1] : 0u;
+  };
+  const Facet* other = nullptr;
+  for (const Facet& f : data().facets.facets()) {
+    if (top_branch(f.category) != top_branch(f0.category)) {
+      other = &f;
+      break;
+    }
+  }
+  ASSERT_NE(other, nullptr);
+  double same = 0.0, cross = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i != j) same += sim.Similarity(f0.urls[i], f0.urls[j]);
+      cross += sim.Similarity(f0.urls[i], other->urls[j]);
+      ++n;
+    }
+  }
+  EXPECT_GT(same / (n - 4), cross / n);
+}
+
+TEST_F(AdapterTest, ContentProviderReturnsVectors) {
+  SyntheticPageContentProvider provider(data().facets);
+  const Facet& f = data().facets.facets()[0];
+  ASSERT_NE(provider.TermVector(f.urls[0]), nullptr);
+  EXPECT_EQ(provider.TermVector("nope.com"), nullptr);
+}
+
+TEST_F(AdapterTest, CategoriesResolve) {
+  SyntheticQueryCategories cats(data());
+  EXPECT_FALSE(cats.Categories(data().records[0].query).empty());
+  EXPECT_TRUE(cats.Categories("made up query").empty());
+}
+
+TEST_F(AdapterTest, SnippetTruncationLimitsVector) {
+  SyntheticPageContentProvider full(data().facets, /*snippet_terms=*/0);
+  SyntheticPageContentProvider lossy(data().facets, /*snippet_terms=*/3);
+  const Facet& f = data().facets.facets()[0];
+  const auto* fv = full.TermVector(f.urls[0]);
+  const auto* lv = lossy.TermVector(f.urls[0]);
+  ASSERT_NE(fv, nullptr);
+  ASSERT_NE(lv, nullptr);
+  EXPECT_LE(lv->size(), 3u);
+  EXPECT_GE(fv->size(), lv->size());
+  // Truncated vectors stay id-sorted.
+  for (size_t i = 1; i < lv->size(); ++i) {
+    EXPECT_LT((*lv)[i - 1].first, (*lv)[i].first);
+  }
+}
+
+TEST_F(AdapterTest, AmbiguousQueryHasMultipleCategories) {
+  SyntheticQueryCategories cats(data());
+  const std::string& token = data().facets.concept_tokens()[0];
+  EXPECT_GE(cats.Categories(token).size(), 2u);
+}
+
+TEST_F(AdapterTest, SampleTestQueriesHaveContext) {
+  auto tests = SampleTestQueries(data(), 50, 7);
+  ASSERT_EQ(tests.size(), 50u);
+  bool any_context = false;
+  for (const auto& t : tests) {
+    EXPECT_FALSE(t.request.query.empty());
+    if (!t.request.context.empty()) any_context = true;
+    // Context precedes the input in time.
+    for (const auto& [q, ts] : t.request.context) {
+      (void)q;
+      EXPECT_LE(ts, t.request.timestamp);
+    }
+  }
+  EXPECT_TRUE(any_context);
+}
+
+TEST_F(AdapterTest, SplitHoldsOutRecentSessions) {
+  auto split = SplitByRecentSessions(data(), 2);
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.test_sessions.empty());
+  // Each user contributes at most 2 test sessions.
+  std::unordered_map<UserId, int> per_user;
+  for (const auto& ts : split.test_sessions) ++per_user[ts.user];
+  for (const auto& [u, n] : per_user) {
+    (void)u;
+    EXPECT_LE(n, 2);
+  }
+  // Train + test record counts match the original.
+  size_t test_records = 0;
+  for (const auto& ts : split.test_sessions) test_records += ts.records.size();
+  EXPECT_EQ(split.train.size() + test_records, data().records.size());
+}
+
+TEST_F(AdapterTest, TestSessionsAreChronologicallyLast) {
+  auto split = SplitByRecentSessions(data(), 2);
+  // The held-out sessions are each user's most recent ones: no training
+  // record of a user may be later than that user's last test record, modulo
+  // the generator's maximum within-session span (sessions can start close
+  // together and overlap slightly at their tails).
+  std::unordered_map<UserId, int64_t> max_train;
+  for (const auto& r : split.train) {
+    auto& m = max_train[r.user_id];
+    m = std::max(m, r.timestamp);
+  }
+  std::unordered_map<UserId, int64_t> last_test;
+  for (const auto& ts : split.test_sessions) {
+    auto& m = last_test[ts.user];
+    m = std::max(m, ts.records.back().timestamp);
+  }
+  const int64_t slack = 5 * 240;  // max queries/session * max gap
+  for (const auto& [user, t_test] : last_test) {
+    auto it = max_train.find(user);
+    if (it == max_train.end()) continue;
+    EXPECT_LE(it->second, t_test + slack) << "user " << user;
+  }
+}
+
+TEST_F(AdapterTest, RequestFromTestSession) {
+  auto split = SplitByRecentSessions(data(), 1);
+  ASSERT_FALSE(split.test_sessions.empty());
+  const auto& ts = split.test_sessions[0];
+  auto req = RequestFromTestSession(ts);
+  EXPECT_EQ(req.query, ts.records.front().query);
+  EXPECT_EQ(req.user, ts.user);
+  EXPECT_TRUE(req.context.empty());
+}
+
+}  // namespace
+}  // namespace pqsda

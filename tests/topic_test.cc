@@ -1,0 +1,317 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "log/sessionizer.h"
+#include "synthetic/generator.h"
+#include "topic/click_models.h"
+#include "topic/corpus.h"
+#include "topic/lda.h"
+#include "topic/perplexity.h"
+#include "topic/ptm.h"
+#include "topic/sstm.h"
+#include "topic/tot.h"
+#include "topic/upm.h"
+
+namespace pqsda {
+namespace {
+
+std::vector<QueryLogRecord> SmallLog() {
+  return {
+      {0, "sun java", "www.java.com", 100},
+      {0, "java download", "java.sun.com", 150},
+      {0, "sun java", "www.java.com", 5000},
+      {1, "solar energy", "www.energy.gov", 100},
+      {1, "solar system", "www.nasa.gov", 160},
+      {1, "solar energy", "www.energy.gov", 9000},
+  };
+}
+
+QueryLogCorpus SmallCorpus() {
+  auto records = SmallLog();
+  auto sessions = Sessionize(records);
+  return QueryLogCorpus::Build(records, sessions);
+}
+
+// ----------------------------------------------------------- Corpus ----
+
+TEST(CorpusTest, OneDocumentPerUser) {
+  auto corpus = SmallCorpus();
+  EXPECT_EQ(corpus.num_documents(), 2u);
+  EXPECT_EQ(corpus.DocumentOf(0), 0u);
+  EXPECT_EQ(corpus.DocumentOf(1), 1u);
+  EXPECT_EQ(corpus.DocumentOf(99), SIZE_MAX);
+}
+
+TEST(CorpusTest, TimestampsNormalized) {
+  auto corpus = SmallCorpus();
+  for (const auto& doc : corpus.documents()) {
+    for (const auto& s : doc.sessions) {
+      EXPECT_GE(s.timestamp, 0.01);
+      EXPECT_LE(s.timestamp, 0.99);
+    }
+  }
+}
+
+TEST(CorpusTest, WordsAndUrlsInterned) {
+  auto corpus = SmallCorpus();
+  EXPECT_GT(corpus.vocab_size(), 0u);
+  EXPECT_GT(corpus.num_urls(), 0u);
+  auto ids = corpus.WordIds("sun java");
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(corpus.WordIds("unknownword").empty());
+}
+
+TEST(CorpusTest, QueryOffsetsAndUrlIndex) {
+  auto corpus = SmallCorpus();
+  const auto& s = corpus.documents()[0].sessions[0];
+  EXPECT_EQ(s.num_queries(), 2u);  // "sun java" + "java download"
+  auto [b0, e0] = s.QueryWordRange(0);
+  EXPECT_EQ(e0 - b0, 2u);
+  ASSERT_EQ(s.urls.size(), s.url_query_index.size());
+  for (uint32_t qi : s.url_query_index) EXPECT_LT(qi, s.num_queries());
+}
+
+TEST(CorpusTest, SplitBySessionsKeepsIndices) {
+  auto corpus = SmallCorpus();
+  QueryLogCorpus train, test;
+  corpus.SplitBySessions(0.5, &train, &test);
+  EXPECT_EQ(train.num_documents(), corpus.num_documents());
+  EXPECT_EQ(test.num_documents(), corpus.num_documents());
+  EXPECT_EQ(train.vocab_size(), corpus.vocab_size());
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    EXPECT_EQ(train.documents()[d].sessions.size() +
+                  test.documents()[d].sessions.size(),
+              corpus.documents()[d].sessions.size());
+    EXPECT_GE(train.documents()[d].sessions.size(), 1u);
+  }
+}
+
+// A moderately sized corpus for model sanity checks.
+struct TrainedFixture {
+  TrainedFixture() {
+    GeneratorConfig config;
+    config.num_users = 60;
+    config.sessions_per_user_min = 10;
+    config.sessions_per_user_max = 16;
+    config.facet_config.num_facets = 12;
+    config.facet_config.num_concepts = 3;
+    config.facet_config.queries_per_facet = 60;
+    data = std::make_unique<SyntheticDataset>(GenerateLog(config));
+    auto sessions = Sessionize(data->records);
+    corpus = QueryLogCorpus::Build(data->records, sessions);
+  }
+  std::unique_ptr<SyntheticDataset> data;
+  QueryLogCorpus corpus;
+};
+
+TopicModelOptions FastOptions() {
+  TopicModelOptions o;
+  o.num_topics = 8;
+  o.gibbs_iterations = 25;
+  return o;
+}
+
+void CheckModelSanity(TopicModel& model, const QueryLogCorpus& corpus) {
+  model.Train(corpus);
+  for (size_t d = 0; d < std::min<size_t>(corpus.num_documents(), 5); ++d) {
+    auto theta = model.DocumentTopicMixture(d);
+    ASSERT_EQ(theta.size(), model.num_topics());
+    double t_sum = 0.0;
+    for (double v : theta) {
+      EXPECT_GE(v, 0.0);
+      t_sum += v;
+    }
+    EXPECT_NEAR(t_sum, 1.0, 1e-6);
+    auto p = model.PredictiveWordDistribution(d);
+    ASSERT_EQ(p.size(), corpus.vocab_size());
+    double p_sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      p_sum += v;
+    }
+    EXPECT_NEAR(p_sum, 1.0, 1e-6);
+  }
+}
+
+class ModelSanityTest : public testing::Test {
+ protected:
+  static TrainedFixture& fixture() {
+    static TrainedFixture* f = new TrainedFixture();
+    return *f;
+  }
+};
+
+TEST_F(ModelSanityTest, Lda) {
+  LdaModel m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Tot) {
+  TotModel m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+  auto [a, b] = m.TopicBeta(0);
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, 0.0);
+}
+
+TEST_F(ModelSanityTest, Ptm1) {
+  Ptm1Model m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Ptm2) {
+  Ptm2Model m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Mwm) {
+  MwmModel m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Tum) {
+  TumModel m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Ctm) {
+  CtmModel m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Sstm) {
+  SstmModel m(FastOptions());
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, Upm) {
+  UpmOptions o;
+  o.base = FastOptions();
+  o.hyper_rounds = 1;
+  UpmModel m(o);
+  CheckModelSanity(m, fixture().corpus);
+}
+
+TEST_F(ModelSanityTest, ModelNamesDistinct) {
+  std::vector<std::unique_ptr<TopicModel>> models;
+  models.push_back(std::make_unique<LdaModel>());
+  models.push_back(std::make_unique<TotModel>());
+  models.push_back(std::make_unique<Ptm1Model>());
+  models.push_back(std::make_unique<Ptm2Model>());
+  models.push_back(std::make_unique<MwmModel>());
+  models.push_back(std::make_unique<TumModel>());
+  models.push_back(std::make_unique<CtmModel>());
+  models.push_back(std::make_unique<SstmModel>());
+  models.push_back(std::make_unique<UpmModel>());
+  std::set<std::string> names;
+  for (const auto& m : models) names.insert(m->name());
+  EXPECT_EQ(names.size(), models.size());
+}
+
+// ----------------------------------------------------------- UPM ----
+
+TEST_F(ModelSanityTest, UpmLearnsHyperparameters) {
+  UpmOptions o;
+  o.base = FastOptions();
+  o.hyper_rounds = 1;
+  UpmModel m(o);
+  m.Train(fixture().corpus);
+  // Hyperparameters moved away from the symmetric initialization.
+  bool alpha_moved = false;
+  for (double a : m.alpha()) {
+    if (std::abs(a - o.base.alpha) > 1e-6) alpha_moved = true;
+  }
+  EXPECT_TRUE(alpha_moved);
+  bool beta_moved = false;
+  for (const auto& row : m.beta()) {
+    for (double b : row) {
+      if (std::abs(b - o.base.beta) > 1e-6) beta_moved = true;
+    }
+  }
+  EXPECT_TRUE(beta_moved);
+}
+
+TEST_F(ModelSanityTest, UpmPreferenceScoreDiscriminates) {
+  UpmOptions o;
+  o.base = FastOptions();
+  o.hyper_rounds = 1;
+  UpmModel m(o);
+  const auto& fx = fixture();
+  m.Train(fx.corpus);
+  // For a user, a query from their own history should score higher than a
+  // random other facet's query (on average over several users).
+  int wins = 0, trials = 0;
+  for (size_t d = 0; d < std::min<size_t>(fx.corpus.num_documents(), 10);
+       ++d) {
+    const auto& doc = fx.corpus.documents()[d];
+    if (doc.sessions.empty()) continue;
+    std::vector<uint32_t> own_words = doc.sessions[0].words;
+    // Words of a facet this user (likely) never touched: use another doc's.
+    size_t other = (d + 15) % fx.corpus.num_documents();
+    if (fx.corpus.documents()[other].sessions.empty()) continue;
+    std::vector<uint32_t> other_words =
+        fx.corpus.documents()[other].sessions[0].words;
+    ++trials;
+    if (m.PreferenceScore(d, own_words) > m.PreferenceScore(d, other_words)) {
+      ++wins;
+    }
+  }
+  ASSERT_GT(trials, 0);
+  EXPECT_GT(static_cast<double>(wins) / trials, 0.5);
+}
+
+TEST_F(ModelSanityTest, UpmPreferenceScoreEdgeCases) {
+  UpmOptions o;
+  o.base = FastOptions();
+  o.hyper_rounds = 0;
+  o.learn_hyperparameters = false;
+  UpmModel m(o);
+  m.Train(fixture().corpus);
+  EXPECT_GT(m.PreferenceScore(SIZE_MAX, {0}), 0.0);  // unknown doc -> floor
+  EXPECT_GT(m.PreferenceScore(0, {}), 0.0);          // empty query -> floor
+}
+
+// ------------------------------------------------------- Perplexity ----
+
+TEST_F(ModelSanityTest, PerplexityFiniteAndPositive) {
+  const auto& fx = fixture();
+  QueryLogCorpus train, test;
+  fx.corpus.SplitBySessions(0.3, &train, &test);
+  LdaModel m(FastOptions());
+  m.Train(train);
+  auto result = EvaluatePerplexity(m, test);
+  EXPECT_GT(result.predicted_words, 0u);
+  EXPECT_GT(result.perplexity, 1.0);
+  EXPECT_TRUE(std::isfinite(result.perplexity));
+}
+
+TEST_F(ModelSanityTest, TrainedModelFarBeatsUniformPerplexity) {
+  const auto& fx = fixture();
+  QueryLogCorpus train, test;
+  fx.corpus.SplitBySessions(0.3, &train, &test);
+  LdaModel trained(FastOptions());
+  trained.Train(train);
+  double p_trained = EvaluatePerplexity(trained, test).perplexity;
+  // A uniform model scores perplexity == vocabulary size; a trained model
+  // must beat it even on this deliberately tiny fixture (the Fig. 4 bench
+  // shows much larger margins at realistic scale).
+  EXPECT_LT(p_trained, 0.9 * static_cast<double>(fx.corpus.vocab_size()));
+}
+
+TEST(PerplexityTest, EmptyTestCorpus) {
+  auto corpus = SmallCorpus();
+  LdaModel m(TopicModelOptions{4, 0.5, 0.01, 0.01, 5, 1});
+  m.Train(corpus);
+  QueryLogCorpus train, test;
+  corpus.SplitBySessions(0.0, &train, &test);
+  auto result = EvaluatePerplexity(m, test);
+  EXPECT_EQ(result.predicted_words, 0u);
+  EXPECT_EQ(result.perplexity, 0.0);
+}
+
+}  // namespace
+}  // namespace pqsda
