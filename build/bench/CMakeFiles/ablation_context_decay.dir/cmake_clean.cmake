@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_context_decay.dir/ablation_context_decay.cc.o"
+  "CMakeFiles/ablation_context_decay.dir/ablation_context_decay.cc.o.d"
+  "CMakeFiles/ablation_context_decay.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_context_decay.dir/bench_util.cc.o.d"
+  "ablation_context_decay"
+  "ablation_context_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_context_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rank_aggregation.dir/ablation_rank_aggregation.cc.o"
+  "CMakeFiles/ablation_rank_aggregation.dir/ablation_rank_aggregation.cc.o.d"
+  "CMakeFiles/ablation_rank_aggregation.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_rank_aggregation.dir/bench_util.cc.o.d"
+  "ablation_rank_aggregation"
+  "ablation_rank_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rank_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

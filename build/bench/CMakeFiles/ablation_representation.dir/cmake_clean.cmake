@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_representation.dir/ablation_representation.cc.o"
+  "CMakeFiles/ablation_representation.dir/ablation_representation.cc.o.d"
+  "CMakeFiles/ablation_representation.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_representation.dir/bench_util.cc.o.d"
+  "ablation_representation"
+  "ablation_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_upm.dir/ablation_upm.cc.o"
+  "CMakeFiles/ablation_upm.dir/ablation_upm.cc.o.d"
+  "CMakeFiles/ablation_upm.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_upm.dir/bench_util.cc.o.d"
+  "ablation_upm"
+  "ablation_upm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_upm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_diversity_relevance.dir/bench_util.cc.o"
+  "CMakeFiles/fig3_diversity_relevance.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig3_diversity_relevance.dir/fig3_diversity_relevance.cc.o"
+  "CMakeFiles/fig3_diversity_relevance.dir/fig3_diversity_relevance.cc.o.d"
+  "fig3_diversity_relevance"
+  "fig3_diversity_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_diversity_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_perplexity.dir/bench_util.cc.o"
+  "CMakeFiles/fig4_perplexity.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig4_perplexity.dir/fig4_perplexity.cc.o"
+  "CMakeFiles/fig4_perplexity.dir/fig4_perplexity.cc.o.d"
+  "fig4_perplexity"
+  "fig4_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

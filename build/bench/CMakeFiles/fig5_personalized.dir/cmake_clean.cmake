@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_personalized.dir/bench_util.cc.o"
+  "CMakeFiles/fig5_personalized.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig5_personalized.dir/fig5_personalized.cc.o"
+  "CMakeFiles/fig5_personalized.dir/fig5_personalized.cc.o.d"
+  "fig5_personalized"
+  "fig5_personalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_personalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

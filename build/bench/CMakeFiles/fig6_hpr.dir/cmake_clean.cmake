@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hpr.dir/bench_util.cc.o"
+  "CMakeFiles/fig6_hpr.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig6_hpr.dir/fig6_hpr.cc.o"
+  "CMakeFiles/fig6_hpr.dir/fig6_hpr.cc.o.d"
+  "fig6_hpr"
+  "fig6_hpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_efficiency.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_efficiency.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cc.o"
+  "CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cc.o.d"
+  "fig7_efficiency"
+  "fig7_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambiguous_query_demo.dir/ambiguous_query_demo.cc.o"
+  "CMakeFiles/ambiguous_query_demo.dir/ambiguous_query_demo.cc.o.d"
+  "ambiguous_query_demo"
+  "ambiguous_query_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambiguous_query_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

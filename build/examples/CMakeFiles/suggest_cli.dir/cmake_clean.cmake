@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggest_cli.dir/suggest_cli.cc.o"
+  "CMakeFiles/suggest_cli.dir/suggest_cli.cc.o.d"
+  "suggest_cli"
+  "suggest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

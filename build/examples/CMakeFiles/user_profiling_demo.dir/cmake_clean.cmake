@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_profiling_demo.dir/user_profiling_demo.cc.o"
+  "CMakeFiles/user_profiling_demo.dir/user_profiling_demo.cc.o.d"
+  "user_profiling_demo"
+  "user_profiling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_profiling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for user_profiling_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/interner.cc" "src/CMakeFiles/pqsda.dir/common/interner.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/common/interner.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/pqsda.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/pqsda.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pqsda.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/common/status.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/pqsda.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/common/timer.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/pqsda.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/common/zipf.cc.o.d"
+  "/root/repo/src/core/pqsda_engine.cc" "src/CMakeFiles/pqsda.dir/core/pqsda_engine.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/core/pqsda_engine.cc.o.d"
+  "/root/repo/src/core/profile_store.cc" "src/CMakeFiles/pqsda.dir/core/profile_store.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/core/profile_store.cc.o.d"
+  "/root/repo/src/eval/diversity.cc" "src/CMakeFiles/pqsda.dir/eval/diversity.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/diversity.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/pqsda.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/hpr.cc" "src/CMakeFiles/pqsda.dir/eval/hpr.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/hpr.cc.o.d"
+  "/root/repo/src/eval/ppr.cc" "src/CMakeFiles/pqsda.dir/eval/ppr.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/ppr.cc.o.d"
+  "/root/repo/src/eval/relevance.cc" "src/CMakeFiles/pqsda.dir/eval/relevance.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/relevance.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/pqsda.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/synthetic_adapters.cc" "src/CMakeFiles/pqsda.dir/eval/synthetic_adapters.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/eval/synthetic_adapters.cc.o.d"
+  "/root/repo/src/graph/bipartite.cc" "src/CMakeFiles/pqsda.dir/graph/bipartite.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/graph/bipartite.cc.o.d"
+  "/root/repo/src/graph/click_graph.cc" "src/CMakeFiles/pqsda.dir/graph/click_graph.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/graph/click_graph.cc.o.d"
+  "/root/repo/src/graph/compact_builder.cc" "src/CMakeFiles/pqsda.dir/graph/compact_builder.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/graph/compact_builder.cc.o.d"
+  "/root/repo/src/graph/csr_matrix.cc" "src/CMakeFiles/pqsda.dir/graph/csr_matrix.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/graph/csr_matrix.cc.o.d"
+  "/root/repo/src/graph/multi_bipartite.cc" "src/CMakeFiles/pqsda.dir/graph/multi_bipartite.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/graph/multi_bipartite.cc.o.d"
+  "/root/repo/src/log/cleaner.cc" "src/CMakeFiles/pqsda.dir/log/cleaner.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/cleaner.cc.o.d"
+  "/root/repo/src/log/log_io.cc" "src/CMakeFiles/pqsda.dir/log/log_io.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/log_io.cc.o.d"
+  "/root/repo/src/log/record.cc" "src/CMakeFiles/pqsda.dir/log/record.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/record.cc.o.d"
+  "/root/repo/src/log/sessionizer.cc" "src/CMakeFiles/pqsda.dir/log/sessionizer.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/sessionizer.cc.o.d"
+  "/root/repo/src/optim/beta_fit.cc" "src/CMakeFiles/pqsda.dir/optim/beta_fit.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/optim/beta_fit.cc.o.d"
+  "/root/repo/src/optim/dirichlet_opt.cc" "src/CMakeFiles/pqsda.dir/optim/dirichlet_opt.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/optim/dirichlet_opt.cc.o.d"
+  "/root/repo/src/optim/lbfgs.cc" "src/CMakeFiles/pqsda.dir/optim/lbfgs.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/optim/lbfgs.cc.o.d"
+  "/root/repo/src/rank/borda.cc" "src/CMakeFiles/pqsda.dir/rank/borda.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/rank/borda.cc.o.d"
+  "/root/repo/src/solver/linear_solvers.cc" "src/CMakeFiles/pqsda.dir/solver/linear_solvers.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/solver/linear_solvers.cc.o.d"
+  "/root/repo/src/solver/regularization.cc" "src/CMakeFiles/pqsda.dir/solver/regularization.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/solver/regularization.cc.o.d"
+  "/root/repo/src/suggest/cacb_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/cacb_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/cacb_suggester.cc.o.d"
+  "/root/repo/src/suggest/concept_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/concept_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/concept_suggester.cc.o.d"
+  "/root/repo/src/suggest/dqs_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/dqs_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/dqs_suggester.cc.o.d"
+  "/root/repo/src/suggest/engine.cc" "src/CMakeFiles/pqsda.dir/suggest/engine.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/engine.cc.o.d"
+  "/root/repo/src/suggest/hitting_time_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/hitting_time_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/hitting_time_suggester.cc.o.d"
+  "/root/repo/src/suggest/pqsda_diversifier.cc" "src/CMakeFiles/pqsda.dir/suggest/pqsda_diversifier.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/pqsda_diversifier.cc.o.d"
+  "/root/repo/src/suggest/random_walk_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/random_walk_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/random_walk_suggester.cc.o.d"
+  "/root/repo/src/synthetic/facet_model.cc" "src/CMakeFiles/pqsda.dir/synthetic/facet_model.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/facet_model.cc.o.d"
+  "/root/repo/src/synthetic/generator.cc" "src/CMakeFiles/pqsda.dir/synthetic/generator.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/generator.cc.o.d"
+  "/root/repo/src/synthetic/taxonomy.cc" "src/CMakeFiles/pqsda.dir/synthetic/taxonomy.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/taxonomy.cc.o.d"
+  "/root/repo/src/synthetic/user_model.cc" "src/CMakeFiles/pqsda.dir/synthetic/user_model.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/user_model.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/pqsda.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/pqsda.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/topic/click_models.cc" "src/CMakeFiles/pqsda.dir/topic/click_models.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/click_models.cc.o.d"
+  "/root/repo/src/topic/corpus.cc" "src/CMakeFiles/pqsda.dir/topic/corpus.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/corpus.cc.o.d"
+  "/root/repo/src/topic/lda.cc" "src/CMakeFiles/pqsda.dir/topic/lda.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/lda.cc.o.d"
+  "/root/repo/src/topic/model.cc" "src/CMakeFiles/pqsda.dir/topic/model.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/model.cc.o.d"
+  "/root/repo/src/topic/parallel_lda.cc" "src/CMakeFiles/pqsda.dir/topic/parallel_lda.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/parallel_lda.cc.o.d"
+  "/root/repo/src/topic/perplexity.cc" "src/CMakeFiles/pqsda.dir/topic/perplexity.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/perplexity.cc.o.d"
+  "/root/repo/src/topic/ptm.cc" "src/CMakeFiles/pqsda.dir/topic/ptm.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/ptm.cc.o.d"
+  "/root/repo/src/topic/sstm.cc" "src/CMakeFiles/pqsda.dir/topic/sstm.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/sstm.cc.o.d"
+  "/root/repo/src/topic/tot.cc" "src/CMakeFiles/pqsda.dir/topic/tot.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/tot.cc.o.d"
+  "/root/repo/src/topic/upm.cc" "src/CMakeFiles/pqsda.dir/topic/upm.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/topic/upm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pqsda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_core_test.dir/rank_core_test.cc.o"
+  "CMakeFiles/rank_core_test.dir/rank_core_test.cc.o.d"
+  "rank_core_test"
+  "rank_core_test.pdb"
+  "rank_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

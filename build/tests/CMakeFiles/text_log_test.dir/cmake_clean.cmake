@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_log_test.dir/text_log_test.cc.o"
+  "CMakeFiles/text_log_test.dir/text_log_test.cc.o.d"
+  "text_log_test"
+  "text_log_test.pdb"
+  "text_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
