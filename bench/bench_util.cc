@@ -34,6 +34,24 @@ BenchEnv::BenchEnv(size_t users)
       cg_raw(ClickGraph::Build(data.records, EdgeWeighting::kRaw)),
       cg_weighted(ClickGraph::Build(data.records, EdgeWeighting::kCfIqf)) {}
 
+double MeanSuggestLatency(const SuggestionEngine& engine,
+                          const std::vector<TestQuery>& tests, size_t k,
+                          obs::Histogram* latency_us) {
+  obs::Histogram local(obs::Histogram::DefaultLatencyBoundsUs());
+  obs::Histogram& hist = latency_us != nullptr ? *latency_us : local;
+  const double sum_before = hist.Sum();
+  size_t served = 0;
+  for (const TestQuery& t : tests) {
+    obs::ScopedTimer timer(hist);
+    auto out = engine.Suggest(t.request, k);
+    if (out.ok()) ++served;
+  }
+  if (served == 0) return 0.0;
+  // Failed requests return almost instantly, so the histogram's new wall
+  // time is the served requests' total for the Fig. 7 mean.
+  return (hist.Sum() - sum_before) * 1e-6 / static_cast<double>(served);
+}
+
 double MeanOf(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double s = 0.0;

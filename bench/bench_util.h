@@ -10,6 +10,7 @@
 #include "graph/click_graph.h"
 #include "graph/multi_bipartite.h"
 #include "log/sessionizer.h"
+#include "obs/metrics.h"
 #include "suggest/engine.h"
 #include "synthetic/generator.h"
 
@@ -19,6 +20,15 @@ namespace pqsda::bench {
 /// to `fallback`. Lets every bench scale up toward the paper's sizes
 /// without recompiling, e.g. PQSDA_USERS=5000 PQSDA_TESTS=10000.
 size_t EnvSize(const char* name, size_t fallback);
+
+/// Runs every test request through the engine, recording each served
+/// request's latency into `latency_us` (microseconds, via obs::ScopedTimer)
+/// when non-null. Returns the mean per-served-request latency in seconds
+/// (0 when nothing was served) — the Fig. 7 measurement, now with p50/p95/
+/// p99 available from the histogram.
+double MeanSuggestLatency(const SuggestionEngine& engine,
+                          const std::vector<TestQuery>& tests, size_t k = 10,
+                          obs::Histogram* latency_us = nullptr);
 
 /// Standard bench dataset: a synthetic log shaped like the paper's (§VI-A),
 /// scaled by PQSDA_USERS (default 300).

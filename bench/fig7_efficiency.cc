@@ -6,37 +6,56 @@
 //
 // Scale knobs: PQSDA_SCALES (comma count fixed; default user scales
 // 100,200,400,800), PQSDA_TESTS (default 30 requests per cell).
+// PQSDA_STATS=1 additionally emits a per-stage latency breakdown of the
+// PQS-DA pipeline (expansion / solve / selection) as registry JSON.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench_util.h"
-#include "common/timer.h"
 #include "eval/report.h"
 #include "eval/synthetic_adapters.h"
+#include "obs/metrics.h"
 #include "suggest/concept_suggester.h"
 #include "suggest/dqs_suggester.h"
 #include "suggest/hitting_time_suggester.h"
 #include "suggest/pqsda_diversifier.h"
 #include "suggest/random_walk_suggester.h"
+#include "suggest/suggest_stats.h"
 
 namespace pqsda::bench {
 namespace {
 
-double MeanSuggestLatency(const SuggestionEngine& engine,
-                          const std::vector<TestQuery>& tests) {
-  WallTimer timer;
-  size_t served = 0;
+// PQSDA_STATS=1 mode: re-runs the PQS-DA requests with stats collection on,
+// feeding each stage's span duration into a cell-local registry, and prints
+// the registry as JSON — the per-stage breakdown behind the Fig. 7 totals.
+void EmitStageBreakdown(const PqsdaDiversifier& pqsda,
+                        const std::vector<TestQuery>& tests, size_t users) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& total = registry.GetHistogram("pqsda.suggest.latency_us");
   for (const TestQuery& t : tests) {
-    auto out = engine.Suggest(t.request, 10);
-    if (out.ok()) ++served;
+    SuggestStats st;
+    auto out = pqsda.Diversify(t.request, 10, &st);
+    if (!out.ok()) continue;
+    total.Observe(static_cast<double>(st.trace.duration_us()));
+    for (const char* stage :
+         {"expansion", "regularization_solve", "hitting_time_selection"}) {
+      if (const obs::SpanNode* span = st.trace.Find(stage)) {
+        registry
+            .GetHistogram(std::string("pqsda.suggest.stage.") + stage + "_us")
+            .Observe(static_cast<double>(span->duration_us()));
+      }
+    }
   }
-  if (served == 0) return 0.0;
-  return timer.ElapsedSeconds() / static_cast<double>(served);
+  std::printf("  stats users=%zu %s\n", users,
+              registry.ExportJson().c_str());
 }
 
 void Main() {
+  const char* stats_env = std::getenv("PQSDA_STATS");
+  const bool emit_stats = stats_env != nullptr && std::strcmp(stats_env, "1") == 0;
   const size_t num_tests = EnvSize("TESTS", 30);
   std::vector<size_t> scales = {100, 200, 400, 800};
   std::printf("fig7: per-suggestion latency vs number of utilized queries\n");
@@ -61,11 +80,16 @@ void Main() {
 
     const SuggestionEngine* engines[5] = {&pqsda, &dqs, &ht, &frw, &cm};
     for (size_t m = 0; m < 5; ++m) {
-      double latency = MeanSuggestLatency(*engines[m], tests);
+      obs::Histogram hist(obs::Histogram::DefaultLatencyBoundsUs());
+      double latency = MeanSuggestLatency(*engines[m], tests, 10, &hist);
       latencies[m].push_back(latency);
-      std::printf("  users=%4zu  %-7s %8.2f ms/suggestion\n", users,
-                  names[m].c_str(), latency * 1e3);
+      std::printf(
+          "  users=%4zu  %-7s %8.2f ms/suggestion  "
+          "(p50 %.2f / p95 %.2f / p99 %.2f ms)\n",
+          users, names[m].c_str(), latency * 1e3, hist.Quantile(0.5) * 1e-3,
+          hist.Quantile(0.95) * 1e-3, hist.Quantile(0.99) * 1e-3);
     }
+    if (emit_stats) EmitStageBreakdown(pqsda, tests, users);
   }
 
   double min_latency = 1e100;

@@ -217,11 +217,20 @@ bench/CMakeFiles/ablation_context_decay.dir/ablation_context_decay.cc.o: \
  /root/repo/src/graph/bipartite.h /root/repo/src/graph/csr_matrix.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/graph/multi_bipartite.h /root/repo/src/log/sessionizer.h \
- /root/repo/src/eval/relevance.h /root/repo/src/eval/report.h \
- /root/repo/src/eval/synthetic_adapters.h /root/repo/src/eval/diversity.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/eval/relevance.h \
+ /root/repo/src/eval/report.h /root/repo/src/eval/synthetic_adapters.h \
+ /root/repo/src/eval/diversity.h \
  /root/repo/src/suggest/concept_suggester.h \
  /root/repo/src/suggest/pqsda_diversifier.h \
  /root/repo/src/graph/compact_builder.h \
  /root/repo/src/solver/regularization.h \
  /root/repo/src/solver/linear_solvers.h \
- /root/repo/src/suggest/hitting_time_suggester.h
+ /root/repo/src/suggest/hitting_time_suggester.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h

@@ -215,4 +215,12 @@ bench/CMakeFiles/ablation_representation.dir/bench_util.cc.o: \
  /root/repo/src/synthetic/user_model.h /root/repo/src/graph/click_graph.h \
  /root/repo/src/graph/bipartite.h /root/repo/src/graph/csr_matrix.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/graph/multi_bipartite.h /root/repo/src/log/sessionizer.h
+ /root/repo/src/graph/multi_bipartite.h /root/repo/src/log/sessionizer.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

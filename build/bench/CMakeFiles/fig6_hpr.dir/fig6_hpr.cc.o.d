@@ -218,12 +218,21 @@ bench/CMakeFiles/fig6_hpr.dir/fig6_hpr.cc.o: /root/repo/bench/fig6_hpr.cc \
  /root/repo/src/synthetic/user_model.h /root/repo/src/graph/click_graph.h \
  /root/repo/src/graph/bipartite.h /root/repo/src/graph/csr_matrix.h \
  /usr/include/c++/12/span /root/repo/src/graph/multi_bipartite.h \
- /root/repo/src/log/sessionizer.h /root/repo/src/core/pqsda_engine.h \
+ /root/repo/src/log/sessionizer.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/pqsda_engine.h \
  /root/repo/src/suggest/pqsda_diversifier.h \
  /root/repo/src/graph/compact_builder.h \
  /root/repo/src/solver/regularization.h \
  /root/repo/src/solver/linear_solvers.h \
  /root/repo/src/suggest/hitting_time_suggester.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h \
  /root/repo/src/topic/corpus.h /root/repo/src/topic/upm.h \
  /root/repo/src/optim/lbfgs.h /root/repo/src/topic/model.h \
  /root/repo/src/eval/hpr.h /root/repo/src/eval/report.h \

@@ -90,7 +90,8 @@ bench/CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/memory \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -222,10 +223,12 @@ bench/CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cc.o: \
  /root/repo/src/graph/bipartite.h /root/repo/src/graph/csr_matrix.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/graph/multi_bipartite.h /root/repo/src/log/sessionizer.h \
- /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/eval/report.h \
  /root/repo/src/eval/synthetic_adapters.h /root/repo/src/eval/diversity.h \
@@ -237,4 +240,5 @@ bench/CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cc.o: \
  /root/repo/src/suggest/pqsda_diversifier.h \
  /root/repo/src/graph/compact_builder.h \
  /root/repo/src/solver/regularization.h \
- /root/repo/src/solver/linear_solvers.h
+ /root/repo/src/solver/linear_solvers.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h

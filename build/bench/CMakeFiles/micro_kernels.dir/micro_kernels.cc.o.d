@@ -226,10 +226,17 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o: \
  /root/repo/src/graph/bipartite.h /root/repo/src/graph/csr_matrix.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/graph/multi_bipartite.h /root/repo/src/log/sessionizer.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/graph/compact_builder.h \
  /root/repo/src/solver/regularization.h \
  /root/repo/src/solver/linear_solvers.h \
  /root/repo/src/suggest/hitting_time_suggester.h \
  /root/repo/src/topic/corpus.h /root/repo/src/topic/upm.h \
- /root/repo/src/optim/lbfgs.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /root/repo/src/topic/model.h
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/optim/lbfgs.h /root/repo/src/topic/model.h

@@ -28,7 +28,11 @@ examples/CMakeFiles/suggest_cli.dir/suggest_cli.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/iostream \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
+ /usr/include/string.h \
+ /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
+ /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
+ /usr/include/strings.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
@@ -36,8 +40,6 @@ examples/CMakeFiles/suggest_cli.dir/suggest_cli.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception.h \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/exception_defines.h \
@@ -217,14 +219,21 @@ examples/CMakeFiles/suggest_cli.dir/suggest_cli.cc.o: \
  /root/repo/src/solver/regularization.h \
  /root/repo/src/solver/linear_solvers.h /root/repo/src/suggest/engine.h \
  /root/repo/src/suggest/hitting_time_suggester.h \
- /root/repo/src/graph/click_graph.h /root/repo/src/topic/corpus.h \
- /root/repo/src/topic/upm.h /root/repo/src/optim/lbfgs.h \
+ /root/repo/src/graph/click_graph.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/topic/corpus.h /root/repo/src/topic/upm.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/topic/model.h \
- /root/repo/src/log/log_io.h /root/repo/src/synthetic/generator.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/optim/lbfgs.h \
+ /root/repo/src/topic/model.h /root/repo/src/log/log_io.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/timer.h /root/repo/src/synthetic/generator.h \
  /root/repo/src/synthetic/facet_model.h /root/repo/src/common/rng.h \
  /root/repo/src/common/zipf.h /root/repo/src/synthetic/taxonomy.h \
  /root/repo/src/synthetic/user_model.h

@@ -146,6 +146,6 @@ examples/CMakeFiles/user_profiling_demo.dir/user_profiling_demo.cc.o: \
  /root/repo/src/common/zipf.h /root/repo/src/synthetic/taxonomy.h \
  /root/repo/src/synthetic/user_model.h /root/repo/src/topic/corpus.h \
  /root/repo/src/topic/perplexity.h /root/repo/src/topic/model.h \
- /root/repo/src/topic/upm.h /root/repo/src/optim/lbfgs.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/array
+ /root/repo/src/topic/upm.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/array /root/repo/src/optim/lbfgs.h

@@ -32,6 +32,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/log/log_io.cc" "src/CMakeFiles/pqsda.dir/log/log_io.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/log_io.cc.o.d"
   "/root/repo/src/log/record.cc" "src/CMakeFiles/pqsda.dir/log/record.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/record.cc.o.d"
   "/root/repo/src/log/sessionizer.cc" "src/CMakeFiles/pqsda.dir/log/sessionizer.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/log/sessionizer.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/pqsda.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/pqsda.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/obs/trace.cc.o.d"
   "/root/repo/src/optim/beta_fit.cc" "src/CMakeFiles/pqsda.dir/optim/beta_fit.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/optim/beta_fit.cc.o.d"
   "/root/repo/src/optim/dirichlet_opt.cc" "src/CMakeFiles/pqsda.dir/optim/dirichlet_opt.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/optim/dirichlet_opt.cc.o.d"
   "/root/repo/src/optim/lbfgs.cc" "src/CMakeFiles/pqsda.dir/optim/lbfgs.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/optim/lbfgs.cc.o.d"
@@ -45,6 +47,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/suggest/hitting_time_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/hitting_time_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/hitting_time_suggester.cc.o.d"
   "/root/repo/src/suggest/pqsda_diversifier.cc" "src/CMakeFiles/pqsda.dir/suggest/pqsda_diversifier.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/pqsda_diversifier.cc.o.d"
   "/root/repo/src/suggest/random_walk_suggester.cc" "src/CMakeFiles/pqsda.dir/suggest/random_walk_suggester.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/random_walk_suggester.cc.o.d"
+  "/root/repo/src/suggest/suggest_stats.cc" "src/CMakeFiles/pqsda.dir/suggest/suggest_stats.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/suggest/suggest_stats.cc.o.d"
   "/root/repo/src/synthetic/facet_model.cc" "src/CMakeFiles/pqsda.dir/synthetic/facet_model.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/facet_model.cc.o.d"
   "/root/repo/src/synthetic/generator.cc" "src/CMakeFiles/pqsda.dir/synthetic/generator.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/generator.cc.o.d"
   "/root/repo/src/synthetic/taxonomy.cc" "src/CMakeFiles/pqsda.dir/synthetic/taxonomy.cc.o" "gcc" "src/CMakeFiles/pqsda.dir/synthetic/taxonomy.cc.o.d"

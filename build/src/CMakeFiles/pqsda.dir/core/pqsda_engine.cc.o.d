@@ -216,11 +216,21 @@ src/CMakeFiles/pqsda.dir/core/pqsda_engine.cc.o: \
  /root/repo/src/solver/regularization.h \
  /root/repo/src/solver/linear_solvers.h /root/repo/src/suggest/engine.h \
  /root/repo/src/suggest/hitting_time_suggester.h \
- /root/repo/src/graph/click_graph.h /root/repo/src/topic/corpus.h \
- /root/repo/src/topic/upm.h /root/repo/src/optim/lbfgs.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/graph/click_graph.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/topic/corpus.h \
+ /root/repo/src/topic/upm.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/topic/model.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/optim/lbfgs.h \
+ /root/repo/src/topic/model.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/timer.h \
  /root/repo/src/rank/borda.h

@@ -139,14 +139,14 @@ src/CMakeFiles/pqsda.dir/core/profile_store.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/log/record.h /root/repo/src/topic/corpus.h \
  /root/repo/src/common/interner.h /root/repo/src/log/sessionizer.h \
- /root/repo/src/topic/upm.h /root/repo/src/optim/lbfgs.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
+ /root/repo/src/topic/upm.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/topic/model.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/optim/lbfgs.h \
+ /usr/include/c++/12/cstddef /root/repo/src/topic/model.h \
  /usr/include/c++/12/charconv /usr/include/c++/12/bit \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
  /usr/include/c++/12/fstream /usr/include/c++/12/istream \

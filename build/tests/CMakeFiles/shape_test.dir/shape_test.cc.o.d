@@ -303,7 +303,10 @@ tests/CMakeFiles/shape_test.dir/shape_test.cc.o: \
  /root/repo/src/solver/regularization.h \
  /root/repo/src/solver/linear_solvers.h /root/repo/src/suggest/engine.h \
  /root/repo/src/suggest/hitting_time_suggester.h \
- /root/repo/src/graph/click_graph.h /root/repo/src/topic/corpus.h \
+ /root/repo/src/graph/click_graph.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/topic/corpus.h \
  /root/repo/src/topic/upm.h /root/repo/src/optim/lbfgs.h \
  /root/repo/src/topic/model.h /root/repo/src/eval/diversity.h \
  /root/repo/src/eval/harness.h /root/repo/src/synthetic/generator.h \

@@ -307,4 +307,7 @@ tests/CMakeFiles/suggest_test.dir/suggest_test.cc.o: \
  /root/repo/src/suggest/pqsda_diversifier.h \
  /root/repo/src/graph/compact_builder.h \
  /root/repo/src/solver/regularization.h \
- /root/repo/src/solver/linear_solvers.h
+ /root/repo/src/solver/linear_solvers.h \
+ /root/repo/src/suggest/suggest_stats.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio

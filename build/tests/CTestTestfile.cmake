@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/text_log_test[1]_include.cmake")
 include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
 include("/root/repo/build/tests/graph_test[1]_include.cmake")

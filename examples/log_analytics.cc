@@ -2,21 +2,43 @@
 // (AOL-style), clean it, derive sessions, and print multi-bipartite
 // statistics including the cfiqf weighting at work (Eqs. 1-6).
 //
-//   ./build/examples/log_analytics [path.tsv]
+//   ./build/examples/log_analytics [--stats] [path.tsv]
+//
+// Every stage is timed into the process metrics registry
+// (pqsda.analytics.<stage>_us); --stats prints the registry as JSON at the
+// end so pipeline cost can be compared across log sizes.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "graph/multi_bipartite.h"
 #include "log/cleaner.h"
 #include "log/log_io.h"
 #include "log/sessionizer.h"
+#include "obs/metrics.h"
 #include "synthetic/generator.h"
 
 using namespace pqsda;
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : "/tmp/pqsda_demo_log.tsv";
+  bool show_stats = false;
+  const char* path_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
+    } else {
+      path_arg = argv[i];
+    }
+  }
+  const std::string path =
+      path_arg != nullptr ? path_arg : "/tmp/pqsda_demo_log.tsv";
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  auto stage_hist = [&registry](const char* stage) -> obs::Histogram& {
+    return registry.GetHistogram(std::string("pqsda.analytics.") + stage +
+                                 "_us");
+  };
 
   GeneratorConfig config;
   config.num_users = 150;
@@ -25,11 +47,17 @@ int main(int argc, char** argv) {
               config.num_users);
 
   // Round-trip through the TSV format.
-  if (auto st = WriteLogTsv(path, data.records); !st.ok()) {
-    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
-    return 1;
+  {
+    obs::ScopedTimer timer(stage_hist("write_tsv"));
+    if (auto st = WriteLogTsv(path, data.records); !st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
-  auto read = ReadLogTsv(path);
+  auto read = [&] {
+    obs::ScopedTimer timer(stage_hist("read_tsv"));
+    return ReadLogTsv(path);
+  }();
   if (!read.ok()) {
     std::fprintf(stderr, "read failed: %s\n",
                  read.status().ToString().c_str());
@@ -42,7 +70,11 @@ int main(int argc, char** argv) {
   CleanerOptions cleaner_options;
   cleaner_options.max_records_per_user = 2000;
   CleanerStats stats;
-  auto cleaned = CleanLog(std::move(read).value(), cleaner_options, &stats);
+  std::vector<QueryLogRecord> cleaned;
+  {
+    obs::ScopedTimer timer(stage_hist("clean"));
+    cleaned = CleanLog(std::move(read).value(), cleaner_options, &stats);
+  }
   std::printf("cleaning: %zu in, %zu out (%zu duplicate-collapsed, %zu "
               "dropped)\n",
               stats.input_records, stats.output_records,
@@ -50,7 +82,11 @@ int main(int argc, char** argv) {
               stats.dropped_empty + stats.dropped_length);
 
   // Sessionize.
-  auto sessions = Sessionize(cleaned);
+  std::vector<Session> sessions;
+  {
+    obs::ScopedTimer timer(stage_hist("sessionize"));
+    sessions = Sessionize(cleaned);
+  }
   double mean_len = cleaned.empty() ? 0.0
                                     : static_cast<double>(cleaned.size()) /
                                           static_cast<double>(sessions.size());
@@ -58,7 +94,10 @@ int main(int argc, char** argv) {
               mean_len);
 
   // Multi-bipartite statistics.
-  auto mb = MultiBipartite::Build(cleaned, sessions, EdgeWeighting::kRaw);
+  auto mb = [&] {
+    obs::ScopedTimer timer(stage_hist("build_multi_bipartite"));
+    return MultiBipartite::Build(cleaned, sessions, EdgeWeighting::kRaw);
+  }();
   std::printf("\nmulti-bipartite representation:\n");
   std::printf("  %zu query nodes\n", mb.num_queries());
   const char* names[3] = {"query-URL", "query-session", "query-term"};
@@ -87,6 +126,11 @@ int main(int argc, char** argv) {
     auto& [iqf, t] = by_iqf[by_iqf.size() - 1 - i];
     std::printf("  %-12s iqf=%.3f (in %u queries)\n",
                 mb.terms().Get(t).c_str(), iqf, terms.ObjectQueryDegree(t));
+  }
+
+  if (show_stats) {
+    std::printf("\nstage timings (metrics registry):\n%s\n",
+                registry.ExportJson().c_str());
   }
   return 0;
 }

@@ -2,33 +2,50 @@
 // PQS-DA engine from a log file (or a generated demo log when none is
 // given), then reads queries from stdin and prints suggestions.
 //
-//   ./build/examples/suggest_cli [log.tsv]
+//   ./build/examples/suggest_cli [--stats] [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
+//   > metrics                  # dump the process metrics registry (JSON)
 //   > quit
+//
+// With --stats every answer is followed by the request's stage trace and
+// work counters (SuggestStats::Render()): per-stage wall micros for
+// expansion, the Eq. 15 solve, hitting-time selection and the UPM rerank.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/pqsda_engine.h"
 #include "log/log_io.h"
+#include "obs/metrics.h"
 #include "synthetic/generator.h"
 
 using namespace pqsda;
 
 int main(int argc, char** argv) {
+  bool show_stats = false;
+  const char* log_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
+    } else {
+      log_path = argv[i];
+    }
+  }
+
   std::vector<QueryLogRecord> records;
-  if (argc > 1) {
-    auto read = ReadLogTsv(argv[1]);
+  if (log_path != nullptr) {
+    auto read = ReadLogTsv(log_path);
     if (!read.ok()) {
-      std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+      std::fprintf(stderr, "cannot read %s: %s\n", log_path,
                    read.status().ToString().c_str());
       return 1;
     }
     records = std::move(read).value();
-    std::printf("loaded %zu records from %s\n", records.size(), argv[1]);
+    std::printf("loaded %zu records from %s\n", records.size(), log_path);
   } else {
     GeneratorConfig config;
     config.num_users = 150;
@@ -49,13 +66,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("ready. type a query ('@<user-id> <query>' to personalize, "
-              "'quit' to exit)\n");
+              "'metrics' for the registry, 'quit' to exit)\n");
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") break;
     if (line.empty()) continue;
+    if (line == "metrics") {
+      std::printf("%s\n", obs::MetricsRegistry::Default().ExportJson().c_str());
+      continue;
+    }
 
     SuggestionRequest request;
     request.user = kNoUser;
@@ -73,7 +94,9 @@ int main(int argc, char** argv) {
     }
     if (request.query.empty()) continue;
 
-    auto suggestions = (*engine)->Suggest(request, 10);
+    SuggestStats stats;
+    auto suggestions =
+        (*engine)->Suggest(request, 10, show_stats ? &stats : nullptr);
     if (!suggestions.ok()) {
       std::printf("  (%s)\n", suggestions.status().ToString().c_str());
       continue;
@@ -81,6 +104,7 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < suggestions->size(); ++i) {
       std::printf("  %2zu. %s\n", i + 1, (*suggestions)[i].query.c_str());
     }
+    if (show_stats) std::printf("\n%s", stats.Render().c_str());
   }
   return 0;
 }

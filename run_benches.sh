@@ -7,6 +7,20 @@ cd "$(dirname "$0")"
 B=build/bench
 run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 
+# Verify step: race-check the observability layer (thread-local span stacks,
+# atomic counters) by running obs_test under ThreadSanitizer before spending
+# 20 minutes on figures. Skip with PQSDA_TSAN_VERIFY=0.
+if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
+  echo "===== verify: obs_test under ThreadSanitizer ====="
+  cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
+    cmake --build build-tsan --target obs_test -j >/dev/null &&
+    timeout 600 ./build-tsan/tests/obs_test || {
+      echo "TSAN verify failed" >&2
+      exit 1
+    }
+  echo
+fi
+
 run fig3_diversity_relevance PQSDA_USERS=200 PQSDA_TESTS=120
 run fig4_perplexity PQSDA_USERS=250 PQSDA_TOPICS=16 PQSDA_GIBBS=80
 run fig5_personalized PQSDA_USERS=200 PQSDA_MAX_EVAL=300 PQSDA_TOPICS=32 PQSDA_GIBBS=60

@@ -25,6 +25,14 @@ class WallTimer {
         .count();
   }
 
+  /// Elapsed time in nanoseconds (full clock resolution; used by the
+  /// observability layer so sub-microsecond stages don't round to zero).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

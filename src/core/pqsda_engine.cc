@@ -1,5 +1,9 @@
 #include "core/pqsda_engine.h"
 
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rank/borda.h"
 
 namespace pqsda {
@@ -13,8 +17,16 @@ double Personalizer::PreferenceScore(UserId user,
 
 std::vector<Suggestion> Personalizer::Rerank(
     UserId user, const std::vector<Suggestion>& list) const {
+  static obs::Histogram& rerank_us = obs::MetricsRegistry::Default()
+      .GetHistogram("pqsda.suggest.personalization_us");
+  obs::TraceSpan span("personalization");
+  obs::ScopedTimer timer(rerank_us);
   size_t doc = corpus_->DocumentOf(user);
-  if (doc == SIZE_MAX || list.empty()) return list;
+  if (doc == SIZE_MAX || list.empty()) {
+    span.Annotate("known_user", std::string("false"));
+    return list;
+  }
+  span.Annotate("candidates", static_cast<int64_t>(list.size()));
   std::vector<std::string> items;
   std::vector<double> prefs;
   items.reserve(list.size());
@@ -35,33 +47,112 @@ StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
   if (records.empty()) {
     return Status::InvalidArgument("empty query log");
   }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  static obs::Counter& builds_total = reg.GetCounter("pqsda.build.total");
+  static obs::Histogram& sessionize_us =
+      reg.GetHistogram("pqsda.build.sessionize_us");
+  static obs::Histogram& representation_us =
+      reg.GetHistogram("pqsda.build.representation_us");
+  static obs::Histogram& corpus_us = reg.GetHistogram("pqsda.build.corpus_us");
+  static obs::Histogram& upm_train_us =
+      reg.GetHistogram("pqsda.build.upm_train_us");
+  static obs::Gauge& num_queries = reg.GetGauge("pqsda.build.queries");
+  static obs::Gauge& num_sessions = reg.GetGauge("pqsda.build.sessions");
+  const bool metrics = config.collect_metrics;
+
   std::unique_ptr<PqsdaEngine> engine(new PqsdaEngine());
   SortByUserAndTime(records);
   engine->records_ = std::move(records);
-  engine->sessions_ = Sessionize(engine->records_, config.sessionizer);
-  engine->mb_ = std::make_unique<MultiBipartite>(MultiBipartite::Build(
-      engine->records_, engine->sessions_, config.weighting));
-  engine->corpus_ = std::make_unique<QueryLogCorpus>(
-      QueryLogCorpus::Build(engine->records_, engine->sessions_));
+  {
+    obs::TraceSpan span("sessionize");
+    obs::ScopedTimer timer(metrics ? &sessionize_us : nullptr);
+    engine->sessions_ = Sessionize(engine->records_, config.sessionizer);
+  }
+  {
+    obs::TraceSpan span("representation");
+    obs::ScopedTimer timer(metrics ? &representation_us : nullptr);
+    engine->mb_ = std::make_unique<MultiBipartite>(MultiBipartite::Build(
+        engine->records_, engine->sessions_, config.weighting));
+  }
+  {
+    obs::TraceSpan span("corpus");
+    obs::ScopedTimer timer(metrics ? &corpus_us : nullptr);
+    engine->corpus_ = std::make_unique<QueryLogCorpus>(
+        QueryLogCorpus::Build(engine->records_, engine->sessions_));
+  }
   engine->diversifier_ =
       std::make_unique<PqsdaDiversifier>(*engine->mb_, config.diversifier);
   if (config.personalize) {
-    engine->upm_ = std::make_unique<UpmModel>(config.upm);
+    obs::TraceSpan span("upm_train");
+    obs::ScopedTimer timer(metrics ? &upm_train_us : nullptr);
+    // Tee Gibbs progress into the registry (sweep counter/latency and the
+    // convergence gauge), then onward to any caller-supplied callback.
+    UpmOptions upm_options = config.upm;
+    if (metrics) {
+      auto user_progress = upm_options.progress;
+      upm_options.progress = [user_progress](const GibbsSweepStats& s) {
+        obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+        static obs::Counter& sweeps = r.GetCounter("pqsda.upm.sweeps_total");
+        static obs::Histogram& sweep_us =
+            r.GetHistogram("pqsda.upm.sweep_us");
+        static obs::Gauge& log_posterior =
+            r.GetGauge("pqsda.upm.log_posterior");
+        sweeps.Increment();
+        sweep_us.Observe(static_cast<double>(s.duration_us));
+        log_posterior.Set(s.log_posterior);
+        if (user_progress) user_progress(s);
+      };
+    }
+    engine->upm_ = std::make_unique<UpmModel>(upm_options);
     engine->upm_->Train(*engine->corpus_);
     engine->personalizer_ = std::make_unique<Personalizer>(
         *engine->upm_, *engine->corpus_, config.preference_borda_weight);
+  }
+  if (metrics) {
+    builds_total.Increment();
+    num_queries.Set(static_cast<double>(engine->mb_->num_queries()));
+    num_sessions.Set(static_cast<double>(engine->sessions_.size()));
   }
   return engine;
 }
 
 StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
-    const SuggestionRequest& request, size_t k) const {
-  auto diversified = diversifier_->Suggest(request, k);
-  if (!diversified.ok()) return diversified.status();
-  if (personalizer_ == nullptr || request.user == kNoUser) {
-    return diversified;
+    const SuggestionRequest& request, size_t k, SuggestStats* stats) const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  static obs::Counter& requests_total =
+      reg.GetCounter("pqsda.suggest.requests_total");
+  static obs::Counter& errors_total =
+      reg.GetCounter("pqsda.suggest.errors_total");
+  static obs::Counter& personalized_total =
+      reg.GetCounter("pqsda.suggest.personalized_total");
+  static obs::Histogram& latency_us =
+      reg.GetHistogram("pqsda.suggest.latency_us");
+
+  requests_total.Increment();
+  obs::ScopedTimer timer(latency_us);
+
+  // With stats requested, the whole request runs under one trace; the
+  // diversifier's and personalizer's stage spans attach to it.
+  std::optional<obs::TraceCollector> collector;
+  if (stats != nullptr) collector.emplace("suggest");
+
+  auto diversified = diversifier_->Diversify(request, k, stats);
+  if (!diversified.ok()) {
+    errors_total.Increment();
+    if (collector.has_value()) stats->trace = collector->Take();
+    return diversified.status();
   }
-  return personalizer_->Rerank(request.user, *diversified);
+  std::vector<Suggestion> list = std::move(diversified->candidates);
+  if (personalizer_ != nullptr && request.user != kNoUser) {
+    list = personalizer_->Rerank(request.user, list);
+    personalized_total.Increment();
+    if (stats != nullptr) stats->personalized = true;
+  }
+  if (stats != nullptr) {
+    stats->suggestions_returned = list.size();
+    if (collector.has_value()) stats->trace = collector->Take();
+  }
+  return list;
 }
 
 }  // namespace pqsda

@@ -9,6 +9,7 @@
 #include "graph/multi_bipartite.h"
 #include "log/sessionizer.h"
 #include "suggest/pqsda_diversifier.h"
+#include "suggest/suggest_stats.h"
 #include "topic/corpus.h"
 #include "topic/upm.h"
 
@@ -55,6 +56,11 @@ struct PqsdaEngineConfig {
   /// Weighted-Borda multiplicity of the preference ranking (see
   /// Personalizer).
   size_t preference_borda_weight = 2;
+  /// When false, Build skips the coarse registry instrumentation (stage
+  /// histograms and counters in obs::MetricsRegistry::Default()). Per-request
+  /// stats are independent of this flag: they are opted into per call by
+  /// passing a SuggestStats pointer to Suggest.
+  bool collect_metrics = true;
 };
 
 /// The complete PQS-DA system (Fig. 1): query-log representation +
@@ -68,8 +74,16 @@ class PqsdaEngine {
 
   /// Diversified and (if enabled and the user is known) personalized
   /// suggestions.
+  ///
+  /// `stats`, when non-null, opts this request into detailed observability:
+  /// it receives the end-to-end trace tree (stages "expansion",
+  /// "regularization_solve", "hitting_time_selection" and — when the rerank
+  /// ran — "personalization", each with microsecond durations and
+  /// annotations) plus the expansion/solver/selection work counters. With a
+  /// null pointer only the cheap always-on registry metrics are recorded.
   StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
-                                            size_t k) const;
+                                            size_t k,
+                                            SuggestStats* stats = nullptr) const;
 
   const MultiBipartite& representation() const { return *mb_; }
   const PqsdaDiversifier& diversifier() const { return *diversifier_; }

@@ -39,7 +39,7 @@ void StepThroughBipartite(const BipartiteGraph& g,
 
 StatusOr<CompactRepresentation> CompactBuilder::Build(
     StringId input_query, const std::vector<StringId>& context,
-    const CompactBuilderOptions& options) const {
+    const CompactBuilderOptions& options, CompactBuildStats* stats) const {
   if (input_query >= mb_->num_queries()) {
     return Status::InvalidArgument("input query id out of range");
   }
@@ -47,12 +47,12 @@ StatusOr<CompactRepresentation> CompactBuilder::Build(
   for (StringId c : context) {
     if (c < mb_->num_queries()) seeds.push_back(c);
   }
-  return BuildFromSeeds(seeds, options);
+  return BuildFromSeeds(seeds, options, stats);
 }
 
 StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
-    const std::vector<StringId>& seeds,
-    const CompactBuilderOptions& options) const {
+    const std::vector<StringId>& seeds, const CompactBuilderOptions& options,
+    CompactBuildStats* stats) const {
   if (seeds.empty()) {
     return Status::InvalidArgument("seed set must not be empty");
   }
@@ -72,6 +72,10 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
     rep.queries.push_back(q);
   };
   for (StringId s : seeds) add_query(s);
+  if (stats != nullptr) {
+    *stats = CompactBuildStats{};
+    stats->seeds = rep.queries.size();
+  }
 
   // Expansion: accumulate two-step walk probability from the current member
   // set, averaged over the three bipartites; each round admits the
@@ -87,10 +91,15 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
     for (BipartiteKind kind : kAllBipartites) {
       StepThroughBipartite(mb_->graph(kind), mass, 1.0 / 3.0, reached);
     }
+    if (stats != nullptr) {
+      ++stats->rounds;
+      stats->walk_steps += 3;
+    }
     std::vector<std::pair<double, StringId>> outsiders;
     for (const auto& [q, p] : reached) {
       if (rep.local_index.count(q) == 0) outsiders.emplace_back(p, q);
     }
+    if (stats != nullptr) stats->candidates_scored += outsiders.size();
     if (outsiders.empty()) break;
     size_t admit = options.target_size - rep.queries.size();
     if (outsiders.size() > admit) {
@@ -101,6 +110,7 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
       std::sort(outsiders.begin(), outsiders.end(), std::greater<>());
     }
     for (const auto& [p, q] : outsiders) add_query(q);
+    if (stats != nullptr) stats->queries_admitted += outsiders.size();
     // Next round walks from everything reached (members included) so deeper
     // neighborhoods can surface.
     mass = std::move(reached);

@@ -55,6 +55,22 @@ struct CompactBuilderOptions {
   size_t max_rounds = 6;
 };
 
+/// Work counters of one compact-representation build, filled when the caller
+/// passes a stats pointer (the observability layer's hook into §IV-A
+/// expansion; the graph layer itself stays metrics-free).
+struct CompactBuildStats {
+  /// Seed queries the expansion started from.
+  size_t seeds = 0;
+  /// Expansion rounds actually executed (<= max_rounds).
+  size_t rounds = 0;
+  /// Two-step walk passes through a bipartite (3 per round).
+  size_t walk_steps = 0;
+  /// Outsider queries scored across all rounds (admitted or not).
+  size_t candidates_scored = 0;
+  /// Queries admitted beyond the seeds.
+  size_t queries_admitted = 0;
+};
+
 /// Expands the seed set (input query + search context) through the full
 /// multi-bipartite representation, scoring candidate queries by accumulated
 /// two-step walk probability (query -> object -> query averaged over the
@@ -65,17 +81,19 @@ class CompactBuilder {
   explicit CompactBuilder(const MultiBipartite& mb) : mb_(&mb) {}
 
   /// `input_query` must be a valid query id of the source representation;
-  /// context ids that are invalid are skipped.
+  /// context ids that are invalid are skipped. `stats`, when non-null,
+  /// receives the expansion work counters.
   StatusOr<CompactRepresentation> Build(
       StringId input_query, const std::vector<StringId>& context,
-      const CompactBuilderOptions& options) const;
+      const CompactBuilderOptions& options,
+      CompactBuildStats* stats = nullptr) const;
 
   /// Seed-set variant: expands from an arbitrary non-empty set of valid
   /// query ids (used for unknown input queries, which are seeded by their
   /// term-bipartite matches).
   StatusOr<CompactRepresentation> BuildFromSeeds(
-      const std::vector<StringId>& seeds,
-      const CompactBuilderOptions& options) const;
+      const std::vector<StringId>& seeds, const CompactBuilderOptions& options,
+      CompactBuildStats* stats = nullptr) const;
 
  private:
   const MultiBipartite* mb_;

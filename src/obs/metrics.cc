@@ -1,0 +1,265 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pqsda::obs {
+
+namespace {
+
+// 0 = counter, 1 = gauge, 2 = histogram.
+constexpr int kCounter = 0;
+constexpr int kGauge = 1;
+constexpr int kHistogram = 2;
+
+// Integers render without a decimal point so golden exports are stable
+// across platforms; everything else uses %.6g.
+std::string FormatNumber(double v) {
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  // upper_bound gives the first bound strictly greater; bounds are
+  // inclusive, so a value exactly on a bound belongs to that bucket.
+  if (b > 0 && value == bounds_[b - 1]) --b;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = {
+      1,     2,     5,     10,    20,    50,    100,   200,
+      500,   1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,
+      2e5,   5e5,   1e6,   2e6,   5e6};
+  return kBounds;
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  int kind = kCounter;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
+    const std::string& name, int kind, const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name && e->kind == kind) return *e;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = kind;
+  if (kind == kHistogram) {
+    entry->histogram = std::make_unique<Histogram>(
+        bounds != nullptr ? *bounds : Histogram::DefaultLatencyBoundsUs());
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return FindOrCreate(name, kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return FindOrCreate(name, kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>* bounds) {
+  return *FindOrCreate(name, kHistogram, bounds).histogram;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    e->counter.Reset();
+    e->gauge.Reset();
+    if (e->histogram) e->histogram->Reset();
+  }
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) sorted.push_back(e.get());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+
+  std::string out = "{";
+  for (int kind : {kCounter, kGauge, kHistogram}) {
+    const char* section = kind == kCounter  ? "counters"
+                          : kind == kGauge ? "gauges"
+                                            : "histograms";
+    if (kind != kCounter) out += ",";
+    out += "\"";
+    out += section;
+    out += "\":{";
+    bool first = true;
+    for (const Entry* e : sorted) {
+      if (e->kind != kind) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(e->name) + "\":";
+      if (kind == kCounter) {
+        out += FormatNumber(static_cast<double>(e->counter.Value()));
+      } else if (kind == kGauge) {
+        out += FormatNumber(e->gauge.Value());
+      } else {
+        const Histogram& h = *e->histogram;
+        out += "{\"count\":" + FormatNumber(static_cast<double>(h.Count()));
+        out += ",\"sum\":" + FormatNumber(h.Sum());
+        out += ",\"mean\":" + FormatNumber(h.Mean());
+        out += ",\"p50\":" + FormatNumber(h.Quantile(0.50));
+        out += ",\"p95\":" + FormatNumber(h.Quantile(0.95));
+        out += ",\"p99\":" + FormatNumber(h.Quantile(0.99));
+        out += "}";
+      }
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_) sorted.push_back(e.get());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+
+  std::string out;
+  for (const Entry* e : sorted) {
+    std::string name = PrometheusName(e->name);
+    if (e->kind == kCounter) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " +
+             FormatNumber(static_cast<double>(e->counter.Value())) + "\n";
+    } else if (e->kind == kGauge) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + FormatNumber(e->gauge.Value()) + "\n";
+    } else {
+      const Histogram& h = *e->histogram;
+      out += "# TYPE " + name + " histogram\n";
+      std::vector<uint64_t> counts = h.BucketCounts();
+      uint64_t cum = 0;
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        cum += counts[i];
+        out += name + "_bucket{le=\"" + FormatNumber(h.bounds()[i]) + "\"} " +
+               FormatNumber(static_cast<double>(cum)) + "\n";
+      }
+      cum += counts[h.bounds().size()];
+      out += name + "_bucket{le=\"+Inf\"} " +
+             FormatNumber(static_cast<double>(cum)) + "\n";
+      out += name + "_sum " + FormatNumber(h.Sum()) + "\n";
+      out += name + "_count " + FormatNumber(static_cast<double>(h.Count())) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace pqsda::obs

@@ -1,0 +1,152 @@
+#ifndef PQSDA_OBS_METRICS_H_
+#define PQSDA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace pqsda::obs {
+
+/// Monotonically increasing event count. Increment is a single relaxed
+/// atomic add — safe and cheap to call from any thread on a hot path.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (residuals, sizes, likelihoods).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram for non-negative observations (latencies in
+/// microseconds by default). Observe is lock-free: a binary search over the
+/// immutable bucket bounds plus two relaxed atomic adds. Percentiles are
+/// estimated by linear interpolation inside the containing bucket, so their
+/// resolution is the bucket width — plenty for p50/p95/p99 latency
+/// reporting.
+class Histogram {
+ public:
+  /// `bounds` are the strictly increasing inclusive upper bounds; a +Inf
+  /// overflow bucket is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Estimated value at quantile `q` in [0, 1] (0.5 = median). Returns 0
+  /// for an empty histogram; observations in the overflow bucket report the
+  /// largest finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative-free per-bucket counts; counts[bounds.size()] is overflow.
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+  /// Default latency bucket bounds in microseconds: 1us .. 5s, roughly
+  /// 1-2-5 per decade.
+  static const std::vector<double>& DefaultLatencyBoundsUs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry of named metrics. Lookup takes a mutex (cache the
+/// returned reference at the call site — metrics are never deallocated while
+/// the registry lives); recording on a found metric is lock-free. Exportable
+/// as JSON or Prometheus text exposition format.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is used only when the histogram is created by this call;
+  /// nullptr means DefaultLatencyBoundsUs().
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>* bounds = nullptr);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,p50,
+  /// p95,p99}}} with names in sorted order (deterministic output).
+  std::string ExportJson() const;
+  /// Prometheus text exposition format; metric names are sanitized to
+  /// [a-zA-Z0-9_:] and emitted in sorted order.
+  std::string ExportPrometheus() const;
+
+  /// Zeroes every registered metric in place. References handed out by the
+  /// Get* methods stay valid (tests and long-lived cached pointers rely on
+  /// this).
+  void Reset();
+
+  /// The process-wide registry the library's built-in instrumentation
+  /// records into.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry;
+
+  Entry& FindOrCreate(const std::string& name, int kind,
+                      const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+};
+
+/// RAII timer recording its scope's duration into a histogram (in
+/// microseconds, with sub-microsecond precision) on destruction. A null
+/// histogram makes it a plain stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(timer_.ElapsedNanos()) * 1e-3);
+    }
+  }
+
+  int64_t ElapsedNanos() const { return timer_.ElapsedNanos(); }
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_METRICS_H_

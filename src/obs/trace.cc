@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace pqsda::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The innermost open span of the innermost installed collector, and the
+// trace root's start time (span offsets are relative to it). Thread-local:
+// concurrent requests on different threads trace independently.
+thread_local SpanNode* tl_current = nullptr;
+thread_local Clock::time_point tl_base;
+
+int64_t NanosSince(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+      .count();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const SpanNode* SpanNode::Find(std::string_view span_name) const {
+  if (name == span_name) return this;
+  for (const auto& child : children) {
+    if (const SpanNode* hit = child->Find(span_name)) return hit;
+  }
+  return nullptr;
+}
+
+size_t SpanNode::TotalSpans() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->TotalSpans();
+  return n;
+}
+
+int64_t SpanNode::ChildDurationNs() const {
+  int64_t total = 0;
+  for (const auto& child : children) total += child->duration_ns;
+  return total;
+}
+
+std::string SpanNode::Render(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(duration_us()));
+  out += name + "  " + buf + "us";
+  for (const auto& [k, v] : annotations) {
+    out += "  " + k + "=" + v;
+  }
+  out += "\n";
+  for (const auto& child : children) out += child->Render(indent + 1);
+  return out;
+}
+
+std::string SpanNode::ToJson() const {
+  char buf[64];
+  std::string out = "{\"name\":\"" + JsonEscape(name) + "\"";
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(start_us()));
+  out += ",\"start_us\":";
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(duration_us()));
+  out += ",\"duration_us\":";
+  out += buf;
+  if (!annotations.empty()) {
+    out += ",\"annotations\":{";
+    for (size_t i = 0; i < annotations.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(annotations[i].first) + "\":\"" +
+             JsonEscape(annotations[i].second) + "\"";
+    }
+    out += "}";
+  }
+  if (!children.empty()) {
+    out += ",\"children\":[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ",";
+      out += children[i]->ToJson();
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+bool TraceActive() { return tl_current != nullptr; }
+
+TraceCollector::TraceCollector(std::string root_name) {
+  root_.name = std::move(root_name);
+  prev_current_ = tl_current;
+  prev_base_ = tl_base;
+  start_ = Clock::now();
+  tl_base = start_;
+  tl_current = &root_;
+  installed_ = true;
+}
+
+void TraceCollector::Uninstall() {
+  if (!installed_) return;
+  tl_current = prev_current_;
+  tl_base = prev_base_;
+  installed_ = false;
+}
+
+SpanNode TraceCollector::Take() {
+  root_.duration_ns = NanosSince(start_);
+  Uninstall();
+  return std::move(root_);
+}
+
+TraceCollector::~TraceCollector() { Uninstall(); }
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (tl_current == nullptr) return;
+  parent_ = tl_current;
+  auto node = std::make_unique<SpanNode>();
+  node->name.assign(name.data(), name.size());
+  start_ = Clock::now();
+  node->start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       start_ - tl_base)
+                       .count();
+  node_ = node.get();
+  parent_->children.push_back(std::move(node));
+  tl_current = node_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  node_->duration_ns = NanosSince(start_);
+  tl_current = parent_;
+}
+
+void TraceSpan::Annotate(std::string key, std::string value) {
+  if (node_ == nullptr) return;
+  node_->annotations.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::Annotate(std::string key, int64_t value) {
+  Annotate(std::move(key), std::to_string(value));
+}
+
+void TraceSpan::Annotate(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  Annotate(std::move(key), std::string(buf));
+}
+
+}  // namespace pqsda::obs

@@ -1,0 +1,102 @@
+#ifndef PQSDA_OBS_TRACE_H_
+#define PQSDA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pqsda::obs {
+
+/// One node of a per-request trace tree: a named stage with its wall time
+/// (nanosecond clock, reported in microseconds), key=value annotations and
+/// child stages.
+struct SpanNode {
+  std::string name;
+  /// Start offset relative to the trace root, and duration.
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  int64_t start_us() const { return start_ns / 1000; }
+  int64_t duration_us() const { return duration_ns / 1000; }
+
+  /// Depth-first search for the first descendant (or this node) with the
+  /// given name; nullptr when absent.
+  const SpanNode* Find(std::string_view span_name) const;
+  /// Total number of nodes in the subtree (including this one).
+  size_t TotalSpans() const;
+  /// Sum of the direct children's durations — how much of this span the
+  /// instrumented stages account for.
+  int64_t ChildDurationNs() const;
+
+  /// Indented human-readable tree, one span per line:
+  ///   name  1234us  [key=value ...]
+  std::string Render(int indent = 0) const;
+  /// {"name":...,"start_us":...,"duration_us":...,"annotations":{...},
+  ///  "children":[...]}
+  std::string ToJson() const;
+};
+
+/// True when a TraceCollector is installed on this thread — spans created
+/// now will be recorded.
+bool TraceActive();
+
+/// Installs a trace on the current thread for its lifetime: TraceSpans
+/// created below it attach to the tree. Collectors nest (a previously
+/// installed collector is restored on destruction), and each thread has its
+/// own span stack, so concurrent requests trace independently.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::string root_name);
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+  ~TraceCollector();
+
+  /// Finishes the root span and returns the tree; the collector uninstalls
+  /// immediately (subsequent spans on this thread go to the outer collector,
+  /// if any). Every TraceSpan opened under this collector must already be
+  /// destroyed — an open span's destructor would otherwise re-point the
+  /// thread's span stack at the moved-from tree.
+  SpanNode Take();
+
+ private:
+  void Uninstall();
+
+  SpanNode root_;
+  SpanNode* prev_current_ = nullptr;
+  std::chrono::steady_clock::time_point prev_base_;
+  std::chrono::steady_clock::time_point start_;
+  bool installed_ = false;
+};
+
+/// RAII scoped span. A no-op (one thread-local load) when no TraceCollector
+/// is installed on the thread — instrumentation can stay in place on hot
+/// paths with negligible cost when tracing is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Attaches a key=value annotation; dropped when the span is inactive.
+  void Annotate(std::string key, std::string value);
+  void Annotate(std::string key, int64_t value);
+  void Annotate(std::string key, double value);
+
+  bool active() const { return node_ != nullptr; }
+
+ private:
+  SpanNode* node_ = nullptr;
+  SpanNode* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_TRACE_H_

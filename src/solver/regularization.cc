@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace pqsda {
 
 std::vector<double> BuildF0(
@@ -48,10 +50,22 @@ CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
 
 StatusOr<std::vector<double>> SolveRegularization(
     const CompactRepresentation& rep, const std::vector<double>& f0,
-    const RegularizationOptions& options) {
+    const RegularizationOptions& options, SolverResult* result_out) {
   if (f0.size() != rep.size()) {
     return Status::InvalidArgument("f0 size does not match representation");
   }
+  // Registry handles are resolved once; recording below is lock-free.
+  static obs::Counter& solves =
+      obs::MetricsRegistry::Default().GetCounter("pqsda.solver.solves_total");
+  static obs::Counter& iterations =
+      obs::MetricsRegistry::Default().GetCounter(
+          "pqsda.solver.iterations_total");
+  static obs::Counter& nonconverged =
+      obs::MetricsRegistry::Default().GetCounter(
+          "pqsda.solver.nonconverged_total");
+  static obs::Gauge& last_residual =
+      obs::MetricsRegistry::Default().GetGauge("pqsda.solver.last_residual");
+
   CsrMatrix system = AssembleRegularizationSystem(rep, options.alpha);
   std::vector<double> f = f0;  // warm start from the seed
   SolverResult result;
@@ -66,7 +80,12 @@ StatusOr<std::vector<double>> SolveRegularization(
       result = ConjugateGradientSolve(system, f0, f, options.solver_options);
       break;
   }
+  solves.Increment();
+  iterations.Increment(result.iterations);
+  last_residual.Set(result.relative_residual);
+  if (result_out != nullptr) *result_out = result;
   if (!result.converged) {
+    nonconverged.Increment();
     return Status::NotConverged(
         "regularization solver: residual " +
         std::to_string(result.relative_residual) + " after " +

@@ -47,9 +47,17 @@ CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
 
 /// Solves Eq. 15 for F* given F^0. Returns the relevance estimate per local
 /// query, or NotConverged if the solver failed to reach tolerance.
+///
+/// `result`, when non-null, receives the solver outcome (iterations,
+/// relative residual at exit, convergence flag) on both the success and the
+/// NotConverged paths — the per-request stats and the metrics registry
+/// report it instead of dropping it on the floor. Every call increments
+/// `pqsda.solver.solves_total` / `pqsda.solver.iterations_total` in the
+/// default registry; a solve that exhausts max_iterations additionally
+/// increments the warning counter `pqsda.solver.nonconverged_total`.
 StatusOr<std::vector<double>> SolveRegularization(
     const CompactRepresentation& rep, const std::vector<double>& f0,
-    const RegularizationOptions& options);
+    const RegularizationOptions& options, SolverResult* result = nullptr);
 
 }  // namespace pqsda
 

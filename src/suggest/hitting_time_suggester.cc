@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pqsda {
 
 std::vector<double> BipartiteHittingTime(
@@ -140,6 +143,10 @@ HittingTimeSuggester::HittingTimeSuggester(const ClickGraph& graph,
 
 StatusOr<std::vector<Suggestion>> HittingTimeSuggester::Suggest(
     const SuggestionRequest& request, size_t k) const {
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Default().GetHistogram("pqsda.ht.latency_us");
+  obs::TraceSpan span("hitting_time");
+  obs::ScopedTimer timer(latency_us);
   StringId q = graph_->QueryId(request.query);
   if (q == kInvalidStringId) {
     return Status::NotFound("query not in click graph: " + request.query);
@@ -155,6 +162,7 @@ StatusOr<std::vector<Suggestion>> HittingTimeSuggester::Suggest(
     candidates.push_back(Suggestion{
         graph_->QueryString(static_cast<StringId>(i)), horizon - h[i]});
   }
+  span.Annotate("candidates_scored", static_cast<int64_t>(candidates.size()));
   return FinalizeSuggestions(request, std::move(candidates), k);
 }
 
@@ -179,6 +187,10 @@ PersonalizedHittingTimeSuggester::PersonalizedHittingTimeSuggester(
 
 StatusOr<std::vector<Suggestion>> PersonalizedHittingTimeSuggester::Suggest(
     const SuggestionRequest& request, size_t k) const {
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Default().GetHistogram("pqsda.pht.latency_us");
+  obs::TraceSpan span("personalized_hitting_time");
+  obs::ScopedTimer timer(latency_us);
   StringId q = graph_->QueryId(request.query);
   if (q == kInvalidStringId) {
     return Status::NotFound("query not in click graph: " + request.query);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace pqsda {
@@ -34,143 +37,222 @@ std::vector<std::pair<StringId, double>> PqsdaDiversifier::TermMatchSeeds(
 }
 
 StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
-    const SuggestionRequest& request, size_t k) const {
-  StringId input = mb_->QueryId(request.query);
-  std::vector<std::pair<StringId, int64_t>> context_ids;
-  for (const auto& [q, ts] : request.context) {
-    StringId id = mb_->QueryId(q);
-    if (id != kInvalidStringId) context_ids.emplace_back(id, ts);
-  }
-  std::vector<StringId> context_only;
-  for (const auto& [id, ts] : context_ids) {
-    (void)ts;
-    context_only.push_back(id);
-  }
+    const SuggestionRequest& request, size_t k, SuggestStats* stats) const {
+  // Stage latencies always feed the registry (two clock reads per stage —
+  // noise next to the ms-scale stages); the trace tree is only built when a
+  // collector is installed (by the engine, or here when the caller asked
+  // for stats outside any engine trace).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  static obs::Histogram& expansion_us =
+      reg.GetHistogram("pqsda.suggest.expansion_us");
+  static obs::Histogram& solve_us =
+      reg.GetHistogram("pqsda.suggest.regularization_solve_us");
+  static obs::Histogram& selection_us =
+      reg.GetHistogram("pqsda.suggest.hitting_time_selection_us");
+  static obs::Counter& compact_rounds =
+      reg.GetCounter("pqsda.compact.rounds_total");
+  static obs::Counter& compact_walk_steps =
+      reg.GetCounter("pqsda.compact.walk_steps_total");
+  static obs::Counter& compact_admitted =
+      reg.GetCounter("pqsda.compact.queries_admitted_total");
 
+  std::optional<obs::TraceCollector> own_trace;
+  if (stats != nullptr && !obs::TraceActive()) own_trace.emplace("diversify");
+  // Hands the finished trace to `stats` on every exit path (errors too).
+  struct TraceHandoff {
+    std::optional<obs::TraceCollector>& collector;
+    SuggestStats* stats;
+    ~TraceHandoff() {
+      if (collector.has_value() && stats != nullptr) {
+        stats->trace = collector->Take();
+      }
+    }
+  } handoff{own_trace, stats};
+
+  // §IV-A: compact representation around the input + context.
   StatusOr<CompactRepresentation> rep_or = Status::Internal("unset");
-  // For a query string the log has never seen, the click-graph methods are
-  // simply stuck; the multi-bipartite is not — seed the walk from the
-  // queries that share the input's terms, weighted by cfiqf (the coverage
-  // advantage of §III in action).
+  std::vector<std::pair<StringId, int64_t>> context_ids;
+  std::vector<StringId> context_only;
   std::vector<std::pair<StringId, double>> term_seeds;
-  if (input == kInvalidStringId) {
-    term_seeds = TermMatchSeeds(request.query);
-    if (term_seeds.empty()) {
-      return Status::NotFound("query has no term overlap with the log: " +
-                              request.query);
+  StringId input = kInvalidStringId;
+  CompactBuildStats build_stats;
+  {
+    obs::TraceSpan span("expansion");
+    obs::ScopedTimer timer(expansion_us);
+    input = mb_->QueryId(request.query);
+    for (const auto& [q, ts] : request.context) {
+      StringId id = mb_->QueryId(q);
+      if (id != kInvalidStringId) context_ids.emplace_back(id, ts);
     }
-    std::vector<StringId> seeds;
-    for (const auto& [q, w] : term_seeds) {
-      (void)w;
-      seeds.push_back(q);
+    for (const auto& [id, ts] : context_ids) {
+      (void)ts;
+      context_only.push_back(id);
     }
-    for (StringId c : context_only) seeds.push_back(c);
-    rep_or = builder_.BuildFromSeeds(seeds, options_.compact);
-  } else {
-    // §IV-A: compact representation around the input + context.
-    rep_or = builder_.Build(input, context_only, options_.compact);
+
+    // For a query string the log has never seen, the click-graph methods are
+    // simply stuck; the multi-bipartite is not — seed the walk from the
+    // queries that share the input's terms, weighted by cfiqf (the coverage
+    // advantage of §III in action).
+    if (input == kInvalidStringId) {
+      term_seeds = TermMatchSeeds(request.query);
+      if (term_seeds.empty()) {
+        return Status::NotFound("query has no term overlap with the log: " +
+                                request.query);
+      }
+      std::vector<StringId> seeds;
+      for (const auto& [q, w] : term_seeds) {
+        (void)w;
+        seeds.push_back(q);
+      }
+      for (StringId c : context_only) seeds.push_back(c);
+      rep_or = builder_.BuildFromSeeds(seeds, options_.compact, &build_stats);
+    } else {
+      rep_or = builder_.Build(input, context_only, options_.compact,
+                              &build_stats);
+    }
+    compact_rounds.Increment(build_stats.rounds);
+    compact_walk_steps.Increment(build_stats.walk_steps);
+    compact_admitted.Increment(build_stats.queries_admitted);
+    if (rep_or.ok()) {
+      span.Annotate("compact_size", static_cast<int64_t>(rep_or->size()));
+      span.Annotate("rounds", static_cast<int64_t>(build_stats.rounds));
+      span.Annotate("candidates_scored",
+                    static_cast<int64_t>(build_stats.candidates_scored));
+    }
   }
   if (!rep_or.ok()) return rep_or.status();
   const CompactRepresentation& rep = *rep_or;
+  if (stats != nullptr) {
+    stats->expansion = build_stats;
+    stats->compact_size = rep.size();
+  }
 
   // §IV-B: regularization framework for the relevance estimate F*.
-  std::vector<double> f0;
-  if (input != kInvalidStringId) {
-    f0 = BuildF0(rep, input, request.timestamp, context_ids,
-                 options_.regularization.decay_lambda);
-  } else {
-    f0.assign(rep.size(), 0.0);
-    double max_w = term_seeds.front().second;
-    for (const auto& [q, w] : term_seeds) {
-      auto it = rep.local_index.find(q);
-      if (it != rep.local_index.end() && max_w > 0.0) {
-        f0[it->second] = w / max_w;
+  std::vector<double> f;
+  {
+    obs::TraceSpan span("regularization_solve");
+    obs::ScopedTimer timer(solve_us);
+    std::vector<double> f0;
+    if (input != kInvalidStringId) {
+      f0 = BuildF0(rep, input, request.timestamp, context_ids,
+                   options_.regularization.decay_lambda);
+    } else {
+      f0.assign(rep.size(), 0.0);
+      double max_w = term_seeds.front().second;
+      for (const auto& [q, w] : term_seeds) {
+        auto it = rep.local_index.find(q);
+        if (it != rep.local_index.end() && max_w > 0.0) {
+          f0[it->second] = w / max_w;
+        }
+      }
+      for (const auto& [c, ts] : context_ids) {
+        auto it = rep.local_index.find(c);
+        if (it == rep.local_index.end()) continue;
+        double dt = static_cast<double>(ts - request.timestamp);
+        if (dt > 0.0) dt = 0.0;
+        f0[it->second] = std::max(
+            f0[it->second],
+            std::exp(options_.regularization.decay_lambda * dt));
       }
     }
-    for (const auto& [c, ts] : context_ids) {
-      auto it = rep.local_index.find(c);
-      if (it == rep.local_index.end()) continue;
-      double dt = static_cast<double>(ts - request.timestamp);
-      if (dt > 0.0) dt = 0.0;
-      f0[it->second] = std::max(
-          f0[it->second],
-          std::exp(options_.regularization.decay_lambda * dt));
-    }
-  }
-  auto f_or = SolveRegularization(rep, f0, options_.regularization);
-  if (!f_or.ok()) return f_or.status();
-  std::vector<double> f = std::move(f_or).value();
-
-  // The input (when it is a log query) and its context are not candidates;
-  // term-match seeds of an unseen input, by contrast, are perfectly good
-  // suggestions.
-  std::vector<bool> excluded(rep.size(), false);
-  if (input != kInvalidStringId) {
-    excluded[rep.local_index.at(input)] = true;
-  }
-  for (StringId c : context_only) {
-    auto it = rep.local_index.find(c);
-    if (it != rep.local_index.end()) excluded[it->second] = true;
+    SolverResult solve_result;
+    auto f_or =
+        SolveRegularization(rep, f0, options_.regularization, &solve_result);
+    if (stats != nullptr) stats->solve = solve_result;
+    span.Annotate("iterations", static_cast<int64_t>(solve_result.iterations));
+    span.Annotate("residual", solve_result.relative_residual);
+    span.Annotate("converged", std::string(solve_result.converged ? "true"
+                                                                  : "false"));
+    if (!f_or.ok()) return f_or.status();
+    f = std::move(f_or).value();
   }
 
-  // Candidate pool: top queries by F*.
-  std::vector<std::pair<double, uint32_t>> by_relevance;
-  for (uint32_t i = 0; i < rep.size(); ++i) {
-    if (excluded[i]) continue;
-    by_relevance.emplace_back(f[i], i);
-  }
-  size_t pool = std::min(options_.candidate_pool, by_relevance.size());
-  std::partial_sort(by_relevance.begin(), by_relevance.begin() + pool,
-                    by_relevance.end(), std::greater<>());
-  by_relevance.resize(pool);
-
+  // §IV-C: first candidate by largest F* (Eq. 15), the rest by largest
+  // cross-bipartite hitting time to the already-selected set (Algorithm 1).
   DiversificationOutput out;
-  out.relevance = f;
-  out.compact_queries = rep.queries;
-  if (by_relevance.empty()) return out;
+  {
+    obs::TraceSpan span("hitting_time_selection");
+    obs::ScopedTimer timer(selection_us);
 
-  // First candidate: largest F* (Eq. 15).
-  std::vector<uint32_t> selected = {by_relevance[0].second};
-  std::vector<bool> taken(rep.size(), false);
-  taken[selected[0]] = true;
-
-  // §IV-C: remaining candidates by largest cross-bipartite hitting time to
-  // the selected set, uniform 1/3 weight per bipartite (the paper's
-  // no-prior-knowledge setting for N_k).
-  std::vector<const CsrMatrix*> chains = {&rep.P(BipartiteKind::kUrl),
-                                          &rep.P(BipartiteKind::kSession),
-                                          &rep.P(BipartiteKind::kTerm)};
-  std::vector<double> weights(options_.chain_weights.begin(),
-                              options_.chain_weights.end());
-  const size_t want = std::min(k, by_relevance.size());
-  while (selected.size() < want) {
-    std::vector<double> h = ChainHittingTime(chains, weights, selected,
-                                             options_.hitting_iterations);
-    double best = -1.0;
-    uint32_t best_q = UINT32_MAX;
-    for (const auto& [rel, q] : by_relevance) {
-      (void)rel;
-      if (taken[q]) continue;
-      if (h[q] > best) {
-        best = h[q];
-        best_q = q;
-      }
+    // The input (when it is a log query) and its context are not candidates;
+    // term-match seeds of an unseen input, by contrast, are perfectly good
+    // suggestions.
+    std::vector<bool> excluded(rep.size(), false);
+    if (input != kInvalidStringId) {
+      excluded[rep.local_index.at(input)] = true;
     }
-    if (best_q == UINT32_MAX) break;
-    selected.push_back(best_q);
-    taken[best_q] = true;
-  }
+    for (StringId c : context_only) {
+      auto it = rep.local_index.find(c);
+      if (it != rep.local_index.end()) excluded[it->second] = true;
+    }
 
-  // §IV-C: the final candidate list is "sorted with a descending relevance
-  // to the input query" — order the selected set by F*.
-  std::sort(selected.begin(), selected.end(),
-            [&f](uint32_t a, uint32_t b) { return f[a] > f[b]; });
-  out.candidates.reserve(selected.size());
-  for (size_t rank = 0; rank < selected.size(); ++rank) {
-    out.candidates.push_back(
-        Suggestion{mb_->QueryString(rep.queries[selected[rank]]),
-                   static_cast<double>(selected.size() - rank)});
+    // Candidate pool: top queries by F*.
+    std::vector<std::pair<double, uint32_t>> by_relevance;
+    for (uint32_t i = 0; i < rep.size(); ++i) {
+      if (excluded[i]) continue;
+      by_relevance.emplace_back(f[i], i);
+    }
+    size_t pool = std::min(options_.candidate_pool, by_relevance.size());
+    std::partial_sort(by_relevance.begin(), by_relevance.begin() + pool,
+                      by_relevance.end(), std::greater<>());
+    by_relevance.resize(pool);
+
+    out.relevance = f;
+    out.compact_queries = rep.queries;
+    if (by_relevance.empty()) return out;
+
+    std::vector<uint32_t> selected = {by_relevance[0].second};
+    std::vector<bool> taken(rep.size(), false);
+    taken[selected[0]] = true;
+
+    std::vector<const CsrMatrix*> chains = {&rep.P(BipartiteKind::kUrl),
+                                            &rep.P(BipartiteKind::kSession),
+                                            &rep.P(BipartiteKind::kTerm)};
+    std::vector<double> weights(options_.chain_weights.begin(),
+                                options_.chain_weights.end());
+    size_t rounds = 0;
+    size_t candidates_scored = 0;
+    const size_t want = std::min(k, by_relevance.size());
+    while (selected.size() < want) {
+      std::vector<double> h = ChainHittingTime(chains, weights, selected,
+                                               options_.hitting_iterations);
+      ++rounds;
+      double best = -1.0;
+      uint32_t best_q = UINT32_MAX;
+      for (const auto& [rel, q] : by_relevance) {
+        (void)rel;
+        if (taken[q]) continue;
+        ++candidates_scored;
+        if (h[q] > best) {
+          best = h[q];
+          best_q = q;
+        }
+      }
+      if (best_q == UINT32_MAX) break;
+      selected.push_back(best_q);
+      taken[best_q] = true;
+    }
+    if (stats != nullptr) {
+      stats->hitting_rounds = rounds;
+      stats->candidates_scored = candidates_scored;
+    }
+    span.Annotate("rounds", static_cast<int64_t>(rounds));
+    span.Annotate("candidates_scored",
+                  static_cast<int64_t>(candidates_scored));
+    span.Annotate("selected", static_cast<int64_t>(selected.size()));
+
+    // §IV-C: the final candidate list is "sorted with a descending relevance
+    // to the input query" — order the selected set by F*.
+    std::sort(selected.begin(), selected.end(),
+              [&f](uint32_t a, uint32_t b) { return f[a] > f[b]; });
+    out.candidates.reserve(selected.size());
+    for (size_t rank = 0; rank < selected.size(); ++rank) {
+      out.candidates.push_back(
+          Suggestion{mb_->QueryString(rep.queries[selected[rank]]),
+                     static_cast<double>(selected.size() - rank)});
+    }
   }
+  if (stats != nullptr) stats->suggestions_returned = out.candidates.size();
   return out;
 }
 

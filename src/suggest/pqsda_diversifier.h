@@ -9,6 +9,7 @@
 #include "solver/regularization.h"
 #include "suggest/engine.h"
 #include "suggest/hitting_time_suggester.h"
+#include "suggest/suggest_stats.h"
 
 namespace pqsda {
 
@@ -53,9 +54,15 @@ class PqsdaDiversifier : public SuggestionEngine {
   StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
                                             size_t k) const override;
 
-  /// Full-output variant of Suggest.
+  /// Full-output variant of Suggest. When `stats` is non-null the call
+  /// additionally records a per-stage trace ("expansion",
+  /// "regularization_solve", "hitting_time_selection") and work counters
+  /// into it; if an obs::TraceCollector is already installed on the thread
+  /// (the engine's end-to-end trace) the stage spans attach to that trace
+  /// instead of starting their own.
   StatusOr<DiversificationOutput> Diversify(const SuggestionRequest& request,
-                                            size_t k) const;
+                                            size_t k,
+                                            SuggestStats* stats = nullptr) const;
 
   const PqsdaDiversifierOptions& options() const { return options_; }
 

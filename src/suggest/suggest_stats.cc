@@ -1,0 +1,31 @@
+#include "suggest/suggest_stats.h"
+
+#include <cstdio>
+
+namespace pqsda {
+
+std::string SuggestStats::Render() const {
+  std::string out = trace.Render();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "compact: %zu queries (%zu seeds, %zu rounds, %zu candidates "
+                "scored)\n",
+                compact_size, expansion.seeds, expansion.rounds,
+                expansion.candidates_scored);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "solve: %zu iterations, residual %.3g%s\n", solve.iterations,
+                solve.relative_residual,
+                solve.converged ? "" : " (NOT CONVERGED)");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "selection: %zu rounds, %zu candidates scored\n",
+                hitting_rounds, candidates_scored);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "personalized: %s, %zu suggestions\n",
+                personalized ? "yes" : "no", suggestions_returned);
+  out += buf;
+  return out;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,50 @@
+#ifndef PQSDA_SUGGEST_SUGGEST_STATS_H_
+#define PQSDA_SUGGEST_SUGGEST_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/compact_builder.h"
+#include "obs/trace.h"
+#include "solver/linear_solvers.h"
+
+namespace pqsda {
+
+/// Per-request pipeline breakdown, filled when a caller opts in by passing a
+/// SuggestStats pointer to PqsdaEngine::Suggest or PqsdaDiversifier::
+/// Diversify. Collection costs one trace tree per request; with no stats
+/// pointer the instrumentation reduces to thread-local null checks and a
+/// few relaxed atomics.
+struct SuggestStats {
+  /// Trace tree rooted at the whole call. The pipeline stages appear as
+  /// descendants named "expansion", "regularization_solve",
+  /// "hitting_time_selection" and (when personalization ran)
+  /// "personalization".
+  obs::SpanNode trace;
+
+  /// §IV-A expansion work (queries expanded, walk steps).
+  CompactBuildStats expansion;
+  /// Number of queries in the compact representation the stages ran on.
+  size_t compact_size = 0;
+
+  /// Eq. 15 solver outcome (iterations, residual at exit, converged).
+  SolverResult solve;
+
+  /// Algorithm 1 selection: rounds run and candidates scored across rounds.
+  size_t hitting_rounds = 0;
+  size_t candidates_scored = 0;
+
+  /// Whether the UPM rerank (§V-B) ran for this request.
+  bool personalized = false;
+  size_t suggestions_returned = 0;
+
+  int64_t total_us() const { return trace.duration_us(); }
+
+  /// Multi-line human-readable breakdown (trace tree + counters), as
+  /// printed by `suggest_cli --stats`.
+  std::string Render() const;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_SUGGEST_STATS_H_

@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "optim/beta_fit.h"
 #include "optim/dirichlet_opt.h"
 
@@ -76,7 +77,10 @@ void UpmModel::Train(const QueryLogCorpus& corpus) {
 
   std::vector<double> logw(K);
   std::vector<std::vector<double>> topic_stamps(K);
+  const bool report = static_cast<bool>(options_.progress);
   for (size_t it = 0; it < total_iters; ++it) {
+    WallTimer sweep_timer;
+    double log_posterior = 0.0;
     for (Block& b : blocks) {
       apply(b, -1.0);
       const SparseMap* wm;
@@ -122,6 +126,7 @@ void UpmModel::Train(const QueryLogCorpus& corpus) {
       std::vector<double> w(K);
       for (size_t k = 0; k < K; ++k) w[k] = std::exp(logw[k] - lse);
       b.topic = static_cast<uint32_t>(rng.NextDiscrete(w));
+      if (report) log_posterior += logw[b.topic];
       apply(b, +1.0);
     }
 
@@ -136,6 +141,15 @@ void UpmModel::Train(const QueryLogCorpus& corpus) {
 
     if ((it + 1) % hyper_interval == 0 && it + 1 < total_iters) {
       OptimizeHyperparameters();
+    }
+
+    if (report) {
+      GibbsSweepStats sweep_stats;
+      sweep_stats.sweep = it;
+      sweep_stats.total_sweeps = total_iters;
+      sweep_stats.duration_us = sweep_timer.ElapsedMicros();
+      sweep_stats.log_posterior = log_posterior;
+      options_.progress(sweep_stats);
     }
   }
   if (options_.learn_hyperparameters) OptimizeHyperparameters();

@@ -1,6 +1,8 @@
 #ifndef PQSDA_TOPIC_UPM_H_
 #define PQSDA_TOPIC_UPM_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -10,6 +12,22 @@
 #include "topic/model.h"
 
 namespace pqsda {
+
+/// Progress report of one Gibbs sweep, delivered through
+/// UpmOptions::progress so callers (the engine's observability wiring, CLIs,
+/// tests) can watch convergence and per-sweep cost without touching the
+/// sampler.
+struct GibbsSweepStats {
+  /// 0-based sweep index and the configured total.
+  size_t sweep = 0;
+  size_t total_sweeps = 0;
+  int64_t duration_us = 0;
+  /// Sum over session blocks of the unnormalized log posterior weight of the
+  /// sampled topic (Eq. 23 terms) — a convergence proxy comparable across
+  /// sweeps of one Train call; it typically rises and plateaus as the chain
+  /// mixes.
+  double log_posterior = 0.0;
+};
 
 /// Options of the User Profiling Model.
 struct UpmOptions {
@@ -23,6 +41,9 @@ struct UpmOptions {
   /// Include the Beta temporal term (Eq. 22) in sampling.
   bool use_timestamps = true;
   LbfgsOptions lbfgs;
+  /// Invoked after every Gibbs sweep when set. Keep it cheap — it runs on
+  /// the training thread.
+  std::function<void(const GibbsSweepStats&)> progress;
 };
 
 /// UPM — User Profiling Model (§V-A). One document per user; one topic per

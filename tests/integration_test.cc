@@ -10,6 +10,8 @@
 
 #include "core/pqsda_engine.h"
 #include "eval/diversity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "eval/harness.h"
 #include "eval/hpr.h"
 #include "eval/ppr.h"
@@ -173,6 +175,92 @@ TEST_F(IntegrationTest, HprOracleFavorsPersonalizedList) {
   // Suggestions should be clearly better than random (random facet pairs
   // rate near 0.1-0.2).
   EXPECT_GT(hpr / counted, 0.3);
+}
+
+TEST_F(IntegrationTest, SuggestStatsReportsAllPipelineStages) {
+  auto& p = pipeline();
+  // A sampled request carries a user drawn from the log, so the UPM rerank
+  // actually runs.
+  auto tests = SampleTestQueries(*p.data, 10, 31);
+  const TestQuery* chosen = nullptr;
+  for (const auto& t : tests) {
+    if (t.request.user != kNoUser &&
+        p.engine->corpus().DocumentOf(t.request.user) != SIZE_MAX) {
+      chosen = &t;
+      break;
+    }
+  }
+  ASSERT_NE(chosen, nullptr);
+
+  SuggestStats stats;
+  auto out = p.engine->Suggest(chosen->request, 8, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(stats.personalized);
+  EXPECT_EQ(stats.suggestions_returned, out->size());
+
+  // The trace tree contains all four pipeline stages with nonzero
+  // durations...
+  EXPECT_EQ(stats.trace.name, "suggest");
+  int64_t stage_ns = 0;
+  for (const char* stage : {"expansion", "regularization_solve",
+                            "hitting_time_selection", "personalization"}) {
+    const obs::SpanNode* span = stats.trace.Find(stage);
+    ASSERT_NE(span, nullptr) << "missing stage span: " << stage;
+    EXPECT_GT(span->duration_ns, 0) << stage;
+    stage_ns += span->duration_ns;
+  }
+  // ...and the stages account for the request end to end: their summed
+  // wall time is within 20% of the root span's.
+  ASSERT_GT(stats.trace.duration_ns, 0);
+  EXPECT_LE(stage_ns, stats.trace.duration_ns);
+  EXPECT_GE(static_cast<double>(stage_ns),
+            0.8 * static_cast<double>(stats.trace.duration_ns));
+
+  // The expansion/solver/selection counters rode along.
+  EXPECT_GT(stats.compact_size, 0u);
+  EXPECT_GT(stats.expansion.rounds, 0u);
+  EXPECT_GT(stats.expansion.walk_steps, 0u);
+  EXPECT_TRUE(stats.solve.converged);
+  EXPECT_GT(stats.solve.iterations, 0u);
+  EXPECT_GT(stats.hitting_rounds, 0u);
+  EXPECT_GT(stats.candidates_scored, 0u);
+  EXPECT_NE(stats.Render().find("expansion"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, SuggestStatsSurviveDiversificationOnlyMode) {
+  auto& p = pipeline();
+  // Diversification-only engine (§VI-B): personalize = false skips UPM
+  // training; stats collection must keep working, minus the
+  // personalization stage.
+  PqsdaEngineConfig config;
+  config.diversifier.compact.target_size = 120;
+  config.personalize = false;
+  auto built = PqsdaEngine::Build(p.data->records, config);
+  ASSERT_TRUE(built.ok());
+
+  obs::Counter& requests = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.suggest.requests_total");
+  uint64_t requests_before = requests.Value();
+
+  auto tests = SampleTestQueries(*p.data, 5, 41);
+  ASSERT_FALSE(tests.empty());
+  SuggestStats stats;
+  auto out = (*built)->Suggest(tests[0].request, 8, &stats);
+  ASSERT_TRUE(out.ok());
+
+  EXPECT_FALSE(stats.personalized);
+  EXPECT_EQ(stats.trace.Find("personalization"), nullptr);
+  for (const char* stage :
+       {"expansion", "regularization_solve", "hitting_time_selection"}) {
+    const obs::SpanNode* span = stats.trace.Find(stage);
+    ASSERT_NE(span, nullptr) << "missing stage span: " << stage;
+    EXPECT_GT(span->duration_ns, 0) << stage;
+  }
+  EXPECT_GT(stats.compact_size, 0u);
+  EXPECT_TRUE(stats.solve.converged);
+
+  // The registry metrics survived the diversification-only path too.
+  EXPECT_GT(requests.Value(), requests_before);
 }
 
 TEST_F(IntegrationTest, BaselinesRunOnSameRequests) {
