@@ -1,0 +1,187 @@
+// Serving-path benchmark: sequential Suggest loop vs SuggestBatch over a
+// thread pool, and the LRU result cache on a Zipf-shaped repeated workload.
+// Also verifies (and prints) the cache-hit contract: a repeated identical
+// request is served from cache, increments pqsda.cache.hits_total and
+// returns the exact list the miss computed.
+//
+// Scale knobs: PQSDA_USERS (default 150), PQSDA_TESTS (default 200 serving
+// requests), PQSDA_SERVE_THREADS (batch pool size, default 4),
+// PQSDA_CACHE (cache capacity for the cached runs, default 512).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/pqsda_engine.h"
+#include "eval/harness.h"
+#include "obs/metrics.h"
+
+namespace pqsda::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+// Requests/second of one timed pass; `served` counts non-error results.
+struct PassResult {
+  double seconds = 0.0;
+  size_t served = 0;
+  double Throughput(size_t n) const {
+    return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
+  }
+};
+
+PassResult SequentialPass(const PqsdaEngine& engine,
+                          const std::vector<SuggestionRequest>& requests,
+                          size_t k) {
+  PassResult r;
+  auto begin = std::chrono::steady_clock::now();
+  for (const SuggestionRequest& request : requests) {
+    if (engine.Suggest(request, k).ok()) ++r.served;
+  }
+  r.seconds = Seconds(begin, std::chrono::steady_clock::now());
+  return r;
+}
+
+PassResult BatchedPass(const PqsdaEngine& engine,
+                       const std::vector<SuggestionRequest>& requests,
+                       size_t k, ThreadPool& pool) {
+  PassResult r;
+  auto begin = std::chrono::steady_clock::now();
+  auto results = engine.SuggestBatch(requests, k, &pool);
+  r.seconds = Seconds(begin, std::chrono::steady_clock::now());
+  for (const auto& result : results) {
+    if (result.ok()) ++r.served;
+  }
+  return r;
+}
+
+// Zipf-ish head-heavy request stream: draws from `base` with rank-r weight
+// 1/(r+1), so a handful of head queries dominate — the traffic shape the
+// cache is designed for.
+std::vector<SuggestionRequest> ZipfWorkload(
+    const std::vector<SuggestionRequest>& base, size_t count, uint64_t seed) {
+  std::vector<double> weights;
+  weights.reserve(base.size());
+  for (size_t r = 0; r < base.size(); ++r) {
+    weights.push_back(1.0 / static_cast<double>(r + 1));
+  }
+  std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+  std::mt19937_64 rng(seed);
+  std::vector<SuggestionRequest> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(base[pick(rng)]);
+  return out;
+}
+
+void Main() {
+  const size_t users = EnvSize("USERS", 150);
+  const size_t num_tests = EnvSize("TESTS", 200);
+  const size_t serve_threads = EnvSize("SERVE_THREADS", 4);
+  const size_t cache_capacity = EnvSize("CACHE", 512);
+  const size_t k = 10;
+
+  std::printf("bench_serving: concurrent serving + result cache\n");
+  std::printf("  hardware_concurrency=%u  serve_threads=%zu  users=%zu  "
+              "requests=%zu\n\n",
+              std::thread::hardware_concurrency(), serve_threads, users,
+              num_tests);
+
+  SyntheticDataset data = GenerateLog(BenchGeneratorConfig(users));
+  std::vector<TestQuery> tests = SampleTestQueries(data, num_tests, 17);
+  std::vector<SuggestionRequest> requests;
+  requests.reserve(tests.size());
+  for (const TestQuery& t : tests) requests.push_back(t.request);
+
+  // Diversification-only engine: serving throughput is about the request
+  // path, and skipping Gibbs keeps the bench fast at any scale.
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  auto engine_or = PqsdaEngine::Build(data.records, config);
+  if (!engine_or.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine_or.status().ToString().c_str());
+    return;
+  }
+  const PqsdaEngine& engine = **engine_or;
+  ThreadPool pool(serve_threads);
+
+  // --- sequential vs batched (no cache) -------------------------------
+  PassResult warmup = SequentialPass(engine, requests, k);  // page in
+  PassResult seq = SequentialPass(engine, requests, k);
+  PassResult bat = BatchedPass(engine, requests, k, pool);
+  std::printf("sequential: %8.1f req/s  (%zu/%zu served, %.3fs)\n",
+              seq.Throughput(requests.size()), seq.served, requests.size(),
+              seq.seconds);
+  std::printf("batched   : %8.1f req/s  (%zu/%zu served, %.3fs, pool=%zu)\n",
+              bat.Throughput(requests.size()), bat.served, requests.size(),
+              bat.seconds, pool.size());
+  std::printf("batched/sequential speedup: %.2fx  "
+              "(threading gains require >1 core; this host reports %u)\n\n",
+              seq.seconds > 0.0 ? seq.seconds / bat.seconds : 0.0,
+              std::thread::hardware_concurrency());
+  (void)warmup;
+
+  // --- cached serving on a Zipf workload ------------------------------
+  PqsdaEngineConfig cached_config = config;
+  cached_config.cache_capacity = cache_capacity;
+  auto cached_or = PqsdaEngine::Build(data.records, cached_config);
+  if (!cached_or.ok()) {
+    std::printf("cached engine build failed: %s\n",
+                cached_or.status().ToString().c_str());
+    return;
+  }
+  const PqsdaEngine& cached = **cached_or;
+  std::vector<SuggestionRequest> zipf =
+      ZipfWorkload(requests, num_tests * 4, 23);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& hits = reg.GetCounter("pqsda.cache.hits_total");
+  obs::Counter& misses = reg.GetCounter("pqsda.cache.misses_total");
+  const uint64_t hits_before = hits.Value();
+  const uint64_t misses_before = misses.Value();
+
+  PassResult uncached_zipf = SequentialPass(engine, zipf, k);
+  PassResult cached_zipf = SequentialPass(cached, zipf, k);
+  const uint64_t zipf_hits = hits.Value() - hits_before;
+  const uint64_t zipf_misses = misses.Value() - misses_before;
+  std::printf("zipf x%zu uncached: %8.1f req/s\n", zipf.size() / requests.size(),
+              uncached_zipf.Throughput(zipf.size()));
+  std::printf("zipf x%zu cached  : %8.1f req/s  (hits=%llu misses=%llu, "
+              "hit rate %.1f%%)\n",
+              zipf.size() / requests.size(),
+              cached_zipf.Throughput(zipf.size()),
+              static_cast<unsigned long long>(zipf_hits),
+              static_cast<unsigned long long>(zipf_misses),
+              100.0 * static_cast<double>(zipf_hits) /
+                  static_cast<double>(zipf.size()));
+  std::printf("cached/uncached speedup: %.2fx\n\n",
+              cached_zipf.seconds > 0.0
+                  ? uncached_zipf.seconds / cached_zipf.seconds
+                  : 0.0);
+
+  // --- cache-hit contract ---------------------------------------------
+  SuggestionRequest probe = requests.front();
+  const uint64_t contract_hits_before = hits.Value();
+  auto first = cached.Suggest(probe, k);
+  auto second = cached.Suggest(probe, k);
+  const bool identical = first.ok() && second.ok() && *first == *second;
+  const uint64_t contract_hits = hits.Value() - contract_hits_before;
+  std::printf("cache-hit contract: repeat request hit=%s identical=%s "
+              "(pqsda.cache.hits_total +%llu)\n",
+              contract_hits >= 1 ? "yes" : "NO",
+              identical ? "yes" : "NO",
+              static_cast<unsigned long long>(contract_hits));
+}
+
+}  // namespace
+}  // namespace pqsda::bench
+
+int main() { pqsda::bench::Main(); }

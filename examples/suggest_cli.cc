@@ -2,17 +2,23 @@
 // PQS-DA engine from a log file (or a generated demo log when none is
 // given), then reads queries from stdin and prints suggestions.
 //
-//   ./build/examples/suggest_cli [--stats] [log.tsv]
+//   ./build/examples/suggest_cli [--stats] [--cache=N] [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
+//   > batch sun; solar energy; @3 java     # serve ';'-separated requests
+//                                          # concurrently via SuggestBatch
 //   > metrics                  # dump the process metrics registry (JSON)
 //   > quit
 //
 // With --stats every answer is followed by the request's stage trace and
 // work counters (SuggestStats::Render()): per-stage wall micros for
 // expansion, the Eq. 15 solve, hitting-time selection and the UPM rerank.
+// With --cache=N served lists are kept in an N-entry LRU result cache;
+// repeated requests are answered from it (watch pqsda.cache.hits_total in
+// 'metrics').
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -25,12 +31,42 @@
 
 using namespace pqsda;
 
+namespace {
+
+// Parses one interactive request line: "@<user> <query>" or plain "<query>".
+SuggestionRequest ParseRequest(std::string line) {
+  while (!line.empty() && line.front() == ' ') line.erase(line.begin());
+  SuggestionRequest request;
+  request.user = kNoUser;
+  if (!line.empty() && line[0] == '@') {
+    std::istringstream in(line.substr(1));
+    uint32_t user = 0;
+    in >> user;
+    std::getline(in, request.query);
+    request.user = user;
+  } else {
+    request.query = line;
+  }
+  while (!request.query.empty() && request.query.front() == ' ') {
+    request.query.erase(request.query.begin());
+  }
+  while (!request.query.empty() && request.query.back() == ' ') {
+    request.query.pop_back();
+  }
+  return request;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool show_stats = false;
+  size_t cache_capacity = 0;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       show_stats = true;
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      cache_capacity = std::strtoul(argv[i] + 8, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -58,6 +94,10 @@ int main(int argc, char** argv) {
   PqsdaEngineConfig config;
   config.upm.base.num_topics = 12;
   config.upm.base.gibbs_iterations = 40;
+  config.cache_capacity = cache_capacity;
+  if (cache_capacity > 0) {
+    std::printf("result cache enabled (%zu entries)\n", cache_capacity);
+  }
   std::printf("building engine (representation + UPM training)...\n");
   auto engine = PqsdaEngine::Build(std::move(records), config);
   if (!engine.ok()) {
@@ -66,7 +106,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("ready. type a query ('@<user-id> <query>' to personalize, "
-              "'metrics' for the registry, 'quit' to exit)\n");
+              "'batch q1; q2; ...' for concurrent serving, 'metrics' for "
+              "the registry, 'quit' to exit)\n");
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
@@ -78,20 +119,30 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    SuggestionRequest request;
-    request.user = kNoUser;
-    if (line[0] == '@') {
-      std::istringstream in(line.substr(1));
-      uint32_t user = 0;
-      in >> user;
-      std::getline(in, request.query);
-      while (!request.query.empty() && request.query.front() == ' ') {
-        request.query.erase(request.query.begin());
+    if (line.rfind("batch ", 0) == 0) {
+      std::vector<SuggestionRequest> requests;
+      std::istringstream in(line.substr(6));
+      std::string part;
+      while (std::getline(in, part, ';')) {
+        SuggestionRequest request = ParseRequest(part);
+        if (!request.query.empty()) requests.push_back(std::move(request));
       }
-      request.user = user;
-    } else {
-      request.query = line;
+      if (requests.empty()) continue;
+      auto results = (*engine)->SuggestBatch(requests, 10);
+      for (size_t r = 0; r < results.size(); ++r) {
+        std::printf("[%zu] %s\n", r + 1, requests[r].query.c_str());
+        if (!results[r].ok()) {
+          std::printf("  (%s)\n", results[r].status().ToString().c_str());
+          continue;
+        }
+        for (size_t i = 0; i < results[r]->size(); ++i) {
+          std::printf("  %2zu. %s\n", i + 1, (*results[r])[i].query.c_str());
+        }
+      }
+      continue;
     }
+
+    SuggestionRequest request = ParseRequest(line);
     if (request.query.empty()) continue;
 
     SuggestStats stats;

@@ -7,14 +7,17 @@ cd "$(dirname "$0")"
 B=build/bench
 run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 
-# Verify step: race-check the observability layer (thread-local span stacks,
-# atomic counters) by running obs_test under ThreadSanitizer before spending
-# 20 minutes on figures. Skip with PQSDA_TSAN_VERIFY=0.
+# Verify step: race-check the concurrent layers — the observability layer
+# (thread-local span stacks, atomic counters) and the serving layer
+# (ThreadPool, SuggestBatch, the sharded result cache) — by running obs_test
+# and serving_test under ThreadSanitizer before spending 20 minutes on
+# figures. Skip with PQSDA_TSAN_VERIFY=0.
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: obs_test under ThreadSanitizer ====="
+  echo "===== verify: obs_test + serving_test under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test -j >/dev/null &&
-    timeout 600 ./build-tsan/tests/obs_test || {
+    cmake --build build-tsan --target obs_test serving_test -j >/dev/null &&
+    timeout 600 ./build-tsan/tests/obs_test &&
+    timeout 600 ./build-tsan/tests/serving_test || {
       echo "TSAN verify failed" >&2
       exit 1
     }
@@ -30,5 +33,6 @@ run ablation_representation PQSDA_USERS=150 PQSDA_TESTS=100
 run ablation_context_decay PQSDA_USERS=150 PQSDA_TESTS=120
 run ablation_rank_aggregation PQSDA_USERS=150 PQSDA_MAX_EVAL=250 PQSDA_TOPICS=32 PQSDA_GIBBS=60
 run ablation_upm PQSDA_USERS=150 PQSDA_GIBBS=50
+run bench_serving PQSDA_USERS=150 PQSDA_TESTS=150
 echo "===== micro_kernels ====="
 PQSDA_USERS=120 timeout 900 "$B/micro_kernels" --benchmark_min_time=0.2

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace pqsda {
+
+namespace {
+thread_local bool tl_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  workers_.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tl_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t max_parts) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  min_grain = std::max<size_t>(min_grain, 1);
+  size_t parts = std::min(workers_.size() + 1, n / min_grain);
+  if (max_parts != 0) parts = std::min(parts, max_parts);
+  if (parts <= 1 || workers_.empty() || OnWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+  const size_t chunk = (n + parts - 1) / parts;
+
+  // Completion is tracked with a counter + condvar rather than std::latch:
+  // the worker notifies while holding the mutex, so the waiter cannot
+  // destroy the primitives before the last worker is done touching them.
+  std::atomic<size_t> pending{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t submitted = 0;
+  for (size_t b = begin + chunk; b < end; b += chunk) ++submitted;
+  pending.store(submitted, std::memory_order_relaxed);
+  for (size_t b = begin + chunk; b < end; b += chunk) {
+    const size_t e = std::min(b + chunk, end);
+    Submit([&fn, &pending, &done_mu, &done_cv, b, e] {
+      fn(b, e);
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  fn(begin, std::min(begin + chunk, end));
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&pending] {
+    return pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::OnWorkerThread() { return tl_on_worker; }
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    size_t threads = 0;
+    if (const char* env = std::getenv("PQSDA_THREADS")) {
+      threads = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+}  // namespace pqsda

@@ -1,0 +1,66 @@
+#ifndef PQSDA_COMMON_THREAD_POOL_H_
+#define PQSDA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pqsda {
+
+/// Fixed-size pool of long-lived worker threads. This is the serving layer's
+/// execution substrate: solver sweeps, hitting-time row ranges and batched
+/// Suggest requests all run on it, so the hot path never pays per-call
+/// std::thread spawn/join churn.
+///
+/// Tasks must not throw (the library is exception-free; a throwing task
+/// would terminate). ParallelFor calls issued from inside a pool worker run
+/// inline on the caller — nested parallelism degrades to sequential instead
+/// of deadlocking on a full pool.
+class ThreadPool {
+ public:
+  /// `threads == 0` sizes the pool to the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Drains nothing: outstanding tasks finish, then workers join.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Partitions [begin, end) into contiguous chunks, runs `fn(chunk_begin,
+  /// chunk_end)` across the pool (the caller executes the first chunk) and
+  /// blocks until every chunk finished. Ranges smaller than two grains, a
+  /// pool of size 0, and calls from a pool worker all run inline.
+  /// `max_parts == 0` means workers + caller.
+  void ParallelFor(size_t begin, size_t end, size_t min_grain,
+                   const std::function<void(size_t, size_t)>& fn,
+                   size_t max_parts = 0);
+
+  /// True on a thread that is currently a worker of any ThreadPool.
+  static bool OnWorkerThread();
+
+  /// Process-wide pool shared by the library's default parallel paths.
+  /// Sized to the hardware concurrency, overridable with PQSDA_THREADS.
+  /// Never destroyed (leaked intentionally to dodge static-teardown races).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_THREAD_POOL_H_

@@ -108,6 +108,12 @@ StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
     engine->personalizer_ = std::make_unique<Personalizer>(
         *engine->upm_, *engine->corpus_, config.preference_borda_weight);
   }
+  if (config.cache_capacity > 0) {
+    SuggestionCacheOptions cache_options;
+    cache_options.capacity = config.cache_capacity;
+    cache_options.shards = config.cache_shards;
+    engine->cache_ = std::make_unique<SuggestionCache>(cache_options);
+  }
   if (metrics) {
     builds_total.Increment();
     num_queries.Set(static_cast<double>(engine->mb_->num_queries()));
@@ -123,6 +129,8 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
       reg.GetCounter("pqsda.suggest.requests_total");
   static obs::Counter& errors_total =
       reg.GetCounter("pqsda.suggest.errors_total");
+  static obs::Counter& not_found_total =
+      reg.GetCounter("pqsda.suggest.not_found_total");
   static obs::Counter& personalized_total =
       reg.GetCounter("pqsda.suggest.personalized_total");
   static obs::Histogram& latency_us =
@@ -131,6 +139,18 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   requests_total.Increment();
   obs::ScopedTimer timer(latency_us);
 
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = SuggestionCache::KeyOf(request, k);
+    std::vector<Suggestion> cached;
+    if (cache_->Lookup(cache_key, &cached)) {
+      // Cache hits skip the pipeline, so there is no stage trace to hand
+      // out — only the result counters.
+      if (stats != nullptr) stats->suggestions_returned = cached.size();
+      return cached;
+    }
+  }
+
   // With stats requested, the whole request runs under one trace; the
   // diversifier's and personalizer's stage spans attach to it.
   std::optional<obs::TraceCollector> collector;
@@ -138,7 +158,13 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
 
   auto diversified = diversifier_->Diversify(request, k, stats);
   if (!diversified.ok()) {
-    errors_total.Increment();
+    // A cold query (NotFound) is routine traffic, not an internal failure;
+    // serving dashboards alert on errors_total only.
+    if (diversified.status().code() == StatusCode::kNotFound) {
+      not_found_total.Increment();
+    } else {
+      errors_total.Increment();
+    }
     if (collector.has_value()) stats->trace = collector->Take();
     return diversified.status();
   }
@@ -152,7 +178,26 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     stats->suggestions_returned = list.size();
     if (collector.has_value()) stats->trace = collector->Take();
   }
+  if (cache_ != nullptr) cache_->Insert(cache_key, list);
   return list;
+}
+
+std::vector<StatusOr<std::vector<Suggestion>>> PqsdaEngine::SuggestBatch(
+    std::span<const SuggestionRequest> requests, size_t k,
+    ThreadPool* pool) const {
+  static obs::Counter& batches_total = obs::MetricsRegistry::Default()
+      .GetCounter("pqsda.suggest.batches_total");
+  batches_total.Increment();
+  if (pool == nullptr) pool = &ThreadPool::Shared();
+  std::vector<StatusOr<std::vector<Suggestion>>> results(
+      requests.size(), Status::Internal("request not served"));
+  pool->ParallelFor(0, requests.size(), /*min_grain=*/1,
+                    [this, &requests, &results, k](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        results[i] = Suggest(requests[i], k);
+                      }
+                    });
+  return results;
 }
 
 }  // namespace pqsda

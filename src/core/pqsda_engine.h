@@ -2,14 +2,17 @@
 #define PQSDA_CORE_PQSDA_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/multi_bipartite.h"
 #include "log/sessionizer.h"
 #include "suggest/pqsda_diversifier.h"
 #include "suggest/suggest_stats.h"
+#include "suggest/suggestion_cache.h"
 #include "topic/corpus.h"
 #include "topic/upm.h"
 
@@ -61,6 +64,13 @@ struct PqsdaEngineConfig {
   /// stats are independent of this flag: they are opted into per call by
   /// passing a SuggestStats pointer to Suggest.
   bool collect_metrics = true;
+  /// Capacity (entries) of the suggestion result cache; 0 disables caching.
+  /// Served lists are cached after personalization, keyed by
+  /// (query, context-hash, user, k), so a hit is byte-identical to the miss
+  /// that filled it.
+  size_t cache_capacity = 0;
+  /// LRU shards of the cache (see SuggestionCacheOptions).
+  size_t cache_shards = 8;
 };
 
 /// The complete PQS-DA system (Fig. 1): query-log representation +
@@ -85,6 +95,19 @@ class PqsdaEngine {
                                             size_t k,
                                             SuggestStats* stats = nullptr) const;
 
+  /// Serves a batch of independent requests concurrently, fanning them
+  /// across `pool` (ThreadPool::Shared() when null). The engine's read path
+  /// is immutable after Build, so requests run safely in parallel; results
+  /// arrive in request order and each slot holds exactly what the
+  /// corresponding Suggest call would have returned. Per-request stats are
+  /// not collected on the batch path.
+  std::vector<StatusOr<std::vector<Suggestion>>> SuggestBatch(
+      std::span<const SuggestionRequest> requests, size_t k,
+      ThreadPool* pool = nullptr) const;
+
+  /// Null when caching is disabled.
+  const SuggestionCache* cache() const { return cache_.get(); }
+
   const MultiBipartite& representation() const { return *mb_; }
   const PqsdaDiversifier& diversifier() const { return *diversifier_; }
   const QueryLogCorpus& corpus() const { return *corpus_; }
@@ -104,6 +127,7 @@ class PqsdaEngine {
   std::unique_ptr<PqsdaDiversifier> diversifier_;
   std::unique_ptr<UpmModel> upm_;
   std::unique_ptr<Personalizer> personalizer_;
+  std::unique_ptr<SuggestionCache> cache_;
 };
 
 }  // namespace pqsda

@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <thread>
 
 #include "common/math_util.h"
 
 namespace pqsda {
 
-double RelativeResidual(const CsrMatrix& a, const std::vector<double>& x,
-                        const std::vector<double>& b) {
-  std::vector<double> ax;
+namespace {
+
+// RelativeResidual with a caller-owned product buffer (allocation-free when
+// the buffer is already sized).
+double RelativeResidualInto(const CsrMatrix& a, const std::vector<double>& x,
+                            const std::vector<double>& b,
+                            std::vector<double>& ax) {
   a.MatVec(x, ax);
   double num = 0.0;
   for (size_t i = 0; i < b.size(); ++i) {
@@ -20,6 +23,14 @@ double RelativeResidual(const CsrMatrix& a, const std::vector<double>& x,
   }
   double den = Norm2(b);
   return std::sqrt(num) / std::max(den, 1e-300);
+}
+
+}  // namespace
+
+double RelativeResidual(const CsrMatrix& a, const std::vector<double>& x,
+                        const std::vector<double>& b) {
+  std::vector<double> ax;
+  return RelativeResidualInto(a, x, b, ax);
 }
 
 SolverResult JacobiSolve(const CsrMatrix& a, const std::vector<double>& b,
@@ -92,17 +103,20 @@ SolverResult JacobiSolveParallel(const CsrMatrix& a,
                                  const std::vector<double>& b,
                                  std::vector<double>& x,
                                  const SolverOptions& options,
-                                 size_t threads) {
+                                 size_t threads, ThreadPool* pool,
+                                 SolverWorkspace* workspace) {
   assert(a.rows() == a.cols() && b.size() == a.rows());
   if (x.size() != b.size()) x.assign(b.size(), 0.0);
   const size_t n = b.size();
-  if (threads == 0) {
-    threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
-  }
-  threads = std::min(threads, std::max<size_t>(n, 1));
+  if (pool == nullptr) pool = &ThreadPool::Shared();
+  threads = std::min(threads == 0 ? pool->size() + 1 : threads,
+                     std::max<size_t>(n, 1));
 
-  std::vector<double> next(n, 0.0);
-  auto sweep_rows = [&a, &b, &x, &next](size_t begin, size_t end) {
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.next.assign(n, 0.0);
+
+  auto sweep_rows = [&a, &b, &x, &ws](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       double diag = 0.0;
       double off = 0.0;
@@ -115,24 +129,17 @@ SolverResult JacobiSolveParallel(const CsrMatrix& a,
           off += val[k] * x[idx[k]];
         }
       }
-      next[i] = diag != 0.0 ? (b[i] - off) / diag : 0.0;
+      ws.next[i] = diag != 0.0 ? (b[i] - off) / diag : 0.0;
     }
   };
 
   SolverResult result;
-  const size_t chunk = (n + threads - 1) / threads;
+  const size_t grain = (n + threads - 1) / threads;
   for (size_t it = 0; it < options.max_iterations; ++it) {
-    std::vector<std::thread> workers;
-    for (size_t t = 1; t < threads; ++t) {
-      size_t begin = t * chunk;
-      if (begin >= n) break;
-      workers.emplace_back(sweep_rows, begin, std::min(begin + chunk, n));
-    }
-    sweep_rows(0, std::min(chunk, n));
-    for (auto& w : workers) w.join();
-    x.swap(next);
+    pool->ParallelFor(0, n, grain, sweep_rows, threads);
+    x.swap(ws.next);
     result.iterations = it + 1;
-    result.relative_residual = RelativeResidual(a, x, b);
+    result.relative_residual = RelativeResidualInto(a, x, b, ws.ax);
     if (result.relative_residual < options.tolerance) {
       result.converged = true;
       return result;

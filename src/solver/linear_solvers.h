@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/csr_matrix.h"
 
 namespace pqsda {
@@ -13,6 +14,15 @@ struct SolverOptions {
   size_t max_iterations = 500;
   /// Convergence: ||Ax - b||_2 / max(||b||_2, eps) below this.
   double tolerance = 1e-9;
+};
+
+/// Reusable scratch buffers for the iterative solvers. A workspace kept
+/// alive across calls (e.g. thread_local on a serving thread) makes repeated
+/// solves allocation-free: the `next` iterate and the residual product are
+/// resized once and reused request after request.
+struct SolverWorkspace {
+  std::vector<double> next;
+  std::vector<double> ax;
 };
 
 /// Outcome of an iterative solve.
@@ -45,13 +55,19 @@ SolverResult ConjugateGradientSolve(const CsrMatrix& a,
 
 /// Multi-threaded Jacobi: each sweep's rows are computed from the previous
 /// iterate, so rows partition perfectly across threads (this is the
-/// "parallelized solver" route §IV-B sketches for scaling Eq. 15).
-/// `threads == 0` uses the hardware concurrency.
+/// "parallelized solver" route §IV-B sketches for scaling Eq. 15). Sweeps
+/// run on a persistent ThreadPool (`pool`, defaulting to
+/// ThreadPool::Shared()) instead of spawning threads per iteration;
+/// `threads` caps how many chunks a sweep is split into (0 = pool size) and
+/// never changes the result — Jacobi is deterministic under any row
+/// partition. `workspace`, when non-null, supplies the scratch buffers.
 SolverResult JacobiSolveParallel(const CsrMatrix& a,
                                  const std::vector<double>& b,
                                  std::vector<double>& x,
                                  const SolverOptions& options,
-                                 size_t threads = 0);
+                                 size_t threads = 0,
+                                 ThreadPool* pool = nullptr,
+                                 SolverWorkspace* workspace = nullptr);
 
 }  // namespace pqsda
 

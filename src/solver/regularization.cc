@@ -11,7 +11,16 @@ std::vector<double> BuildF0(
     int64_t input_timestamp,
     const std::vector<std::pair<StringId, int64_t>>& context,
     double decay_lambda) {
-  std::vector<double> f0(rep.size(), 0.0);
+  std::vector<double> f0;
+  BuildF0Into(rep, input_query, input_timestamp, context, decay_lambda, f0);
+  return f0;
+}
+
+void BuildF0Into(const CompactRepresentation& rep, StringId input_query,
+                 int64_t input_timestamp,
+                 const std::vector<std::pair<StringId, int64_t>>& context,
+                 double decay_lambda, std::vector<double>& f0) {
+  f0.assign(rep.size(), 0.0);
   auto it = rep.local_index.find(input_query);
   if (it != rep.local_index.end()) f0[it->second] = 1.0;
   for (const auto& [q, ts] : context) {
@@ -24,7 +33,6 @@ std::vector<double> BuildF0(
     f0[cit->second] = std::max(f0[cit->second],
                                std::exp(decay_lambda * dt));
   }
-  return f0;
 }
 
 CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
@@ -50,7 +58,8 @@ CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
 
 StatusOr<std::vector<double>> SolveRegularization(
     const CompactRepresentation& rep, const std::vector<double>& f0,
-    const RegularizationOptions& options, SolverResult* result_out) {
+    const RegularizationOptions& options, SolverResult* result_out,
+    SolverWorkspace* workspace, ThreadPool* pool) {
   if (f0.size() != rep.size()) {
     return Status::InvalidArgument("f0 size does not match representation");
   }
@@ -71,7 +80,12 @@ StatusOr<std::vector<double>> SolveRegularization(
   SolverResult result;
   switch (options.solver) {
     case SolverKind::kJacobi:
-      result = JacobiSolve(system, f0, f, options.solver_options);
+      if (pool != nullptr) {
+        result = JacobiSolveParallel(system, f0, f, options.solver_options,
+                                     /*threads=*/0, pool, workspace);
+      } else {
+        result = JacobiSolve(system, f0, f, options.solver_options);
+      }
       break;
     case SolverKind::kGaussSeidel:
       result = GaussSeidelSolve(system, f0, f, options.solver_options);

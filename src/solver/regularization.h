@@ -38,6 +38,13 @@ std::vector<double> BuildF0(
     const std::vector<std::pair<StringId, int64_t>>& context,
     double decay_lambda);
 
+/// BuildF0 into a caller-owned buffer (resized to rep.size()); a long-lived
+/// buffer makes the per-request seed construction allocation-free.
+void BuildF0Into(const CompactRepresentation& rep, StringId input_query,
+                 int64_t input_timestamp,
+                 const std::vector<std::pair<StringId, int64_t>>& context,
+                 double decay_lambda, std::vector<double>& f0);
+
 /// Assembles the Eq. 15 coefficient matrix
 /// (1 + sum_X alpha^X) I - sum_X alpha^X S^X over the compact
 /// representation. The result is strictly diagonally dominant (S^X row sums
@@ -55,9 +62,15 @@ CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
 /// `pqsda.solver.solves_total` / `pqsda.solver.iterations_total` in the
 /// default registry; a solve that exhausts max_iterations additionally
 /// increments the warning counter `pqsda.solver.nonconverged_total`.
+///
+/// `workspace` and `pool` feed the serving layer: a long-lived workspace
+/// makes repeated solves allocation-free, and a non-null pool runs the
+/// kJacobi sweeps in parallel (the solution is deterministic either way;
+/// Gauss–Seidel and CG have sequential dependencies and ignore the pool).
 StatusOr<std::vector<double>> SolveRegularization(
     const CompactRepresentation& rep, const std::vector<double>& f0,
-    const RegularizationOptions& options, SolverResult* result = nullptr);
+    const RegularizationOptions& options, SolverResult* result = nullptr,
+    SolverWorkspace* workspace = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace pqsda
 

@@ -8,18 +8,29 @@
 
 namespace pqsda {
 
-std::vector<double> BipartiteHittingTime(
-    const CsrMatrix& q2u_stochastic, const CsrMatrix& u2q_stochastic,
-    const std::vector<uint32_t>& seed_queries, size_t iterations,
-    const PseudoNode* pseudo) {
+namespace {
+
+// Row-range grain for the pool sweeps: compact representations are a few
+// hundred rows with a handful of nonzeros each, so chunks below this are
+// all dispatch overhead.
+constexpr size_t kSweepGrain = 128;
+
+}  // namespace
+
+void BipartiteHittingTimeInto(const CsrMatrix& q2u_stochastic,
+                              const CsrMatrix& u2q_stochastic,
+                              const std::vector<uint32_t>& seed_queries,
+                              size_t iterations, const PseudoNode* pseudo,
+                              ThreadPool* pool, HittingTimeWorkspace& ws) {
   const size_t nq = q2u_stochastic.rows();
   const size_t nu = q2u_stochastic.cols();
   const size_t total_q = nq + (pseudo != nullptr ? 1 : 0);
 
-  std::vector<bool> is_seed(total_q, false);
+  ws.is_seed.assign(total_q, 0);
   for (uint32_t s : seed_queries) {
-    assert(s < total_q);
-    is_seed[s] = true;
+    // A bad seed id must never become an out-of-bounds write in a release
+    // build — skip it instead of asserting.
+    if (s < total_q) ws.is_seed[s] = 1;
   }
 
   double pseudo_total = 0.0;
@@ -41,44 +52,62 @@ std::vector<double> BipartiteHittingTime(
     }
   }
 
-  std::vector<double> hq(total_q, 0.0), hu(nu, 0.0);
-  std::vector<double> hq_next(total_q, 0.0), hu_next(nu, 0.0);
+  std::vector<double>& hq = ws.h;
+  std::vector<double>& hq_next = ws.next;
+  std::vector<double>& hu = ws.hu;
+  std::vector<double>& hu_next = ws.hu_next;
+  hq.assign(total_q, 0.0);
+  hq_next.assign(total_q, 0.0);
+  hu.assign(nu, 0.0);
+  hu_next.assign(nu, 0.0);
   for (size_t t = 0; t < iterations; ++t) {
-    // URL side first: one hop u -> q.
-    for (size_t u = 0; u < nu; ++u) {
-      double extra = pseudo != nullptr ? pseudo_weight_of_url[u] : 0.0;
-      double s = u2q_stochastic.RowSum(u) + extra;
-      if (s <= 0.0) {
-        hu_next[u] = static_cast<double>(t + 1);
-        continue;
+    // URL side first: one hop u -> q. Rows write disjoint entries of the
+    // next iterate and read only the previous one, so ranges parallelize.
+    auto url_sweep = [&](size_t begin, size_t end) {
+      for (size_t u = begin; u < end; ++u) {
+        double extra = pseudo != nullptr ? pseudo_weight_of_url[u] : 0.0;
+        double s = u2q_stochastic.RowSum(u) + extra;
+        if (s <= 0.0) {
+          hu_next[u] = static_cast<double>(t + 1);
+          continue;
+        }
+        double acc = 0.0;
+        auto idx = u2q_stochastic.RowIndices(u);
+        auto val = u2q_stochastic.RowValues(u);
+        for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hq[idx[k]];
+        if (pseudo != nullptr) acc += extra * hq[nq];
+        hu_next[u] = 1.0 + acc / s;
       }
-      double acc = 0.0;
-      auto idx = u2q_stochastic.RowIndices(u);
-      auto val = u2q_stochastic.RowValues(u);
-      for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hq[idx[k]];
-      acc += extra * hq[nq];
-      hu_next[u] = 1.0 + acc / s;
-    }
+    };
     // Query side: one hop q -> u.
-    for (size_t q = 0; q < nq; ++q) {
-      if (is_seed[q]) {
-        hq_next[q] = 0.0;
-        continue;
+    auto query_sweep = [&](size_t begin, size_t end) {
+      for (size_t q = begin; q < end; ++q) {
+        if (ws.is_seed[q] != 0) {
+          hq_next[q] = 0.0;
+          continue;
+        }
+        double s = q2u_stochastic.RowSum(q);
+        if (s <= 0.0) {
+          hq_next[q] = static_cast<double>(t + 1);
+          continue;
+        }
+        double acc = 0.0;
+        auto idx = q2u_stochastic.RowIndices(q);
+        auto val = q2u_stochastic.RowValues(q);
+        for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hu[idx[k]];
+        hq_next[q] = 1.0 + acc / s;
       }
-      double s = q2u_stochastic.RowSum(q);
-      if (s <= 0.0) {
-        hq_next[q] = static_cast<double>(t + 1);
-        continue;
-      }
-      double acc = 0.0;
-      auto idx = q2u_stochastic.RowIndices(q);
-      auto val = q2u_stochastic.RowValues(q);
-      for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hu[idx[k]];
-      hq_next[q] = 1.0 + acc / s;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, nu, kSweepGrain, url_sweep);
+      pool->ParallelFor(0, nq, kSweepGrain, query_sweep);
+    } else {
+      url_sweep(0, nu);
+      query_sweep(0, nq);
     }
     if (pseudo != nullptr) {
       size_t q = nq;
-      if (is_seed[q]) {
+      if (ws.is_seed[q] != 0) {
         hq_next[q] = 0.0;
       } else if (pseudo_total <= 0.0) {
         hq_next[q] = static_cast<double>(t + 1);
@@ -93,48 +122,76 @@ std::vector<double> BipartiteHittingTime(
     hq.swap(hq_next);
     hu.swap(hu_next);
   }
-  return hq;
+}
+
+std::vector<double> BipartiteHittingTime(
+    const CsrMatrix& q2u_stochastic, const CsrMatrix& u2q_stochastic,
+    const std::vector<uint32_t>& seed_queries, size_t iterations,
+    const PseudoNode* pseudo, ThreadPool* pool) {
+  HittingTimeWorkspace ws;
+  BipartiteHittingTimeInto(q2u_stochastic, u2q_stochastic, seed_queries,
+                           iterations, pseudo, pool, ws);
+  return std::move(ws.h);
+}
+
+void ChainHittingTimeInto(const std::vector<const CsrMatrix*>& chains,
+                          const std::vector<double>& weights,
+                          const std::vector<uint32_t>& seeds,
+                          size_t iterations, ThreadPool* pool,
+                          HittingTimeWorkspace& ws) {
+  assert(!chains.empty() && chains.size() == weights.size());
+  const size_t n = chains[0]->rows();
+  ws.is_seed.assign(n, 0);
+  for (uint32_t s : seeds) {
+    // Unconditional bounds check — see BipartiteHittingTimeInto.
+    if (s < n) ws.is_seed[s] = 1;
+  }
+  std::vector<double>& h = ws.h;
+  std::vector<double>& next = ws.next;
+  h.assign(n, 0.0);
+  next.assign(n, 0.0);
+  for (size_t t = 0; t < iterations; ++t) {
+    auto sweep = [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        if (ws.is_seed[v] != 0) {
+          next[v] = 0.0;
+          continue;
+        }
+        double acc = 0.0;
+        double mass = 0.0;
+        for (size_t x = 0; x < chains.size(); ++x) {
+          auto idx = chains[x]->RowIndices(v);
+          auto val = chains[x]->RowValues(v);
+          for (size_t k = 0; k < idx.size(); ++k) {
+            acc += weights[x] * val[k] * h[idx[k]];
+            mass += weights[x] * val[k];
+          }
+        }
+        if (mass <= 0.0) {
+          next[v] = static_cast<double>(t + 1);
+        } else {
+          // Sub-stochastic rows (drop-tolerance pruning) would leak mass
+          // into an implicit absorbing state; renormalize instead.
+          next[v] = 1.0 + acc / mass;
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, n, kSweepGrain, sweep);
+    } else {
+      sweep(0, n);
+    }
+    h.swap(next);
+  }
 }
 
 std::vector<double> ChainHittingTime(
     const std::vector<const CsrMatrix*>& chains,
     const std::vector<double>& weights, const std::vector<uint32_t>& seeds,
-    size_t iterations) {
-  assert(!chains.empty() && chains.size() == weights.size());
-  const size_t n = chains[0]->rows();
-  std::vector<bool> is_seed(n, false);
-  for (uint32_t s : seeds) {
-    assert(s < n);
-    is_seed[s] = true;
-  }
-  std::vector<double> h(n, 0.0), next(n, 0.0);
-  for (size_t t = 0; t < iterations; ++t) {
-    for (size_t v = 0; v < n; ++v) {
-      if (is_seed[v]) {
-        next[v] = 0.0;
-        continue;
-      }
-      double acc = 0.0;
-      double mass = 0.0;
-      for (size_t x = 0; x < chains.size(); ++x) {
-        auto idx = chains[x]->RowIndices(v);
-        auto val = chains[x]->RowValues(v);
-        for (size_t k = 0; k < idx.size(); ++k) {
-          acc += weights[x] * val[k] * h[idx[k]];
-          mass += weights[x] * val[k];
-        }
-      }
-      if (mass <= 0.0) {
-        next[v] = static_cast<double>(t + 1);
-      } else {
-        // Sub-stochastic rows (drop-tolerance pruning) would leak mass into
-        // an implicit absorbing state; renormalize instead.
-        next[v] = 1.0 + acc / mass;
-      }
-    }
-    h.swap(next);
-  }
-  return h;
+    size_t iterations, ThreadPool* pool) {
+  HittingTimeWorkspace ws;
+  ChainHittingTimeInto(chains, weights, seeds, iterations, pool, ws);
+  return std::move(ws.h);
 }
 
 HittingTimeSuggester::HittingTimeSuggester(const ClickGraph& graph,

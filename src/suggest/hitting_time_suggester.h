@@ -6,10 +6,24 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/click_graph.h"
 #include "suggest/engine.h"
 
 namespace pqsda {
+
+/// Reusable scratch buffers for the hitting-time kernels. Kept alive across
+/// calls (e.g. thread_local on a serving thread) the K-1 selection rounds of
+/// Algorithm 1 — and every request after the first — run allocation-free.
+struct HittingTimeWorkspace {
+  /// Query-side iterates; `h` holds the result after an Into call.
+  std::vector<double> h, next;
+  /// URL-side iterates (bipartite variant only).
+  std::vector<double> hu, hu_next;
+  /// Seed membership (char, not vector<bool>, so parallel row sweeps read
+  /// plain bytes).
+  std::vector<char> is_seed;
+};
 
 /// Extra node grafted onto the query side of a bipartite walk: a pseudo
 /// query (Mei et al. [14]) whose URL edges summarize a user's click history.
@@ -30,20 +44,42 @@ struct PseudoNode {
 /// walk can actually hit it; the returned vector then has rows()+1 entries.
 /// Seed ids may refer to the pseudo node. Pseudo edge weights should be on
 /// the same scale as the matrix weights.
+///
+/// Seed ids out of range are skipped unconditionally (not an assert): a bad
+/// seed must never become an out-of-bounds write in a release-built server.
+/// `pool`, when non-null, parallelizes each sweep over row ranges.
 std::vector<double> BipartiteHittingTime(const CsrMatrix& q2u,
                                          const CsrMatrix& u2q,
                                          const std::vector<uint32_t>& seed_queries,
                                          size_t iterations,
-                                         const PseudoNode* pseudo = nullptr);
+                                         const PseudoNode* pseudo = nullptr,
+                                         ThreadPool* pool = nullptr);
+
+/// BipartiteHittingTime computing into `ws.h` (query-side hitting times)
+/// with every buffer drawn from `ws` — zero allocations once the workspace
+/// is warm.
+void BipartiteHittingTimeInto(const CsrMatrix& q2u, const CsrMatrix& u2q,
+                              const std::vector<uint32_t>& seed_queries,
+                              size_t iterations, const PseudoNode* pseudo,
+                              ThreadPool* pool, HittingTimeWorkspace& ws);
 
 /// Truncated expected hitting time on a mixture of query-level chains
 /// (Eq. 17): M = sum_x weight[x] * chain[x], each chain row-stochastic (or
 /// sub-stochastic). Used by the cross-bipartite hitting time of §IV-C (three
-/// chains, uniform 1/3 weights) and by DQS (one chain).
+/// chains, uniform 1/3 weights) and by DQS (one chain). Out-of-range seeds
+/// are skipped unconditionally; `pool` parallelizes the row sweeps.
 std::vector<double> ChainHittingTime(const std::vector<const CsrMatrix*>& chains,
                                      const std::vector<double>& weights,
                                      const std::vector<uint32_t>& seeds,
-                                     size_t iterations);
+                                     size_t iterations,
+                                     ThreadPool* pool = nullptr);
+
+/// ChainHittingTime computing into `ws.h`, allocation-free when warm.
+void ChainHittingTimeInto(const std::vector<const CsrMatrix*>& chains,
+                          const std::vector<double>& weights,
+                          const std::vector<uint32_t>& seeds,
+                          size_t iterations, ThreadPool* pool,
+                          HittingTimeWorkspace& ws);
 
 /// Options for the hitting-time baselines.
 struct HittingTimeOptions {

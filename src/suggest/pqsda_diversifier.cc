@@ -15,6 +15,23 @@ PqsdaDiversifier::PqsdaDiversifier(const MultiBipartite& mb,
                                    PqsdaDiversifierOptions options)
     : mb_(&mb), options_(options), builder_(mb) {}
 
+std::vector<bool> ExcludedCandidates(const CompactRepresentation& rep,
+                                     StringId input,
+                                     const std::vector<StringId>& context) {
+  std::vector<bool> excluded(rep.size(), false);
+  if (input != kInvalidStringId) {
+    // Checked find, not at(): a compact-budget walk that failed to admit the
+    // input simply has nothing to exclude.
+    auto it = rep.local_index.find(input);
+    if (it != rep.local_index.end()) excluded[it->second] = true;
+  }
+  for (StringId c : context) {
+    auto it = rep.local_index.find(c);
+    if (it != rep.local_index.end()) excluded[it->second] = true;
+  }
+  return excluded;
+}
+
 std::vector<std::pair<StringId, double>> PqsdaDiversifier::TermMatchSeeds(
     const std::string& query) const {
   const BipartiteGraph& terms = mb_->graph(BipartiteKind::kTerm);
@@ -132,10 +149,11 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
   {
     obs::TraceSpan span("regularization_solve");
     obs::ScopedTimer timer(solve_us);
-    std::vector<double> f0;
+    // The seed vector is rebuilt every request into a thread-lived buffer.
+    static thread_local std::vector<double> f0;
     if (input != kInvalidStringId) {
-      f0 = BuildF0(rep, input, request.timestamp, context_ids,
-                   options_.regularization.decay_lambda);
+      BuildF0Into(rep, input, request.timestamp, context_ids,
+                  options_.regularization.decay_lambda, f0);
     } else {
       f0.assign(rep.size(), 0.0);
       double max_w = term_seeds.front().second;
@@ -156,8 +174,11 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
       }
     }
     SolverResult solve_result;
+    // The solver scratch persists across requests served by this thread.
+    static thread_local SolverWorkspace solver_workspace;
     auto f_or =
-        SolveRegularization(rep, f0, options_.regularization, &solve_result);
+        SolveRegularization(rep, f0, options_.regularization, &solve_result,
+                            &solver_workspace, &ThreadPool::Shared());
     if (stats != nullptr) stats->solve = solve_result;
     span.Annotate("iterations", static_cast<int64_t>(solve_result.iterations));
     span.Annotate("residual", solve_result.relative_residual);
@@ -177,14 +198,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
     // The input (when it is a log query) and its context are not candidates;
     // term-match seeds of an unseen input, by contrast, are perfectly good
     // suggestions.
-    std::vector<bool> excluded(rep.size(), false);
-    if (input != kInvalidStringId) {
-      excluded[rep.local_index.at(input)] = true;
-    }
-    for (StringId c : context_only) {
-      auto it = rep.local_index.find(c);
-      if (it != rep.local_index.end()) excluded[it->second] = true;
-    }
+    std::vector<bool> excluded = ExcludedCandidates(rep, input, context_only);
 
     // Candidate pool: top queries by F*.
     std::vector<std::pair<double, uint32_t>> by_relevance;
@@ -199,7 +213,19 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
 
     out.relevance = f;
     out.compact_queries = rep.queries;
-    if (by_relevance.empty()) return out;
+    if (by_relevance.empty()) {
+      // Legitimate empty answer (every compact query excluded). Stats and
+      // annotations must reflect this run, not a previous one.
+      if (stats != nullptr) {
+        stats->hitting_rounds = 0;
+        stats->candidates_scored = 0;
+        stats->suggestions_returned = 0;
+      }
+      span.Annotate("rounds", static_cast<int64_t>(0));
+      span.Annotate("candidates_scored", static_cast<int64_t>(0));
+      span.Annotate("selected", static_cast<int64_t>(0));
+      return out;
+    }
 
     std::vector<uint32_t> selected = {by_relevance[0].second};
     std::vector<bool> taken(rep.size(), false);
@@ -213,9 +239,15 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
     size_t rounds = 0;
     size_t candidates_scored = 0;
     const size_t want = std::min(k, by_relevance.size());
+    // The h/next/is_seed buffers persist across the K-1 rounds and across
+    // requests served by this thread; the sweeps run on the shared pool
+    // (inline when this thread is itself a pool worker, e.g. SuggestBatch).
+    static thread_local HittingTimeWorkspace ht_workspace;
     while (selected.size() < want) {
-      std::vector<double> h = ChainHittingTime(chains, weights, selected,
-                                               options_.hitting_iterations);
+      ChainHittingTimeInto(chains, weights, selected,
+                           options_.hitting_iterations,
+                           &ThreadPool::Shared(), ht_workspace);
+      const std::vector<double>& h = ht_workspace.h;
       ++rounds;
       double best = -1.0;
       uint32_t best_q = UINT32_MAX;

@@ -30,6 +30,15 @@ struct PqsdaDiversifierOptions {
   size_t candidate_pool = 40;
 };
 
+/// Marks the non-candidates of a diversification run: the input query (when
+/// the compact-budget walk admitted it) and its context queries. An input or
+/// context query absent from `rep` is simply not excluded — never a crash;
+/// historically an unadmitted input turned into an uncaught
+/// std::out_of_range on the request path. Public for tests.
+std::vector<bool> ExcludedCandidates(const CompactRepresentation& rep,
+                                     StringId input,
+                                     const std::vector<StringId>& context);
+
 /// Diagnostics-rich output of one diversification run.
 struct DiversificationOutput {
   /// Selected candidates, in selection (= relevance) order.

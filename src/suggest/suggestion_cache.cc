@@ -1,0 +1,151 @@
+#include "suggest/suggestion_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace pqsda {
+
+namespace {
+
+// FNV-1a over the context (query, timestamp-offset) pairs; collisions only
+// merge *context hashes* inside the full key, and the full key still differs
+// in query/user/k, so a collision can at worst alias two near-identical
+// contexts — acceptable for a cache.
+uint64_t ContextHash(const SuggestionRequest& request) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [q, ts] : request.context) {
+    for (char c : q) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    mix(static_cast<uint64_t>(ts - request.timestamp));
+  }
+  return h;
+}
+
+obs::Counter& HitsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("pqsda.cache.hits_total");
+  return c;
+}
+obs::Counter& MissesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("pqsda.cache.misses_total");
+  return c;
+}
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().GetCounter("pqsda.cache.evictions_total");
+  return c;
+}
+obs::Gauge& SizeGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Default().GetGauge("pqsda.cache.size");
+  return g;
+}
+
+}  // namespace
+
+struct SuggestionCache::Shard {
+  mutable std::mutex mu;
+  /// Front = most recently used. The key is stored in the entry so the
+  /// index can hold iterators only.
+  std::list<std::pair<std::string, std::vector<Suggestion>>> lru;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string,
+                                         std::vector<Suggestion>>>::iterator>
+      index;
+};
+
+SuggestionCache::SuggestionCache(SuggestionCacheOptions options) {
+  const size_t capacity = std::max<size_t>(options.capacity, 1);
+  const size_t shards = std::min(std::max<size_t>(options.shards, 1), capacity);
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SuggestionCache::~SuggestionCache() = default;
+
+std::string SuggestionCache::KeyOf(const SuggestionRequest& request,
+                                   size_t k) {
+  std::string key = request.query;
+  key += '\x1f';
+  key += std::to_string(ContextHash(request));
+  key += '\x1f';
+  key += std::to_string(request.user);
+  key += '\x1f';
+  key += std::to_string(k);
+  return key;
+}
+
+SuggestionCache::Shard& SuggestionCache::ShardOf(
+    const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool SuggestionCache::Lookup(const std::string& key,
+                             std::vector<Suggestion>* out) const {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    MissesCounter().Increment();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (out != nullptr) *out = it->second->second;
+  HitsCounter().Increment();
+  return true;
+}
+
+void SuggestionCache::Insert(const std::string& key,
+                             std::vector<Suggestion> value) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    EvictionsCounter().Increment();
+  } else {
+    SizeGauge().Add(1.0);
+  }
+}
+
+size_t SuggestionCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void SuggestionCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    SizeGauge().Add(-static_cast<double>(shard->lru.size()));
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace pqsda

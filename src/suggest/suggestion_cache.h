@@ -1,0 +1,76 @@
+#ifndef PQSDA_SUGGEST_SUGGESTION_CACHE_H_
+#define PQSDA_SUGGEST_SUGGESTION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "suggest/engine.h"
+
+namespace pqsda {
+
+/// Sizing knobs for the suggestion result cache.
+struct SuggestionCacheOptions {
+  /// Total entries across all shards; 0 behaves as 1.
+  size_t capacity = 4096;
+  /// Independent LRU shards, each with its own mutex, so concurrent
+  /// SuggestBatch workers rarely contend; 0 behaves as 1.
+  size_t shards = 8;
+};
+
+/// Sharded LRU cache of finished suggestion lists, keyed by
+/// (query, context-hash, user, k). Heavy serving traffic is Zipf-shaped —
+/// the same head queries arrive over and over — so a small cache absorbs a
+/// large fraction of requests before they reach the expansion/solve/
+/// selection pipeline.
+///
+/// The context component hashes (query, timestamp offset) pairs, offsets
+/// taken relative to the request timestamp: the decay function (Eq. 7)
+/// depends only on relative age, so two requests identical up to a time
+/// shift correctly share an entry.
+///
+/// All methods are thread-safe. Hits, misses and evictions are counted into
+/// the default MetricsRegistry (`pqsda.cache.hits_total`,
+/// `pqsda.cache.misses_total`, `pqsda.cache.evictions_total`,
+/// `pqsda.cache.size`).
+class SuggestionCache {
+ public:
+  explicit SuggestionCache(SuggestionCacheOptions options = {});
+  ~SuggestionCache();
+
+  /// Stable cache key of a request.
+  static std::string KeyOf(const SuggestionRequest& request, size_t k);
+
+  /// On a hit, copies the cached list into `out`, refreshes the entry's LRU
+  /// position and returns true.
+  bool Lookup(const std::string& key, std::vector<Suggestion>* out) const;
+
+  /// Inserts or refreshes `key`, evicting the shard's least-recently-used
+  /// entry when over budget.
+  void Insert(const std::string& key, std::vector<Suggestion> value);
+
+  /// Current number of cached entries (sums the shards; approximate under
+  /// concurrent writes).
+  size_t size() const;
+
+  /// Drops every entry (counters are left untouched).
+  void Clear();
+
+ private:
+  struct Shard;
+
+  Shard& ShardOf(const std::string& key) const;
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_SUGGESTION_CACHE_H_
