@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 
 namespace pqsda {
@@ -66,30 +65,26 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
   }
   const size_t chunk = (n + parts - 1) / parts;
 
-  // Completion is tracked with a counter + condvar rather than std::latch:
-  // the worker notifies while holding the mutex, so the waiter cannot
-  // destroy the primitives before the last worker is done touching them.
-  std::atomic<size_t> pending{0};
+  // Completion is tracked with a counter + condvar rather than std::latch.
+  // The counter is guarded by done_mu (not an atomic): the 0-transition
+  // happens inside the critical section, so the waiter cannot observe
+  // completion and destroy these stack-owned primitives while a worker is
+  // still acquiring the mutex or signalling the condvar.
   std::mutex done_mu;
   std::condition_variable done_cv;
-  size_t submitted = 0;
-  for (size_t b = begin + chunk; b < end; b += chunk) ++submitted;
-  pending.store(submitted, std::memory_order_relaxed);
+  size_t pending = 0;  // guarded by done_mu once workers start
+  for (size_t b = begin + chunk; b < end; b += chunk) ++pending;
   for (size_t b = begin + chunk; b < end; b += chunk) {
     const size_t e = std::min(b + chunk, end);
     Submit([&fn, &pending, &done_mu, &done_cv, b, e] {
       fn(b, e);
-      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_one();
     });
   }
   fn(begin, std::min(begin + chunk, end));
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&pending] {
-    return pending.load(std::memory_order_acquire) == 0;
-  });
+  done_cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 bool ThreadPool::OnWorkerThread() { return tl_on_worker; }

@@ -145,8 +145,12 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     std::vector<Suggestion> cached;
     if (cache_->Lookup(cache_key, &cached)) {
       // Cache hits skip the pipeline, so there is no stage trace to hand
-      // out — only the result counters.
-      if (stats != nullptr) stats->suggestions_returned = cached.size();
+      // out; reset a reused stats struct so it doesn't carry the previous
+      // request's trace, solver, and selection numbers.
+      if (stats != nullptr) {
+        *stats = SuggestStats{};
+        stats->suggestions_returned = cached.size();
+      }
       return cached;
     }
   }

@@ -353,6 +353,28 @@ TEST(SuggestionCacheTest, HitReturnsByteIdenticalSuggestions) {
   EXPECT_EQ(hits.Value(), hits_before + 1);
 }
 
+// Regression: a cache hit skips the pipeline, so a reused SuggestStats must
+// not keep the previous request's trace/solver/selection numbers.
+TEST(SuggestionCacheTest, HitResetsReusedStats) {
+  auto engine = BuildServingEngine(/*cache_capacity=*/64);
+  SuggestStats stats;
+
+  auto first = engine->Suggest(ServingRequest("sun", 1), 5, &stats);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(stats.personalized);
+  EXPECT_GT(stats.hitting_rounds, 0u);
+  EXPECT_GT(stats.trace.TotalSpans(), 1u);
+
+  auto second = engine->Suggest(ServingRequest("sun", 1), 5, &stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(stats.personalized);
+  EXPECT_EQ(stats.hitting_rounds, 0u);
+  EXPECT_EQ(stats.candidates_scored, 0u);
+  EXPECT_EQ(stats.trace.TotalSpans(), 1u);  // empty root, no stage spans
+  EXPECT_EQ(stats.total_us(), 0);
+  EXPECT_EQ(stats.suggestions_returned, second->size());
+}
+
 TEST(SuggestionCacheTest, KeyDistinguishesQueryUserContextAndK) {
   SuggestionRequest base = ServingRequest("sun", 1);
   SuggestionRequest other_user = ServingRequest("sun", 2);
