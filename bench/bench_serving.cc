@@ -2,7 +2,10 @@
 // thread pool, and the LRU result cache on a Zipf-shaped repeated workload.
 // Also verifies (and prints) the cache-hit contract: a repeated identical
 // request is served from cache, increments pqsda.cache.hits_total and
-// returns the exact list the miss computed.
+// returns the exact list the miss computed — and exercises the live
+// telemetry surface: an embedded HTTP exporter is scraped before, during
+// and after a batched storm, checking that /healthz answers 200 and the
+// /statusz windowed request counts actually move.
 //
 // Scale knobs: PQSDA_USERS (default 150), PQSDA_TESTS (default 200 serving
 // requests), PQSDA_SERVE_THREADS (batch pool size, default 4),
@@ -10,8 +13,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,7 +24,9 @@
 #include "common/thread_pool.h"
 #include "core/pqsda_engine.h"
 #include "eval/harness.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace pqsda::bench {
 namespace {
@@ -61,6 +68,16 @@ PassResult BatchedPass(const PqsdaEngine& engine,
     if (result.ok()) ++r.served;
   }
   return r;
+}
+
+// Extracts the numeric value following `"key":` in a JSON blob (first
+// occurrence). Good enough for pulling one windowed counter out of a
+// /statusz scrape without a JSON parser.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
 }
 
 // Zipf-ish head-heavy request stream: draws from `base` with rank-r weight
@@ -175,10 +192,62 @@ void Main() {
   const bool identical = first.ok() && second.ok() && *first == *second;
   const uint64_t contract_hits = hits.Value() - contract_hits_before;
   std::printf("cache-hit contract: repeat request hit=%s identical=%s "
-              "(pqsda.cache.hits_total +%llu)\n",
+              "(pqsda.cache.hits_total +%llu)\n\n",
               contract_hits >= 1 ? "yes" : "NO",
               identical ? "yes" : "NO",
               static_cast<unsigned long long>(contract_hits));
+
+  // --- live telemetry: scrape /statusz around a batched storm -----------
+  obs::ServingTelemetry& telemetry = obs::ServingTelemetry::Default();
+  obs::HttpExporter exporter;
+  telemetry.RegisterEndpoints(&exporter);
+  Status started = exporter.Start(0);  // ephemeral port
+  if (!started.ok()) {
+    std::printf("telemetry exporter failed to start: %s\n",
+                started.ToString().c_str());
+    return;
+  }
+  std::printf("telemetry exporter on http://127.0.0.1:%d\n", exporter.port());
+
+  int health_status = 0;
+  auto health = obs::HttpGet(exporter.port(), "/healthz", &health_status);
+  auto before_scrape = obs::HttpGet(exporter.port(), "/statusz");
+  const double requests_before_storm =
+      before_scrape.ok() ? JsonNumber(*before_scrape, "requests") : -1.0;
+
+  // Scrape mid-run from a second thread while the batched storm is in
+  // flight: the exporter must serve concurrently with SuggestBatch.
+  std::string mid_scrape;
+  std::thread scraper([&exporter, &mid_scrape] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    auto scrape = obs::HttpGet(exporter.port(), "/statusz");
+    if (scrape.ok()) mid_scrape = std::move(*scrape);
+  });
+  PassResult storm = BatchedPass(cached, zipf, k, pool);
+  scraper.join();
+
+  auto after_scrape = obs::HttpGet(exporter.port(), "/statusz");
+  const double requests_after_storm =
+      after_scrape.ok() ? JsonNumber(*after_scrape, "requests") : -1.0;
+  const double qps_after = after_scrape.ok()
+      ? JsonNumber(*after_scrape, "qps") : -1.0;
+  const double p95_after = after_scrape.ok()
+      ? JsonNumber(*after_scrape, "p95") : -1.0;
+  const bool windows_moved =
+      requests_after_storm >= requests_before_storm +
+          static_cast<double>(zipf.size());
+  std::printf("storm: %8.1f req/s (%zu/%zu served)\n",
+              storm.Throughput(zipf.size()), storm.served, zipf.size());
+  std::printf("  /healthz: %d %s\n", health_status,
+              health_status == 200 ? "ok" : "UNEXPECTED");
+  std::printf("  /statusz 10s-window requests: before=%.0f mid=%.0f "
+              "after=%.0f  (moved=%s)\n",
+              requests_before_storm, JsonNumber(mid_scrape, "requests"),
+              requests_after_storm, windows_moved ? "yes" : "NO");
+  std::printf("  /statusz 10s-window qps=%.1f latency p95=%.0fus\n",
+              qps_after, p95_after);
+  exporter.Stop();
+  (void)health;
 }
 
 }  // namespace

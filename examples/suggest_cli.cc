@@ -2,20 +2,31 @@
 // PQS-DA engine from a log file (or a generated demo log when none is
 // given), then reads queries from stdin and prints suggestions.
 //
-//   ./build/examples/suggest_cli [--stats] [--cache=N] [log.tsv]
+//   ./build/examples/suggest_cli [--stats] [--cache=N] [--http_port=N]
+//                                [--request_log=path] [--slow_ms=T]
+//                                [--sample_every=N] [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
 //   > batch sun; solar energy; @3 java     # serve ';'-separated requests
 //                                          # concurrently via SuggestBatch
 //   > metrics                  # dump the process metrics registry (JSON)
+//   > statusz                  # windowed serving snapshot (JSON)
 //   > quit
 //
 // With --stats every answer is followed by the request's stage trace and
-// work counters (SuggestStats::Render()): per-stage wall micros for
-// expansion, the Eq. 15 solve, hitting-time selection and the UPM rerank.
+// work counters (SuggestStats::Render()) plus the *delta* of the process
+// metrics registry across the request — what this one request recorded,
+// not the session's cumulative totals.
 // With --cache=N served lists are kept in an N-entry LRU result cache;
 // repeated requests are answered from it (watch pqsda.cache.hits_total in
 // 'metrics').
+//
+// Serve mode: --http_port=N starts the embedded telemetry exporter on
+// 127.0.0.1:N (0 picks a free port) with /metrics (Prometheus), /healthz,
+// /statusz (windowed QPS / error rate / latency percentiles) and /tracez
+// (recent + slowest request traces). --request_log=path appends sampled
+// structured JSONL request records (every --sample_every'th request plus
+// everything slower than --slow_ms milliseconds).
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +37,10 @@
 
 #include "core/pqsda_engine.h"
 #include "log/log_io.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
+#include "obs/telemetry.h"
 #include "synthetic/generator.h"
 
 using namespace pqsda;
@@ -61,12 +75,24 @@ SuggestionRequest ParseRequest(std::string line) {
 int main(int argc, char** argv) {
   bool show_stats = false;
   size_t cache_capacity = 0;
+  int http_port = -1;  // -1 = exporter off; 0 = ephemeral
+  const char* request_log_path = nullptr;
+  long slow_ms = 100;
+  unsigned long sample_every = 32;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       show_stats = true;
     } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
       cache_capacity = std::strtoul(argv[i] + 8, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--http_port=", 12) == 0) {
+      http_port = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--request_log=", 14) == 0) {
+      request_log_path = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--slow_ms=", 10) == 0) {
+      slow_ms = std::atol(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--sample_every=", 15) == 0) {
+      sample_every = std::strtoul(argv[i] + 15, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -91,6 +117,43 @@ int main(int argc, char** argv) {
                 records.size());
   }
 
+  // Serve mode: install configured telemetry (trace sampling on) before the
+  // first request, attach the request log, start the exporter.
+  obs::HttpExporter exporter;
+  if (http_port >= 0 || request_log_path != nullptr) {
+    obs::ServingTelemetryOptions telemetry_options;
+    telemetry_options.trace_sample_every = 16;
+    obs::ServingTelemetry& telemetry =
+        obs::ServingTelemetry::Install(telemetry_options);
+    if (request_log_path != nullptr) {
+      obs::RequestLogOptions log_options;
+      log_options.path = request_log_path;
+      log_options.sample_every = sample_every;
+      log_options.slow_us = slow_ms * 1000;
+      auto log = obs::RequestLog::Open(log_options);
+      if (!log.ok()) {
+        std::fprintf(stderr, "request log: %s\n",
+                     log.status().ToString().c_str());
+        return 1;
+      }
+      telemetry.AttachRequestLog(std::move(log).value());
+      std::printf("request log: %s (every %luth request + slower than "
+                  "%ldms)\n",
+                  request_log_path, sample_every, slow_ms);
+    }
+    if (http_port >= 0) {
+      telemetry.RegisterEndpoints(&exporter);
+      Status started = exporter.Start(http_port);
+      if (!started.ok()) {
+        std::fprintf(stderr, "exporter: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      std::printf("telemetry exporter on http://127.0.0.1:%d "
+                  "(/metrics /healthz /statusz /tracez)\n",
+                  exporter.port());
+    }
+  }
+
   PqsdaEngineConfig config;
   config.upm.base.num_topics = 12;
   config.upm.base.gibbs_iterations = 40;
@@ -107,7 +170,8 @@ int main(int argc, char** argv) {
   }
   std::printf("ready. type a query ('@<user-id> <query>' to personalize, "
               "'batch q1; q2; ...' for concurrent serving, 'metrics' for "
-              "the registry, 'quit' to exit)\n");
+              "the registry, 'statusz' for the windowed snapshot, 'quit' to "
+              "exit)\n");
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
@@ -116,6 +180,11 @@ int main(int argc, char** argv) {
     if (line.empty()) continue;
     if (line == "metrics") {
       std::printf("%s\n", obs::MetricsRegistry::Default().ExportJson().c_str());
+      continue;
+    }
+    if (line == "statusz") {
+      std::printf("%s\n",
+                  obs::ServingTelemetry::Default().StatuszJson().c_str());
       continue;
     }
 
@@ -145,6 +214,10 @@ int main(int argc, char** argv) {
     SuggestionRequest request = ParseRequest(line);
     if (request.query.empty()) continue;
 
+    // Snapshot-diff the registry around the request so --stats reports what
+    // *this* request recorded, not the session's cumulative totals.
+    obs::MetricsSnapshot before;
+    if (show_stats) before = obs::MetricsRegistry::Default().Snapshot();
     SuggestStats stats;
     auto suggestions =
         (*engine)->Suggest(request, 10, show_stats ? &stats : nullptr);
@@ -155,7 +228,12 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < suggestions->size(); ++i) {
       std::printf("  %2zu. %s\n", i + 1, (*suggestions)[i].query.c_str());
     }
-    if (show_stats) std::printf("\n%s", stats.Render().c_str());
+    if (show_stats) {
+      obs::MetricsSnapshot after = obs::MetricsRegistry::Default().Snapshot();
+      std::printf("\n%s", stats.Render().c_str());
+      std::printf("request delta: %s\n",
+                  obs::MetricsRegistry::DeltaJson(before, after).c_str());
+    }
   }
   return 0;
 }

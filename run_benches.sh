@@ -8,16 +8,19 @@ B=build/bench
 run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 
 # Verify step: race-check the concurrent layers — the observability layer
-# (thread-local span stacks, atomic counters) and the serving layer
-# (ThreadPool, SuggestBatch, the sharded result cache) — by running obs_test
-# and serving_test under ThreadSanitizer before spending 20 minutes on
-# figures. Skip with PQSDA_TSAN_VERIFY=0.
+# (thread-local span stacks, atomic counters), the serving layer
+# (ThreadPool, SuggestBatch, the sharded result cache) and the live
+# telemetry surface (sliding windows, the HTTP exporter, the request log) —
+# by running obs_test, serving_test and telemetry_test under
+# ThreadSanitizer before spending 20 minutes on figures. Skip with
+# PQSDA_TSAN_VERIFY=0.
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: obs_test + serving_test under ThreadSanitizer ====="
+  echo "===== verify: obs_test + serving_test + telemetry_test under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test serving_test -j >/dev/null &&
+    cmake --build build-tsan --target obs_test serving_test telemetry_test -j >/dev/null &&
     timeout 600 ./build-tsan/tests/obs_test &&
-    timeout 600 ./build-tsan/tests/serving_test || {
+    timeout 600 ./build-tsan/tests/serving_test &&
+    timeout 600 ./build-tsan/tests/telemetry_test || {
       echo "TSAN verify failed" >&2
       exit 1
     }

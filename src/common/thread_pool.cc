@@ -32,6 +32,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
   }
   cv_.notify_one();
 }
@@ -46,8 +47,11 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

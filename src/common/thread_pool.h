@@ -1,6 +1,7 @@
 #ifndef PQSDA_COMMON_THREAD_POOL_H_
 #define PQSDA_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -31,6 +32,17 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker. Instantaneous reading
+  /// for telemetry (/statusz); approximate under concurrent submit/drain.
+  size_t QueueDepth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Workers currently executing a task (the ParallelFor caller's own chunk
+  /// is not counted — utilization measures pool workers only).
+  size_t ActiveWorkers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues one fire-and-forget task.
   void Submit(std::function<void()> task);
 
@@ -59,6 +71,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> active_{0};
 };
 
 }  // namespace pqsda

@@ -2,7 +2,10 @@
 
 #include <optional>
 
+#include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rank/borda.h"
 
@@ -131,22 +134,99 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
       reg.GetCounter("pqsda.suggest.errors_total");
   static obs::Counter& not_found_total =
       reg.GetCounter("pqsda.suggest.not_found_total");
-  static obs::Counter& personalized_total =
-      reg.GetCounter("pqsda.suggest.personalized_total");
+  static obs::Counter& traced_total =
+      reg.GetCounter("pqsda.suggest.traced_total");
   static obs::Histogram& latency_us =
       reg.GetHistogram("pqsda.suggest.latency_us");
 
   requests_total.Increment();
-  obs::ScopedTimer timer(latency_us);
+  obs::ServingTelemetry& telemetry = obs::ServingTelemetry::Default();
+  const uint64_t request_id = telemetry.NextRequestId();
+
+  // With stats requested, the whole request runs under one trace; the
+  // diversifier's and personalizer's stage spans attach to it. Without
+  // stats, the telemetry layer head-samples requests into the /tracez ring.
+  const bool trace_sampled = stats == nullptr && telemetry.SampleTrace();
+  std::optional<obs::TraceCollector> collector;
+  if (stats != nullptr || trace_sampled) collector.emplace("suggest");
+
+  WallTimer wall;
+  bool cache_hit = false;
+  StatusOr<std::vector<Suggestion>> result =
+      SuggestImpl(request, k, stats, &cache_hit);
+  const double elapsed_us = static_cast<double>(wall.ElapsedNanos()) * 1e-3;
+  const int64_t total_us = static_cast<int64_t>(elapsed_us);
+  latency_us.Observe(elapsed_us);
+
+  const bool ok = result.ok();
+  const bool not_found =
+      !ok && result.status().code() == StatusCode::kNotFound;
+  if (!ok) {
+    // A cold query (NotFound) is routine traffic, not an internal failure;
+    // serving dashboards alert on errors_total only.
+    (not_found ? not_found_total : errors_total).Increment();
+  }
+  telemetry.RecordRequest(elapsed_us, ok, not_found, cache_ != nullptr,
+                          cache_hit);
+
+  obs::SpanNode trace;
+  bool have_trace = false;
+  if (collector.has_value()) {
+    trace = collector->Take();
+    have_trace = true;
+    traced_total.Increment();
+    telemetry.RecordTrace(request_id, request.query, total_us, trace);
+  }
+
+  if (obs::RequestLog* log = telemetry.request_log()) {
+    obs::RequestLogEntry entry;
+    entry.request_id = request_id;
+    entry.user = request.user;
+    entry.query = request.query;
+    entry.k = k;
+    entry.total_us = total_us;
+    entry.cache_hit = cache_hit;
+    entry.ok = ok;
+    if (!ok) entry.status = result.status().ToString();
+    if (have_trace) {
+      for (const char* stage :
+           {"expansion", "regularization_solve", "hitting_time_selection",
+            "personalization"}) {
+        if (const obs::SpanNode* node = trace.Find(stage)) {
+          entry.stage_us.emplace_back(stage, node->duration_us());
+        }
+      }
+    }
+    if (ok) {
+      entry.suggestions.reserve(result->size());
+      for (const Suggestion& s : *result) entry.suggestions.push_back(s.query);
+    }
+    log->Log(std::move(entry));
+  }
+
+  // Cache hits skip the pipeline: SuggestImpl already reset `stats`, and the
+  // near-empty wrapper trace is deliberately not attached so a reused stats
+  // struct reports "no stage trace" (TotalSpans()==1) as before.
+  if (stats != nullptr && have_trace && !cache_hit) {
+    stats->trace = std::move(trace);
+  }
+  return result;
+}
+
+StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
+    const SuggestionRequest& request, size_t k, SuggestStats* stats,
+    bool* cache_hit) const {
+  static obs::Counter& personalized_total = obs::MetricsRegistry::Default()
+      .GetCounter("pqsda.suggest.personalized_total");
 
   std::string cache_key;
   if (cache_ != nullptr) {
     cache_key = SuggestionCache::KeyOf(request, k);
     std::vector<Suggestion> cached;
     if (cache_->Lookup(cache_key, &cached)) {
-      // Cache hits skip the pipeline, so there is no stage trace to hand
-      // out; reset a reused stats struct so it doesn't carry the previous
+      // Reset a reused stats struct so it doesn't carry the previous
       // request's trace, solver, and selection numbers.
+      *cache_hit = true;
       if (stats != nullptr) {
         *stats = SuggestStats{};
         stats->suggestions_returned = cached.size();
@@ -155,33 +235,15 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     }
   }
 
-  // With stats requested, the whole request runs under one trace; the
-  // diversifier's and personalizer's stage spans attach to it.
-  std::optional<obs::TraceCollector> collector;
-  if (stats != nullptr) collector.emplace("suggest");
-
   auto diversified = diversifier_->Diversify(request, k, stats);
-  if (!diversified.ok()) {
-    // A cold query (NotFound) is routine traffic, not an internal failure;
-    // serving dashboards alert on errors_total only.
-    if (diversified.status().code() == StatusCode::kNotFound) {
-      not_found_total.Increment();
-    } else {
-      errors_total.Increment();
-    }
-    if (collector.has_value()) stats->trace = collector->Take();
-    return diversified.status();
-  }
+  if (!diversified.ok()) return diversified.status();
   std::vector<Suggestion> list = std::move(diversified->candidates);
   if (personalizer_ != nullptr && request.user != kNoUser) {
     list = personalizer_->Rerank(request.user, list);
     personalized_total.Increment();
     if (stats != nullptr) stats->personalized = true;
   }
-  if (stats != nullptr) {
-    stats->suggestions_returned = list.size();
-    if (collector.has_value()) stats->trace = collector->Take();
-  }
+  if (stats != nullptr) stats->suggestions_returned = list.size();
   if (cache_ != nullptr) cache_->Insert(cache_key, list);
   return list;
 }

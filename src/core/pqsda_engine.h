@@ -91,6 +91,13 @@ class PqsdaEngine {
   /// ran — "personalization", each with microsecond durations and
   /// annotations) plus the expansion/solver/selection work counters. With a
   /// null pointer only the cheap always-on registry metrics are recorded.
+  ///
+  /// Every request additionally feeds the live serving telemetry
+  /// (obs::ServingTelemetry::Default()): it gets a process-unique request
+  /// id, its latency and outcome enter the 10s/1m/5m sliding windows, a
+  /// head-sampled subset is traced into the /tracez ring, and — when a
+  /// request log is attached — a sampled-or-slow subset is emitted as
+  /// structured JSONL.
   StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
                                             size_t k,
                                             SuggestStats* stats = nullptr) const;
@@ -119,6 +126,13 @@ class PqsdaEngine {
 
  private:
   PqsdaEngine() = default;
+
+  /// The cache-lookup + diversify + personalize pipeline, free of telemetry
+  /// concerns; Suggest wraps it with timing, tracing, windowed recording
+  /// and request-log emission.
+  StatusOr<std::vector<Suggestion>> SuggestImpl(
+      const SuggestionRequest& request, size_t k, SuggestStats* stats,
+      bool* cache_hit) const;
 
   std::vector<QueryLogRecord> records_;
   std::vector<Session> sessions_;

@@ -1,0 +1,228 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace pqsda::obs {
+
+namespace {
+
+// Scrape requests are tiny; anything larger than this is not ours.
+constexpr size_t kMaxRequestBytes = 8192;
+
+void SetRecvTimeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+// Reads until the end of the header block ("\r\n\r\n") or the size cap; the
+// telemetry endpoints never need a body.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos) return true;
+    // Permit bare-LF clients (curl never sends these, but be lenient).
+    if (head->find("\n\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  const size_t eol = head.find_first_of("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    request->query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  request->path = std::move(target);
+  return !request->path.empty() && request->path[0] == '/';
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter() = default;
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::Route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status HttpExporter::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("exporter already running");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  if (listen(listen_fd_, /*backlog=*/32) != 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() unblocks the accept(); the loop then observes running_ ==
+  // false and exits.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::ServeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      continue;  // transient accept failure (EINTR, client gone)
+    }
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  SetRecvTimeout(fd, 2);
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &request)) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+  } else {
+    auto it = routes_.find(request.path);
+    if (it == routes_.end()) {
+      response.status = 404;
+      response.body = "not found: " + request.path + "\n";
+    } else {
+      response = it->second(request);
+    }
+  }
+  if (request.method == "HEAD") response.body.clear();
+  const std::string wire = RenderResponse(response);
+  SendAll(fd, wire.data(), wire.size());
+}
+
+StatusOr<std::string> HttpGet(int port, const std::string& path,
+                              int* status_out) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IoError("connect 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  SetRecvTimeout(fd, 5);
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    close(fd);
+    return Status::IoError("send failed");
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("malformed response");
+  }
+  if (status_out != nullptr) {
+    // "HTTP/1.1 200 OK"
+    const size_t sp = raw.find(' ');
+    *status_out =
+        sp != std::string::npos ? std::atoi(raw.c_str() + sp + 1) : 0;
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace pqsda::obs

@@ -1,0 +1,83 @@
+#ifndef PQSDA_OBS_HTTP_EXPORTER_H_
+#define PQSDA_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace pqsda::obs {
+
+/// A parsed scrape request. Only the request line matters for a telemetry
+/// surface; headers and bodies are read and discarded.
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string stripped into `query`)
+  std::string query;   // raw text after '?', "" when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal embedded HTTP/1.1 server for scrape traffic (/metrics, /statusz,
+/// ...): one blocking accept loop on a background thread, connections served
+/// one at a time, `Connection: close` on every response. No third-party
+/// dependencies — plain POSIX sockets. This is deliberately not a general
+/// web server: it exists so an operator (or Prometheus) can read the
+/// process's telemetry while it serves, and nothing more.
+///
+/// Handlers run on the server thread and must be thread-safe with respect to
+/// the serving threads they observe (the telemetry they read is built from
+/// atomics and internally-locked snapshots). Routes are fixed before Start;
+/// the handler table is not mutated afterwards.
+class HttpExporter {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+  ~HttpExporter();  // Stop()s if still running
+
+  /// Registers `handler` for exact-match `path`. Call before Start.
+  void Route(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()), starts
+  /// the accept loop thread. IoError when the socket can't be bound.
+  Status Start(int port);
+
+  /// Unblocks the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port; 0 before a successful Start.
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Blocking HTTP GET against 127.0.0.1:`port` — the scrape client used by
+/// tests and benches to observe a live exporter. Returns the response body;
+/// `status_out` (optional) receives the HTTP status code. IoError on
+/// connect/read failure.
+StatusOr<std::string> HttpGet(int port, const std::string& path,
+                              int* status_out = nullptr);
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_HTTP_EXPORTER_H_

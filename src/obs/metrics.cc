@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pqsda::obs {
 
@@ -83,8 +84,9 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return out;
 }
 
-double Histogram::Quantile(double q) const {
-  std::vector<uint64_t> counts = BucketCounts();
+double QuantileFromBucketCounts(const std::vector<double>& bounds,
+                                const std::vector<uint64_t>& counts,
+                                double q) {
   uint64_t total = 0;
   for (uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
@@ -95,15 +97,19 @@ double Histogram::Quantile(double q) const {
     if (counts[i] == 0) continue;
     double next = cum + static_cast<double>(counts[i]);
     if (next >= target) {
-      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
-      double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      double hi = bounds_[i];
+      if (i == bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      double lo = i == 0 ? 0.0 : bounds[i - 1];
+      double hi = bounds[i];
       double frac = (target - cum) / static_cast<double>(counts[i]);
       return lo + frac * (hi - lo);
     }
     cum = next;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromBucketCounts(bounds_, BucketCounts(), q);
 }
 
 void Histogram::Reset() {
@@ -133,11 +139,19 @@ struct MetricsRegistry::Entry {
 MetricsRegistry::MetricsRegistry() = default;
 MetricsRegistry::~MetricsRegistry() = default;
 
-MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
+StatusOr<MetricsRegistry::Entry*> MetricsRegistry::TryFindOrCreate(
     const std::string& name, int kind, const std::vector<double>* bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& e : entries_) {
-    if (e->name == name && e->kind == kind) return *e;
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& found = *entries_[it->second];
+    if (found.kind != kind) {
+      const char* kind_names[] = {"counter", "gauge", "histogram"};
+      return Status::FailedPrecondition(
+          "metric '" + name + "' is already registered as a " +
+          kind_names[found.kind] + ", requested as a " + kind_names[kind]);
+    }
+    return &found;
   }
   auto entry = std::make_unique<Entry>();
   entry->name = name;
@@ -146,8 +160,23 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
     entry->histogram = std::make_unique<Histogram>(
         bounds != nullptr ? *bounds : Histogram::DefaultLatencyBoundsUs());
   }
+  index_.emplace(name, entries_.size());
   entries_.push_back(std::move(entry));
-  return *entries_.back();
+  return entries_.back().get();
+}
+
+MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(
+    const std::string& name, int kind, const std::vector<double>* bounds) {
+  StatusOr<Entry*> entry = TryFindOrCreate(name, kind, bounds);
+  if (!entry.ok()) {
+    // A kind collision means two call sites disagree about what `name` is —
+    // continuing would record into the wrong metric, so fail loudly instead
+    // of returning something plausible.
+    std::fprintf(stderr, "MetricsRegistry: %s\n",
+                 entry.status().ToString().c_str());
+    std::abort();
+  }
+  return **entry;
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -161,6 +190,25 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>* bounds) {
   return *FindOrCreate(name, kHistogram, bounds).histogram;
+}
+
+StatusOr<Counter*> MetricsRegistry::TryGetCounter(const std::string& name) {
+  StatusOr<Entry*> entry = TryFindOrCreate(name, kCounter, nullptr);
+  if (!entry.ok()) return entry.status();
+  return &(*entry)->counter;
+}
+
+StatusOr<Gauge*> MetricsRegistry::TryGetGauge(const std::string& name) {
+  StatusOr<Entry*> entry = TryFindOrCreate(name, kGauge, nullptr);
+  if (!entry.ok()) return entry.status();
+  return &(*entry)->gauge;
+}
+
+StatusOr<Histogram*> MetricsRegistry::TryGetHistogram(
+    const std::string& name, const std::vector<double>* bounds) {
+  StatusOr<Entry*> entry = TryFindOrCreate(name, kHistogram, bounds);
+  if (!entry.ok()) return entry.status();
+  return (*entry)->histogram.get();
 }
 
 void MetricsRegistry::Reset() {
@@ -254,6 +302,67 @@ std::string MetricsRegistry::ExportPrometheus() const {
              "\n";
     }
   }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->kind == kCounter) {
+      snap.counters[e->name] = e->counter.Value();
+    } else if (e->kind == kGauge) {
+      snap.gauges[e->name] = e->gauge.Value();
+    } else {
+      snap.histograms[e->name] = {e->histogram->Count(), e->histogram->Sum()};
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::DeltaJson(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    const uint64_t prev = it != before.counters.end() ? it->second : 0;
+    if (value == prev) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" +
+           FormatNumber(static_cast<double>(value - prev));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : after.gauges) {
+    auto it = before.gauges.find(name);
+    const double prev = it != before.gauges.end() ? it->second : 0.0;
+    if (value == prev) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FormatNumber(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cs] : after.histograms) {
+    auto it = before.histograms.find(name);
+    const uint64_t prev_count =
+        it != before.histograms.end() ? it->second.first : 0;
+    const double prev_sum =
+        it != before.histograms.end() ? it->second.second : 0.0;
+    if (cs.first == prev_count) continue;
+    const uint64_t dcount = cs.first - prev_count;
+    const double dsum = cs.second - prev_sum;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" +
+           FormatNumber(static_cast<double>(dcount)) +
+           ",\"sum\":" + FormatNumber(dsum) +
+           ",\"mean\":" + FormatNumber(dsum / static_cast<double>(dcount)) +
+           "}";
+  }
+  out += "}}";
   return out;
 }
 

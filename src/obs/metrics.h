@@ -3,11 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/timer.h"
 
 namespace pqsda::obs {
@@ -81,6 +85,23 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Quantile estimate over raw per-bucket counts (`counts[bounds.size()]` is
+/// the overflow bucket), with the same interpolation Histogram::Quantile
+/// uses. Shared with the sliding-window aggregator, which merges several
+/// epochs' bucket counts before asking for a percentile.
+double QuantileFromBucketCounts(const std::vector<double>& bounds,
+                                const std::vector<uint64_t>& counts, double q);
+
+/// Point-in-time copy of a registry's values, for metric *deltas*: snapshot
+/// before and after a request and DeltaJson the pair to see exactly what that
+/// request recorded, without resetting the live registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  /// Histograms tracked as (count, sum) — enough for per-request deltas.
+  std::map<std::string, std::pair<uint64_t, double>> histograms;
+};
+
 /// Process-wide registry of named metrics. Lookup takes a mutex (cache the
 /// returned reference at the call site — metrics are never deallocated while
 /// the registry lives); recording on a found metric is lock-free. Exportable
@@ -92,6 +113,12 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
   ~MetricsRegistry();
 
+  /// A name permanently identifies one metric of one kind. Requesting an
+  /// existing name as a *different* kind (GetGauge("x") after
+  /// GetCounter("x")) is a wiring bug — two call sites would silently record
+  /// into unrelated metrics under one name — so the Get* accessors fail
+  /// loudly (abort with a diagnostic) and the TryGet* variants return
+  /// FailedPrecondition for callers that can surface a Status.
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   /// `bounds` is used only when the histogram is created by this call;
@@ -99,12 +126,28 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name,
                           const std::vector<double>* bounds = nullptr);
 
+  /// Status-bearing variants of the accessors above: FailedPrecondition when
+  /// `name` is already registered as a different metric kind.
+  StatusOr<Counter*> TryGetCounter(const std::string& name);
+  StatusOr<Gauge*> TryGetGauge(const std::string& name);
+  StatusOr<Histogram*> TryGetHistogram(
+      const std::string& name, const std::vector<double>* bounds = nullptr);
+
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,p50,
   /// p95,p99}}} with names in sorted order (deterministic output).
   std::string ExportJson() const;
   /// Prometheus text exposition format; metric names are sanitized to
   /// [a-zA-Z0-9_:] and emitted in sorted order.
   std::string ExportPrometheus() const;
+
+  /// Copies every metric's current value (histograms as count/sum).
+  MetricsSnapshot Snapshot() const;
+  /// JSON of what changed between two snapshots taken on the same registry:
+  /// counter increments, gauge new values, histogram count/sum deltas.
+  /// Metrics absent from `before` are treated as starting at zero; unchanged
+  /// metrics are omitted.
+  static std::string DeltaJson(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
 
   /// Zeroes every registered metric in place. References handed out by the
   /// Get* methods stay valid (tests and long-lived cached pointers rely on
@@ -118,11 +161,17 @@ class MetricsRegistry {
  private:
   struct Entry;
 
+  /// O(1) under the mutex via the name index; FailedPrecondition on a kind
+  /// collision.
+  StatusOr<Entry*> TryFindOrCreate(const std::string& name, int kind,
+                                   const std::vector<double>* bounds);
+  /// As above but aborts (loudly) on a kind collision.
   Entry& FindOrCreate(const std::string& name, int kind,
                       const std::vector<double>* bounds);
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+  std::unordered_map<std::string, size_t> index_;  // name -> entries_ index
 };
 
 /// RAII timer recording its scope's duration into a histogram (in

@@ -1,0 +1,162 @@
+#include "obs/request_log.h"
+
+#include "obs/metrics.h"
+
+namespace pqsda::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Counter& DroppedCounter() {
+  static Counter& c = MetricsRegistry::Default().GetCounter(
+      "pqsda.reqlog.dropped_total");
+  return c;
+}
+
+Counter& WrittenCounter() {
+  static Counter& c = MetricsRegistry::Default().GetCounter(
+      "pqsda.reqlog.written_total");
+  return c;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RequestLog>> RequestLog::Open(
+    RequestLogOptions options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("request log path is empty");
+  }
+  std::FILE* file = std::fopen(options.path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::IoError("cannot open request log " + options.path);
+  }
+  return std::unique_ptr<RequestLog>(
+      new RequestLog(std::move(options), file));
+}
+
+RequestLog::RequestLog(RequestLogOptions options, std::FILE* file)
+    : options_(std::move(options)), file_(file) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+RequestLog::~RequestLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  writer_.join();
+  std::fclose(file_);
+}
+
+bool RequestLog::Log(RequestLogEntry entry) {
+  seen_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = seq_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow = entry.total_us >= options_.slow_us;
+  const bool sampled =
+      options_.sample_every > 0 && n % options_.sample_every == 0;
+  if (!slow && !sampled) return false;
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      DroppedCounter().Increment();
+      return true;
+    }
+    queue_.push_back(std::move(entry));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void RequestLog::WriterLoop() {
+  for (;;) {
+    RequestLogEntry entry;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and everything written
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+    }
+    const std::string line = ToJson(entry);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    written_.fetch_add(1, std::memory_order_relaxed);
+    WrittenCounter().Increment();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+      if (queue_.empty()) drained_.notify_all();
+    }
+  }
+}
+
+void RequestLog::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] { return queue_.empty() && !writing_; });
+  }
+  std::fflush(file_);
+}
+
+std::string RequestLog::ToJson(const RequestLogEntry& entry) {
+  std::string out = "{\"request_id\":" + std::to_string(entry.request_id);
+  out += ",\"user\":" + std::to_string(entry.user);
+  out += ",\"query\":\"" + JsonEscape(entry.query) + "\"";
+  out += ",\"k\":" + std::to_string(entry.k);
+  out += ",\"total_us\":" + std::to_string(entry.total_us);
+  out += ",\"cache_hit\":";
+  out += entry.cache_hit ? "true" : "false";
+  out += ",\"ok\":";
+  out += entry.ok ? "true" : "false";
+  if (!entry.ok) {
+    out += ",\"status\":\"" + JsonEscape(entry.status) + "\"";
+  }
+  if (!entry.stage_us.empty()) {
+    out += ",\"stage_us\":{";
+    for (size_t i = 0; i < entry.stage_us.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(entry.stage_us[i].first) +
+             "\":" + std::to_string(entry.stage_us[i].second);
+    }
+    out += "}";
+  }
+  if (!entry.suggestions.empty()) {
+    out += ",\"suggestions\":[";
+    for (size_t i = 0; i < entry.suggestions.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(entry.suggestions[i]) + "\"";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pqsda::obs

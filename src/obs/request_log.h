@@ -1,0 +1,123 @@
+#ifndef PQSDA_OBS_REQUEST_LOG_H_
+#define PQSDA_OBS_REQUEST_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pqsda::obs {
+
+/// Sizing and sampling policy of the structured request log.
+struct RequestLogOptions {
+  /// JSONL output path (appended; one object per line).
+  std::string path;
+  /// Head-based sampling: log every Nth request (1 = all, 0 = none except
+  /// slow ones). The decision is made on arrival order, before anything is
+  /// known about the request beyond its position in the stream, so the
+  /// sample is unbiased by outcome.
+  uint64_t sample_every = 32;
+  /// Requests at or above this latency are always logged, regardless of the
+  /// sampling decision — the slow tail is exactly what the log is for.
+  int64_t slow_us = 100'000;
+  /// Bounded hand-off queue to the writer thread. When serving outruns the
+  /// disk, whole entries are dropped (never partially written) and counted
+  /// in dropped() and `pqsda.reqlog.dropped_total` — the log degrades
+  /// observably instead of back-pressuring the request path. 0 means the
+  /// queue is always full: every accepted entry is counted as dropped,
+  /// which keeps the accounting contract exercisable without disk I/O.
+  size_t queue_capacity = 4096;
+};
+
+/// One serving request as recorded in the log. `stage_us` carries whatever
+/// per-stage timings were available (populated when the request was traced);
+/// `suggestions` holds the returned queries, best first.
+struct RequestLogEntry {
+  uint64_t request_id = 0;
+  uint32_t user = 0;
+  std::string query;
+  size_t k = 0;
+  int64_t total_us = 0;
+  bool cache_hit = false;
+  bool ok = true;
+  std::string status;  // "" when ok
+  std::vector<std::pair<std::string, int64_t>> stage_us;
+  std::vector<std::string> suggestions;
+};
+
+/// Sampled structured JSONL request logging with an asynchronous writer:
+/// Log() classifies the entry (sampled / slow / skipped), enqueues accepted
+/// entries onto a bounded queue, and a background thread renders + appends
+/// them. The request path never touches the filesystem.
+///
+/// Accounting contract (verified by telemetry_test): after Flush(),
+///   written() + dropped() == accepted()
+/// where accepted() counts entries that passed the sampling/slow policy.
+/// seen() additionally counts the requests the policy skipped.
+class RequestLog {
+ public:
+  /// Opens `options.path` for append. IoError when the file can't be opened.
+  static StatusOr<std::unique_ptr<RequestLog>> Open(RequestLogOptions options);
+
+  ~RequestLog();  // drains the queue, then joins the writer
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  /// Applies the sampling policy and enqueues the entry if it is selected.
+  /// Returns true when the entry was accepted (queued or dropped-on-full),
+  /// false when the policy skipped it.
+  bool Log(RequestLogEntry entry);
+
+  /// Blocks until every accepted entry has been written (or counted as
+  /// dropped) and the file is flushed.
+  void Flush();
+
+  uint64_t seen() const { return seen_.load(std::memory_order_relaxed); }
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t written() const { return written_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  const RequestLogOptions& options() const { return options_; }
+
+  /// The JSONL rendering of one entry (no trailing newline); exposed so
+  /// tests can assert the schema.
+  static std::string ToJson(const RequestLogEntry& entry);
+
+ private:
+  explicit RequestLog(RequestLogOptions options, std::FILE* file);
+
+  void WriterLoop();
+
+  RequestLogOptions options_;
+  std::FILE* file_;
+
+  std::atomic<uint64_t> seq_{0};  // arrival order, drives head sampling
+  std::atomic<uint64_t> seen_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> written_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // writer wakeup
+  std::condition_variable drained_;   // Flush/destructor wakeup
+  std::deque<RequestLogEntry> queue_;
+  bool writing_ = false;  // writer holds an entry outside the queue
+  bool stop_ = false;
+  std::thread writer_;
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_REQUEST_LOG_H_

@@ -1,0 +1,153 @@
+#include "obs/sliding_window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace pqsda::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SanitizeEpochNs(int64_t epoch_ns) {
+  return epoch_ns > 0 ? epoch_ns : 1;
+}
+
+size_t SanitizeEpochs(size_t epochs) { return epochs > 0 ? epochs : 1; }
+
+// Number of trailing epochs (including the current one) a window of
+// `window_ns` covers, clamped to the ring size.
+size_t WindowEpochs(int64_t window_ns, int64_t epoch_ns, size_t ring) {
+  if (window_ns <= 0) return 1;
+  auto n = static_cast<size_t>((window_ns + epoch_ns - 1) / epoch_ns);
+  return std::min(std::max<size_t>(n, 1), ring);
+}
+
+}  // namespace
+
+WindowedRate::WindowedRate(WindowOptions options)
+    : options_(std::move(options)) {
+  options_.epoch_ns = SanitizeEpochNs(options_.epoch_ns);
+  options_.epochs = SanitizeEpochs(options_.epochs);
+  slots_ = std::make_unique<Slot[]>(options_.epochs);
+}
+
+int64_t WindowedRate::NowNs() const {
+  return options_.clock ? options_.clock() : SteadyNowNs();
+}
+
+void WindowedRate::Add(uint64_t n) {
+  const int64_t epoch = NowNs() / options_.epoch_ns;
+  Slot& slot = slots_[static_cast<size_t>(epoch) % options_.epochs];
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (slot.epoch.load(std::memory_order_acquire) == epoch) {
+      slot.count.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t stored = slot.epoch.load(std::memory_order_relaxed);
+  // A writer that computed its epoch before a long stall may arrive after
+  // the slot already rotated forward; its event belongs to an epoch the ring
+  // no longer tracks, so it is dropped rather than corrupting a newer epoch.
+  if (stored > epoch) return;
+  if (stored < epoch) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.epoch.store(epoch, std::memory_order_release);
+  }
+  slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t WindowedRate::SumOver(int64_t window_ns) const {
+  const int64_t epoch = NowNs() / options_.epoch_ns;
+  const size_t span = WindowEpochs(window_ns, options_.epoch_ns,
+                                   options_.epochs);
+  const int64_t oldest = epoch - static_cast<int64_t>(span) + 1;
+  uint64_t total = 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (size_t i = 0; i < options_.epochs; ++i) {
+    const int64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+    if (e >= oldest && e <= epoch) {
+      total += slots_[i].count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double WindowedRate::RatePerSec(int64_t window_ns) const {
+  if (window_ns <= 0) return 0.0;
+  return static_cast<double>(SumOver(window_ns)) /
+         (static_cast<double>(window_ns) * 1e-9);
+}
+
+SlidingWindowHistogram::SlidingWindowHistogram(WindowOptions options,
+                                               const std::vector<double>* bounds)
+    : options_(std::move(options)),
+      bounds_(bounds != nullptr ? *bounds
+                                : Histogram::DefaultLatencyBoundsUs()) {
+  options_.epoch_ns = SanitizeEpochNs(options_.epoch_ns);
+  options_.epochs = SanitizeEpochs(options_.epochs);
+  slots_.reserve(options_.epochs);
+  for (size_t i = 0; i < options_.epochs; ++i) {
+    slots_.push_back(std::make_unique<Slot>(bounds_));
+  }
+}
+
+int64_t SlidingWindowHistogram::NowNs() const {
+  return options_.clock ? options_.clock() : SteadyNowNs();
+}
+
+void SlidingWindowHistogram::Record(double value) {
+  const int64_t epoch = NowNs() / options_.epoch_ns;
+  Slot& slot = *slots_[static_cast<size_t>(epoch) % options_.epochs];
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (slot.epoch.load(std::memory_order_acquire) == epoch) {
+      slot.hist.Observe(value);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t stored = slot.epoch.load(std::memory_order_relaxed);
+  if (stored > epoch) return;  // stale writer; see WindowedRate::Add
+  if (stored < epoch) {
+    slot.hist.Reset();
+    slot.epoch.store(epoch, std::memory_order_release);
+  }
+  slot.hist.Observe(value);
+}
+
+WindowSnapshot SlidingWindowHistogram::SnapshotOver(int64_t window_ns) const {
+  const int64_t epoch = NowNs() / options_.epoch_ns;
+  const size_t span = WindowEpochs(window_ns, options_.epoch_ns,
+                                   options_.epochs);
+  const int64_t oldest = epoch - static_cast<int64_t>(span) + 1;
+
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  WindowSnapshot snap;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& slot : slots_) {
+      const int64_t e = slot->epoch.load(std::memory_order_acquire);
+      if (e < oldest || e > epoch) continue;
+      std::vector<uint64_t> counts = slot->hist.BucketCounts();
+      for (size_t b = 0; b < merged.size(); ++b) merged[b] += counts[b];
+      snap.sum += slot->hist.Sum();
+    }
+  }
+  for (uint64_t c : merged) snap.count += c;
+  if (snap.count == 0) return WindowSnapshot{};
+  snap.mean = snap.sum / static_cast<double>(snap.count);
+  snap.p50 = QuantileFromBucketCounts(bounds_, merged, 0.50);
+  snap.p95 = QuantileFromBucketCounts(bounds_, merged, 0.95);
+  snap.p99 = QuantileFromBucketCounts(bounds_, merged, 0.99);
+  return snap;
+}
+
+}  // namespace pqsda::obs

@@ -1,0 +1,115 @@
+#ifndef PQSDA_OBS_SLIDING_WINDOW_H_
+#define PQSDA_OBS_SLIDING_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pqsda::obs {
+
+/// Time base shared by the windowed aggregators. The clock is injectable so
+/// tests can step epochs deterministically instead of sleeping; the default
+/// reads std::chrono::steady_clock.
+struct WindowOptions {
+  /// Width of one ring epoch. Windowed queries are answered at this
+  /// resolution: a "last 10s" query over 5s epochs sums the 2 most recent
+  /// epochs (including the partially-filled current one).
+  int64_t epoch_ns = 5'000'000'000;
+  /// Ring size. Coverage = epochs * epoch_ns (default 64 * 5s = 5m20s), so
+  /// the ring answers 10s/1m/5m windows without ever allocating after
+  /// construction.
+  size_t epochs = 64;
+  /// Monotonic nanosecond clock; null means steady_clock.
+  std::function<int64_t()> clock;
+};
+
+/// Event counter over a ring of epochs: Add() is one shared-lock acquire plus
+/// a relaxed atomic add on the steady-state path (the exclusive lock is taken
+/// only on the first event of a new epoch, to retire the slot the epoch
+/// reuses). SumOver/RatePerSec answer "events in the trailing W" — the live
+/// QPS / error-rate / hit-rate numbers a scrape surface needs, where the
+/// since-process-start counters in MetricsRegistry cannot distinguish a storm
+/// one minute ago from one an hour ago.
+class WindowedRate {
+ public:
+  explicit WindowedRate(WindowOptions options = {});
+
+  void Add(uint64_t n = 1);
+
+  /// Total events recorded in the trailing `window_ns` (clamped to the
+  /// ring's coverage). The current partially-elapsed epoch is included.
+  uint64_t SumOver(int64_t window_ns) const;
+
+  /// SumOver / window seconds.
+  double RatePerSec(int64_t window_ns) const;
+
+  const WindowOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<uint64_t> count{0};
+  };
+
+  int64_t NowNs() const;
+
+  WindowOptions options_;
+  /// Exclusive only while a slot is retired into a new epoch; Add and
+  /// SumOver hold it shared, so recording stays concurrent.
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Point-in-time aggregate of a sliding window's observations.
+struct WindowSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Latency histogram over a ring of epochs: each epoch owns a full
+/// fixed-bucket Histogram, and SnapshotOver merges the in-window epochs'
+/// bucket counts to report windowed p50/p95/p99 — "p99 over the last minute"
+/// instead of p99 since process start. Record() costs the same as
+/// Histogram::Observe plus a shared-lock acquire; epoch rotation reuses the
+/// slot's histogram in place (Reset), so steady-state serving is
+/// allocation-free.
+class SlidingWindowHistogram {
+ public:
+  /// `bounds` as in Histogram; null means Histogram::DefaultLatencyBoundsUs.
+  explicit SlidingWindowHistogram(WindowOptions options = {},
+                                  const std::vector<double>* bounds = nullptr);
+
+  void Record(double value);
+
+  WindowSnapshot SnapshotOver(int64_t window_ns) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const WindowOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    explicit Slot(const std::vector<double>& bounds) : hist(bounds) {}
+    std::atomic<int64_t> epoch{-1};
+    Histogram hist;
+  };
+
+  int64_t NowNs() const;
+
+  WindowOptions options_;
+  std::vector<double> bounds_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_SLIDING_WINDOW_H_

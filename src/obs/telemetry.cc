@@ -1,0 +1,302 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+
+namespace pqsda::obs {
+
+namespace {
+
+constexpr int64_t kSecond = 1'000'000'000;
+// The three windows /statusz reports.
+constexpr int64_t kWindowsNs[] = {10 * kSecond, 60 * kSecond, 300 * kSecond};
+constexpr const char* kWindowNames[] = {"10s", "1m", "5m"};
+
+// The per-stage cumulative latency histograms worth surfacing on /statusz.
+constexpr const char* kStageHistograms[] = {
+    "pqsda.suggest.expansion_us", "pqsda.suggest.regularization_solve_us",
+    "pqsda.suggest.hitting_time_selection_us",
+    "pqsda.suggest.personalization_us", "pqsda.suggest.latency_us"};
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::atomic<ServingTelemetry*> g_default{nullptr};
+std::mutex g_install_mu;
+
+}  // namespace
+
+ServingTelemetry::ServingTelemetry(ServingTelemetryOptions options)
+    : options_(options),
+      start_ns_(options.window.clock
+                    ? options.window.clock()
+                    : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count()),
+      requests_(options.window),
+      errors_(options.window),
+      not_found_(options.window),
+      cache_hits_(options.window),
+      cache_lookups_(options.window),
+      latency_(options.window) {}
+
+ServingTelemetry& ServingTelemetry::Default() {
+  ServingTelemetry* t = g_default.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  t = g_default.load(std::memory_order_relaxed);
+  if (t == nullptr) {
+    t = new ServingTelemetry();
+    g_default.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+ServingTelemetry& ServingTelemetry::Install(ServingTelemetryOptions options) {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  auto* t = new ServingTelemetry(std::move(options));
+  // The previous instance leaks deliberately: request threads may hold a
+  // reference across the swap and windowed recorders must never die under
+  // them.
+  g_default.store(t, std::memory_order_release);
+  return *t;
+}
+
+bool ServingTelemetry::SampleTrace() {
+  if (options_.trace_sample_every == 0) return false;
+  return trace_seq_.fetch_add(1, std::memory_order_relaxed) %
+             options_.trace_sample_every ==
+         0;
+}
+
+void ServingTelemetry::RecordRequest(double latency_us, bool ok,
+                                     bool not_found, bool cache_enabled,
+                                     bool cache_hit) {
+  requests_.Add();
+  latency_.Record(latency_us);
+  if (!ok && !not_found) errors_.Add();
+  if (not_found) not_found_.Add();
+  if (cache_enabled) {
+    cache_lookups_.Add();
+    if (cache_hit) cache_hits_.Add();
+  }
+}
+
+void ServingTelemetry::RecordTrace(uint64_t request_id,
+                                   const std::string& query, int64_t total_us,
+                                   const SpanNode& trace) {
+  TracezEntry entry;
+  entry.request_id = request_id;
+  entry.total_us = total_us;
+  entry.json = "{\"request_id\":" + std::to_string(request_id) +
+               ",\"query\":\"" + JsonEscape(query) +
+               "\",\"total_us\":" + std::to_string(total_us) +
+               ",\"trace\":" + trace.ToJson() + "}";
+
+  std::lock_guard<std::mutex> lock(tracez_mu_);
+  if (options_.tracez_recent > 0) {
+    recent_.push_back(entry);
+    while (recent_.size() > options_.tracez_recent) recent_.pop_front();
+  }
+  if (options_.tracez_slowest > 0) {
+    const bool full = slowest_.size() >= options_.tracez_slowest;
+    if (!full || total_us > slowest_.back().total_us) {
+      if (full) slowest_.pop_back();
+      auto pos = std::upper_bound(
+          slowest_.begin(), slowest_.end(), entry,
+          [](const TracezEntry& a, const TracezEntry& b) {
+            return a.total_us > b.total_us;
+          });
+      slowest_.insert(pos, std::move(entry));
+    }
+  }
+}
+
+void ServingTelemetry::AttachRequestLog(std::unique_ptr<RequestLog> log) {
+  // Ownership transfers to the process (leaked like Install's predecessor);
+  // the raw pointer is what the request path loads.
+  request_log_.store(log.release(), std::memory_order_release);
+}
+
+std::string ServingTelemetry::StatuszJson() const {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const int64_t now_ns =
+      options_.window.clock
+          ? options_.window.clock()
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+
+  std::string out = "{\"uptime_sec\":" +
+                    Num(static_cast<double>(now_ns - start_ns_) * 1e-9);
+
+  out += ",\"build\":{\"system\":\"pqsda\"";
+#if defined(__clang__)
+  out += ",\"compiler\":\"clang " + std::to_string(__clang_major__) + "\"";
+#elif defined(__GNUC__)
+  out += ",\"compiler\":\"gcc " + std::to_string(__GNUC__) + "\"";
+#endif
+#ifdef NDEBUG
+  out += ",\"assertions\":false";
+#else
+  out += ",\"assertions\":true";
+#endif
+  out += ",\"queries\":" + Num(reg.GetGauge("pqsda.build.queries").Value());
+  out += ",\"sessions\":" + Num(reg.GetGauge("pqsda.build.sessions").Value());
+  out += "}";
+
+  out += ",\"windows\":{";
+  for (size_t w = 0; w < 3; ++w) {
+    if (w > 0) out += ",";
+    const int64_t win = kWindowsNs[w];
+    const uint64_t reqs = requests_.SumOver(win);
+    const uint64_t errs = errors_.SumOver(win);
+    const uint64_t nf = not_found_.SumOver(win);
+    const uint64_t hits = cache_hits_.SumOver(win);
+    const uint64_t lookups = cache_lookups_.SumOver(win);
+    const WindowSnapshot lat = latency_.SnapshotOver(win);
+    out += "\"" + std::string(kWindowNames[w]) + "\":{";
+    out += "\"requests\":" + std::to_string(reqs);
+    out += ",\"qps\":" + Num(requests_.RatePerSec(win));
+    out += ",\"error_rate\":" +
+           Num(reqs > 0 ? static_cast<double>(errs) /
+                              static_cast<double>(reqs)
+                        : 0.0);
+    out += ",\"not_found_rate\":" +
+           Num(reqs > 0 ? static_cast<double>(nf) / static_cast<double>(reqs)
+                        : 0.0);
+    out += ",\"cache_hit_rate\":" +
+           Num(lookups > 0 ? static_cast<double>(hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0);
+    out += ",\"latency_us\":{\"count\":" + std::to_string(lat.count);
+    out += ",\"mean\":" + Num(lat.mean);
+    out += ",\"p50\":" + Num(lat.p50);
+    out += ",\"p95\":" + Num(lat.p95);
+    out += ",\"p99\":" + Num(lat.p99);
+    out += "}}";
+  }
+  out += "}";
+
+  // Pool state is read at scrape time (collect-on-scrape: the hot path pays
+  // nothing for these).
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t active = pool.ActiveWorkers();
+  out += ",\"pool\":{\"size\":" + std::to_string(pool.size());
+  out += ",\"active\":" + std::to_string(active);
+  out += ",\"queue_depth\":" + std::to_string(pool.QueueDepth());
+  out += ",\"utilization\":" +
+         Num(pool.size() > 0
+                 ? static_cast<double>(active) /
+                       static_cast<double>(pool.size())
+                 : 0.0);
+  out += "}";
+
+  const double cache_size = reg.GetGauge("pqsda.cache.size").Value();
+  const double cache_capacity = reg.GetGauge("pqsda.cache.capacity").Value();
+  out += ",\"cache\":{\"size\":" + Num(cache_size);
+  out += ",\"capacity\":" + Num(cache_capacity);
+  out += ",\"occupancy\":" +
+         Num(cache_capacity > 0 ? cache_size / cache_capacity : 0.0);
+  out += ",\"hits_total\":" +
+         std::to_string(reg.GetCounter("pqsda.cache.hits_total").Value());
+  out += ",\"misses_total\":" +
+         std::to_string(reg.GetCounter("pqsda.cache.misses_total").Value());
+  out += ",\"evictions_total\":" +
+         std::to_string(reg.GetCounter("pqsda.cache.evictions_total").Value());
+  out += "}";
+
+  out += ",\"stages\":{";
+  for (size_t s = 0; s < sizeof(kStageHistograms) / sizeof(char*); ++s) {
+    if (s > 0) out += ",";
+    Histogram& h = reg.GetHistogram(kStageHistograms[s]);
+    out += "\"" + std::string(kStageHistograms[s]) + "\":{";
+    out += "\"count\":" + std::to_string(h.Count());
+    out += ",\"p50\":" + Num(h.Quantile(0.50));
+    out += ",\"p95\":" + Num(h.Quantile(0.95));
+    out += ",\"p99\":" + Num(h.Quantile(0.99));
+    out += "}";
+  }
+  out += "}";
+
+  out += ",\"requests\":{\"total\":" +
+         std::to_string(reg.GetCounter("pqsda.suggest.requests_total").Value());
+  out += ",\"errors\":" +
+         std::to_string(reg.GetCounter("pqsda.suggest.errors_total").Value());
+  out += ",\"not_found\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.suggest.not_found_total").Value());
+  if (RequestLog* log = request_log()) {
+    out += ",\"log\":{\"seen\":" + std::to_string(log->seen());
+    out += ",\"accepted\":" + std::to_string(log->accepted());
+    out += ",\"written\":" + std::to_string(log->written());
+    out += ",\"dropped\":" + std::to_string(log->dropped());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ServingTelemetry::TracezJson() const {
+  std::lock_guard<std::mutex> lock(tracez_mu_);
+  std::string out = "{\"recent\":[";
+  // Newest first, matching what an operator wants to see at the top.
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it != recent_.rbegin()) out += ",";
+    out += it->json;
+  }
+  out += "],\"slowest\":[";
+  for (size_t i = 0; i < slowest_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += slowest_[i].json;
+  }
+  out += "]}";
+  return out;
+}
+
+void ServingTelemetry::RegisterEndpoints(HttpExporter* exporter) {
+  exporter->Route("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  exporter->Route("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = MetricsRegistry::Default().ExportPrometheus();
+    return response;
+  });
+  exporter->Route("/statusz", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatuszJson();
+    return response;
+  });
+  exporter->Route("/tracez", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = TracezJson();
+    return response;
+  });
+}
+
+}  // namespace pqsda::obs

@@ -1,0 +1,126 @@
+#ifndef PQSDA_OBS_TELEMETRY_H_
+#define PQSDA_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/request_log.h"
+#include "obs/sliding_window.h"
+#include "obs/trace.h"
+
+namespace pqsda::obs {
+
+class HttpExporter;
+
+/// Policy knobs of the live serving-telemetry surface.
+struct ServingTelemetryOptions {
+  /// Epoch ring shared by every windowed aggregate (and the clock the whole
+  /// surface reads — tests inject a fake one here).
+  WindowOptions window;
+  /// Trace 1 of every N requests into the /tracez ring (head sampling, like
+  /// the request log). 0 disables sampling; requests that opt into
+  /// SuggestStats are always traced and still feed the ring.
+  uint64_t trace_sample_every = 0;
+  /// /tracez keeps this many most-recent and this many slowest traces.
+  size_t tracez_recent = 16;
+  size_t tracez_slowest = 16;
+};
+
+/// Process-wide live serving telemetry: windowed request rates and latency
+/// percentiles (10s / 1m / 5m), a ring of recent + slowest request traces,
+/// and an optional attached RequestLog. The cumulative MetricsRegistry says
+/// what happened since the process started; this says what is happening
+/// *now* — the two together are the /metrics + /statusz + /tracez surface.
+///
+/// Recording methods are thread-safe and cheap (shared-lock + relaxed
+/// atomics); snapshot methods build JSON under internal locks and are meant
+/// for scrape-rate callers.
+class ServingTelemetry {
+ public:
+  explicit ServingTelemetry(ServingTelemetryOptions options = {});
+
+  /// The instance the engine's request path records into. Created on first
+  /// use with default options (windows on, trace sampling off, no request
+  /// log).
+  static ServingTelemetry& Default();
+  /// Replaces Default() (serve mode and tests install a configured
+  /// instance; the previous one is intentionally leaked — references cached
+  /// by request threads must stay valid).
+  static ServingTelemetry& Install(ServingTelemetryOptions options);
+
+  /// Monotonic per-process request id.
+  uint64_t NextRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Head-sampling decision for tracing this request into /tracez.
+  bool SampleTrace();
+
+  /// Records one finished request into the sliding windows.
+  void RecordRequest(double latency_us, bool ok, bool not_found,
+                     bool cache_enabled, bool cache_hit);
+
+  /// Stores a finished request's trace in the /tracez ring (rendered to
+  /// JSON once, here, so the ring holds no live SpanNode trees).
+  void RecordTrace(uint64_t request_id, const std::string& query,
+                   int64_t total_us, const SpanNode& trace);
+
+  /// Attaches (or replaces, or detaches with null) the sampled request log.
+  void AttachRequestLog(std::unique_ptr<RequestLog> log);
+  /// Null when no log is attached. The pointer stays valid for the process
+  /// lifetime once attached (replacement leaks the predecessor by design —
+  /// same contract as Install).
+  RequestLog* request_log() const {
+    return request_log_.load(std::memory_order_acquire);
+  }
+
+  /// Windowed snapshot as JSON: per-window qps / error rate / cache-hit
+  /// rate / latency percentiles, per-stage cumulative latencies, pool
+  /// queue depth and utilization, cache occupancy, request-log accounting,
+  /// and engine build info.
+  std::string StatuszJson() const;
+
+  /// {"recent":[...],"slowest":[...]} of rendered trace trees.
+  std::string TracezJson() const;
+
+  /// Registers /metrics, /healthz, /statusz and /tracez on `exporter`.
+  void RegisterEndpoints(HttpExporter* exporter);
+
+  const ServingTelemetryOptions& options() const { return options_; }
+  WindowedRate& requests() { return requests_; }
+  SlidingWindowHistogram& latency() { return latency_; }
+
+ private:
+  struct TracezEntry {
+    uint64_t request_id = 0;
+    int64_t total_us = 0;
+    std::string json;  // rendered SpanNode tree + id/query header
+  };
+
+  ServingTelemetryOptions options_;
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<uint64_t> trace_seq_{0};
+  const int64_t start_ns_;
+
+  WindowedRate requests_;
+  WindowedRate errors_;
+  WindowedRate not_found_;
+  WindowedRate cache_hits_;
+  WindowedRate cache_lookups_;
+  SlidingWindowHistogram latency_;
+
+  mutable std::mutex tracez_mu_;
+  std::deque<TracezEntry> recent_;    // newest at the back
+  std::vector<TracezEntry> slowest_;  // sorted by total_us descending
+
+  std::atomic<RequestLog*> request_log_{nullptr};
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_TELEMETRY_H_

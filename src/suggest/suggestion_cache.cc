@@ -69,10 +69,14 @@ SuggestionCache::SuggestionCache(SuggestionCacheOptions options) {
   const size_t capacity = std::max<size_t>(options.capacity, 1);
   const size_t shards = std::min(std::max<size_t>(options.shards, 1), capacity);
   per_shard_capacity_ = (capacity + shards - 1) / shards;
+  capacity_ = per_shard_capacity_ * shards;
   shards_.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  obs::MetricsRegistry::Default()
+      .GetGauge("pqsda.cache.capacity")
+      .Set(static_cast<double>(capacity_));
 }
 
 SuggestionCache::~SuggestionCache() = default;

@@ -59,6 +59,11 @@ class SuggestionCache {
   /// concurrent writes).
   size_t size() const;
 
+  /// Total entry budget across shards (shards * per-shard capacity — may
+  /// round the configured capacity up by at most shards-1). Also exported
+  /// as the `pqsda.cache.capacity` gauge so /statusz can report occupancy.
+  size_t capacity() const { return capacity_; }
+
   /// Drops every entry (counters are left untouched).
   void Clear();
 
@@ -68,6 +73,7 @@ class SuggestionCache {
   Shard& ShardOf(const std::string& key) const;
 
   size_t per_shard_capacity_;
+  size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,644 @@
+// The live telemetry subsystem: sliding-window rates and histograms (with
+// an injected fake clock, so epochs step deterministically), the metric
+// kind-collision contract, Prometheus exposition edge cases, the embedded
+// HTTP exporter, the sampled JSONL request log and its accounting contract,
+// and an end-to-end acceptance test that scrapes /metrics, /statusz and
+// /tracez concurrently with SuggestBatch storms. run_benches.sh re-runs
+// this binary under ThreadSanitizer.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pqsda_engine.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/request_log.h"
+#include "obs/sliding_window.h"
+#include "obs/telemetry.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PQSDA_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define PQSDA_TSAN 1
+#endif
+
+namespace pqsda::obs {
+namespace {
+
+constexpr int64_t kSecond = 1'000'000'000;
+
+// Fake monotonic clock: tests advance it explicitly, so window epochs step
+// deterministically instead of depending on wall time (important under
+// TSAN, where sleeps are both slow and flaky).
+struct FakeClock {
+  std::shared_ptr<std::atomic<int64_t>> now =
+      std::make_shared<std::atomic<int64_t>>(0);
+  WindowOptions Options(int64_t epoch_ns = kSecond, size_t epochs = 8) const {
+    WindowOptions o;
+    o.epoch_ns = epoch_ns;
+    o.epochs = epochs;
+    o.clock = [now = now] { return now->load(std::memory_order_relaxed); };
+    return o;
+  }
+  void Advance(int64_t ns) {
+    now->fetch_add(ns, std::memory_order_relaxed);
+  }
+};
+
+// ------------------------------------------------- WindowedRate ----
+
+TEST(WindowedRateTest, SumsTrailingWindow) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options());
+  rate.Add(5);
+  clock.Advance(kSecond);  // epoch 1
+  rate.Add(3);
+  clock.Advance(kSecond);  // epoch 2
+  rate.Add(2);
+
+  EXPECT_EQ(rate.SumOver(kSecond), 2u);       // current epoch only
+  EXPECT_EQ(rate.SumOver(2 * kSecond), 5u);   // epochs 1..2
+  EXPECT_EQ(rate.SumOver(3 * kSecond), 10u);  // all three
+  EXPECT_EQ(rate.SumOver(60 * kSecond), 10u);  // clamped to ring coverage
+  EXPECT_DOUBLE_EQ(rate.RatePerSec(2 * kSecond), 2.5);
+}
+
+TEST(WindowedRateTest, OldEpochsAgeOut) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options(kSecond, /*epochs=*/4));
+  rate.Add(100);
+  clock.Advance(10 * kSecond);  // far beyond the 4-epoch ring
+  rate.Add(1);
+  EXPECT_EQ(rate.SumOver(4 * kSecond), 1u);
+  // The storm 10s ago is gone from every window the ring can answer.
+  EXPECT_EQ(rate.SumOver(60 * kSecond), 1u);
+}
+
+TEST(WindowedRateTest, RingSlotReuseResetsCount) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options(kSecond, /*epochs=*/2));
+  rate.Add(7);                 // epoch 0, slot 0
+  clock.Advance(2 * kSecond);  // epoch 2 maps onto slot 0 again
+  rate.Add(1);
+  EXPECT_EQ(rate.SumOver(kSecond), 1u);  // not 8: the slot was retired
+}
+
+TEST(WindowedRateTest, ConcurrentAddersAndReaders) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options(kSecond, /*epochs=*/16));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rate, &clock] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rate.Add();
+        if (i % 256 == 0) clock.Advance(kSecond / 4);
+      }
+    });
+  }
+  std::thread reader([&rate] {
+    for (int i = 0; i < 500; ++i) (void)rate.SumOver(4 * kSecond);
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+  // The clock advanced at most kThreads*8 quarter-epochs < the 16-epoch
+  // ring's coverage only if... it didn't; some events may have aged out of
+  // small windows, but every event is in *some* recent epoch and none were
+  // double-counted: the full-coverage sum never exceeds the total added.
+  EXPECT_LE(rate.SumOver(16 * kSecond),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(rate.SumOver(16 * kSecond), 0u);
+}
+
+// --------------------------------------- SlidingWindowHistogram ----
+
+TEST(SlidingWindowHistogramTest, WindowedPercentiles) {
+  FakeClock clock;
+  std::vector<double> bounds;
+  for (double b = 10.0; b <= 1000.0; b += 10.0) bounds.push_back(b);
+  SlidingWindowHistogram hist(clock.Options(), &bounds);
+
+  // Epoch 0: a fast distribution. Epoch 1: a slow one.
+  for (int i = 1; i <= 100; ++i) hist.Record(i);  // 1..100us
+  clock.Advance(kSecond);
+  for (int i = 1; i <= 100; ++i) hist.Record(i * 10);  // 10..1000us
+
+  WindowSnapshot last = hist.SnapshotOver(kSecond);
+  EXPECT_EQ(last.count, 100u);
+  EXPECT_NEAR(last.p50, 500.0, 20.0);
+
+  WindowSnapshot both = hist.SnapshotOver(2 * kSecond);
+  EXPECT_EQ(both.count, 200u);
+  EXPECT_DOUBLE_EQ(both.sum, 5050.0 + 50500.0);
+  // Merged distribution: half the mass is below ~100, so p50 drops.
+  EXPECT_LT(both.p50, last.p50);
+  EXPECT_GT(both.p99, 900.0);
+}
+
+TEST(SlidingWindowHistogramTest, EmptyWindowIsZero) {
+  FakeClock clock;
+  SlidingWindowHistogram hist(clock.Options());
+  hist.Record(42.0);
+  clock.Advance(10 * kSecond);  // beyond the 8-epoch ring
+  WindowSnapshot snap = hist.SnapshotOver(2 * kSecond);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+}
+
+TEST(SlidingWindowHistogramTest, ConcurrentRecordAndSnapshot) {
+  FakeClock clock;
+  SlidingWindowHistogram hist(clock.Options(kSecond, /*epochs=*/16));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hist, &clock, t] {
+      for (int i = 0; i < 2000; ++i) {
+        hist.Record(static_cast<double>((t + 1) * i % 997));
+        if (i % 512 == 0) clock.Advance(kSecond / 8);
+      }
+    });
+  }
+  std::thread reader([&hist] {
+    for (int i = 0; i < 300; ++i) (void)hist.SnapshotOver(4 * kSecond);
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+  EXPECT_LE(hist.SnapshotOver(16 * kSecond).count, 8000u);
+}
+
+// ------------------------------------- metric kind collisions ----
+
+TEST(MetricsKindCollisionTest, TryGettersReturnFailedPrecondition) {
+  MetricsRegistry reg;
+  reg.GetCounter("pqsda.test.kind");
+  auto gauge = reg.TryGetGauge("pqsda.test.kind");
+  ASSERT_FALSE(gauge.ok());
+  EXPECT_EQ(gauge.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(gauge.status().ToString().find("already registered"),
+            std::string::npos);
+  auto hist = reg.TryGetHistogram("pqsda.test.kind");
+  ASSERT_FALSE(hist.ok());
+  EXPECT_EQ(hist.status().code(), StatusCode::kFailedPrecondition);
+  // Same kind is fine and returns the same object.
+  auto counter = reg.TryGetCounter("pqsda.test.kind");
+  ASSERT_TRUE(counter.ok());
+  EXPECT_EQ(*counter, &reg.GetCounter("pqsda.test.kind"));
+}
+
+#if !defined(PQSDA_TSAN)
+TEST(MetricsKindCollisionDeathTest, GetAbortsLoudlyOnKindMismatch) {
+  MetricsRegistry reg;
+  reg.GetGauge("pqsda.test.collide");
+  EXPECT_DEATH(reg.GetCounter("pqsda.test.collide"), "already registered");
+}
+#endif
+
+TEST(MetricsRegistryTest, LookupSurvivesManyMetrics) {
+  // The name->index map must keep returning the same objects as the
+  // registry grows (no invalidation when entries_ reallocates).
+  MetricsRegistry reg;
+  Counter& first = reg.GetCounter("pqsda.test.first");
+  for (int i = 0; i < 200; ++i) {
+    reg.GetCounter("pqsda.test.bulk." + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &reg.GetCounter("pqsda.test.first"));
+  first.Increment(3);
+  EXPECT_EQ(reg.GetCounter("pqsda.test.first").Value(), 3u);
+}
+
+// ------------------------------------ Prometheus edge cases ----
+
+// Pulls every "name_bucket{le=...} value" line of `metric` out of an
+// exposition blob, in order, returning the cumulative counts.
+std::vector<double> BucketValues(const std::string& prom,
+                                 const std::string& metric) {
+  std::vector<double> values;
+  const std::string needle = metric + "_bucket{le=\"";
+  size_t pos = 0;
+  while ((pos = prom.find(needle, pos)) != std::string::npos) {
+    size_t space = prom.find(' ', pos);
+    values.push_back(std::strtod(prom.c_str() + space + 1, nullptr));
+    pos = space;
+  }
+  return values;
+}
+
+double ScrapeValue(const std::string& prom, const std::string& series) {
+  size_t pos = prom.find("\n" + series + " ");
+  if (pos == std::string::npos) {
+    if (prom.rfind(series + " ", 0) == 0) pos = 0;
+    else return -1.0;
+  } else {
+    pos += 1;
+  }
+  return std::strtod(prom.c_str() + pos + series.size() + 1, nullptr);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeAndMonotone) {
+  MetricsRegistry reg;
+  std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  Histogram& h = reg.GetHistogram("pqsda.test.histo", &bounds);
+  for (double v : {0.5, 1.5, 3.0, 3.5, 7.0, 100.0, 200.0}) h.Observe(v);
+
+  std::string prom = reg.ExportPrometheus();
+  std::vector<double> buckets = BucketValues(prom, "pqsda_test_histo");
+  ASSERT_EQ(buckets.size(), bounds.size() + 1);  // finite bounds + +Inf
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "bucket " << i;
+  }
+  // The +Inf bucket equals _count — required by the exposition format.
+  EXPECT_DOUBLE_EQ(buckets.back(),
+                   ScrapeValue(prom, "pqsda_test_histo_count"));
+  EXPECT_DOUBLE_EQ(buckets.back(), 7.0);
+  EXPECT_NE(prom.find("# TYPE pqsda_test_histo histogram"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, NameSanitizationRoundTripsThroughScrape) {
+  // Dots and dashes are illegal in Prometheus metric names; the export
+  // must rewrite them to '_' and a scraper must find the value under the
+  // sanitized name.
+  MetricsRegistry reg;
+  reg.GetCounter("pqsda.sub-system.v2.requests-total").Increment(42);
+  std::string prom = reg.ExportPrometheus();
+  EXPECT_EQ(prom.find("pqsda.sub-system"), std::string::npos);
+  EXPECT_DOUBLE_EQ(
+      ScrapeValue(prom, "pqsda_sub_system_v2_requests_total"), 42.0);
+  EXPECT_NE(prom.find("# TYPE pqsda_sub_system_v2_requests_total counter"),
+            std::string::npos);
+}
+
+// ------------------------------------------- HttpExporter ----
+
+TEST(HttpExporterTest, ServesRoutesOnEphemeralPort) {
+  HttpExporter exporter;
+  exporter.Route("/healthz", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  exporter.Route("/echo", [](const HttpRequest& req) {
+    HttpResponse r;
+    r.body = req.method + " " + req.path + "?" + req.query;
+    return r;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  ASSERT_GT(exporter.port(), 0);
+
+  int status = 0;
+  auto health = HttpGet(exporter.port(), "/healthz", &status);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(*health, "ok\n");
+
+  auto echo = HttpGet(exporter.port(), "/echo?window=10s", &status);
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(*echo, "GET /echo?window=10s");
+
+  auto missing = HttpGet(exporter.port(), "/nope", &status);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(status, 404);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  // Stop is idempotent and the port stops answering.
+  exporter.Stop();
+  EXPECT_FALSE(HttpGet(exporter.port(), "/healthz").ok());
+}
+
+TEST(HttpExporterTest, ServesConcurrentScrapers) {
+  HttpExporter exporter;
+  std::atomic<int> served{0};
+  exporter.Route("/counter", [&served](const HttpRequest&) {
+    HttpResponse r;
+    r.body = std::to_string(served.fetch_add(1));
+    return r;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  std::vector<std::thread> scrapers;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&exporter, &successes] {
+      for (int i = 0; i < 8; ++i) {
+        if (HttpGet(exporter.port(), "/counter").ok()) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(successes.load(), 32);
+  EXPECT_EQ(served.load(), 32);
+  exporter.Stop();
+}
+
+// --------------------------------------------- RequestLog ----
+
+std::string TempLogPath(const std::string& name) {
+  return testing::TempDir() + "pqsda_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  return lines;
+}
+
+RequestLogEntry MakeEntry(uint64_t id, int64_t total_us) {
+  RequestLogEntry e;
+  e.request_id = id;
+  e.user = 7;
+  e.query = "sun";
+  e.k = 10;
+  e.total_us = total_us;
+  return e;
+}
+
+TEST(RequestLogTest, HeadSamplingAcceptsEveryNth) {
+  const std::string path = TempLogPath("sampling");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 4;
+  options.slow_us = 1'000'000'000;  // nothing is "slow"
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 10; ++i) {
+    (*log)->Log(MakeEntry(i, /*total_us=*/50));
+  }
+  (*log)->Flush();
+  EXPECT_EQ((*log)->seen(), 10u);
+  EXPECT_EQ((*log)->accepted(), 3u);  // arrivals 0, 4, 8
+  EXPECT_EQ((*log)->written() + (*log)->dropped(), (*log)->accepted());
+  EXPECT_EQ(CountLines(path), (*log)->written());
+  log->reset();
+  std::remove(path.c_str());
+}
+
+TEST(RequestLogTest, SlowRequestsAlwaysLogged) {
+  const std::string path = TempLogPath("slow");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 0;  // sampling off: only the slow path logs
+  options.slow_us = 1000;
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 20; ++i) {
+    (*log)->Log(MakeEntry(i, i % 2 == 0 ? 5000 : 10));  // half slow
+  }
+  (*log)->Flush();
+  EXPECT_EQ((*log)->seen(), 20u);
+  EXPECT_EQ((*log)->accepted(), 10u);
+  EXPECT_EQ((*log)->written(), 10u);
+  EXPECT_EQ((*log)->dropped(), 0u);
+  EXPECT_EQ(CountLines(path), 10u);
+  log->reset();
+  std::remove(path.c_str());
+}
+
+TEST(RequestLogTest, FullQueueDropsWholeEntriesAndCountsThem) {
+  const std::string path = TempLogPath("drops");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 1;
+  options.queue_capacity = 0;  // always full: every accepted entry drops
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 50; ++i) (*log)->Log(MakeEntry(i, 10));
+  (*log)->Flush();
+  EXPECT_EQ((*log)->accepted(), 50u);
+  EXPECT_EQ((*log)->dropped(), 50u);
+  EXPECT_EQ((*log)->written(), 0u);
+  EXPECT_EQ(CountLines(path), 0u);
+  log->reset();
+  std::remove(path.c_str());
+}
+
+TEST(RequestLogTest, ToJsonSchema) {
+  RequestLogEntry entry;
+  entry.request_id = 17;
+  entry.user = 3;
+  entry.query = "solar \"flare\"\n";
+  entry.k = 5;
+  entry.total_us = 1234;
+  entry.cache_hit = true;
+  entry.ok = true;
+  entry.stage_us = {{"expansion", 400}, {"regularization_solve", 700}};
+  entry.suggestions = {"solar energy", "solar system"};
+  std::string json = RequestLog::ToJson(entry);
+  EXPECT_EQ(json,
+            "{\"request_id\":17,\"user\":3,"
+            "\"query\":\"solar \\\"flare\\\"\\n\",\"k\":5,"
+            "\"total_us\":1234,\"cache_hit\":true,\"ok\":true,"
+            "\"stage_us\":{\"expansion\":400,"
+            "\"regularization_solve\":700},"
+            "\"suggestions\":[\"solar energy\",\"solar system\"]}");
+
+  RequestLogEntry failed;
+  failed.request_id = 18;
+  failed.query = "zzzz";
+  failed.k = 5;
+  failed.ok = false;
+  failed.status = "NotFound: unknown query";
+  std::string failed_json = RequestLog::ToJson(failed);
+  EXPECT_NE(failed_json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(failed_json.find("\"status\":\"NotFound: unknown query\""),
+            std::string::npos);
+  EXPECT_EQ(failed_json.find("suggestions"), std::string::npos);
+}
+
+// ---------------------------------------- end-to-end serving ----
+
+std::vector<QueryLogRecord> TelemetryLog() {
+  return {
+      {1, "sun", "www.java.com", 100},
+      {1, "sun java", "java.sun.com", 150},
+      {1, "java download", "www.java.com", 200},
+      {4, "sun java", "www.java.com", 100},
+      {4, "java download", "java.sun.com", 130},
+      {2, "sun", "www.nasa.gov", 100},
+      {2, "solar system", "www.nasa.gov", 160},
+      {2, "solar energy", "www.energy.gov", 220},
+      {5, "solar system", "www.nasa.gov", 90},
+      {5, "solar energy", "www.nasa.gov", 140},
+      {3, "sun", "www.thesun.co.uk", 100},
+      {3, "sun daily uk", "www.thesun.co.uk", 150},
+      {6, "sun daily uk", "www.thesun.co.uk", 110},
+      {6, "uk news", "www.thesun.co.uk", 170},
+  };
+}
+
+SuggestionRequest TelemetryRequest(const std::string& query) {
+  SuggestionRequest request;
+  request.query = query;
+  request.timestamp = 400;
+  return request;
+}
+
+// The acceptance test of the whole surface: a configured telemetry
+// instance with a fake clock, a request log, and an exporter serving
+// /metrics, /statusz and /tracez while SuggestBatch storms run. The
+// windowed numbers must move across storms and the request-log
+// accounting must balance exactly.
+TEST(ServingTelemetryEndToEndTest, ScrapeDuringBatchStorms) {
+  FakeClock clock;
+  ServingTelemetryOptions options;
+  options.window = clock.Options(kSecond, /*epochs=*/512);
+  options.trace_sample_every = 4;
+  ServingTelemetry& telemetry = ServingTelemetry::Install(options);
+
+  const std::string log_path = TempLogPath("e2e");
+  RequestLogOptions log_options;
+  log_options.path = log_path;
+  log_options.sample_every = 2;
+  log_options.slow_us = 1'000'000'000;  // nothing qualifies as slow
+  auto opened = RequestLog::Open(log_options);
+  ASSERT_TRUE(opened.ok());
+  telemetry.AttachRequestLog(std::move(opened).value());
+  RequestLog* log = telemetry.request_log();
+  ASSERT_NE(log, nullptr);
+
+  HttpExporter exporter;
+  telemetry.RegisterEndpoints(&exporter);
+  ASSERT_TRUE(exporter.Start(0).ok());
+
+  PqsdaEngineConfig config;
+  config.personalize = false;  // keep the engine build fast
+  config.cache_capacity = 64;
+  auto engine = PqsdaEngine::Build(TelemetryLog(), config);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<SuggestionRequest> storm;
+  for (int i = 0; i < 8; ++i) {
+    storm.push_back(TelemetryRequest("sun"));
+    storm.push_back(TelemetryRequest("solar energy"));
+    storm.push_back(TelemetryRequest("sun java"));
+    storm.push_back(TelemetryRequest("zzzz qqqq"));  // NotFound
+  }
+
+  // Scrapers hammer every endpoint while the storms are served.
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes_ok{0};
+  std::vector<std::thread> scrapers;
+  for (const char* path : {"/metrics", "/statusz", "/tracez", "/healthz"}) {
+    scrapers.emplace_back([&exporter, &done, &scrapes_ok, path] {
+      while (!done.load(std::memory_order_acquire)) {
+        int status = 0;
+        auto body = HttpGet(exporter.port(), path, &status);
+        if (body.ok() && status == 200) {
+          scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  auto results1 = (*engine)->SuggestBatch(storm, /*k=*/5);
+  const uint64_t in_window_after_storm1 =
+      telemetry.requests().SumOver(10 * kSecond);
+  EXPECT_EQ(in_window_after_storm1, storm.size());
+
+  // Step the clock past the 10s window: the first storm must drop out of
+  // the short window but stay in the 5m one.
+  clock.Advance(30 * kSecond);
+  EXPECT_EQ(telemetry.requests().SumOver(10 * kSecond), 0u);
+  EXPECT_EQ(telemetry.requests().SumOver(300 * kSecond), storm.size());
+
+  auto results2 = (*engine)->SuggestBatch(storm, /*k=*/5);
+  done.store(true, std::memory_order_release);
+  for (auto& t : scrapers) t.join();
+
+  EXPECT_EQ(telemetry.requests().SumOver(10 * kSecond), storm.size());
+  EXPECT_EQ(telemetry.requests().SumOver(300 * kSecond), 2 * storm.size());
+  WindowSnapshot latency = telemetry.latency().SnapshotOver(10 * kSecond);
+  EXPECT_EQ(latency.count, storm.size());
+  EXPECT_GT(latency.p50, 0.0);
+  EXPECT_GE(latency.p99, latency.p95);
+  EXPECT_GE(latency.p95, latency.p50);
+  EXPECT_GT(scrapes_ok.load(), 0);
+
+  // Every request (both storms) was served; NotFound counts as served
+  // traffic, not an error.
+  int not_found = 0;
+  for (const auto& r : results1) {
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+      ++not_found;
+    }
+  }
+  EXPECT_EQ(not_found, 8);
+
+  // The scrape surface, observed directly once the storms are done.
+  int status = 0;
+  auto health = HttpGet(exporter.port(), "/healthz", &status);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(status, 200);
+
+  auto statusz = HttpGet(exporter.port(), "/statusz", &status);
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_EQ(status, 200);
+  for (const char* key : {"\"windows\"", "\"10s\"", "\"5m\"", "\"qps\"",
+                          "\"p95\"", "\"pool\"", "\"cache\"",
+                          "\"stages\"", "\"log\""}) {
+    EXPECT_NE(statusz->find(key), std::string::npos) << key;
+  }
+
+  auto tracez = HttpGet(exporter.port(), "/tracez", &status);
+  ASSERT_TRUE(tracez.ok());
+  // trace_sample_every=4 over 64 requests: the ring cannot be empty.
+  EXPECT_NE(tracez->find("\"recent\""), std::string::npos);
+  EXPECT_NE(tracez->find("\"request_id\""), std::string::npos);
+
+  auto prom = HttpGet(exporter.port(), "/metrics", &status);
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom->find("pqsda_suggest_requests_total"), std::string::npos);
+  EXPECT_NE(prom->find("pqsda_suggest_latency_us_bucket"),
+            std::string::npos);
+
+  exporter.Stop();
+
+  // Request-log accounting: every 2nd arrival accepted (none slow), and
+  // after Flush the books balance exactly — written lines on disk match
+  // written(), and nothing is unaccounted for.
+  log->Flush();
+  const uint64_t served = 2 * storm.size();
+  EXPECT_EQ(log->seen(), served);
+  EXPECT_EQ(log->accepted(), (served + 1) / 2);
+  EXPECT_EQ(log->written() + log->dropped(), log->accepted());
+  EXPECT_EQ(CountLines(log_path), log->written());
+
+  // Each written line is one self-contained JSON object of the schema.
+  std::ifstream in(log_path);
+  std::string line;
+  size_t checked = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"request_id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"total_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"cache_hit\":"), std::string::npos);
+    ++checked;
+  }
+  EXPECT_EQ(checked, log->written());
+  std::remove(log_path.c_str());
+}
+
+}  // namespace
+}  // namespace pqsda::obs
