@@ -7,20 +7,37 @@
 // and after a batched storm, checking that /healthz answers 200 and the
 // /statusz windowed request counts actually move.
 //
+// Ends with an overload scenario: a burst far past the shared pool's
+// capacity, every request under a deadline that starts ticking at enqueue,
+// served once by a no-shedding baseline engine and once by an engine that
+// sheds on pool queue depth. Reports end-to-end (queue wait included) p99
+// of the admitted requests, shed rate and per-rung degradation counts for
+// both, checks the robust section of /statusz moved, and emits the numbers
+// as BENCH_robustness.json.
+//
 // Scale knobs: PQSDA_USERS (default 150), PQSDA_TESTS (default 200 serving
 // requests), PQSDA_SERVE_THREADS (batch pool size, default 4),
-// PQSDA_CACHE (cache capacity for the cached runs, default 512).
+// PQSDA_CACHE (cache capacity for the cached runs, default 512),
+// PQSDA_OVERLOAD_DEADLINE_MS (per-request budget in the overload burst,
+// default 400).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "core/pqsda_engine.h"
 #include "eval/harness.h"
@@ -96,6 +113,145 @@ std::vector<SuggestionRequest> ZipfWorkload(
   out.reserve(count);
   for (size_t i = 0; i < count; ++i) out.push_back(base[pick(rng)]);
   return out;
+}
+
+// Per-rung (plus admitted/shed) deltas of the pqsda.robust.* counters
+// across one overload pass.
+struct RobustDelta {
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t rung[4] = {0, 0, 0, 0};  // full, truncated, walk-only, cache-only
+};
+
+// Outcome of one overload burst: per-request end-to-end latencies
+// (microseconds, measured from enqueue — queue wait is the point) split by
+// admission, and the status-code census.
+struct OverloadOutcome {
+  double seconds = 0.0;
+  size_t ok = 0;
+  size_t shed = 0;           // kUnavailable from the admission controller
+  size_t deadline = 0;       // kDeadlineExceeded
+  size_t not_found = 0;      // cache-only rung missing the cache
+  size_t other_error = 0;
+  std::vector<double> admitted_us;  // everything the controller let through
+  RobustDelta delta;
+
+  double AdmittedP99() const {
+    if (admitted_us.empty()) return 0.0;
+    std::vector<double> sorted = admitted_us;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = (sorted.size() * 99 + 99) / 100;  // ceil(0.99 n)
+    if (idx > 0) --idx;
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  }
+};
+
+// Dumps the whole request list onto the shared pool at once (offered load
+// far past capacity), each request under `deadline_ns` armed at enqueue
+// time so queue wait eats real budget, and waits for the burst to drain.
+// The shared pool is deliberate: the engine's queue-depth shedding gate
+// reads ThreadPool::Shared().QueueDepth(), so this is the queue the burst
+// must pile up on.
+OverloadOutcome OverloadPass(const PqsdaEngine& engine,
+                             const std::vector<SuggestionRequest>& base,
+                             size_t k, int64_t deadline_ns) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter* counters[6] = {
+      &reg.GetCounter("pqsda.robust.admitted_total"),
+      &reg.GetCounter("pqsda.robust.shed_total"),
+      &reg.GetCounter("pqsda.robust.rung_full_total"),
+      &reg.GetCounter("pqsda.robust.rung_truncated_total"),
+      &reg.GetCounter("pqsda.robust.rung_walk_only_total"),
+      &reg.GetCounter("pqsda.robust.rung_cache_only_total"),
+  };
+  uint64_t before[6];
+  for (size_t i = 0; i < 6; ++i) before[i] = counters[i]->Value();
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t n = base.size();
+  std::vector<SuggestionRequest> requests = base;
+  std::deque<CancelToken> tokens;  // stable addresses across the burst
+  std::vector<double> latency_us(n, 0.0);
+  std::vector<StatusCode> codes(n, StatusCode::kInternal);
+  std::atomic<size_t> remaining{n};
+  std::mutex mu;
+  std::condition_variable done;
+
+  auto begin = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    tokens.emplace_back();
+    tokens.back().SetDeadlineAfter(deadline_ns);
+    requests[i].cancel = &tokens.back();
+    auto enqueued = std::chrono::steady_clock::now();
+    pool.Submit([&, i, enqueued] {
+      auto result = engine.Suggest(requests[i], k);
+      latency_us[i] = 1e6 * Seconds(enqueued, std::chrono::steady_clock::now());
+      codes[i] = result.ok() ? StatusCode::kOk : result.status().code();
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done.wait(lock, [&] { return remaining.load() == 0; });
+  }
+
+  OverloadOutcome out;
+  out.seconds = Seconds(begin, std::chrono::steady_clock::now());
+  for (size_t i = 0; i < n; ++i) {
+    switch (codes[i]) {
+      case StatusCode::kOk: ++out.ok; break;
+      case StatusCode::kUnavailable: ++out.shed; break;
+      case StatusCode::kDeadlineExceeded: ++out.deadline; break;
+      case StatusCode::kNotFound: ++out.not_found; break;
+      default: ++out.other_error; break;
+    }
+    if (codes[i] != StatusCode::kUnavailable) {
+      out.admitted_us.push_back(latency_us[i]);
+    }
+  }
+  out.delta.admitted = counters[0]->Value() - before[0];
+  out.delta.shed = counters[1]->Value() - before[1];
+  for (size_t r = 0; r < 4; ++r) {
+    out.delta.rung[r] = counters[2 + r]->Value() - before[2 + r];
+  }
+  return out;
+}
+
+void PrintOverload(const char* label, const OverloadOutcome& o, size_t n) {
+  std::printf(
+      "  %-10s p99(admitted)=%9.0fus  admitted=%zu shed=%zu "
+      "(ok=%zu deadline=%zu not_found=%zu other=%zu, %.3fs)\n",
+      label, o.AdmittedP99(), o.admitted_us.size(), o.shed, o.ok, o.deadline,
+      o.not_found, o.other_error, o.seconds);
+  std::printf(
+      "  %-10s rungs: full=%llu truncated=%llu walk_only=%llu "
+      "cache_only=%llu  (of %zu offered)\n",
+      "", static_cast<unsigned long long>(o.delta.rung[0]),
+      static_cast<unsigned long long>(o.delta.rung[1]),
+      static_cast<unsigned long long>(o.delta.rung[2]),
+      static_cast<unsigned long long>(o.delta.rung[3]), n);
+}
+
+void AppendOverloadJson(std::string* json, const char* name,
+                        const OverloadOutcome& o) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\"p99_admitted_us\": %.1f, \"admitted\": %zu, "
+      "\"shed\": %zu, \"ok\": %zu, \"deadline_exceeded\": %zu, "
+      "\"not_found\": %zu, \"rungs\": {\"full\": %llu, "
+      "\"truncated_solve\": %llu, \"walk_only\": %llu, "
+      "\"cache_only\": %llu}}",
+      name, o.AdmittedP99(), o.admitted_us.size(), o.shed, o.ok, o.deadline,
+      o.not_found, static_cast<unsigned long long>(o.delta.rung[0]),
+      static_cast<unsigned long long>(o.delta.rung[1]),
+      static_cast<unsigned long long>(o.delta.rung[2]),
+      static_cast<unsigned long long>(o.delta.rung[3]));
+  *json += buf;
 }
 
 void Main() {
@@ -246,6 +402,96 @@ void Main() {
               requests_after_storm, windows_moved ? "yes" : "NO");
   std::printf("  /statusz 10s-window qps=%.1f latency p95=%.0fus\n",
               qps_after, p95_after);
+  // --- overload: shedding vs no-shedding under a burst past capacity ---
+  ThreadPool& shared = ThreadPool::Shared();
+  const int64_t overload_deadline_ms =
+      static_cast<int64_t>(EnvSize("OVERLOAD_DEADLINE_MS", 400));
+  const size_t shed_depth = 2 * shared.size();
+  std::vector<SuggestionRequest> burst =
+      ZipfWorkload(requests, num_tests * 2, 31);
+
+  // Two fresh engines over the same records: identical pipelines, the only
+  // difference is the queue-depth shedding gate.
+  PqsdaEngineConfig baseline_config = config;
+  PqsdaEngineConfig shedding_config = config;
+  shedding_config.robustness.shed_queue_depth = shed_depth;
+  auto baseline_or = PqsdaEngine::Build(data.records, baseline_config);
+  auto shedding_or = PqsdaEngine::Build(data.records, shedding_config);
+  if (!baseline_or.ok() || !shedding_or.ok()) {
+    std::printf("overload engines failed to build\n");
+    exporter.Stop();
+    return;
+  }
+
+  std::printf("overload: burst of %zu requests onto the %zu-worker shared "
+              "pool (offered %.0fx capacity), %lldms deadline from enqueue, "
+              "shed above queue depth %zu\n",
+              burst.size(), shared.size(),
+              static_cast<double>(burst.size()) /
+                  static_cast<double>(shared.size()),
+              static_cast<long long>(overload_deadline_ms), shed_depth);
+  OverloadOutcome baseline = OverloadPass(
+      **baseline_or, burst, k, overload_deadline_ms * 1'000'000);
+  OverloadOutcome shedding = OverloadPass(
+      **shedding_or, burst, k, overload_deadline_ms * 1'000'000);
+  PrintOverload("baseline", baseline, burst.size());
+  PrintOverload("shedding", shedding, burst.size());
+  const double baseline_p99 = baseline.AdmittedP99();
+  const double shedding_p99 = shedding.AdmittedP99();
+  std::printf("  admitted-request p99 with shedding: %.2fx of baseline "
+              "(%s)\n",
+              baseline_p99 > 0.0 ? shedding_p99 / baseline_p99 : 0.0,
+              shedding_p99 < baseline_p99 ? "lower, as required"
+                                          : "NOT LOWER");
+
+  // The robust section of /statusz must reflect the burst: shed and
+  // per-rung totals are process counters, so the scrape shows at least the
+  // deltas the two passes recorded.
+  auto robust_scrape = obs::HttpGet(exporter.port(), "/statusz");
+  if (robust_scrape.ok()) {
+    std::printf("  /statusz robust: admitted=%.0f shed=%.0f rungs "
+                "full=%.0f truncated=%.0f walk_only=%.0f cache_only=%.0f\n",
+                JsonNumber(*robust_scrape, "admitted_total"),
+                JsonNumber(*robust_scrape, "shed_total"),
+                JsonNumber(*robust_scrape, "full"),
+                JsonNumber(*robust_scrape, "truncated_solve"),
+                JsonNumber(*robust_scrape, "walk_only"),
+                JsonNumber(*robust_scrape, "cache_only"));
+    const bool robust_moved =
+        JsonNumber(*robust_scrape, "shed_total") >=
+        static_cast<double>(shedding.delta.shed);
+    std::printf("  /statusz robust section moved: %s\n",
+                robust_moved ? "yes" : "NO");
+  }
+
+  // Machine-readable record of the overload comparison.
+  std::string json = "{\n  \"bench\": \"serving_overload\",\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"pool_size\": %zu,\n  \"offered\": %zu,\n"
+                  "  \"deadline_ms\": %lld,\n  \"shed_queue_depth\": %zu,\n",
+                  shared.size(), burst.size(),
+                  static_cast<long long>(overload_deadline_ms), shed_depth);
+    json += buf;
+  }
+  AppendOverloadJson(&json, "baseline", baseline);
+  json += ",\n";
+  AppendOverloadJson(&json, "shedding", shedding);
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), ",\n  \"p99_ratio\": %.4f\n}\n",
+                  baseline_p99 > 0.0 ? shedding_p99 / baseline_p99 : 0.0);
+    json += buf;
+  }
+  if (std::FILE* f = std::fopen("BENCH_robustness.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("  wrote BENCH_robustness.json\n");
+  } else {
+    std::printf("  could not write BENCH_robustness.json\n");
+  }
+
   exporter.Stop();
   (void)health;
 }

@@ -4,7 +4,9 @@
 //
 //   ./build/examples/suggest_cli [--stats] [--cache=N] [--http_port=N]
 //                                [--request_log=path] [--slow_ms=T]
-//                                [--sample_every=N] [log.tsv]
+//                                [--sample_every=N] [--deadline_ms=T]
+//                                [--shed_queue_depth=N] [--min_rung=R]
+//                                [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
 //   > batch sun; solar energy; @3 java     # serve ';'-separated requests
@@ -27,14 +29,25 @@
 // (recent + slowest request traces). --request_log=path appends sampled
 // structured JSONL request records (every --sample_every'th request plus
 // everything slower than --slow_ms milliseconds).
+//
+// Overload hardening: --deadline_ms=T serves every request under a T-ms
+// deadline (the engine's degradation ladder may answer a truncated-solve,
+// walk-only or cache-only result as budget runs out; expiry mid-stage
+// returns DeadlineExceeded, never a partial list). --shed_queue_depth=N
+// sheds requests (Unavailable) while the shared pool queue is deeper than
+// N. --min_rung=R floors the ladder at rung R (0 full, 1 truncated solve,
+// 2 walk-only, 3 cache-only) — with --stats the served rung is printed per
+// request, and 'statusz' shows the per-rung/shed totals.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "common/cancellation.h"
 #include "core/pqsda_engine.h"
 #include "log/log_io.h"
 #include "obs/http_exporter.h"
@@ -79,6 +92,9 @@ int main(int argc, char** argv) {
   const char* request_log_path = nullptr;
   long slow_ms = 100;
   unsigned long sample_every = 32;
+  long deadline_ms = 0;  // 0 = no per-request deadline
+  size_t shed_queue_depth = 0;
+  size_t min_rung = 0;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -93,6 +109,12 @@ int main(int argc, char** argv) {
       slow_ms = std::atol(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--sample_every=", 15) == 0) {
       sample_every = std::strtoul(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--deadline_ms=", 14) == 0) {
+      deadline_ms = std::atol(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--shed_queue_depth=", 19) == 0) {
+      shed_queue_depth = std::strtoul(argv[i] + 19, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--min_rung=", 11) == 0) {
+      min_rung = std::strtoul(argv[i] + 11, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -158,8 +180,20 @@ int main(int argc, char** argv) {
   config.upm.base.num_topics = 12;
   config.upm.base.gibbs_iterations = 40;
   config.cache_capacity = cache_capacity;
+  config.robustness.min_rung = min_rung;
+  config.robustness.shed_queue_depth = shed_queue_depth;
   if (cache_capacity > 0) {
     std::printf("result cache enabled (%zu entries)\n", cache_capacity);
+  }
+  if (deadline_ms > 0) {
+    std::printf("per-request deadline: %ldms\n", deadline_ms);
+  }
+  if (shed_queue_depth > 0) {
+    std::printf("load shedding above pool queue depth %zu\n",
+                shed_queue_depth);
+  }
+  if (min_rung > 0) {
+    std::printf("degradation ladder floored at rung %zu\n", min_rung);
   }
   std::printf("building engine (representation + UPM training)...\n");
   auto engine = PqsdaEngine::Build(std::move(records), config);
@@ -197,6 +231,16 @@ int main(int argc, char** argv) {
         if (!request.query.empty()) requests.push_back(std::move(request));
       }
       if (requests.empty()) continue;
+      // One token per request; the deque keeps them stable (and alive)
+      // across the batch call.
+      std::deque<CancelToken> tokens;
+      if (deadline_ms > 0) {
+        for (SuggestionRequest& request : requests) {
+          tokens.emplace_back();
+          tokens.back().SetDeadlineAfter(deadline_ms * 1'000'000);
+          request.cancel = &tokens.back();
+        }
+      }
       auto results = (*engine)->SuggestBatch(requests, 10);
       for (size_t r = 0; r < results.size(); ++r) {
         std::printf("[%zu] %s\n", r + 1, requests[r].query.c_str());
@@ -213,6 +257,11 @@ int main(int argc, char** argv) {
 
     SuggestionRequest request = ParseRequest(line);
     if (request.query.empty()) continue;
+    CancelToken token;
+    if (deadline_ms > 0) {
+      token.SetDeadlineAfter(deadline_ms * 1'000'000);
+      request.cancel = &token;
+    }
 
     // Snapshot-diff the registry around the request so --stats reports what
     // *this* request recorded, not the session's cumulative totals.

@@ -9,18 +9,21 @@ run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 
 # Verify step: race-check the concurrent layers — the observability layer
 # (thread-local span stacks, atomic counters), the serving layer
-# (ThreadPool, SuggestBatch, the sharded result cache) and the live
-# telemetry surface (sliding windows, the HTTP exporter, the request log) —
-# by running obs_test, serving_test and telemetry_test under
+# (ThreadPool, SuggestBatch, the sharded result cache), the live telemetry
+# surface (sliding windows, the HTTP exporter, the request log) and the
+# overload-hardening path (CancelToken, FaultInjector, the degradation
+# ladder under a mid-flight cancellation storm) — by running obs_test,
+# serving_test, telemetry_test and fault_injection_test under
 # ThreadSanitizer before spending 20 minutes on figures. Skip with
 # PQSDA_TSAN_VERIFY=0.
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: obs_test + serving_test + telemetry_test under ThreadSanitizer ====="
+  echo "===== verify: obs + serving + telemetry + fault_injection tests under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test serving_test telemetry_test -j >/dev/null &&
+    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test -j >/dev/null &&
     timeout 600 ./build-tsan/tests/obs_test &&
     timeout 600 ./build-tsan/tests/serving_test &&
-    timeout 600 ./build-tsan/tests/telemetry_test || {
+    timeout 600 ./build-tsan/tests/telemetry_test &&
+    timeout 600 ./build-tsan/tests/fault_injection_test || {
       echo "TSAN verify failed" >&2
       exit 1
     }

@@ -1,0 +1,35 @@
+#include "common/cancellation.h"
+
+#include <chrono>
+
+namespace pqsda {
+
+int64_t CancelToken::NowNanos() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CancelToken::SetDeadlineAfter(int64_t budget_ns) {
+  const int64_t now = NowNanos();
+  if (budget_ns >= kNoDeadline - now) {
+    SetDeadline(kNoDeadline);
+  } else {
+    SetDeadline(now + budget_ns);
+  }
+}
+
+int64_t CancelToken::RemainingNanos() const {
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == kNoDeadline) return kNoDeadline;
+  return deadline - NowNanos();
+}
+
+Status CancelToken::Check() const {
+  if (cancelled()) return Status::Cancelled("request cancelled");
+  if (expired()) return Status::DeadlineExceeded("request deadline elapsed");
+  return Status::OK();
+}
+
+}  // namespace pqsda

@@ -1,0 +1,69 @@
+#ifndef PQSDA_COMMON_CANCELLATION_H_
+#define PQSDA_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/status.h"
+
+namespace pqsda {
+
+/// Per-request deadline and cooperative cancellation flag, threaded through
+/// the suggestion pipeline (engine -> diversifier -> solver / hitting-time
+/// sweeps) and checked at iteration / selection-round granularity. The token
+/// never preempts anything: the expensive stages poll Check() between
+/// iterations and unwind with kDeadlineExceeded / kCancelled, so a response
+/// either carries the full result of its rung or no result at all.
+///
+/// The clock is injectable (same pattern as obs::WindowOptions) so the
+/// fault-injection tests can expire a deadline at an exact iteration instead
+/// of racing wall time. Cancel() may be called from any thread while the
+/// request is in flight; Check() is a couple of relaxed atomic loads.
+class CancelToken {
+ public:
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  CancelToken() = default;
+  /// `clock` returns monotonic nanoseconds; null means steady_clock.
+  explicit CancelToken(std::function<int64_t()> clock)
+      : clock_(std::move(clock)) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Current time in the token's clock domain.
+  int64_t NowNanos() const;
+
+  /// Absolute deadline in the token's clock domain; kNoDeadline clears it.
+  void SetDeadline(int64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+  /// Deadline `budget_ns` from now (saturating).
+  void SetDeadlineAfter(int64_t budget_ns);
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  /// Nanoseconds until the deadline (negative once past); kNoDeadline when
+  /// none is set.
+  int64_t RemainingNanos() const;
+  bool expired() const { return has_deadline() && RemainingNanos() <= 0; }
+
+  /// OK while the request may keep running; kCancelled / kDeadlineExceeded
+  /// once it must unwind. Cancellation wins over expiry when both hold.
+  Status Check() const;
+
+ private:
+  std::function<int64_t()> clock_;  // null -> steady_clock
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_CANCELLATION_H_

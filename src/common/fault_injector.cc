@@ -1,0 +1,74 @@
+#include "common/fault_injector.h"
+
+namespace pqsda {
+
+FaultInjector& FaultInjector::Default() {
+  // Leaked like ThreadPool::Shared(): instrumented sites may fire during
+  // static teardown of test fixtures.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+std::function<int64_t()> FaultInjector::ClockFn() {
+  return [this] { return NowNs(); };
+}
+
+void FaultInjector::Arm(const std::string& point, FaultAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  actions_[point].push_back(action);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::SetValue(const std::string& point, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[point] = value;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  actions_.clear();
+  hits_.clear();
+  values_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::Hit(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  // Collect the side effects under the lock but apply the clock/cancel
+  // writes after releasing it: actions touch atomics only, but keeping the
+  // critical section minimal keeps concurrent storms honest under TSAN.
+  int64_t advance = 0;
+  std::vector<CancelToken*> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t hit = ++hits_[point];
+    auto it = actions_.find(point);
+    if (it != actions_.end()) {
+      for (const FaultAction& action : it->second) {
+        const bool fires =
+            hit == action.at_hit || (action.repeat && hit > action.at_hit);
+        if (!fires) continue;
+        advance += action.advance_clock_ns;
+        if (action.cancel != nullptr) to_cancel.push_back(action.cancel);
+      }
+    }
+  }
+  if (advance != 0) AdvanceClock(advance);
+  for (CancelToken* token : to_cancel) token->Cancel();
+}
+
+int64_t FaultInjector::Value(const char* point, int64_t fallback) const {
+  if (!armed_.load(std::memory_order_relaxed)) return fallback;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(point);
+  return it != values_.end() ? it->second : fallback;
+}
+
+uint64_t FaultInjector::Hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it != hits_.end() ? it->second : 0;
+}
+
+}  // namespace pqsda

@@ -21,6 +21,14 @@ enum class StatusCode {
   kCorruption,
   kNotConverged,
   kInternal,
+  /// The request's deadline elapsed before the pipeline finished; the
+  /// response carries no partial results.
+  kDeadlineExceeded,
+  /// The request was cancelled cooperatively (caller gave up).
+  kCancelled,
+  /// The server shed the request under overload (admission control);
+  /// retryable with backoff.
+  kUnavailable,
 };
 
 /// A lightweight success-or-error result. Cheap to copy on the success path
@@ -57,6 +65,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

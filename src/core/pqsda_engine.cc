@@ -1,7 +1,9 @@
 #include "core/pqsda_engine.h"
 
+#include <algorithm>
 #include <optional>
 
+#include "common/fault_injector.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/request_log.h"
@@ -117,6 +119,25 @@ StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
     cache_options.shards = config.cache_shards;
     engine->cache_ = std::make_unique<SuggestionCache>(cache_options);
   }
+  engine->robustness_ = config.robustness;
+  AdmissionOptions admission_options;
+  admission_options.max_queue_depth = config.robustness.shed_queue_depth;
+  admission_options.max_p95_us = config.robustness.shed_p95_us;
+  engine->admission_ = AdmissionController(admission_options);
+  // Rung 1: same pipeline, hard caps on the iterative work. A non-converged
+  // iterate is served (accept_nonconverged) — visibly, via stats/metrics.
+  engine->truncated_options_ = config.diversifier;
+  engine->truncated_options_.regularization.solver_options.max_iterations =
+      config.robustness.truncated_max_iterations;
+  engine->truncated_options_.regularization.solver_options.tolerance =
+      config.robustness.truncated_tolerance;
+  engine->truncated_options_.regularization.accept_nonconverged = true;
+  engine->truncated_options_.hitting_iterations =
+      std::min(config.diversifier.hitting_iterations,
+               config.robustness.truncated_hitting_iterations);
+  // Rung 2: walk-only candidates.
+  engine->walk_only_options_ = config.diversifier;
+  engine->walk_only_options_.walk_only = true;
   if (metrics) {
     builds_total.Increment();
     num_queries.Set(static_cast<double>(engine->mb_->num_queries()));
@@ -138,10 +159,38 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
       reg.GetCounter("pqsda.suggest.traced_total");
   static obs::Histogram& latency_us =
       reg.GetHistogram("pqsda.suggest.latency_us");
+  static obs::Counter* rung_totals[4] = {
+      &reg.GetCounter("pqsda.robust.rung_full_total"),
+      &reg.GetCounter("pqsda.robust.rung_truncated_total"),
+      &reg.GetCounter("pqsda.robust.rung_walk_only_total"),
+      &reg.GetCounter("pqsda.robust.rung_cache_only_total")};
+  static obs::Counter& deadline_exceeded_total =
+      reg.GetCounter("pqsda.robust.deadline_exceeded_total");
+  static obs::Counter& cancelled_total =
+      reg.GetCounter("pqsda.robust.cancelled_total");
 
   requests_total.Increment();
   obs::ServingTelemetry& telemetry = obs::ServingTelemetry::Default();
   const uint64_t request_id = telemetry.NextRequestId();
+
+  // Admission first: an overloaded server answers kUnavailable in
+  // microseconds instead of joining the queue it is already losing.
+  Status admit = admission_.Admit();
+  if (!admit.ok()) {
+    if (stats != nullptr) {
+      *stats = SuggestStats{};
+      stats->shed = true;
+    }
+    telemetry.RecordRequest(/*latency_us=*/0.0, /*ok=*/false,
+                            /*not_found=*/false, cache_ != nullptr,
+                            /*cache_hit=*/false, /*shed=*/true);
+    return admit;
+  }
+
+  // The ladder rung is fixed here, once, from the remaining budget — the
+  // pipeline below never re-escalates mid-request.
+  const DegradationRung rung = ChooseRung(request);
+  rung_totals[static_cast<size_t>(rung)]->Increment();
 
   // With stats requested, the whole request runs under one trace; the
   // diversifier's and personalizer's stage spans attach to it. Without
@@ -153,7 +202,7 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   WallTimer wall;
   bool cache_hit = false;
   StatusOr<std::vector<Suggestion>> result =
-      SuggestImpl(request, k, stats, &cache_hit);
+      SuggestImpl(request, k, rung, stats, &cache_hit);
   const double elapsed_us = static_cast<double>(wall.ElapsedNanos()) * 1e-3;
   const int64_t total_us = static_cast<int64_t>(elapsed_us);
   latency_us.Observe(elapsed_us);
@@ -165,9 +214,14 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     // A cold query (NotFound) is routine traffic, not an internal failure;
     // serving dashboards alert on errors_total only.
     (not_found ? not_found_total : errors_total).Increment();
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_total.Increment();
+    } else if (result.status().code() == StatusCode::kCancelled) {
+      cancelled_total.Increment();
+    }
   }
   telemetry.RecordRequest(elapsed_us, ok, not_found, cache_ != nullptr,
-                          cache_hit);
+                          cache_hit, /*shed=*/false);
 
   obs::SpanNode trace;
   bool have_trace = false;
@@ -213,38 +267,77 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   return result;
 }
 
+DegradationRung PqsdaEngine::ChooseRung(const SuggestionRequest& request) const {
+  // Injection point first, so an armed clock jump here shapes the very
+  // budget reading the ladder decides on.
+  FaultInjector::Default().Hit(faults::kAdmission);
+  size_t rung = std::min<size_t>(robustness_.min_rung, 3);
+  if (request.cancel != nullptr && request.cancel->has_deadline()) {
+    const int64_t remaining_us = request.cancel->RemainingNanos() / 1000;
+    size_t budget_rung = 0;
+    if (remaining_us < robustness_.cache_only_below_us) {
+      budget_rung = 3;
+    } else if (remaining_us < robustness_.walk_only_below_us) {
+      budget_rung = 2;
+    } else if (remaining_us < robustness_.truncated_below_us) {
+      budget_rung = 1;
+    }
+    rung = std::max(rung, budget_rung);
+  }
+  return static_cast<DegradationRung>(rung);
+}
+
 StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
-    const SuggestionRequest& request, size_t k, SuggestStats* stats,
-    bool* cache_hit) const {
+    const SuggestionRequest& request, size_t k, DegradationRung rung,
+    SuggestStats* stats, bool* cache_hit) const {
   static obs::Counter& personalized_total = obs::MetricsRegistry::Default()
       .GetCounter("pqsda.suggest.personalized_total");
+
+  // Reset a reused stats struct before any work: no trace, solver or
+  // selection number of a previous request may survive *any* exit path —
+  // cache hit, error, cancellation, deadline.
+  if (stats != nullptr) {
+    *stats = SuggestStats{};
+    stats->degradation_rung = static_cast<size_t>(rung);
+  }
 
   std::string cache_key;
   if (cache_ != nullptr) {
     cache_key = SuggestionCache::KeyOf(request, k);
     std::vector<Suggestion> cached;
     if (cache_->Lookup(cache_key, &cached)) {
-      // Reset a reused stats struct so it doesn't carry the previous
-      // request's trace, solver, and selection numbers.
       *cache_hit = true;
-      if (stats != nullptr) {
-        *stats = SuggestStats{};
-        stats->suggestions_returned = cached.size();
-      }
+      if (stats != nullptr) stats->suggestions_returned = cached.size();
       return cached;
     }
   }
+  if (rung == DegradationRung::kCacheOnly) {
+    // The last rung does no pipeline work at all: a hit above served it, a
+    // miss (or no cache) is a fast NotFound.
+    return Status::NotFound("cache-only rung: no cached result for \"" +
+                            request.query + "\"");
+  }
 
-  auto diversified = diversifier_->Diversify(request, k, stats);
+  const PqsdaDiversifierOptions* options = &diversifier_->options();
+  if (rung == DegradationRung::kTruncatedSolve) options = &truncated_options_;
+  if (rung == DegradationRung::kWalkOnly) options = &walk_only_options_;
+  auto diversified = diversifier_->DiversifyWith(request, k, *options, stats);
   if (!diversified.ok()) return diversified.status();
   std::vector<Suggestion> list = std::move(diversified->candidates);
-  if (personalizer_ != nullptr && request.user != kNoUser) {
+  // Personalization is skipped on the walk-only rung — the rerank reads the
+  // UPM per candidate and the rung's point is a bounded answer.
+  if (rung != DegradationRung::kWalkOnly && personalizer_ != nullptr &&
+      request.user != kNoUser) {
     list = personalizer_->Rerank(request.user, list);
     personalized_total.Increment();
     if (stats != nullptr) stats->personalized = true;
   }
   if (stats != nullptr) stats->suggestions_returned = list.size();
-  if (cache_ != nullptr) cache_->Insert(cache_key, list);
+  // Only full-quality results may fill the cache: a degraded answer cached
+  // under the same key would outlive the overload that justified it.
+  if (cache_ != nullptr && rung == DegradationRung::kFull) {
+    cache_->Insert(cache_key, list);
+  }
   return list;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/admission.h"
 #include "graph/multi_bipartite.h"
 #include "log/sessionizer.h"
 #include "suggest/pqsda_diversifier.h"
@@ -47,6 +48,49 @@ class Personalizer {
   size_t preference_weight_;
 };
 
+/// The degradation ladder: what the engine still does for a request as its
+/// latency budget shrinks. Each rung trades answer quality for a hard cut in
+/// work; the rung is chosen once at admission from the request's remaining
+/// budget (and the configured floor), so degradation is a deterministic
+/// function of configuration — not of wall-clock races mid-request.
+enum class DegradationRung : size_t {
+  /// Full PQS-DA: expansion, Eq. 15 solve, Algorithm 1, personalization.
+  kFull = 0,
+  /// Truncated solve: capped solver iterations at a relaxed tolerance (a
+  /// non-converged iterate is served, loudly), fewer hitting-time sweeps.
+  kTruncatedSolve = 1,
+  /// Walk-only candidates: one mixing step of the cross-bipartite walk from
+  /// F^0; no solve, no Algorithm 1, no personalization.
+  kWalkOnly = 2,
+  /// Cache-only: a cached result or NotFound — no pipeline work at all.
+  kCacheOnly = 3,
+};
+
+/// Overload-hardening knobs: the degradation ladder's budget thresholds and
+/// the admission controller's shedding gates.
+struct RobustnessOptions {
+  /// Floor rung: every request is served at least this degraded (the CLI's
+  /// `--min_rung`; also how tests and the property harness pin a rung).
+  size_t min_rung = 0;
+  /// Remaining-budget thresholds (microseconds) that pick the rung: a
+  /// request whose deadline leaves less than `truncated_below_us` runs the
+  /// truncated solve, less than `walk_only_below_us` the walk-only path,
+  /// less than `cache_only_below_us` only the cache lookup. Requests with no
+  /// deadline always run at the floor rung.
+  int64_t truncated_below_us = 250'000;
+  int64_t walk_only_below_us = 25'000;
+  int64_t cache_only_below_us = 2'000;
+  /// Solver budget of the truncated rung (rung 1).
+  size_t truncated_max_iterations = 12;
+  double truncated_tolerance = 1e-4;
+  /// Hitting-time sweep budget of the truncated rung (capped at the full
+  /// configuration's horizon).
+  size_t truncated_hitting_iterations = 6;
+  /// Admission gates (0 disables each — see AdmissionOptions).
+  size_t shed_queue_depth = 0;
+  double shed_p95_us = 0.0;
+};
+
 /// End-to-end PQS-DA configuration.
 struct PqsdaEngineConfig {
   EdgeWeighting weighting = EdgeWeighting::kCfIqf;
@@ -71,6 +115,8 @@ struct PqsdaEngineConfig {
   size_t cache_capacity = 0;
   /// LRU shards of the cache (see SuggestionCacheOptions).
   size_t cache_shards = 8;
+  /// Overload hardening: degradation ladder thresholds and load shedding.
+  RobustnessOptions robustness;
 };
 
 /// The complete PQS-DA system (Fig. 1): query-log representation +
@@ -115,6 +161,16 @@ class PqsdaEngine {
   /// Null when caching is disabled.
   const SuggestionCache* cache() const { return cache_.get(); }
 
+  /// The admission controller in front of Suggest/SuggestBatch.
+  const AdmissionController& admission() const { return admission_; }
+  const RobustnessOptions& robustness() const { return robustness_; }
+
+  /// The degradation rung this request would be served at right now: the
+  /// larger of the configured floor and the rung its remaining deadline
+  /// budget maps to. Fires the faults::kAdmission injection point. Public so
+  /// tests and benches can assert the ladder decision directly.
+  DegradationRung ChooseRung(const SuggestionRequest& request) const;
+
   const MultiBipartite& representation() const { return *mb_; }
   const PqsdaDiversifier& diversifier() const { return *diversifier_; }
   const QueryLogCorpus& corpus() const { return *corpus_; }
@@ -127,12 +183,14 @@ class PqsdaEngine {
  private:
   PqsdaEngine() = default;
 
-  /// The cache-lookup + diversify + personalize pipeline, free of telemetry
-  /// concerns; Suggest wraps it with timing, tracing, windowed recording
-  /// and request-log emission.
+  /// The cache-lookup + diversify + personalize pipeline at a given ladder
+  /// rung, free of telemetry concerns; Suggest wraps it with admission, rung
+  /// selection, timing, tracing, windowed recording and request-log
+  /// emission. Resets a reused `stats` struct up front so no field of a
+  /// previous request survives any exit path (error, cancel, deadline).
   StatusOr<std::vector<Suggestion>> SuggestImpl(
-      const SuggestionRequest& request, size_t k, SuggestStats* stats,
-      bool* cache_hit) const;
+      const SuggestionRequest& request, size_t k, DegradationRung rung,
+      SuggestStats* stats, bool* cache_hit) const;
 
   std::vector<QueryLogRecord> records_;
   std::vector<Session> sessions_;
@@ -142,6 +200,12 @@ class PqsdaEngine {
   std::unique_ptr<UpmModel> upm_;
   std::unique_ptr<Personalizer> personalizer_;
   std::unique_ptr<SuggestionCache> cache_;
+
+  RobustnessOptions robustness_;
+  AdmissionController admission_;
+  /// Diversifier options of the degraded rungs, derived once at Build.
+  PqsdaDiversifierOptions truncated_options_;
+  PqsdaDiversifierOptions walk_only_options_;
 };
 
 }  // namespace pqsda

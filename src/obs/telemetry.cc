@@ -57,6 +57,7 @@ ServingTelemetry::ServingTelemetry(ServingTelemetryOptions options)
       not_found_(options.window),
       cache_hits_(options.window),
       cache_lookups_(options.window),
+      shed_(options.window),
       latency_(options.window) {}
 
 ServingTelemetry& ServingTelemetry::Default() {
@@ -90,8 +91,12 @@ bool ServingTelemetry::SampleTrace() {
 
 void ServingTelemetry::RecordRequest(double latency_us, bool ok,
                                      bool not_found, bool cache_enabled,
-                                     bool cache_hit) {
+                                     bool cache_hit, bool shed) {
   requests_.Add();
+  if (shed) {
+    shed_.Add();
+    return;
+  }
   latency_.Record(latency_us);
   if (!ok && !not_found) errors_.Add();
   if (not_found) not_found_.Add();
@@ -173,10 +178,15 @@ std::string ServingTelemetry::StatuszJson() const {
     const uint64_t nf = not_found_.SumOver(win);
     const uint64_t hits = cache_hits_.SumOver(win);
     const uint64_t lookups = cache_lookups_.SumOver(win);
+    const uint64_t shed = shed_.SumOver(win);
     const WindowSnapshot lat = latency_.SnapshotOver(win);
     out += "\"" + std::string(kWindowNames[w]) + "\":{";
     out += "\"requests\":" + std::to_string(reqs);
     out += ",\"qps\":" + Num(requests_.RatePerSec(win));
+    out += ",\"shed_rate\":" +
+           Num(reqs > 0 ? static_cast<double>(shed) /
+                              static_cast<double>(reqs)
+                        : 0.0);
     out += ",\"error_rate\":" +
            Num(reqs > 0 ? static_cast<double>(errs) /
                               static_cast<double>(reqs)
@@ -236,6 +246,37 @@ std::string ServingTelemetry::StatuszJson() const {
     out += ",\"p99\":" + Num(h.Quantile(0.99));
     out += "}";
   }
+  out += "}";
+
+  // Overload-hardening state: shed/admission totals and how many requests
+  // each degradation-ladder rung served since process start.
+  out += ",\"robust\":{";
+  out += "\"admitted_total\":" +
+         std::to_string(reg.GetCounter("pqsda.robust.admitted_total").Value());
+  out += ",\"shed_total\":" +
+         std::to_string(reg.GetCounter("pqsda.robust.shed_total").Value());
+  out += ",\"rungs\":{";
+  out += "\"full\":" +
+         std::to_string(reg.GetCounter("pqsda.robust.rung_full_total").Value());
+  out += ",\"truncated_solve\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.robust.rung_truncated_total").Value());
+  out += ",\"walk_only\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.robust.rung_walk_only_total").Value());
+  out += ",\"cache_only\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.robust.rung_cache_only_total").Value());
+  out += "}";
+  out += ",\"deadline_exceeded_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.robust.deadline_exceeded_total").Value());
+  out += ",\"cancelled_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.robust.cancelled_total").Value());
+  out += ",\"nonconverged_served_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.robust.nonconverged_served_total").Value());
   out += "}";
 
   out += ",\"requests\":{\"total\":" +

@@ -61,9 +61,12 @@ class ServingTelemetry {
   /// Head-sampling decision for tracing this request into /tracez.
   bool SampleTrace();
 
-  /// Records one finished request into the sliding windows.
+  /// Records one finished request into the sliding windows. A shed request
+  /// (admission control answered kUnavailable before any pipeline work)
+  /// feeds the shed window only — its near-zero latency would poison the
+  /// percentiles, and it is neither an error nor traffic served.
   void RecordRequest(double latency_us, bool ok, bool not_found,
-                     bool cache_enabled, bool cache_hit);
+                     bool cache_enabled, bool cache_hit, bool shed = false);
 
   /// Stores a finished request's trace in the /tracez ring (rendered to
   /// JSON once, here, so the ring holds no live SpanNode trees).
@@ -112,6 +115,7 @@ class ServingTelemetry {
   WindowedRate not_found_;
   WindowedRate cache_hits_;
   WindowedRate cache_lookups_;
+  WindowedRate shed_;
   SlidingWindowHistogram latency_;
 
   mutable std::mutex tracez_mu_;

@@ -4,11 +4,28 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/fault_injector.h"
 #include "common/math_util.h"
 
 namespace pqsda {
 
 namespace {
+
+// Top-of-iteration cooperative check shared by every solver loop: fires the
+// fault-injection point first (so an armed clock jump is visible to this
+// very check), then polls the token. Returns true when the solve must stop,
+// with the interruption recorded in `result`.
+bool SolveInterrupted(const SolverOptions& options, size_t iteration,
+                      SolverResult& result) {
+  FaultInjector::Default().Hit(faults::kSolverIteration);
+  if (options.cancel == nullptr) return false;
+  const size_t every = std::max<size_t>(options.cancel_check_every, 1);
+  if (iteration % every != 0) return false;
+  Status status = options.cancel->Check();
+  if (status.ok()) return false;
+  result.interrupt = std::move(status);
+  return true;
+}
 
 // RelativeResidual with a caller-owned product buffer (allocation-free when
 // the buffer is already sized).
@@ -42,6 +59,7 @@ SolverResult JacobiSolve(const CsrMatrix& a, const std::vector<double>& b,
   std::vector<double> next(n, 0.0);
   SolverResult result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
+    if (SolveInterrupted(options, it, result)) return result;
     for (size_t i = 0; i < n; ++i) {
       double diag = 0.0;
       double off = 0.0;
@@ -75,6 +93,7 @@ SolverResult GaussSeidelSolve(const CsrMatrix& a, const std::vector<double>& b,
   const size_t n = b.size();
   SolverResult result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
+    if (SolveInterrupted(options, it, result)) return result;
     for (size_t i = 0; i < n; ++i) {
       double diag = 0.0;
       double off = 0.0;
@@ -136,6 +155,9 @@ SolverResult JacobiSolveParallel(const CsrMatrix& a,
   SolverResult result;
   const size_t grain = (n + threads - 1) / threads;
   for (size_t it = 0; it < options.max_iterations; ++it) {
+    // Only the issuing thread polls; workers run one full sweep at most
+    // past an interruption, which is the advertised granularity.
+    if (SolveInterrupted(options, it, result)) return result;
     pool->ParallelFor(0, n, grain, sweep_rows, threads);
     x.swap(ws.next);
     result.iterations = it + 1;
@@ -165,6 +187,7 @@ SolverResult ConjugateGradientSolve(const CsrMatrix& a,
 
   SolverResult result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
+    if (SolveInterrupted(options, it, result)) return result;
     result.iterations = it + 1;
     if (std::sqrt(rs_old) / b_norm < options.tolerance) {
       result.converged = true;

@@ -98,12 +98,17 @@ StatusOr<std::vector<double>> SolveRegularization(
   iterations.Increment(result.iterations);
   last_residual.Set(result.relative_residual);
   if (result_out != nullptr) *result_out = result;
+  // A cooperative interruption outranks everything: the iterate stopped
+  // mid-sweep and must not be served, converged-looking or not.
+  if (!result.interrupt.ok()) return result.interrupt;
   if (!result.converged) {
     nonconverged.Increment();
-    return Status::NotConverged(
-        "regularization solver: residual " +
-        std::to_string(result.relative_residual) + " after " +
-        std::to_string(result.iterations) + " iterations");
+    if (!options.accept_nonconverged) {
+      return Status::NotConverged(
+          "regularization solver: residual " +
+          std::to_string(result.relative_residual) + " after " +
+          std::to_string(result.iterations) + " iterations");
+    }
   }
   return f;
 }

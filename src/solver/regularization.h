@@ -27,6 +27,13 @@ struct RegularizationOptions {
   double decay_lambda = 1.0 / 600.0;
   SolverKind solver = SolverKind::kGaussSeidel;
   SolverOptions solver_options;
+  /// When true, a solve that exhausts max_iterations without reaching
+  /// tolerance returns its final iterate instead of NotConverged (the
+  /// degradation ladder's truncated rung runs this way). The outcome stays
+  /// loud: SolverResult.converged=false reaches the caller's SuggestStats
+  /// and pqsda.solver.nonconverged_total still increments. Interruption
+  /// (deadline/cancel) is never accepted — the iterate is partial then.
+  bool accept_nonconverged = false;
 };
 
 /// Builds the seed vector F^0 (Eq. 7): entry 1 for the input query, a

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "log/record.h"
 
@@ -23,6 +24,10 @@ struct SuggestionRequest {
   /// (query, timestamp) of preceding same-session queries, oldest first.
   std::vector<std::pair<std::string, int64_t>> context;
   UserId user = kNoUser;
+  /// Optional per-request deadline / cancellation, polled cooperatively by
+  /// the expensive pipeline stages (must outlive the call; not part of the
+  /// cache key). Null means run to completion.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One suggested query. Higher score = better; scores are engine-specific

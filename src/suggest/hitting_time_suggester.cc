@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,13 +16,21 @@ namespace {
 // all dispatch overhead.
 constexpr size_t kSweepGrain = 128;
 
+// Top-of-iteration cooperative check for the hitting-time sweeps (fault
+// point first so an armed clock jump is visible to this very poll).
+bool SweepInterrupted(const CancelToken* cancel) {
+  FaultInjector::Default().Hit(faults::kHittingIteration);
+  return cancel != nullptr && !cancel->Check().ok();
+}
+
 }  // namespace
 
 void BipartiteHittingTimeInto(const CsrMatrix& q2u_stochastic,
                               const CsrMatrix& u2q_stochastic,
                               const std::vector<uint32_t>& seed_queries,
                               size_t iterations, const PseudoNode* pseudo,
-                              ThreadPool* pool, HittingTimeWorkspace& ws) {
+                              ThreadPool* pool, HittingTimeWorkspace& ws,
+                              const CancelToken* cancel) {
   const size_t nq = q2u_stochastic.rows();
   const size_t nu = q2u_stochastic.cols();
   const size_t total_q = nq + (pseudo != nullptr ? 1 : 0);
@@ -61,6 +70,7 @@ void BipartiteHittingTimeInto(const CsrMatrix& q2u_stochastic,
   hu.assign(nu, 0.0);
   hu_next.assign(nu, 0.0);
   for (size_t t = 0; t < iterations; ++t) {
+    if (SweepInterrupted(cancel)) return;
     // URL side first: one hop u -> q. Rows write disjoint entries of the
     // next iterate and read only the previous one, so ranges parallelize.
     auto url_sweep = [&](size_t begin, size_t end) {
@@ -138,7 +148,8 @@ void ChainHittingTimeInto(const std::vector<const CsrMatrix*>& chains,
                           const std::vector<double>& weights,
                           const std::vector<uint32_t>& seeds,
                           size_t iterations, ThreadPool* pool,
-                          HittingTimeWorkspace& ws) {
+                          HittingTimeWorkspace& ws,
+                          const CancelToken* cancel) {
   assert(!chains.empty() && chains.size() == weights.size());
   const size_t n = chains[0]->rows();
   ws.is_seed.assign(n, 0);
@@ -151,6 +162,7 @@ void ChainHittingTimeInto(const std::vector<const CsrMatrix*>& chains,
   h.assign(n, 0.0);
   next.assign(n, 0.0);
   for (size_t t = 0; t < iterations; ++t) {
+    if (SweepInterrupted(cancel)) return;
     auto sweep = [&](size_t begin, size_t end) {
       for (size_t v = begin; v < end; ++v) {
         if (ws.is_seed[v] != 0) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "graph/click_graph.h"
 #include "suggest/engine.h"
@@ -57,11 +58,14 @@ std::vector<double> BipartiteHittingTime(const CsrMatrix& q2u,
 
 /// BipartiteHittingTime computing into `ws.h` (query-side hitting times)
 /// with every buffer drawn from `ws` — zero allocations once the workspace
-/// is warm.
+/// is warm. A non-null `cancel` is polled at the top of every sweep
+/// iteration; on cancellation/expiry the sweep stops early and `ws.h` is
+/// partial — the caller must re-check the token before using it.
 void BipartiteHittingTimeInto(const CsrMatrix& q2u, const CsrMatrix& u2q,
                               const std::vector<uint32_t>& seed_queries,
                               size_t iterations, const PseudoNode* pseudo,
-                              ThreadPool* pool, HittingTimeWorkspace& ws);
+                              ThreadPool* pool, HittingTimeWorkspace& ws,
+                              const CancelToken* cancel = nullptr);
 
 /// Truncated expected hitting time on a mixture of query-level chains
 /// (Eq. 17): M = sum_x weight[x] * chain[x], each chain row-stochastic (or
@@ -74,12 +78,15 @@ std::vector<double> ChainHittingTime(const std::vector<const CsrMatrix*>& chains
                                      size_t iterations,
                                      ThreadPool* pool = nullptr);
 
-/// ChainHittingTime computing into `ws.h`, allocation-free when warm.
+/// ChainHittingTime computing into `ws.h`, allocation-free when warm. A
+/// non-null `cancel` stops the sweep at iteration granularity (see
+/// BipartiteHittingTimeInto for the partial-result contract).
 void ChainHittingTimeInto(const std::vector<const CsrMatrix*>& chains,
                           const std::vector<double>& weights,
                           const std::vector<uint32_t>& seeds,
                           size_t iterations, ThreadPool* pool,
-                          HittingTimeWorkspace& ws);
+                          HittingTimeWorkspace& ws,
+                          const CancelToken* cancel = nullptr);
 
 /// Options for the hitting-time baselines.
 struct HittingTimeOptions {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
@@ -53,8 +54,9 @@ std::vector<std::pair<StringId, double>> PqsdaDiversifier::TermMatchSeeds(
   return out;
 }
 
-StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
-    const SuggestionRequest& request, size_t k, SuggestStats* stats) const {
+StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
+    const SuggestionRequest& request, size_t k,
+    const PqsdaDiversifierOptions& options, SuggestStats* stats) const {
   // Stage latencies always feed the registry (two clock reads per stage —
   // noise next to the ms-scale stages); the trace tree is only built when a
   // collector is installed (by the engine, or here when the caller asked
@@ -72,6 +74,10 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
       reg.GetCounter("pqsda.compact.walk_steps_total");
   static obs::Counter& compact_admitted =
       reg.GetCounter("pqsda.compact.queries_admitted_total");
+  static obs::Counter& nonconverged_served =
+      reg.GetCounter("pqsda.robust.nonconverged_served_total");
+
+  const CancelToken* cancel = request.cancel;
 
   std::optional<obs::TraceCollector> own_trace;
   if (stats != nullptr && !obs::TraceActive()) own_trace.emplace("diversify");
@@ -122,9 +128,9 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
         seeds.push_back(q);
       }
       for (StringId c : context_only) seeds.push_back(c);
-      rep_or = builder_.BuildFromSeeds(seeds, options_.compact, &build_stats);
+      rep_or = builder_.BuildFromSeeds(seeds, options.compact, &build_stats);
     } else {
-      rep_or = builder_.Build(input, context_only, options_.compact,
+      rep_or = builder_.Build(input, context_only, options.compact,
                               &build_stats);
     }
     compact_rounds.Increment(build_stats.rounds);
@@ -144,16 +150,21 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
     stats->compact_size = rep.size();
   }
 
-  // §IV-B: regularization framework for the relevance estimate F*.
-  std::vector<double> f;
-  {
-    obs::TraceSpan span("regularization_solve");
-    obs::ScopedTimer timer(solve_us);
-    // The seed vector is rebuilt every request into a thread-lived buffer.
-    static thread_local std::vector<double> f0;
+  // Stage boundary: a request whose budget died during expansion must not
+  // start the solve (fault point first, so an armed clock jump lands before
+  // this very poll).
+  FaultInjector::Default().Hit(faults::kExpansionDone);
+  if (cancel != nullptr) {
+    Status interrupted = cancel->Check();
+    if (!interrupted.ok()) return interrupted;
+  }
+
+  // Seed vector F^0 (Eq. 7), shared by the full solve and the walk-only
+  // rung; rebuilt every request into a thread-lived buffer.
+  auto build_seed = [&](std::vector<double>& f0) {
     if (input != kInvalidStringId) {
       BuildF0Into(rep, input, request.timestamp, context_ids,
-                  options_.regularization.decay_lambda, f0);
+                  options.regularization.decay_lambda, f0);
     } else {
       f0.assign(rep.size(), 0.0);
       double max_w = term_seeds.front().second;
@@ -170,14 +181,80 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
         if (dt > 0.0) dt = 0.0;
         f0[it->second] = std::max(
             f0[it->second],
-            std::exp(options_.regularization.decay_lambda * dt));
+            std::exp(options.regularization.decay_lambda * dt));
       }
     }
+  };
+
+  if (options.walk_only) {
+    // Degradation rung 2: skip the Eq. 15 solve and Algorithm 1 entirely —
+    // one mixing step of the cross-bipartite walk from F^0 scores the
+    // compact queries, and the top-k by that score are the answer. One pass
+    // over the seed rows' nonzeros; deterministic like the full pipeline.
+    DiversificationOutput out;
+    obs::TraceSpan span("walk_only_scatter");
+    obs::ScopedTimer timer(selection_us);
+    static thread_local std::vector<double> f0;
+    build_seed(f0);
+    std::vector<double> f(rep.size(), 0.0);
+    const CsrMatrix* chains[3] = {&rep.P(BipartiteKind::kUrl),
+                                  &rep.P(BipartiteKind::kSession),
+                                  &rep.P(BipartiteKind::kTerm)};
+    size_t scored = 0;
+    for (uint32_t i = 0; i < rep.size(); ++i) {
+      if (f0[i] <= 0.0) continue;
+      f[i] += f0[i];
+      for (size_t x = 0; x < 3; ++x) {
+        auto idx = chains[x]->RowIndices(i);
+        auto val = chains[x]->RowValues(i);
+        for (size_t e = 0; e < idx.size(); ++e) {
+          f[idx[e]] += options.chain_weights[x] * val[e] * f0[i];
+          ++scored;
+        }
+      }
+    }
+    std::vector<bool> excluded = ExcludedCandidates(rep, input, context_only);
+    std::vector<std::pair<double, uint32_t>> by_score;
+    for (uint32_t i = 0; i < rep.size(); ++i) {
+      if (excluded[i] || f[i] <= 0.0) continue;
+      by_score.emplace_back(f[i], i);
+    }
+    const size_t want = std::min(k, by_score.size());
+    std::partial_sort(by_score.begin(), by_score.begin() + want,
+                      by_score.end(), std::greater<>());
+    by_score.resize(want);
+    out.relevance = std::move(f);
+    out.compact_queries = rep.queries;
+    out.candidates.reserve(by_score.size());
+    for (const auto& [score, i] : by_score) {
+      out.candidates.push_back(
+          Suggestion{mb_->QueryString(rep.queries[i]), score});
+    }
+    if (stats != nullptr) {
+      stats->hitting_rounds = 0;
+      stats->candidates_scored = scored;
+      stats->suggestions_returned = out.candidates.size();
+    }
+    span.Annotate("candidates_scored", static_cast<int64_t>(scored));
+    span.Annotate("selected", static_cast<int64_t>(out.candidates.size()));
+    return out;
+  }
+
+  // §IV-B: regularization framework for the relevance estimate F*.
+  std::vector<double> f;
+  {
+    obs::TraceSpan span("regularization_solve");
+    obs::ScopedTimer timer(solve_us);
+    static thread_local std::vector<double> f0;
+    build_seed(f0);
     SolverResult solve_result;
     // The solver scratch persists across requests served by this thread.
     static thread_local SolverWorkspace solver_workspace;
+    // Local copy so the per-request token reaches the iteration loop.
+    RegularizationOptions reg_options = options.regularization;
+    reg_options.solver_options.cancel = cancel;
     auto f_or =
-        SolveRegularization(rep, f0, options_.regularization, &solve_result,
+        SolveRegularization(rep, f0, reg_options, &solve_result,
                             &solver_workspace, &ThreadPool::Shared());
     if (stats != nullptr) stats->solve = solve_result;
     span.Annotate("iterations", static_cast<int64_t>(solve_result.iterations));
@@ -185,6 +262,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
     span.Annotate("converged", std::string(solve_result.converged ? "true"
                                                                   : "false"));
     if (!f_or.ok()) return f_or.status();
+    if (!solve_result.converged) nonconverged_served.Increment();
     f = std::move(f_or).value();
   }
 
@@ -206,7 +284,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
       if (excluded[i]) continue;
       by_relevance.emplace_back(f[i], i);
     }
-    size_t pool = std::min(options_.candidate_pool, by_relevance.size());
+    size_t pool = std::min(options.candidate_pool, by_relevance.size());
     std::partial_sort(by_relevance.begin(), by_relevance.begin() + pool,
                       by_relevance.end(), std::greater<>());
     by_relevance.resize(pool);
@@ -234,8 +312,8 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
     std::vector<const CsrMatrix*> chains = {&rep.P(BipartiteKind::kUrl),
                                             &rep.P(BipartiteKind::kSession),
                                             &rep.P(BipartiteKind::kTerm)};
-    std::vector<double> weights(options_.chain_weights.begin(),
-                                options_.chain_weights.end());
+    std::vector<double> weights(options.chain_weights.begin(),
+                                options.chain_weights.end());
     size_t rounds = 0;
     size_t candidates_scored = 0;
     const size_t want = std::min(k, by_relevance.size());
@@ -244,9 +322,21 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
     // (inline when this thread is itself a pool worker, e.g. SuggestBatch).
     static thread_local HittingTimeWorkspace ht_workspace;
     while (selected.size() < want) {
+      // Round boundary: poll before spending another full sweep, and again
+      // after it — a sweep the token stopped mid-flight leaves a partial h
+      // that must never pick a candidate.
+      FaultInjector::Default().Hit(faults::kHittingRound);
+      if (cancel != nullptr) {
+        Status interrupted = cancel->Check();
+        if (!interrupted.ok()) return interrupted;
+      }
       ChainHittingTimeInto(chains, weights, selected,
-                           options_.hitting_iterations,
-                           &ThreadPool::Shared(), ht_workspace);
+                           options.hitting_iterations,
+                           &ThreadPool::Shared(), ht_workspace, cancel);
+      if (cancel != nullptr) {
+        Status interrupted = cancel->Check();
+        if (!interrupted.ok()) return interrupted;
+      }
       const std::vector<double>& h = ht_workspace.h;
       ++rounds;
       double best = -1.0;
@@ -286,6 +376,11 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
   }
   if (stats != nullptr) stats->suggestions_returned = out.candidates.size();
   return out;
+}
+
+StatusOr<DiversificationOutput> PqsdaDiversifier::Diversify(
+    const SuggestionRequest& request, size_t k, SuggestStats* stats) const {
+  return DiversifyWith(request, k, options_, stats);
 }
 
 StatusOr<std::vector<Suggestion>> PqsdaDiversifier::Suggest(

@@ -28,6 +28,12 @@ struct PqsdaDiversifierOptions {
   /// affinity to the input at all. This is the diversity/relevance dial:
   /// larger pools diversify more aggressively at the cost of tail relevance.
   size_t candidate_pool = 40;
+  /// Walk-only degradation rung: skip the Eq. 15 solve and Algorithm 1
+  /// entirely and rank the compact queries by one mixing step of the
+  /// cross-bipartite random walk from the seed vector F^0 — the cheapest
+  /// answer that still reflects the input's neighborhood. Deterministic,
+  /// like the full pipeline.
+  bool walk_only = false;
 };
 
 /// Marks the non-candidates of a diversification run: the input query (when
@@ -72,6 +78,17 @@ class PqsdaDiversifier : public SuggestionEngine {
   StatusOr<DiversificationOutput> Diversify(const SuggestionRequest& request,
                                             size_t k,
                                             SuggestStats* stats = nullptr) const;
+
+  /// Diversify under explicit per-call options — how the engine's
+  /// degradation ladder serves the truncated and walk-only rungs without
+  /// rebuilding the diversifier. `request.cancel`, when set, is polled
+  /// between stages, inside the solver and per selection round; on
+  /// cancellation/expiry the call returns kCancelled/kDeadlineExceeded and
+  /// never a partial candidate list.
+  StatusOr<DiversificationOutput> DiversifyWith(
+      const SuggestionRequest& request, size_t k,
+      const PqsdaDiversifierOptions& options,
+      SuggestStats* stats = nullptr) const;
 
   const PqsdaDiversifierOptions& options() const { return options_; }
 

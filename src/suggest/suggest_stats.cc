@@ -25,6 +25,13 @@ std::string SuggestStats::Render() const {
   std::snprintf(buf, sizeof(buf), "personalized: %s, %zu suggestions\n",
                 personalized ? "yes" : "no", suggestions_returned);
   out += buf;
+  static const char* kRungNames[] = {"full", "truncated-solve", "walk-only",
+                                     "cache-only"};
+  std::snprintf(buf, sizeof(buf), "robustness: rung %zu (%s)%s\n",
+                degradation_rung,
+                degradation_rung < 4 ? kRungNames[degradation_rung] : "?",
+                shed ? ", SHED" : "");
+  out += buf;
   return out;
 }
 

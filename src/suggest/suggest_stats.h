@@ -38,6 +38,12 @@ struct SuggestStats {
   bool personalized = false;
   size_t suggestions_returned = 0;
 
+  /// Degradation rung the request was served at (DegradationRung numeric
+  /// value: 0 full PQS-DA, 1 truncated solve, 2 walk-only, 3 cache-only).
+  size_t degradation_rung = 0;
+  /// True when admission control shed the request before any pipeline work.
+  bool shed = false;
+
   int64_t total_us() const { return trace.duration_us(); }
 
   /// Multi-line human-readable breakdown (trace tree + counters), as
