@@ -6,6 +6,7 @@
 //                                [--request_log=path] [--slow_ms=T]
 //                                [--sample_every=N] [--deadline_ms=T]
 //                                [--shed_queue_depth=N] [--min_rung=R]
+//                                [--ingest=N] [--tail=path]
 //                                [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
@@ -13,6 +14,10 @@
 //                                          # concurrently via SuggestBatch
 //   > metrics                  # dump the process metrics registry (JSON)
 //   > statusz                  # windowed serving snapshot (JSON)
+//   > ingest 50                # feed 50 held-out records into the live index
+//   > rebuild                  # force a rebuild+swap of buffered deltas
+//   > index                    # live-index status (generation, delta depth)
+//   > tail 12                  # user 12's open tail session in the stream
 //   > quit
 //
 // With --stats every answer is followed by the request's stage trace and
@@ -38,14 +43,28 @@
 // N. --min_rung=R floors the ladder at rung R (0 full, 1 truncated solve,
 // 2 walk-only, 3 cache-only) — with --stats the served rung is printed per
 // request, and 'statusz' shows the per-rung/shed totals.
+//
+// Live ingestion: --ingest=N holds the last N log records out of the
+// initial build; the 'ingest [n]' command then feeds them into the engine's
+// delta buffer one chunk at a time, 'rebuild' forces the next generation to
+// build and swap in, and 'index' prints the live-index status — requests
+// keep being served (off the pinned snapshot) throughout. --tail=path
+// follows a TSV file like `tail -f`: lines appended to it while the server
+// runs are parsed and ingested live, with rebuilds triggering off-path at
+// the configured threshold. 'tail <user>' shows a user's open (not yet
+// absorbed) session in the ingest stream.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/cancellation.h"
 #include "core/pqsda_engine.h"
@@ -95,6 +114,8 @@ int main(int argc, char** argv) {
   long deadline_ms = 0;  // 0 = no per-request deadline
   size_t shed_queue_depth = 0;
   size_t min_rung = 0;
+  size_t ingest_holdout = 0;
+  const char* tail_path = nullptr;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -115,6 +136,10 @@ int main(int argc, char** argv) {
       shed_queue_depth = std::strtoul(argv[i] + 19, nullptr, 10);
     } else if (std::strncmp(argv[i], "--min_rung=", 11) == 0) {
       min_rung = std::strtoul(argv[i] + 11, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--ingest=", 9) == 0) {
+      ingest_holdout = std::strtoul(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--tail=", 7) == 0) {
+      tail_path = argv[i] + 7;
     } else {
       log_path = argv[i];
     }
@@ -137,6 +162,21 @@ int main(int argc, char** argv) {
     records = std::move(data.records);
     std::printf("no log given; generated a %zu-record demo log\n",
                 records.size());
+  }
+
+  // --ingest=N holds the tail of the log out of the initial build; the
+  // interactive 'ingest' command replays it into the live index later.
+  std::deque<QueryLogRecord> holdout;
+  if (ingest_holdout > 0) {
+    if (ingest_holdout >= records.size()) {
+      std::fprintf(stderr, "--ingest=%zu leaves no records to build from\n",
+                   ingest_holdout);
+      return 1;
+    }
+    holdout.assign(records.end() - ingest_holdout, records.end());
+    records.resize(records.size() - ingest_holdout);
+    std::printf("held %zu records out of the build for live ingestion\n",
+                holdout.size());
   }
 
   // Serve mode: install configured telemetry (trace sampling on) before the
@@ -202,10 +242,48 @@ int main(int argc, char** argv) {
                  engine.status().ToString().c_str());
     return 1;
   }
+  // --tail=path: follow a TSV file from its current end; appended complete
+  // lines are parsed and ingested live while the prompt keeps serving.
+  std::atomic<bool> tail_stop{false};
+  std::thread tail_thread;
+  if (tail_path != nullptr) {
+    std::ifstream probe(tail_path);
+    if (!probe.good()) {
+      std::fprintf(stderr, "cannot open --tail file %s\n", tail_path);
+      return 1;
+    }
+    tail_thread = std::thread([tail_path, &tail_stop, &engine] {
+      std::ifstream in(tail_path);
+      in.seekg(0, std::ios::end);
+      std::string line;
+      while (!tail_stop.load(std::memory_order_relaxed)) {
+        if (std::getline(in, line)) {
+          if (line.empty()) continue;
+          auto record = ParseLogLine(line);
+          if (!record.ok()) {
+            std::fprintf(stderr, "tail: skipping malformed line: %s\n",
+                         record.status().ToString().c_str());
+            continue;
+          }
+          Status ingested = (*engine)->Ingest(std::move(record).value());
+          if (!ingested.ok()) {
+            std::fprintf(stderr, "tail: %s\n", ingested.ToString().c_str());
+          }
+        } else {
+          // At EOF: clear the fail state and wait for the file to grow.
+          in.clear();
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+      }
+    });
+    std::printf("tailing %s for live ingestion\n", tail_path);
+  }
+
   std::printf("ready. type a query ('@<user-id> <query>' to personalize, "
               "'batch q1; q2; ...' for concurrent serving, 'metrics' for "
-              "the registry, 'statusz' for the windowed snapshot, 'quit' to "
-              "exit)\n");
+              "the registry, 'statusz' for the windowed snapshot, 'ingest "
+              "[n]' / 'rebuild' / 'index' / 'tail <user>' for the live "
+              "index, 'quit' to exit)\n");
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
@@ -219,6 +297,78 @@ int main(int argc, char** argv) {
     if (line == "statusz") {
       std::printf("%s\n",
                   obs::ServingTelemetry::Default().StatuszJson().c_str());
+      continue;
+    }
+    if (line == "index") {
+      IndexManager& index = (*engine)->index_manager();
+      auto snap = index.Acquire();
+      std::printf("generation %llu | %zu records | %zu sessions | delta "
+                  "depth %zu | ingested %llu | rebuilds %llu | last build "
+                  "%lld us\n",
+                  static_cast<unsigned long long>(snap->generation),
+                  snap->records.size(), snap->sessions.size(),
+                  index.delta_depth(),
+                  static_cast<unsigned long long>(index.ingested_total()),
+                  static_cast<unsigned long long>(index.rebuilds_total()),
+                  static_cast<long long>(snap->build_us));
+      continue;
+    }
+    if (line == "rebuild") {
+      IndexManager& index = (*engine)->index_manager();
+      const uint64_t before = index.generation();
+      Status rebuilt = index.RebuildNow();
+      if (!rebuilt.ok()) {
+        std::printf("  (%s)\n", rebuilt.ToString().c_str());
+        continue;
+      }
+      const uint64_t after = index.generation();
+      if (after == before) {
+        std::printf("delta buffer empty; still generation %llu\n",
+                    static_cast<unsigned long long>(after));
+      } else {
+        std::printf("generation %llu -> %llu\n",
+                    static_cast<unsigned long long>(before),
+                    static_cast<unsigned long long>(after));
+      }
+      continue;
+    }
+    if (line == "ingest" || line.rfind("ingest ", 0) == 0) {
+      size_t n = holdout.size();
+      if (line.size() > 7) n = std::strtoul(line.c_str() + 7, nullptr, 10);
+      if (holdout.empty()) {
+        std::printf("no held-out records (start with --ingest=N)\n");
+        continue;
+      }
+      n = std::min(n, holdout.size());
+      std::vector<QueryLogRecord> chunk(holdout.begin(), holdout.begin() + n);
+      holdout.erase(holdout.begin(), holdout.begin() + n);
+      Status ingested =
+          (*engine)->index_manager().IngestBatch(std::move(chunk));
+      if (!ingested.ok()) {
+        std::printf("  (%s)\n", ingested.ToString().c_str());
+        continue;
+      }
+      std::printf("ingested %zu records (%zu held out remain, delta depth "
+                  "%zu)\n",
+                  n, holdout.size(), (*engine)->index_manager().delta_depth());
+      continue;
+    }
+    if (line.rfind("tail ", 0) == 0) {
+      const char* arg = line.c_str() + 5;
+      while (*arg == ' ' || *arg == '@') ++arg;
+      const UserId user =
+          static_cast<UserId>(std::strtoul(arg, nullptr, 10));
+      auto tail = (*engine)->index_manager().TailContext(user);
+      if (tail.empty()) {
+        std::printf("user %u has no open tail session in the ingest stream\n",
+                    user);
+        continue;
+      }
+      std::printf("user %u open tail (%zu queries):\n", user, tail.size());
+      for (const auto& [query, ts] : tail) {
+        std::printf("  t=%lld  %s\n", static_cast<long long>(ts),
+                    query.c_str());
+      }
       continue;
     }
 
@@ -283,6 +433,10 @@ int main(int argc, char** argv) {
       std::printf("request delta: %s\n",
                   obs::MetricsRegistry::DeltaJson(before, after).c_str());
     }
+  }
+  if (tail_thread.joinable()) {
+    tail_stop.store(true, std::memory_order_relaxed);
+    tail_thread.join();
   }
   return 0;
 }

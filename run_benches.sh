@@ -10,21 +10,40 @@ run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 # Verify step: race-check the concurrent layers — the observability layer
 # (thread-local span stacks, atomic counters), the serving layer
 # (ThreadPool, SuggestBatch, the sharded result cache), the live telemetry
-# surface (sliding windows, the HTTP exporter, the request log) and the
+# surface (sliding windows, the HTTP exporter, the request log), the
 # overload-hardening path (CancelToken, FaultInjector, the degradation
-# ladder under a mid-flight cancellation storm) — by running obs_test,
-# serving_test, telemetry_test and fault_injection_test under
-# ThreadSanitizer before spending 20 minutes on figures. Skip with
-# PQSDA_TSAN_VERIFY=0.
+# ladder under a mid-flight cancellation storm) and the live-ingestion path
+# (snapshot publication/reclaim racing in-flight requests) — by running
+# obs_test, serving_test, telemetry_test, fault_injection_test and
+# ingest_test under ThreadSanitizer before spending 20 minutes on figures.
+# Skip with PQSDA_TSAN_VERIFY=0.
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: obs + serving + telemetry + fault_injection tests under ThreadSanitizer ====="
+  echo "===== verify: obs + serving + telemetry + fault_injection + ingest tests under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test -j >/dev/null &&
+    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test -j >/dev/null &&
     timeout 600 ./build-tsan/tests/obs_test &&
     timeout 600 ./build-tsan/tests/serving_test &&
     timeout 600 ./build-tsan/tests/telemetry_test &&
-    timeout 600 ./build-tsan/tests/fault_injection_test || {
+    timeout 600 ./build-tsan/tests/fault_injection_test &&
+    timeout 600 ./build-tsan/tests/ingest_test || {
       echo "TSAN verify failed" >&2
+      exit 1
+    }
+  echo
+fi
+
+# Lifetime half of the verify: AddressSanitizer (+UBSan) over the suites
+# that stress snapshot reclamation and the fault-injection request path — a
+# request serving out of generation g while g+1 swaps in must never touch
+# freed memory. Skip with PQSDA_ASAN_VERIFY=0.
+if [ "${PQSDA_ASAN_VERIFY:-1}" = "1" ]; then
+  echo "===== verify: ingest + serving + fault_injection tests under AddressSanitizer ====="
+  cmake -B build-asan -S . -DPQSDA_ENABLE_ASAN=ON >/dev/null &&
+    cmake --build build-asan --target ingest_test serving_test fault_injection_test -j >/dev/null &&
+    timeout 600 ./build-asan/tests/ingest_test &&
+    timeout 600 ./build-asan/tests/serving_test &&
+    timeout 600 ./build-asan/tests/fault_injection_test || {
+      echo "ASan verify failed" >&2
       exit 1
     }
   echo

@@ -1,0 +1,109 @@
+#ifndef PQSDA_CORE_ENGINE_CONFIG_H_
+#define PQSDA_CORE_ENGINE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/multi_bipartite.h"
+#include "log/sessionizer.h"
+#include "suggest/pqsda_diversifier.h"
+#include "topic/upm.h"
+
+namespace pqsda {
+
+class ThreadPool;
+
+/// The degradation ladder: what the engine still does for a request as its
+/// latency budget shrinks. Each rung trades answer quality for a hard cut in
+/// work; the rung is chosen once at admission from the request's remaining
+/// budget (and the configured floor), so degradation is a deterministic
+/// function of configuration — not of wall-clock races mid-request.
+enum class DegradationRung : size_t {
+  /// Full PQS-DA: expansion, Eq. 15 solve, Algorithm 1, personalization.
+  kFull = 0,
+  /// Truncated solve: capped solver iterations at a relaxed tolerance (a
+  /// non-converged iterate is served, loudly), fewer hitting-time sweeps.
+  kTruncatedSolve = 1,
+  /// Walk-only candidates: one mixing step of the cross-bipartite walk from
+  /// F^0; no solve, no Algorithm 1, no personalization.
+  kWalkOnly = 2,
+  /// Cache-only: a cached result or NotFound — no pipeline work at all.
+  kCacheOnly = 3,
+};
+
+/// Overload-hardening knobs: the degradation ladder's budget thresholds and
+/// the admission controller's shedding gates.
+struct RobustnessOptions {
+  /// Floor rung: every request is served at least this degraded (the CLI's
+  /// `--min_rung`; also how tests and the property harness pin a rung).
+  size_t min_rung = 0;
+  /// Remaining-budget thresholds (microseconds) that pick the rung: a
+  /// request whose deadline leaves less than `truncated_below_us` runs the
+  /// truncated solve, less than `walk_only_below_us` the walk-only path,
+  /// less than `cache_only_below_us` only the cache lookup. Requests with no
+  /// deadline always run at the floor rung.
+  int64_t truncated_below_us = 250'000;
+  int64_t walk_only_below_us = 25'000;
+  int64_t cache_only_below_us = 2'000;
+  /// Solver budget of the truncated rung (rung 1).
+  size_t truncated_max_iterations = 12;
+  double truncated_tolerance = 1e-4;
+  /// Hitting-time sweep budget of the truncated rung (capped at the full
+  /// configuration's horizon).
+  size_t truncated_hitting_iterations = 6;
+  /// Admission gates (0 disables each — see AdmissionOptions).
+  size_t shed_queue_depth = 0;
+  double shed_p95_us = 0.0;
+};
+
+/// Live-ingestion knobs of the IndexManager: how much fresh query-log
+/// traffic accumulates before an off-path rebuild is scheduled, and how deep
+/// the delta buffer may grow before ingestion backpressures.
+struct IngestOptions {
+  /// Delta records that trigger an asynchronous rebuild. An ingest that
+  /// brings the buffer to at least this depth schedules one rebuild task
+  /// (coalescing: records arriving while it runs are absorbed by a single
+  /// follow-up pass, not one rebuild each).
+  size_t rebuild_min_records = 64;
+  /// Bounded delta buffer: an IngestBatch that would push the buffer past
+  /// this depth is rejected whole with kUnavailable (backpressure — the
+  /// caller retries after the next swap drains the buffer).
+  size_t max_delta_records = 1 << 16;
+  /// Pool the rebuild tasks run on; null = ThreadPool::Shared().
+  ThreadPool* rebuild_pool = nullptr;
+};
+
+/// End-to-end PQS-DA configuration.
+struct PqsdaEngineConfig {
+  EdgeWeighting weighting = EdgeWeighting::kCfIqf;
+  SessionizerOptions sessionizer;
+  PqsdaDiversifierOptions diversifier;
+  UpmOptions upm;
+  /// When false the engine skips UPM training and Suggest returns the
+  /// diversified list as-is (diversification-only mode, as in §VI-B).
+  bool personalize = true;
+  /// Weighted-Borda multiplicity of the preference ranking (see
+  /// Personalizer).
+  size_t preference_borda_weight = 2;
+  /// When false, Build skips the coarse registry instrumentation (stage
+  /// histograms and counters in obs::MetricsRegistry::Default()). Per-request
+  /// stats are independent of this flag: they are opted into per call by
+  /// passing a SuggestStats pointer to Suggest.
+  bool collect_metrics = true;
+  /// Capacity (entries) of the suggestion result cache; 0 disables caching.
+  /// Served lists are cached after personalization, keyed by
+  /// (query, context-hash, user, k, index generation), so a hit is
+  /// byte-identical to the miss that filled it and a snapshot swap can never
+  /// serve a list computed against a previous generation.
+  size_t cache_capacity = 0;
+  /// LRU shards of the cache (see SuggestionCacheOptions).
+  size_t cache_shards = 8;
+  /// Overload hardening: degradation ladder thresholds and load shedding.
+  RobustnessOptions robustness;
+  /// Live ingestion: delta buffering and rebuild scheduling.
+  IngestOptions ingest;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_CORE_ENGINE_CONFIG_H_

@@ -1,0 +1,43 @@
+#include "core/personalizer.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rank/borda.h"
+
+namespace pqsda {
+
+double Personalizer::PreferenceScore(UserId user,
+                                     const std::string& query) const {
+  size_t doc = corpus_->DocumentOf(user);
+  if (doc == SIZE_MAX) return 0.0;
+  return upm_->PreferenceScore(doc, corpus_->WordIds(query));
+}
+
+std::vector<Suggestion> Personalizer::Rerank(
+    UserId user, const std::vector<Suggestion>& list) const {
+  static obs::Histogram& rerank_us = obs::MetricsRegistry::Default()
+      .GetHistogram("pqsda.suggest.personalization_us");
+  obs::TraceSpan span("personalization");
+  obs::ScopedTimer timer(rerank_us);
+  size_t doc = corpus_->DocumentOf(user);
+  if (doc == SIZE_MAX || list.empty()) {
+    span.Annotate("known_user", std::string("false"));
+    return list;
+  }
+  span.Annotate("candidates", static_cast<int64_t>(list.size()));
+  std::vector<std::string> items;
+  std::vector<double> prefs;
+  items.reserve(list.size());
+  for (const Suggestion& s : list) {
+    items.push_back(s.query);
+    prefs.push_back(upm_->PreferenceScore(doc, corpus_->WordIds(s.query)));
+  }
+  std::vector<Suggestion> preference_ranking = RankByScore(items, prefs);
+  std::vector<std::vector<Suggestion>> lists = {list};
+  for (size_t i = 0; i < preference_weight_; ++i) {
+    lists.push_back(preference_ranking);
+  }
+  return BordaAggregate(lists);
+}
+
+}  // namespace pqsda

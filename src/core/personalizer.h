@@ -1,0 +1,46 @@
+#ifndef PQSDA_CORE_PERSONALIZER_H_
+#define PQSDA_CORE_PERSONALIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "log/record.h"
+#include "suggest/engine.h"
+#include "topic/corpus.h"
+#include "topic/upm.h"
+
+namespace pqsda {
+
+/// Reranks any suggestion list for a user (§V-B): score each suggestion by
+/// the UPM preference (Eq. 31), rank by preference, then Borda-aggregate
+/// with the original (diversification) ranking. This is also what the Fig. 5
+/// "(P)" variants apply to the baselines' lists.
+class Personalizer {
+ public:
+  /// Both referents must outlive the Personalizer. `preference_weight` is
+  /// the weighted-Borda multiplicity of the preference ranking relative to
+  /// the diversification ranking (1 = the plain Borda of §V-B; larger
+  /// values personalize more aggressively).
+  Personalizer(const UpmModel& upm, const QueryLogCorpus& corpus,
+               size_t preference_weight = 1)
+      : upm_(&upm), corpus_(&corpus),
+        preference_weight_(preference_weight == 0 ? 1 : preference_weight) {}
+
+  /// Returns the personalized ranking; a user unknown to the corpus gets the
+  /// input list unchanged.
+  std::vector<Suggestion> Rerank(UserId user,
+                                 const std::vector<Suggestion>& list) const;
+
+  /// Raw preference score of one query for a user (Eq. 31).
+  double PreferenceScore(UserId user, const std::string& query) const;
+
+ private:
+  const UpmModel* upm_;
+  const QueryLogCorpus* corpus_;
+  size_t preference_weight_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_CORE_PERSONALIZER_H_

@@ -9,110 +9,18 @@
 #include "obs/request_log.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
-#include "rank/borda.h"
 
 namespace pqsda {
 
-double Personalizer::PreferenceScore(UserId user,
-                                     const std::string& query) const {
-  size_t doc = corpus_->DocumentOf(user);
-  if (doc == SIZE_MAX) return 0.0;
-  return upm_->PreferenceScore(doc, corpus_->WordIds(query));
-}
-
-std::vector<Suggestion> Personalizer::Rerank(
-    UserId user, const std::vector<Suggestion>& list) const {
-  static obs::Histogram& rerank_us = obs::MetricsRegistry::Default()
-      .GetHistogram("pqsda.suggest.personalization_us");
-  obs::TraceSpan span("personalization");
-  obs::ScopedTimer timer(rerank_us);
-  size_t doc = corpus_->DocumentOf(user);
-  if (doc == SIZE_MAX || list.empty()) {
-    span.Annotate("known_user", std::string("false"));
-    return list;
-  }
-  span.Annotate("candidates", static_cast<int64_t>(list.size()));
-  std::vector<std::string> items;
-  std::vector<double> prefs;
-  items.reserve(list.size());
-  for (const Suggestion& s : list) {
-    items.push_back(s.query);
-    prefs.push_back(upm_->PreferenceScore(doc, corpus_->WordIds(s.query)));
-  }
-  std::vector<Suggestion> preference_ranking = RankByScore(items, prefs);
-  std::vector<std::vector<Suggestion>> lists = {list};
-  for (size_t i = 0; i < preference_weight_; ++i) {
-    lists.push_back(preference_ranking);
-  }
-  return BordaAggregate(lists);
-}
-
 StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
     std::vector<QueryLogRecord> records, const PqsdaEngineConfig& config) {
-  if (records.empty()) {
-    return Status::InvalidArgument("empty query log");
-  }
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
-  static obs::Counter& builds_total = reg.GetCounter("pqsda.build.total");
-  static obs::Histogram& sessionize_us =
-      reg.GetHistogram("pqsda.build.sessionize_us");
-  static obs::Histogram& representation_us =
-      reg.GetHistogram("pqsda.build.representation_us");
-  static obs::Histogram& corpus_us = reg.GetHistogram("pqsda.build.corpus_us");
-  static obs::Histogram& upm_train_us =
-      reg.GetHistogram("pqsda.build.upm_train_us");
-  static obs::Gauge& num_queries = reg.GetGauge("pqsda.build.queries");
-  static obs::Gauge& num_sessions = reg.GetGauge("pqsda.build.sessions");
-  const bool metrics = config.collect_metrics;
+  auto snapshot = BuildIndexSnapshot(std::move(records), config,
+                                     /*generation=*/0);
+  if (!snapshot.ok()) return snapshot.status();
 
   std::unique_ptr<PqsdaEngine> engine(new PqsdaEngine());
-  SortByUserAndTime(records);
-  engine->records_ = std::move(records);
-  {
-    obs::TraceSpan span("sessionize");
-    obs::ScopedTimer timer(metrics ? &sessionize_us : nullptr);
-    engine->sessions_ = Sessionize(engine->records_, config.sessionizer);
-  }
-  {
-    obs::TraceSpan span("representation");
-    obs::ScopedTimer timer(metrics ? &representation_us : nullptr);
-    engine->mb_ = std::make_unique<MultiBipartite>(MultiBipartite::Build(
-        engine->records_, engine->sessions_, config.weighting));
-  }
-  {
-    obs::TraceSpan span("corpus");
-    obs::ScopedTimer timer(metrics ? &corpus_us : nullptr);
-    engine->corpus_ = std::make_unique<QueryLogCorpus>(
-        QueryLogCorpus::Build(engine->records_, engine->sessions_));
-  }
-  engine->diversifier_ =
-      std::make_unique<PqsdaDiversifier>(*engine->mb_, config.diversifier);
-  if (config.personalize) {
-    obs::TraceSpan span("upm_train");
-    obs::ScopedTimer timer(metrics ? &upm_train_us : nullptr);
-    // Tee Gibbs progress into the registry (sweep counter/latency and the
-    // convergence gauge), then onward to any caller-supplied callback.
-    UpmOptions upm_options = config.upm;
-    if (metrics) {
-      auto user_progress = upm_options.progress;
-      upm_options.progress = [user_progress](const GibbsSweepStats& s) {
-        obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
-        static obs::Counter& sweeps = r.GetCounter("pqsda.upm.sweeps_total");
-        static obs::Histogram& sweep_us =
-            r.GetHistogram("pqsda.upm.sweep_us");
-        static obs::Gauge& log_posterior =
-            r.GetGauge("pqsda.upm.log_posterior");
-        sweeps.Increment();
-        sweep_us.Observe(static_cast<double>(s.duration_us));
-        log_posterior.Set(s.log_posterior);
-        if (user_progress) user_progress(s);
-      };
-    }
-    engine->upm_ = std::make_unique<UpmModel>(upm_options);
-    engine->upm_->Train(*engine->corpus_);
-    engine->personalizer_ = std::make_unique<Personalizer>(
-        *engine->upm_, *engine->corpus_, config.preference_borda_weight);
-  }
+  engine->index_ =
+      std::make_unique<IndexManager>(std::move(*snapshot), config);
   if (config.cache_capacity > 0) {
     SuggestionCacheOptions cache_options;
     cache_options.capacity = config.cache_capacity;
@@ -138,11 +46,6 @@ StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
   // Rung 2: walk-only candidates.
   engine->walk_only_options_ = config.diversifier;
   engine->walk_only_options_.walk_only = true;
-  if (metrics) {
-    builds_total.Increment();
-    num_queries.Set(static_cast<double>(engine->mb_->num_queries()));
-    num_sessions.Set(static_cast<double>(engine->sessions_.size()));
-  }
   return engine;
 }
 
@@ -187,6 +90,12 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     return admit;
   }
 
+  // Pin the index for the request's whole lifetime: everything below reads
+  // this one snapshot, so a concurrent rebuild swap can neither block nor
+  // tear this request, and the snapshot outlives the call via the
+  // shared_ptr even if it stops being the published one mid-pipeline.
+  const std::shared_ptr<const IndexSnapshot> snap = index_->Acquire();
+
   // The ladder rung is fixed here, once, from the remaining budget — the
   // pipeline below never re-escalates mid-request.
   const DegradationRung rung = ChooseRung(request);
@@ -202,7 +111,7 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   WallTimer wall;
   bool cache_hit = false;
   StatusOr<std::vector<Suggestion>> result =
-      SuggestImpl(request, k, rung, stats, &cache_hit);
+      SuggestImpl(request, k, rung, *snap, stats, &cache_hit);
   const double elapsed_us = static_cast<double>(wall.ElapsedNanos()) * 1e-3;
   const int64_t total_us = static_cast<int64_t>(elapsed_us);
   latency_us.Observe(elapsed_us);
@@ -289,7 +198,7 @@ DegradationRung PqsdaEngine::ChooseRung(const SuggestionRequest& request) const 
 
 StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
     const SuggestionRequest& request, size_t k, DegradationRung rung,
-    SuggestStats* stats, bool* cache_hit) const {
+    const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit) const {
   static obs::Counter& personalized_total = obs::MetricsRegistry::Default()
       .GetCounter("pqsda.suggest.personalized_total");
 
@@ -303,7 +212,10 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
 
   std::string cache_key;
   if (cache_ != nullptr) {
-    cache_key = SuggestionCache::KeyOf(request, k);
+    // The snapshot generation is part of the key: after a swap, a pre-swap
+    // entry can never answer a post-swap request — stale lists age out of
+    // the LRU instead of being served.
+    cache_key = SuggestionCache::KeyOf(request, k, snap.generation);
     std::vector<Suggestion> cached;
     if (cache_->Lookup(cache_key, &cached)) {
       *cache_hit = true;
@@ -318,17 +230,18 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
                             request.query + "\"");
   }
 
-  const PqsdaDiversifierOptions* options = &diversifier_->options();
+  const PqsdaDiversifierOptions* options = &snap.diversifier->options();
   if (rung == DegradationRung::kTruncatedSolve) options = &truncated_options_;
   if (rung == DegradationRung::kWalkOnly) options = &walk_only_options_;
-  auto diversified = diversifier_->DiversifyWith(request, k, *options, stats);
+  auto diversified =
+      snap.diversifier->DiversifyWith(request, k, *options, stats);
   if (!diversified.ok()) return diversified.status();
   std::vector<Suggestion> list = std::move(diversified->candidates);
   // Personalization is skipped on the walk-only rung — the rerank reads the
   // UPM per candidate and the rung's point is a bounded answer.
-  if (rung != DegradationRung::kWalkOnly && personalizer_ != nullptr &&
+  if (rung != DegradationRung::kWalkOnly && snap.personalizer != nullptr &&
       request.user != kNoUser) {
-    list = personalizer_->Rerank(request.user, list);
+    list = snap.personalizer->Rerank(request.user, list);
     personalized_total.Increment();
     if (stats != nullptr) stats->personalized = true;
   }

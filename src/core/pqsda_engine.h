@@ -9,6 +9,9 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/admission.h"
+#include "core/engine_config.h"
+#include "core/index_manager.h"
+#include "core/personalizer.h"
 #include "graph/multi_bipartite.h"
 #include "log/sessionizer.h"
 #include "suggest/pqsda_diversifier.h"
@@ -19,117 +22,27 @@
 
 namespace pqsda {
 
-/// Reranks any suggestion list for a user (§V-B): score each suggestion by
-/// the UPM preference (Eq. 31), rank by preference, then Borda-aggregate
-/// with the original (diversification) ranking. This is also what the Fig. 5
-/// "(P)" variants apply to the baselines' lists.
-class Personalizer {
- public:
-  /// Both referents must outlive the Personalizer. `preference_weight` is
-  /// the weighted-Borda multiplicity of the preference ranking relative to
-  /// the diversification ranking (1 = the plain Borda of §V-B; larger
-  /// values personalize more aggressively).
-  Personalizer(const UpmModel& upm, const QueryLogCorpus& corpus,
-               size_t preference_weight = 1)
-      : upm_(&upm), corpus_(&corpus),
-        preference_weight_(preference_weight == 0 ? 1 : preference_weight) {}
-
-  /// Returns the personalized ranking; a user unknown to the corpus gets the
-  /// input list unchanged.
-  std::vector<Suggestion> Rerank(UserId user,
-                                 const std::vector<Suggestion>& list) const;
-
-  /// Raw preference score of one query for a user (Eq. 31).
-  double PreferenceScore(UserId user, const std::string& query) const;
-
- private:
-  const UpmModel* upm_;
-  const QueryLogCorpus* corpus_;
-  size_t preference_weight_;
-};
-
-/// The degradation ladder: what the engine still does for a request as its
-/// latency budget shrinks. Each rung trades answer quality for a hard cut in
-/// work; the rung is chosen once at admission from the request's remaining
-/// budget (and the configured floor), so degradation is a deterministic
-/// function of configuration — not of wall-clock races mid-request.
-enum class DegradationRung : size_t {
-  /// Full PQS-DA: expansion, Eq. 15 solve, Algorithm 1, personalization.
-  kFull = 0,
-  /// Truncated solve: capped solver iterations at a relaxed tolerance (a
-  /// non-converged iterate is served, loudly), fewer hitting-time sweeps.
-  kTruncatedSolve = 1,
-  /// Walk-only candidates: one mixing step of the cross-bipartite walk from
-  /// F^0; no solve, no Algorithm 1, no personalization.
-  kWalkOnly = 2,
-  /// Cache-only: a cached result or NotFound — no pipeline work at all.
-  kCacheOnly = 3,
-};
-
-/// Overload-hardening knobs: the degradation ladder's budget thresholds and
-/// the admission controller's shedding gates.
-struct RobustnessOptions {
-  /// Floor rung: every request is served at least this degraded (the CLI's
-  /// `--min_rung`; also how tests and the property harness pin a rung).
-  size_t min_rung = 0;
-  /// Remaining-budget thresholds (microseconds) that pick the rung: a
-  /// request whose deadline leaves less than `truncated_below_us` runs the
-  /// truncated solve, less than `walk_only_below_us` the walk-only path,
-  /// less than `cache_only_below_us` only the cache lookup. Requests with no
-  /// deadline always run at the floor rung.
-  int64_t truncated_below_us = 250'000;
-  int64_t walk_only_below_us = 25'000;
-  int64_t cache_only_below_us = 2'000;
-  /// Solver budget of the truncated rung (rung 1).
-  size_t truncated_max_iterations = 12;
-  double truncated_tolerance = 1e-4;
-  /// Hitting-time sweep budget of the truncated rung (capped at the full
-  /// configuration's horizon).
-  size_t truncated_hitting_iterations = 6;
-  /// Admission gates (0 disables each — see AdmissionOptions).
-  size_t shed_queue_depth = 0;
-  double shed_p95_us = 0.0;
-};
-
-/// End-to-end PQS-DA configuration.
-struct PqsdaEngineConfig {
-  EdgeWeighting weighting = EdgeWeighting::kCfIqf;
-  SessionizerOptions sessionizer;
-  PqsdaDiversifierOptions diversifier;
-  UpmOptions upm;
-  /// When false the engine skips UPM training and Suggest returns the
-  /// diversified list as-is (diversification-only mode, as in §VI-B).
-  bool personalize = true;
-  /// Weighted-Borda multiplicity of the preference ranking (see
-  /// Personalizer).
-  size_t preference_borda_weight = 2;
-  /// When false, Build skips the coarse registry instrumentation (stage
-  /// histograms and counters in obs::MetricsRegistry::Default()). Per-request
-  /// stats are independent of this flag: they are opted into per call by
-  /// passing a SuggestStats pointer to Suggest.
-  bool collect_metrics = true;
-  /// Capacity (entries) of the suggestion result cache; 0 disables caching.
-  /// Served lists are cached after personalization, keyed by
-  /// (query, context-hash, user, k), so a hit is byte-identical to the miss
-  /// that filled it.
-  size_t cache_capacity = 0;
-  /// LRU shards of the cache (see SuggestionCacheOptions).
-  size_t cache_shards = 8;
-  /// Overload hardening: degradation ladder thresholds and load shedding.
-  RobustnessOptions robustness;
-};
-
 /// The complete PQS-DA system (Fig. 1): query-log representation +
-/// diversification + personalization behind one Suggest call.
+/// diversification + personalization behind one Suggest call, served off
+/// generation-numbered immutable IndexSnapshots so the index can absorb
+/// fresh query-log traffic (ingest → off-path rebuild → atomic swap)
+/// without ever blocking or tearing the request path.
 class PqsdaEngine {
  public:
-  /// Builds the representation, trains the UPM and wires the components.
-  /// `records` is the training log (cleaned; any order — it is re-sorted).
+  /// Builds the generation-0 snapshot (representation + UPM training) and
+  /// wires the components. `records` is the training log (cleaned; any order
+  /// — it is re-sorted).
   static StatusOr<std::unique_ptr<PqsdaEngine>> Build(
       std::vector<QueryLogRecord> records, const PqsdaEngineConfig& config);
 
   /// Diversified and (if enabled and the user is known) personalized
   /// suggestions.
+  ///
+  /// The request acquires the current IndexSnapshot once, right after
+  /// admission, and reads only that snapshot for its whole lifetime: a
+  /// rebuild publishing generation g+1 mid-request neither blocks this call
+  /// nor changes what it computes, and generation g stays alive until its
+  /// last in-flight request finishes.
   ///
   /// `stats`, when non-null, opts this request into detailed observability:
   /// it receives the end-to-end trace tree (stages "expansion",
@@ -149,14 +62,36 @@ class PqsdaEngine {
                                             SuggestStats* stats = nullptr) const;
 
   /// Serves a batch of independent requests concurrently, fanning them
-  /// across `pool` (ThreadPool::Shared() when null). The engine's read path
-  /// is immutable after Build, so requests run safely in parallel; results
-  /// arrive in request order and each slot holds exactly what the
-  /// corresponding Suggest call would have returned. Per-request stats are
-  /// not collected on the batch path.
+  /// across `pool` (ThreadPool::Shared() when null). Each request pins its
+  /// own snapshot, so batches run safely in parallel with each other and
+  /// with index rebuilds; results arrive in request order and each slot
+  /// holds exactly what the corresponding Suggest call would have returned.
+  /// Per-request stats are not collected on the batch path.
   std::vector<StatusOr<std::vector<Suggestion>>> SuggestBatch(
       std::span<const SuggestionRequest> requests, size_t k,
       ThreadPool* pool = nullptr) const;
+
+  /// Live ingestion: appends one fresh query-log record to the delta buffer
+  /// (kUnavailable on backpressure). Rebuilds trigger off-path per the
+  /// configured IngestOptions; see index_manager() for batch ingest,
+  /// RebuildNow and the rest of the surface.
+  Status Ingest(QueryLogRecord record) const {
+    return index_->Ingest(std::move(record));
+  }
+
+  /// The live-index owner: snapshot publication, delta buffering, rebuild
+  /// scheduling, tail-session context.
+  IndexManager& index_manager() const { return *index_; }
+
+  /// The published snapshot, pinned: callers that walk the representation /
+  /// corpus / records directly (benches, analytics) hold this shared_ptr for
+  /// the duration instead of using the raw accessors below.
+  std::shared_ptr<const IndexSnapshot> AcquireIndex() const {
+    return index_->Acquire();
+  }
+
+  /// Generation of the snapshot a request issued now would serve from.
+  uint64_t generation() const { return index_->generation(); }
 
   /// Null when caching is disabled.
   const SuggestionCache* cache() const { return cache_.get(); }
@@ -171,39 +106,47 @@ class PqsdaEngine {
   /// tests and benches can assert the ladder decision directly.
   DegradationRung ChooseRung(const SuggestionRequest& request) const;
 
-  const MultiBipartite& representation() const { return *mb_; }
-  const PqsdaDiversifier& diversifier() const { return *diversifier_; }
-  const QueryLogCorpus& corpus() const { return *corpus_; }
+  /// Convenience accessors into the *current* snapshot. The returned
+  /// references stay valid only while that snapshot is the published one
+  /// (i.e. until the next rebuild swap); callers that may race an ingest
+  /// use AcquireIndex() and hold the shared_ptr instead.
+  const MultiBipartite& representation() const { return *index_->Acquire()->mb; }
+  const PqsdaDiversifier& diversifier() const {
+    return *index_->Acquire()->diversifier;
+  }
+  const QueryLogCorpus& corpus() const { return *index_->Acquire()->corpus; }
   /// Null when personalization is disabled.
-  const UpmModel* upm() const { return upm_.get(); }
-  const Personalizer* personalizer() const { return personalizer_.get(); }
-  const std::vector<Session>& sessions() const { return sessions_; }
-  const std::vector<QueryLogRecord>& records() const { return records_; }
+  const UpmModel* upm() const { return index_->Acquire()->upm.get(); }
+  const Personalizer* personalizer() const {
+    return index_->Acquire()->personalizer.get();
+  }
+  const std::vector<Session>& sessions() const {
+    return index_->Acquire()->sessions;
+  }
+  const std::vector<QueryLogRecord>& records() const {
+    return index_->Acquire()->records;
+  }
 
  private:
   PqsdaEngine() = default;
 
   /// The cache-lookup + diversify + personalize pipeline at a given ladder
-  /// rung, free of telemetry concerns; Suggest wraps it with admission, rung
-  /// selection, timing, tracing, windowed recording and request-log
-  /// emission. Resets a reused `stats` struct up front so no field of a
-  /// previous request survives any exit path (error, cancel, deadline).
+  /// rung over one pinned snapshot, free of telemetry concerns; Suggest
+  /// wraps it with admission, rung selection, timing, tracing, windowed
+  /// recording and request-log emission. Resets a reused `stats` struct up
+  /// front so no field of a previous request survives any exit path (error,
+  /// cancel, deadline).
   StatusOr<std::vector<Suggestion>> SuggestImpl(
       const SuggestionRequest& request, size_t k, DegradationRung rung,
-      SuggestStats* stats, bool* cache_hit) const;
+      const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit) const;
 
-  std::vector<QueryLogRecord> records_;
-  std::vector<Session> sessions_;
-  std::unique_ptr<MultiBipartite> mb_;
-  std::unique_ptr<QueryLogCorpus> corpus_;
-  std::unique_ptr<PqsdaDiversifier> diversifier_;
-  std::unique_ptr<UpmModel> upm_;
-  std::unique_ptr<Personalizer> personalizer_;
+  std::unique_ptr<IndexManager> index_;
   std::unique_ptr<SuggestionCache> cache_;
 
   RobustnessOptions robustness_;
   AdmissionController admission_;
-  /// Diversifier options of the degraded rungs, derived once at Build.
+  /// Diversifier options of the degraded rungs, derived once at Build (they
+  /// are config-only, so one copy serves every snapshot generation).
   PqsdaDiversifierOptions truncated_options_;
   PqsdaDiversifierOptions walk_only_options_;
 };

@@ -6,8 +6,7 @@
 
 namespace pqsda {
 
-namespace {
-bool SharesTerm(const std::string& a, const std::string& b) {
+bool QueriesShareTerm(const std::string& a, const std::string& b) {
   auto ta = Tokenize(a);
   auto tb = Tokenize(b);
   std::unordered_set<std::string> set(ta.begin(), ta.end());
@@ -16,7 +15,6 @@ bool SharesTerm(const std::string& a, const std::string& b) {
   }
   return false;
 }
-}  // namespace
 
 std::vector<Session> Sessionize(const std::vector<QueryLogRecord>& records,
                                 const SessionizerOptions& options) {
@@ -34,7 +32,7 @@ std::vector<Session> Sessionize(const std::vector<QueryLogRecord>& records,
           start_new = false;
         } else if (options.use_lexical_overlap &&
                    gap <= options.extended_gap_seconds &&
-                   SharesTerm(prev.query, now.query)) {
+                   QueriesShareTerm(prev.query, now.query)) {
           start_new = false;
         }
       }

@@ -35,6 +35,12 @@ struct SessionizerOptions {
   bool use_lexical_overlap = true;
 };
 
+/// The lexical-overlap half of the session rule: true when the two queries
+/// share at least one token. Shared by the batch scan below and the
+/// incremental StreamSessionizer so the two paths can never diverge on the
+/// reformulation test.
+bool QueriesShareTerm(const std::string& a, const std::string& b);
+
 /// Splits records (must be sorted by user and time; see SortByUserAndTime)
 /// into sessions. Every record lands in exactly one session; session ids are
 /// contiguous from 0 in record order.

@@ -1,0 +1,53 @@
+#include "log/stream_sessionizer.h"
+
+namespace pqsda {
+
+StreamSessionizer::StreamSessionizer(SessionizerOptions options)
+    : options_(options) {}
+
+SessionId StreamSessionizer::Push(const QueryLogRecord& record,
+                                  size_t record_index) {
+  auto it = tails_.find(record.user_id);
+  bool extend = false;
+  if (it != tails_.end()) {
+    // Same decision rule as the batch scan, against the user's own open tail
+    // instead of the globally most recent session.
+    const int64_t gap = record.timestamp - it->second.last_timestamp;
+    if (gap <= options_.max_gap_seconds) {
+      extend = true;
+    } else if (options_.use_lexical_overlap &&
+               gap <= options_.extended_gap_seconds &&
+               QueriesShareTerm(it->second.last_query, record.query)) {
+      extend = true;
+    }
+  }
+  if (!extend) {
+    Session s;
+    s.id = static_cast<SessionId>(sessions_.size());
+    s.user_id = record.user_id;
+    sessions_.push_back(std::move(s));
+    Tail tail;
+    tail.session_index = sessions_.size() - 1;
+    tails_[record.user_id] = std::move(tail);
+    it = tails_.find(record.user_id);
+  }
+  Tail& tail = it->second;
+  sessions_[tail.session_index].record_indices.push_back(record_index);
+  tail.last_query = record.query;
+  tail.last_timestamp = record.timestamp;
+  tail.queries.emplace_back(record.query, record.timestamp);
+  return sessions_[tail.session_index].id;
+}
+
+std::vector<std::pair<std::string, int64_t>> StreamSessionizer::TailContext(
+    UserId user) const {
+  auto it = tails_.find(user);
+  if (it == tails_.end()) return {};
+  return it->second.queries;
+}
+
+void StreamSessionizer::FlushUser(UserId user) { tails_.erase(user); }
+
+void StreamSessionizer::FlushAll() { tails_.clear(); }
+
+}  // namespace pqsda

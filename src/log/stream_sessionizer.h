@@ -1,0 +1,87 @@
+#ifndef PQSDA_LOG_STREAM_SESSIONIZER_H_
+#define PQSDA_LOG_STREAM_SESSIONIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "log/record.h"
+#include "log/sessionizer.h"
+
+namespace pqsda {
+
+/// Incremental counterpart of the batch `Sessionize`: records are pushed one
+/// at a time as they stream off the live query log, and each record is
+/// assigned to its user's open tail session (or starts a new one) under the
+/// same time-gap + lexical-overlap rule.
+///
+/// Equivalence contract (enforced by tests/ingest_test.cc): pushing a
+/// (user, time)-sorted record stream yields exactly the sessions batch
+/// `Sessionize` derives from the same vector — same session ids, same
+/// record indices, same boundaries, including the `max_gap_seconds`
+/// boundary itself and the lexical-overlap extension window. On an
+/// *interleaved* stream (multiple users in flight at once — the live-ingest
+/// arrival order) the per-user keying additionally keeps every user's tail
+/// open across other users' records, which the back()-only batch scan cannot
+/// do; that is the point of the streaming variant.
+///
+/// Open tails double as the live serving context (Definition 2): the queries
+/// of a user's open session are exactly the context of their next request.
+/// `Flush*` closes tails without discarding the sessions — the flush-on-swap
+/// hook: once a snapshot swap has absorbed the tail's records into the
+/// immutable index, the stream state restarts and the user's next query
+/// opens a fresh session.
+///
+/// Not thread-safe; the owner (IndexManager) serializes access.
+class StreamSessionizer {
+ public:
+  explicit StreamSessionizer(SessionizerOptions options = {});
+
+  /// Feeds one record. `record_index` is the position the caller stores the
+  /// record at (it lands in the assigned session's `record_indices`).
+  /// Returns the id of the session the record was assigned to.
+  SessionId Push(const QueryLogRecord& record, size_t record_index);
+
+  /// Every session derived so far, id order, open tails included. A sorted
+  /// stream replayed through Push yields exactly `Sessionize`'s output.
+  const std::vector<Session>& Sessions() const { return sessions_; }
+
+  /// (query, timestamp) pairs of the user's open tail session, oldest first;
+  /// empty when the user has no open tail. This is the live request context.
+  std::vector<std::pair<std::string, int64_t>> TailContext(UserId user) const;
+
+  /// Closes one user's open tail (no-op when there is none). The session
+  /// stays in Sessions(); only the "next record may extend it" state is
+  /// dropped.
+  void FlushUser(UserId user);
+
+  /// Closes every open tail — the swap hook.
+  void FlushAll();
+
+  /// Users with an open tail session.
+  size_t open_tails() const { return tails_.size(); }
+
+  size_t num_sessions() const { return sessions_.size(); }
+
+  const SessionizerOptions& options() const { return options_; }
+
+ private:
+  /// Per-user open-session state: which session the next record may extend,
+  /// and the tail queries that provide serving context.
+  struct Tail {
+    size_t session_index = 0;
+    std::string last_query;
+    int64_t last_timestamp = 0;
+    std::vector<std::pair<std::string, int64_t>> queries;
+  };
+
+  SessionizerOptions options_;
+  std::vector<Session> sessions_;
+  std::unordered_map<UserId, Tail> tails_;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_LOG_STREAM_SESSIONIZER_H_

@@ -279,6 +279,36 @@ std::string ServingTelemetry::StatuszJson() const {
              reg.GetCounter("pqsda.robust.nonconverged_served_total").Value());
   out += "}";
 
+  // Live-index state: which generation is serving, how stale it is, and how
+  // much ingested traffic is waiting for the next rebuild. All read from the
+  // pqsda.ingest.* registry surface at scrape time (an index-less process —
+  // e.g. a unit test exercising only the exporter — reports zeros).
+  const double last_swap_sec =
+      reg.GetGauge("pqsda.ingest.last_swap_monotonic_sec").Value();
+  out += ",\"index\":{";
+  out += "\"generation\":" +
+         Num(reg.GetGauge("pqsda.ingest.generation").Value());
+  out += ",\"age_sec\":" +
+         Num(last_swap_sec > 0
+                 ? static_cast<double>(now_ns) * 1e-9 - last_swap_sec
+                 : 0.0);
+  out += ",\"records\":" +
+         Num(reg.GetGauge("pqsda.ingest.index_records").Value());
+  out += ",\"delta_depth\":" +
+         Num(reg.GetGauge("pqsda.ingest.delta_depth").Value());
+  out += ",\"last_rebuild_us\":" +
+         Num(reg.GetGauge("pqsda.ingest.last_rebuild_us").Value());
+  out += ",\"ingested_total\":" +
+         std::to_string(reg.GetCounter("pqsda.ingest.records_total").Value());
+  out += ",\"dropped_total\":" +
+         std::to_string(reg.GetCounter("pqsda.ingest.dropped_total").Value());
+  out += ",\"rebuilds_total\":" +
+         std::to_string(reg.GetCounter("pqsda.ingest.rebuilds_total").Value());
+  out += ",\"rebuild_failures_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.ingest.rebuild_failures_total").Value());
+  out += "}";
+
   out += ",\"requests\":{\"total\":" +
          std::to_string(reg.GetCounter("pqsda.suggest.requests_total").Value());
   out += ",\"errors\":" +

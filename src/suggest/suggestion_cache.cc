@@ -82,7 +82,7 @@ SuggestionCache::SuggestionCache(SuggestionCacheOptions options) {
 SuggestionCache::~SuggestionCache() = default;
 
 std::string SuggestionCache::KeyOf(const SuggestionRequest& request,
-                                   size_t k) {
+                                   size_t k, uint64_t generation) {
   std::string key = request.query;
   key += '\x1f';
   key += std::to_string(ContextHash(request));
@@ -90,6 +90,8 @@ std::string SuggestionCache::KeyOf(const SuggestionRequest& request,
   key += std::to_string(request.user);
   key += '\x1f';
   key += std::to_string(k);
+  key += '\x1f';
+  key += std::to_string(generation);
   return key;
 }
 

@@ -25,7 +25,8 @@ struct SuggestionCacheOptions {
 };
 
 /// Sharded LRU cache of finished suggestion lists, keyed by
-/// (query, context-hash, user, k). Heavy serving traffic is Zipf-shaped —
+/// (query, context-hash, user, k, index generation). Heavy serving traffic
+/// is Zipf-shaped —
 /// the same head queries arrive over and over — so a small cache absorbs a
 /// large fraction of requests before they reach the expansion/solve/
 /// selection pipeline.
@@ -44,8 +45,12 @@ class SuggestionCache {
   explicit SuggestionCache(SuggestionCacheOptions options = {});
   ~SuggestionCache();
 
-  /// Stable cache key of a request.
-  static std::string KeyOf(const SuggestionRequest& request, size_t k);
+  /// Stable cache key of a request against one index generation. The
+  /// generation makes every pre-swap entry unreachable after a rebuild
+  /// publishes a new snapshot — stale lists age out of the LRU instead of
+  /// being served, with no explicit flush on the swap path.
+  static std::string KeyOf(const SuggestionRequest& request, size_t k,
+                           uint64_t generation = 0);
 
   /// On a hit, copies the cached list into `out`, refreshes the entry's LRU
   /// position and returns true.
