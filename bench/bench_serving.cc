@@ -22,6 +22,12 @@
 // under churn must sit near the static baseline — the proof that serving
 // never blocks on a rebuild. Emits BENCH_ingest.json.
 //
+// Finally measures the stage profiler's own cost: the same request storm
+// with StageProfiler disabled vs enabled, alternating min-of-N passes to
+// cancel drift, gated on the p95 (the profiler must not move tail
+// latency). Emits BENCH_profile.json with overhead_pct and gate_pass;
+// run_benches.sh fails the stage when the gate doesn't hold.
+//
 // Scale knobs: PQSDA_USERS (default 150), PQSDA_TESTS (default 200 serving
 // requests), PQSDA_SERVE_THREADS (batch pool size, default 4),
 // PQSDA_CACHE (cache capacity for the cached runs, default 512),
@@ -35,6 +41,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -50,6 +57,7 @@
 #include "eval/harness.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "obs/telemetry.h"
 
 namespace pqsda::bench {
@@ -92,6 +100,32 @@ PassResult BatchedPass(const PqsdaEngine& engine,
     if (result.ok()) ++r.served;
   }
   return r;
+}
+
+// Nearest-rank percentile over per-request latencies (microseconds).
+double Percentile(std::vector<double> us, size_t pct) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  size_t idx = (us.size() * pct + 99) / 100;  // ceil(pct/100 * n)
+  if (idx > 0) --idx;
+  if (idx >= us.size()) idx = us.size() - 1;
+  return us[idx];
+}
+
+// Sequential pass recording every request's latency — the shape the
+// profiling-overhead gate needs: no pool queue wait drowning the signal,
+// just the request path the stage scopes instrument.
+std::vector<double> TimedPass(const PqsdaEngine& engine,
+                              const std::vector<SuggestionRequest>& requests,
+                              size_t k) {
+  std::vector<double> us;
+  us.reserve(requests.size());
+  for (const SuggestionRequest& request : requests) {
+    auto t0 = std::chrono::steady_clock::now();
+    (void)engine.Suggest(request, k);
+    us.push_back(1e6 * Seconds(t0, std::chrono::steady_clock::now()));
+  }
+  return us;
 }
 
 // Extracts the numeric value following `"key":` in a JSON blob (first
@@ -622,6 +656,64 @@ void Main() {
     std::printf("  wrote BENCH_ingest.json\n");
   } else {
     std::printf("  could not write BENCH_ingest.json\n");
+  }
+
+  // --- profiling overhead: the same storm, profiler off vs on ----------
+  // Alternating min-of-N sequential passes cancel thermal and cache drift;
+  // the gate is on the p95 because tail latency is the number the stage
+  // scopes must not move. Scopes are two clock reads into a thread-local,
+  // so the budget is tight: 2%, plus a small absolute floor so
+  // sub-millisecond requests aren't gated on scheduler jitter.
+  obs::StageProfiler& profiler = obs::StageProfiler::Default();
+  const size_t profile_reps = EnvSize("PROFILE_REPS", 3);
+  std::printf("\nprofiling overhead: %zu-request storm, profiler off vs on, "
+              "min over %zu alternating passes each\n",
+              zipf.size(), profile_reps);
+  (void)TimedPass(engine, zipf, k);  // warm
+  double p95_off = 1e300;
+  double p95_on = 1e300;
+  for (size_t rep = 0; rep < profile_reps; ++rep) {
+    profiler.SetEnabled(false);
+    p95_off = std::min(p95_off, Percentile(TimedPass(engine, zipf, k), 95));
+    profiler.SetEnabled(true);
+    p95_on = std::min(p95_on, Percentile(TimedPass(engine, zipf, k), 95));
+  }
+  profiler.SetEnabled(true);  // leave the default profiler live
+  const double overhead_pct =
+      p95_off > 0.0 ? 100.0 * (p95_on - p95_off) / p95_off : 0.0;
+  const bool gate_pass = p95_on <= p95_off * 1.02 + 50.0;
+  std::printf("  p95 profiler off: %9.0fus   on: %9.0fus   overhead: "
+              "%+.2f%%  gate(<=2%%+50us): %s\n",
+              p95_off, p95_on, overhead_pct, gate_pass ? "pass" : "FAIL");
+
+  // The profiled passes must actually have been attributed: /profilez over
+  // the trailing minute has to show the storm in its root count.
+  auto profile_scrape = obs::HttpGet(exporter.port(), "/profilez?window=1m");
+  const double profiled_count =
+      profile_scrape.ok() ? JsonNumber(*profile_scrape, "count") : -1.0;
+  std::printf("  /profilez 1m-window root count: %.0f (expected >= %zu)\n",
+              profiled_count, zipf.size());
+
+  {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n  \"bench\": \"serving_profile_overhead\",\n"
+        "  \"offered\": %zu,\n  \"reps\": %zu,\n"
+        "  \"p95_profiler_off_us\": %.1f,\n"
+        "  \"p95_profiler_on_us\": %.1f,\n"
+        "  \"overhead_pct\": %.3f,\n"
+        "  \"profilez_root_count\": %.0f,\n"
+        "  \"gate_pass\": %s\n}\n",
+        zipf.size(), profile_reps, p95_off, p95_on, overhead_pct,
+        profiled_count, gate_pass ? "true" : "false");
+    if (std::FILE* f = std::fopen("BENCH_profile.json", "w")) {
+      std::fwrite(buf, 1, std::strlen(buf), f);
+      std::fclose(f);
+      std::printf("  wrote BENCH_profile.json\n");
+    } else {
+      std::printf("  could not write BENCH_profile.json\n");
+    }
   }
 
   exporter.Stop();

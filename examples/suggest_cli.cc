@@ -6,7 +6,8 @@
 //                                [--request_log=path] [--slow_ms=T]
 //                                [--sample_every=N] [--deadline_ms=T]
 //                                [--shed_queue_depth=N] [--min_rung=R]
-//                                [--ingest=N] [--tail=path]
+//                                [--ingest=N] [--tail=path] [--slo=SPECS]
+//                                [--log_rotate_kb=N]
 //                                [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
@@ -27,6 +28,13 @@
 // With --cache=N served lists are kept in an N-entry LRU result cache;
 // repeated requests are answered from it (watch pqsda.cache.hits_total in
 // 'metrics').
+//
+// Profiling & SLOs: serve mode also exposes /profilez (windowed per-stage
+// cost attribution tree, ?window=10s|1m|5m) and /alertz (burn-rate SLO
+// alerts). --slo=SPECS configures the SLOs as a comma-separated list of
+// kind:objective[:threshold_us] with kind in availability|latency|
+// shed_rate, e.g. --slo=availability:0.999,latency:0.99:200000.
+// --log_rotate_kb=N rolls the request log at N KiB (3 rotated files kept).
 //
 // Serve mode: --http_port=N starts the embedded telemetry exporter on
 // 127.0.0.1:N (0 picks a free port) with /metrics (Prometheus), /healthz,
@@ -72,6 +80,7 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/request_log.h"
+#include "obs/stage_profiler.h"
 #include "obs/telemetry.h"
 #include "synthetic/generator.h"
 
@@ -116,6 +125,8 @@ int main(int argc, char** argv) {
   size_t min_rung = 0;
   size_t ingest_holdout = 0;
   const char* tail_path = nullptr;
+  const char* slo_specs = nullptr;
+  unsigned long log_rotate_kb = 0;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -140,6 +151,10 @@ int main(int argc, char** argv) {
       ingest_holdout = std::strtoul(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--tail=", 7) == 0) {
       tail_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--slo=", 6) == 0) {
+      slo_specs = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--log_rotate_kb=", 16) == 0) {
+      log_rotate_kb = std::strtoul(argv[i] + 16, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -182,16 +197,29 @@ int main(int argc, char** argv) {
   // Serve mode: install configured telemetry (trace sampling on) before the
   // first request, attach the request log, start the exporter.
   obs::HttpExporter exporter;
-  if (http_port >= 0 || request_log_path != nullptr) {
+  if (http_port >= 0 || request_log_path != nullptr || slo_specs != nullptr) {
     obs::ServingTelemetryOptions telemetry_options;
     telemetry_options.trace_sample_every = 16;
     obs::ServingTelemetry& telemetry =
         obs::ServingTelemetry::Install(telemetry_options);
+    if (slo_specs != nullptr) {
+      auto specs = obs::ParseSloSpecs(slo_specs);
+      if (!specs.ok()) {
+        std::fprintf(stderr, "--slo: %s\n", specs.status().ToString().c_str());
+        return 1;
+      }
+      telemetry.ConfigureSlos(std::move(*specs));
+      std::printf("SLO tracking on %zu objective(s); see /alertz or the "
+                  "'alertz' command\n",
+                  telemetry.slo() != nullptr ? telemetry.slo()->num_slos()
+                                             : 0);
+    }
     if (request_log_path != nullptr) {
       obs::RequestLogOptions log_options;
       log_options.path = request_log_path;
       log_options.sample_every = sample_every;
       log_options.slow_us = slow_ms * 1000;
+      log_options.rotate_bytes = log_rotate_kb * 1024;
       auto log = obs::RequestLog::Open(log_options);
       if (!log.ok()) {
         std::fprintf(stderr, "request log: %s\n",
@@ -202,6 +230,11 @@ int main(int argc, char** argv) {
       std::printf("request log: %s (every %luth request + slower than "
                   "%ldms)\n",
                   request_log_path, sample_every, slow_ms);
+      if (log_rotate_kb > 0) {
+        std::printf("request log rotation at %lu KiB (3 rotated files "
+                    "kept)\n",
+                    log_rotate_kb);
+      }
     }
     if (http_port >= 0) {
       telemetry.RegisterEndpoints(&exporter);
@@ -211,7 +244,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("telemetry exporter on http://127.0.0.1:%d "
-                  "(/metrics /healthz /statusz /tracez)\n",
+                  "(/metrics /healthz /statusz /tracez /profilez /alertz)\n",
                   exporter.port());
     }
   }
@@ -281,7 +314,8 @@ int main(int argc, char** argv) {
 
   std::printf("ready. type a query ('@<user-id> <query>' to personalize, "
               "'batch q1; q2; ...' for concurrent serving, 'metrics' for "
-              "the registry, 'statusz' for the windowed snapshot, 'ingest "
+              "the registry, 'statusz' / 'profilez' / 'alertz' for windowed "
+              "snapshots, 'ingest "
               "[n]' / 'rebuild' / 'index' / 'tail <user>' for the live "
               "index, 'quit' to exit)\n");
 
@@ -297,6 +331,17 @@ int main(int argc, char** argv) {
     if (line == "statusz") {
       std::printf("%s\n",
                   obs::ServingTelemetry::Default().StatuszJson().c_str());
+      continue;
+    }
+    if (line == "alertz") {
+      std::printf("%s\n",
+                  obs::ServingTelemetry::Default().AlertzJson().c_str());
+      continue;
+    }
+    if (line == "profilez") {
+      std::printf("%s\n", obs::StageProfiler::Default()
+                              .ProfilezJson(60LL * 1000000000LL)
+                              .c_str());
       continue;
     }
     if (line == "index") {

@@ -12,20 +12,22 @@ run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 # (ThreadPool, SuggestBatch, the sharded result cache), the live telemetry
 # surface (sliding windows, the HTTP exporter, the request log), the
 # overload-hardening path (CancelToken, FaultInjector, the degradation
-# ladder under a mid-flight cancellation storm) and the live-ingestion path
-# (snapshot publication/reclaim racing in-flight requests) — by running
-# obs_test, serving_test, telemetry_test, fault_injection_test and
-# ingest_test under ThreadSanitizer before spending 20 minutes on figures.
-# Skip with PQSDA_TSAN_VERIFY=0.
+# ladder under a mid-flight cancellation storm), the live-ingestion path
+# (snapshot publication/reclaim racing in-flight requests) and the stage
+# profiler (thread-local accumulators folding into the shared epoch ring)
+# — by running obs_test, serving_test, telemetry_test, fault_injection_test,
+# ingest_test and profiler_test under ThreadSanitizer before spending 20
+# minutes on figures. Skip with PQSDA_TSAN_VERIFY=0.
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: obs + serving + telemetry + fault_injection + ingest tests under ThreadSanitizer ====="
+  echo "===== verify: obs + serving + telemetry + fault_injection + ingest + profiler tests under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test -j >/dev/null &&
+    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test profiler_test -j >/dev/null &&
     timeout 600 ./build-tsan/tests/obs_test &&
     timeout 600 ./build-tsan/tests/serving_test &&
     timeout 600 ./build-tsan/tests/telemetry_test &&
     timeout 600 ./build-tsan/tests/fault_injection_test &&
-    timeout 600 ./build-tsan/tests/ingest_test || {
+    timeout 600 ./build-tsan/tests/ingest_test &&
+    timeout 600 ./build-tsan/tests/profiler_test || {
       echo "TSAN verify failed" >&2
       exit 1
     }
@@ -37,12 +39,13 @@ fi
 # request serving out of generation g while g+1 swaps in must never touch
 # freed memory. Skip with PQSDA_ASAN_VERIFY=0.
 if [ "${PQSDA_ASAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: ingest + serving + fault_injection tests under AddressSanitizer ====="
+  echo "===== verify: ingest + serving + fault_injection + profiler tests under AddressSanitizer ====="
   cmake -B build-asan -S . -DPQSDA_ENABLE_ASAN=ON >/dev/null &&
-    cmake --build build-asan --target ingest_test serving_test fault_injection_test -j >/dev/null &&
+    cmake --build build-asan --target ingest_test serving_test fault_injection_test profiler_test -j >/dev/null &&
     timeout 600 ./build-asan/tests/ingest_test &&
     timeout 600 ./build-asan/tests/serving_test &&
-    timeout 600 ./build-asan/tests/fault_injection_test || {
+    timeout 600 ./build-asan/tests/fault_injection_test &&
+    timeout 600 ./build-asan/tests/profiler_test || {
       echo "ASan verify failed" >&2
       exit 1
     }
@@ -59,5 +62,12 @@ run ablation_context_decay PQSDA_USERS=150 PQSDA_TESTS=120
 run ablation_rank_aggregation PQSDA_USERS=150 PQSDA_MAX_EVAL=250 PQSDA_TOPICS=32 PQSDA_GIBBS=60
 run ablation_upm PQSDA_USERS=150 PQSDA_GIBBS=50
 run bench_serving PQSDA_USERS=150 PQSDA_TESTS=150
+# The stage profiler must be free on the request path: bench_serving just
+# measured p95 with the profiler off vs on and wrote the verdict to
+# BENCH_profile.json. More than 2% (plus a 50us noise floor) fails the run.
+if ! grep -q '"gate_pass": true' BENCH_profile.json 2>/dev/null; then
+  echo "profiling-overhead gate FAILED (see BENCH_profile.json)" >&2
+  exit 1
+fi
 echo "===== micro_kernels ====="
 PQSDA_USERS=120 timeout 900 "$B/micro_kernels" --benchmark_min_time=0.2

@@ -1,6 +1,7 @@
 #include "core/personalizer.h"
 
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "obs/trace.h"
 #include "rank/borda.h"
 
@@ -18,6 +19,7 @@ std::vector<Suggestion> Personalizer::Rerank(
   static obs::Histogram& rerank_us = obs::MetricsRegistry::Default()
       .GetHistogram("pqsda.suggest.personalization_us");
   obs::TraceSpan span("personalization");
+  obs::StageScope stage(obs::ProfileStage::kPersonalization);
   obs::ScopedTimer timer(rerank_us);
   size_t doc = corpus_->DocumentOf(user);
   if (doc == SIZE_MAX || list.empty()) {

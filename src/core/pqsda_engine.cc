@@ -5,8 +5,10 @@
 
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "eval/diversity.h"
 #include "obs/metrics.h"
 #include "obs/request_log.h"
+#include "obs/stage_profiler.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -108,11 +110,17 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   std::optional<obs::TraceCollector> collector;
   if (stats != nullptr || trace_sampled) collector.emplace("suggest");
 
+  // The profiler brackets exactly the admitted request on this thread; the
+  // pipeline's stage scopes fold into this bracket and EndRequest attributes
+  // the whole to the rung chosen above.
+  obs::StageProfiler& profiler = obs::StageProfiler::Default();
+  profiler.BeginRequest();
   WallTimer wall;
   bool cache_hit = false;
   StatusOr<std::vector<Suggestion>> result =
       SuggestImpl(request, k, rung, *snap, stats, &cache_hit);
   const double elapsed_us = static_cast<double>(wall.ElapsedNanos()) * 1e-3;
+  profiler.EndRequest(static_cast<size_t>(rung));
   const int64_t total_us = static_cast<int64_t>(elapsed_us);
   latency_us.Observe(elapsed_us);
 
@@ -130,7 +138,17 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     }
   }
   telemetry.RecordRequest(elapsed_us, ok, not_found, cache_ != nullptr,
-                          cache_hit, /*shed=*/false);
+                          cache_hit, /*shed=*/false, request_id);
+
+  // Online quality sampling runs after the latency was measured and
+  // recorded, so the measurement itself never shows up in the percentiles
+  // it is meant to explain.
+  if (ok && telemetry.quality().Sample()) {
+    telemetry.quality().Record(
+        static_cast<size_t>(rung), cache_hit, ListSimpsonDiversity(*result),
+        k > 0 ? static_cast<double>(result->size()) / static_cast<double>(k)
+              : 0.0);
+  }
 
   obs::SpanNode trace;
   bool have_trace = false;
@@ -217,7 +235,13 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
     // the LRU instead of being served.
     cache_key = SuggestionCache::KeyOf(request, k, snap.generation);
     std::vector<Suggestion> cached;
-    if (cache_->Lookup(cache_key, &cached)) {
+    bool hit;
+    {
+      obs::StageScope cache_scope(obs::ProfileStage::kCache);
+      obs::StageProfiler::AddWork(obs::ProfileStage::kCache, 1);
+      hit = cache_->Lookup(cache_key, &cached);
+    }
+    if (hit) {
       *cache_hit = true;
       if (stats != nullptr) stats->suggestions_returned = cached.size();
       return cached;

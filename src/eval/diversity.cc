@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/quality.h"
+#include "text/tokenizer.h"
+
 namespace pqsda {
 
 ClickedPages ClickedPages::Build(const std::vector<QueryLogRecord>& records) {
@@ -55,6 +58,22 @@ double ListDiversity(const std::vector<Suggestion>& list, size_t k,
     }
   }
   return total / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double ListSimpsonDiversity(const std::vector<Suggestion>& list) {
+  std::unordered_map<std::string, uint64_t> term_counts;
+  for (const Suggestion& s : list) {
+    for (const std::string& term : Tokenize(s.query)) {
+      ++term_counts[term];
+    }
+  }
+  std::vector<uint64_t> counts;
+  counts.reserve(term_counts.size());
+  for (const auto& [term, count] : term_counts) {
+    (void)term;
+    counts.push_back(count);
+  }
+  return obs::SimpsonDiversityFromCounts(counts);
 }
 
 }  // namespace pqsda

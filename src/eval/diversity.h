@@ -46,6 +46,14 @@ double QueryPairDiversity(const std::string& query_a,
 double ListDiversity(const std::vector<Suggestion>& list, size_t k,
                      const ClickedPages& pages, const PageSimilarity& sim);
 
+/// Simpson's-index diversity of the list's term multiset (Zhou et al.):
+/// the probability that two term draws without replacement differ — 0 for
+/// a list repeating one term, approaching 1 when every term is distinct.
+/// Cheap enough (tokenize <= k short strings) for the online quality
+/// telemetry that samples served lists, where the clicked-page metric
+/// above needs offline page data.
+double ListSimpsonDiversity(const std::vector<Suggestion>& list);
+
 }  // namespace pqsda
 
 #endif  // PQSDA_EVAL_DIVERSITY_H_

@@ -1,0 +1,179 @@
+#include "obs/quality.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace pqsda::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SanitizeEpochNs(int64_t epoch_ns) {
+  return epoch_ns > 0 ? epoch_ns : 1;
+}
+
+size_t SanitizeEpochs(size_t epochs) { return epochs > 0 ? epochs : 1; }
+
+size_t WindowEpochs(int64_t window_ns, int64_t epoch_ns, size_t ring) {
+  if (window_ns <= 0) return 1;
+  auto n = static_cast<size_t>((window_ns + epoch_ns - 1) / epoch_ns);
+  return std::min(std::max<size_t>(n, 1), ring);
+}
+
+// Relaxed CAS add; std::atomic<double>::fetch_add is C++20-and-newer
+// library support we do not rely on.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+constexpr const char* kRungNames[QualityTelemetry::kRungs] = {
+    "full", "truncated_solve", "walk_only", "cache_only"};
+
+Counter& SamplesCounter() {
+  static Counter& c =
+      MetricsRegistry::Default().GetCounter("pqsda.quality.samples_total");
+  return c;
+}
+
+}  // namespace
+
+double SimpsonDiversityFromCounts(const std::vector<uint64_t>& counts) {
+  uint64_t n = 0;
+  for (uint64_t c : counts) n += c;
+  if (n < 2) return 0.0;
+  double same = 0.0;
+  for (uint64_t c : counts) {
+    same += static_cast<double>(c) * static_cast<double>(c - 1);
+  }
+  return 1.0 - same / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+QualityTelemetry::QualityTelemetry(QualityTelemetryOptions options)
+    : options_(std::move(options)) {
+  options_.window.epoch_ns = SanitizeEpochNs(options_.window.epoch_ns);
+  options_.window.epochs = SanitizeEpochs(options_.window.epochs);
+  slots_ = std::make_unique<Slot[]>(options_.window.epochs);
+}
+
+int64_t QualityTelemetry::NowNs() const {
+  return options_.window.clock ? options_.window.clock() : SteadyNowNs();
+}
+
+bool QualityTelemetry::Sample() {
+  if (options_.sample_every == 0) return false;
+  return seq_.fetch_add(1, std::memory_order_relaxed) %
+             options_.sample_every ==
+         0;
+}
+
+void QualityTelemetry::Record(size_t rung, bool cache_hit, double simpson,
+                              double coverage) {
+  rung = std::min(rung, kRungs - 1);
+  const int64_t epoch = NowNs() / options_.window.epoch_ns;
+  Slot& slot = slots_[static_cast<size_t>(epoch) % options_.window.epochs];
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    lock.unlock();
+    std::unique_lock<std::shared_mutex> retire(mu_);
+    const int64_t stored = slot.epoch.load(std::memory_order_relaxed);
+    if (stored > epoch) return;  // stale writer; see WindowedRate::Add
+    if (stored < epoch) {
+      for (auto& per_rung : slot.cells) {
+        for (Cell& cell : per_rung) {
+          cell.samples.store(0, std::memory_order_relaxed);
+          cell.simpson_sum.store(0.0, std::memory_order_relaxed);
+          cell.coverage_sum.store(0.0, std::memory_order_relaxed);
+        }
+      }
+      slot.epoch.store(epoch, std::memory_order_release);
+    }
+    retire.unlock();
+    lock.lock();
+    if (slot.epoch.load(std::memory_order_acquire) != epoch) return;
+  }
+  Cell& cell = slot.cells[rung][cache_hit ? 1 : 0];
+  cell.samples.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(cell.simpson_sum, simpson);
+  AtomicAdd(cell.coverage_sum, coverage);
+  SamplesCounter().Increment();
+}
+
+QualityTelemetry::CellSnapshot QualityTelemetry::SnapshotCell(
+    size_t rung, bool cache_hit, int64_t window_ns) const {
+  rung = std::min(rung, kRungs - 1);
+  const int64_t epoch = NowNs() / options_.window.epoch_ns;
+  const size_t span = WindowEpochs(window_ns, options_.window.epoch_ns,
+                                   options_.window.epochs);
+  const int64_t oldest = epoch - static_cast<int64_t>(span) + 1;
+
+  uint64_t samples = 0;
+  double simpson_sum = 0.0;
+  double coverage_sum = 0.0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (size_t i = 0; i < options_.window.epochs; ++i) {
+      const Slot& slot = slots_[i];
+      const int64_t e = slot.epoch.load(std::memory_order_acquire);
+      if (e < oldest || e > epoch) continue;
+      const Cell& cell = slot.cells[rung][cache_hit ? 1 : 0];
+      samples += cell.samples.load(std::memory_order_relaxed);
+      simpson_sum += cell.simpson_sum.load(std::memory_order_relaxed);
+      coverage_sum += cell.coverage_sum.load(std::memory_order_relaxed);
+    }
+  }
+  CellSnapshot snap;
+  snap.samples = samples;
+  if (samples > 0) {
+    snap.simpson_mean = simpson_sum / static_cast<double>(samples);
+    snap.coverage_mean = coverage_sum / static_cast<double>(samples);
+  }
+  return snap;
+}
+
+std::string QualityTelemetry::StatuszSection(int64_t window_ns) const {
+  std::string out = "{\"sample_every\":" + std::to_string(options_.sample_every);
+  out += ",\"rungs\":{";
+  bool first_rung = true;
+  for (size_t r = 0; r < kRungs; ++r) {
+    std::string rung_out;
+    bool first_cell = true;
+    for (int hit = 0; hit < 2; ++hit) {
+      const CellSnapshot cell = SnapshotCell(r, hit == 1, window_ns);
+      if (cell.samples == 0) continue;
+      if (!first_cell) rung_out += ",";
+      first_cell = false;
+      rung_out += std::string("\"") + (hit == 1 ? "cache_hit" : "cache_miss") +
+                  "\":{";
+      rung_out += "\"samples\":" + std::to_string(cell.samples);
+      rung_out += ",\"simpson\":" + Num(cell.simpson_mean);
+      rung_out += ",\"coverage\":" + Num(cell.coverage_mean);
+      rung_out += "}";
+    }
+    if (rung_out.empty()) continue;
+    if (!first_rung) out += ",";
+    first_rung = false;
+    out += "\"" + std::string(kRungNames[r]) + "\":{" + rung_out + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pqsda::obs

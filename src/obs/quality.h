@@ -1,0 +1,88 @@
+#ifndef PQSDA_OBS_QUALITY_H_
+#define PQSDA_OBS_QUALITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "obs/sliding_window.h"
+
+namespace pqsda::obs {
+
+/// Simpson's-index diversity of a multiset given its per-type counts:
+/// 1 - sum n_i (n_i - 1) / (N (N - 1)), the probability two draws without
+/// replacement are different types. 0 when N < 2 (a singleton list has no
+/// pairwise diversity to speak of).
+double SimpsonDiversityFromCounts(const std::vector<uint64_t>& counts);
+
+/// Sampling and windowing policy for the online quality surface.
+struct QualityTelemetryOptions {
+  /// Epoch ring (and injectable clock) shared with the rest of telemetry.
+  WindowOptions window;
+  /// Head-sample 1 of every N served lists (1 = all, 0 = disabled). The
+  /// measurement runs after the request's latency was recorded, so even a
+  /// sampled request's measured latency is unaffected.
+  uint64_t sample_every = 4;
+};
+
+/// Windowed online quality telemetry over served suggestion lists:
+/// Simpson's-index term diversity and candidate-pool coverage (returned/k),
+/// split by degradation rung and by cache hit/miss — the live answer to
+/// "what is the PR 4 ladder costing us in quality right now", which the
+/// offline Eq. 32/33 eval can only answer after the fact.
+///
+/// Record() is a shared-lock acquire plus relaxed atomic adds into the
+/// current epoch's (rung, hit) cell; snapshots merge the in-window epochs.
+class QualityTelemetry {
+ public:
+  static constexpr size_t kRungs = 4;
+
+  explicit QualityTelemetry(QualityTelemetryOptions options = {});
+
+  /// Head-sampling decision for measuring this served list.
+  bool Sample();
+
+  /// Records one measured list under (rung, cache_hit).
+  void Record(size_t rung, bool cache_hit, double simpson, double coverage);
+
+  struct CellSnapshot {
+    uint64_t samples = 0;
+    double simpson_mean = 0.0;
+    double coverage_mean = 0.0;
+  };
+  /// Windowed means for one (rung, cache_hit) cell.
+  CellSnapshot SnapshotCell(size_t rung, bool cache_hit,
+                            int64_t window_ns) const;
+
+  /// JSON object for the "quality" section of /statusz: per-rung hit/miss
+  /// cells with windowed sample counts and means (cells with no samples in
+  /// the window are omitted).
+  std::string StatuszSection(int64_t window_ns) const;
+
+  const QualityTelemetryOptions& options() const { return options_; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> samples{0};
+    std::atomic<double> simpson_sum{0.0};
+    std::atomic<double> coverage_sum{0.0};
+  };
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};
+    Cell cells[kRungs][2];  // [rung][cache_hit]
+  };
+
+  int64_t NowNs() const;
+
+  QualityTelemetryOptions options_;
+  std::atomic<uint64_t> seq_{0};
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_QUALITY_H_

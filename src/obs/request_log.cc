@@ -42,6 +42,12 @@ Counter& WrittenCounter() {
   return c;
 }
 
+Counter& RotationsCounter() {
+  static Counter& c = MetricsRegistry::Default().GetCounter(
+      "pqsda.reqlog.rotations_total");
+  return c;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<RequestLog>> RequestLog::Open(
@@ -53,12 +59,21 @@ StatusOr<std::unique_ptr<RequestLog>> RequestLog::Open(
   if (file == nullptr) {
     return Status::IoError("cannot open request log " + options.path);
   }
+  // Appending to a pre-existing file: its current size counts against the
+  // rotation limit, or the file could grow without bound across restarts.
+  size_t initial_bytes = 0;
+  if (std::fseek(file, 0, SEEK_END) == 0) {
+    const long pos = std::ftell(file);
+    if (pos > 0) initial_bytes = static_cast<size_t>(pos);
+  }
   return std::unique_ptr<RequestLog>(
-      new RequestLog(std::move(options), file));
+      new RequestLog(std::move(options), file, initial_bytes));
 }
 
-RequestLog::RequestLog(RequestLogOptions options, std::FILE* file)
-    : options_(std::move(options)), file_(file) {
+RequestLog::RequestLog(RequestLogOptions options, std::FILE* file,
+                       size_t initial_bytes)
+    : options_(std::move(options)), file_(file),
+      active_bytes_(initial_bytes) {
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -69,7 +84,7 @@ RequestLog::~RequestLog() {
   }
   cv_.notify_all();
   writer_.join();
-  std::fclose(file_);
+  if (file_ != nullptr) std::fclose(file_);
 }
 
 bool RequestLog::Log(RequestLogEntry entry) {
@@ -104,11 +119,27 @@ void RequestLog::WriterLoop() {
       queue_.pop_front();
       writing_ = true;
     }
-    const std::string line = ToJson(entry);
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fputc('\n', file_);
-    written_.fetch_add(1, std::memory_order_relaxed);
-    WrittenCounter().Increment();
+    {
+      std::lock_guard<std::mutex> file_lock(file_mu_);
+      if (file_ != nullptr) {
+        const std::string line = ToJson(entry);
+        std::fwrite(line.data(), 1, line.size(), file_);
+        std::fputc('\n', file_);
+        active_bytes_ += line.size() + 1;
+        written_.fetch_add(1, std::memory_order_relaxed);
+        WrittenCounter().Increment();
+        if (options_.rotate_bytes > 0 &&
+            active_bytes_ >= options_.rotate_bytes) {
+          Rotate();
+        }
+      } else {
+        // A failed rotation reopen left the log without a file: the entry
+        // was accepted and cannot be written, so it is dropped — the
+        // contract written + dropped == accepted survives the failure.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        DroppedCounter().Increment();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       writing_ = false;
@@ -117,12 +148,37 @@ void RequestLog::WriterLoop() {
   }
 }
 
+void RequestLog::Rotate() {
+  std::fclose(file_);
+  file_ = nullptr;
+  if (options_.max_rotated_files == 0) {
+    std::remove(options_.path.c_str());
+  } else {
+    // Shift the chain from the oldest end: path.N-1 -> path.N (clobbering
+    // the previous path.N), ..., path -> path.1.
+    const std::string oldest =
+        options_.path + "." + std::to_string(options_.max_rotated_files);
+    std::remove(oldest.c_str());
+    for (size_t i = options_.max_rotated_files; i > 1; --i) {
+      const std::string from = options_.path + "." + std::to_string(i - 1);
+      const std::string to = options_.path + "." + std::to_string(i);
+      std::rename(from.c_str(), to.c_str());
+    }
+    std::rename(options_.path.c_str(), (options_.path + ".1").c_str());
+  }
+  file_ = std::fopen(options_.path.c_str(), "a");
+  active_bytes_ = 0;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  RotationsCounter().Increment();
+}
+
 void RequestLog::Flush() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     drained_.wait(lock, [this] { return queue_.empty() && !writing_; });
   }
-  std::fflush(file_);
+  std::lock_guard<std::mutex> file_lock(file_mu_);
+  if (file_ != nullptr) std::fflush(file_);
 }
 
 std::string RequestLog::ToJson(const RequestLogEntry& entry) {

@@ -36,6 +36,15 @@ struct RequestLogOptions {
   /// queue is always full: every accepted entry is counted as dropped,
   /// which keeps the accounting contract exercisable without disk I/O.
   size_t queue_capacity = 4096;
+  /// Size-based rotation: once the active file reaches this many bytes the
+  /// writer closes it and shifts path -> path.1 -> ... -> path.N (oldest
+  /// dropped). 0 disables rotation. Rotation happens on the writer thread
+  /// between whole lines, so no entry is ever split across files and the
+  /// written/dropped accounting is untouched.
+  size_t rotate_bytes = 0;
+  /// How many rotated files to keep (path.1 .. path.N); 0 with rotation
+  /// enabled discards the full file instead of renaming it.
+  size_t max_rotated_files = 3;
 };
 
 /// One serving request as recorded in the log. `stage_us` carries whatever
@@ -88,6 +97,10 @@ class RequestLog {
   }
   uint64_t written() const { return written_.load(std::memory_order_relaxed); }
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Completed size-based rotations (see RequestLogOptions::rotate_bytes).
+  uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
 
   const RequestLogOptions& options() const { return options_; }
 
@@ -96,18 +109,29 @@ class RequestLog {
   static std::string ToJson(const RequestLogEntry& entry);
 
  private:
-  explicit RequestLog(RequestLogOptions options, std::FILE* file);
+  explicit RequestLog(RequestLogOptions options, std::FILE* file,
+                      size_t initial_bytes);
 
   void WriterLoop();
+  /// Writer-thread only: closes the active file, shifts the rotated chain,
+  /// reopens a fresh active file. On reopen failure file_ goes null and
+  /// subsequent entries are counted as dropped (the accounting contract
+  /// holds; the log degrades observably, like a full queue).
+  void Rotate();
 
   RequestLogOptions options_;
+  /// Guards file_ against Flush observing a mid-rotation swap; held by the
+  /// writer around each write+rotate and by Flush around fflush.
+  std::mutex file_mu_;
   std::FILE* file_;
+  size_t active_bytes_ = 0;  // writer-thread only
 
   std::atomic<uint64_t> seq_{0};  // arrival order, drives head sampling
   std::atomic<uint64_t> seen_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> written_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> rotations_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;        // writer wakeup

@@ -1,0 +1,19 @@
+#include "obs/retire.h"
+
+#include <mutex>
+#include <vector>
+
+namespace pqsda::obs {
+
+void RetireForever(void* p) {
+  if (p == nullptr) return;
+  // Heap-allocated so the parking lot itself survives static destruction;
+  // the function-local static pointers keep it (and everything parked in
+  // it) a garbage-collection root for the whole process lifetime.
+  static std::mutex* mu = new std::mutex();
+  static std::vector<void*>* retired = new std::vector<void*>();
+  std::lock_guard<std::mutex> lock(*mu);
+  retired->push_back(p);
+}
+
+}  // namespace pqsda::obs

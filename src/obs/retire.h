@@ -1,0 +1,16 @@
+#ifndef PQSDA_OBS_RETIRE_H_
+#define PQSDA_OBS_RETIRE_H_
+
+namespace pqsda::obs {
+
+/// Keeps `p` reachable for the life of the process. The observability
+/// singletons replace themselves by pointer swap and never free the
+/// predecessor — request threads may still hold references across the
+/// swap, and windowed recorders must never die under them. Parking the
+/// retired instance here makes that lifetime explicit (and visible to
+/// LeakSanitizer as reachable rather than leaked). Null is a no-op.
+void RetireForever(void* p);
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_RETIRE_H_

@@ -150,4 +150,40 @@ WindowSnapshot SlidingWindowHistogram::SnapshotOver(int64_t window_ns) const {
   return snap;
 }
 
+uint64_t SlidingWindowHistogram::CountAbove(int64_t window_ns,
+                                            double threshold) const {
+  const int64_t epoch = NowNs() / options_.epoch_ns;
+  const size_t span = WindowEpochs(window_ns, options_.epoch_ns,
+                                   options_.epochs);
+  const int64_t oldest = epoch - static_cast<int64_t>(span) + 1;
+
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& slot : slots_) {
+      const int64_t e = slot->epoch.load(std::memory_order_acquire);
+      if (e < oldest || e > epoch) continue;
+      std::vector<uint64_t> counts = slot->hist.BucketCounts();
+      for (size_t b = 0; b < merged.size(); ++b) merged[b] += counts[b];
+    }
+  }
+  double above = 0.0;
+  double lower = 0.0;  // observed values are nonnegative latencies
+  for (size_t b = 0; b < bounds_.size(); ++b) {
+    const double upper = bounds_[b];
+    if (upper <= threshold) {
+      lower = upper;
+      continue;
+    }
+    double fraction = 1.0;
+    if (threshold > lower && upper > lower) {
+      fraction = (upper - threshold) / (upper - lower);
+    }
+    above += fraction * static_cast<double>(merged[b]);
+    lower = upper;
+  }
+  above += static_cast<double>(merged[bounds_.size()]);  // overflow bucket
+  return static_cast<uint64_t>(above + 0.5);
+}
+
 }  // namespace pqsda::obs

@@ -92,6 +92,15 @@ class SlidingWindowHistogram {
 
   WindowSnapshot SnapshotOver(int64_t window_ns) const;
 
+  /// Observations in the trailing window whose value exceeded `threshold`,
+  /// at bucket resolution: buckets entirely above the threshold count in
+  /// full, the bucket containing it contributes a linearly-interpolated
+  /// share, and the overflow bucket always counts (its observations are at
+  /// least the last bound). This is what the SLO engine's latency burn
+  /// rates read; thresholds should sit on (or near) bucket bounds for
+  /// exact answers.
+  uint64_t CountAbove(int64_t window_ns, double threshold) const;
+
   const std::vector<double>& bounds() const { return bounds_; }
   const WindowOptions& options() const { return options_; }
 

@@ -1,0 +1,301 @@
+#include "obs/slo.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace pqsda::obs {
+
+namespace {
+
+constexpr size_t kMaxTransitions = 64;
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Burn(uint64_t bad, uint64_t total, double objective) {
+  if (total == 0) return 0.0;
+  const double budget = 1.0 - objective;
+  if (budget <= 0.0) return bad > 0 ? 1e9 : 0.0;
+  return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+}
+
+Counter& TripsCounter() {
+  static Counter& c =
+      MetricsRegistry::Default().GetCounter("pqsda.slo.trips_total");
+  return c;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kAvailability:
+      return "availability";
+    case SloKind::kLatency:
+      return "latency";
+    case SloKind::kShedRate:
+      return "shed_rate";
+  }
+  return "unknown";
+}
+
+const char* SloAlertStateName(SloAlertState state) {
+  switch (state) {
+    case SloAlertState::kHealthy:
+      return "healthy";
+    case SloAlertState::kBurning:
+      return "burning";
+    case SloAlertState::kResolved:
+      return "resolved";
+  }
+  return "unknown";
+}
+
+StatusOr<SloSpec> ParseSloSpec(const std::string& text) {
+  const std::vector<std::string> parts = SplitOn(text, ':');
+  if (parts.empty() || parts[0].empty()) {
+    return Status::InvalidArgument("empty SLO spec");
+  }
+  SloSpec spec;
+  if (parts[0] == "availability") {
+    spec.kind = SloKind::kAvailability;
+  } else if (parts[0] == "latency") {
+    spec.kind = SloKind::kLatency;
+  } else if (parts[0] == "shed_rate") {
+    spec.kind = SloKind::kShedRate;
+  } else {
+    return Status::InvalidArgument("unknown SLO kind \"" + parts[0] +
+                                   "\" (want availability|latency|shed_rate)");
+  }
+  spec.name = parts[0];
+  if (parts.size() > 1) {
+    char* end = nullptr;
+    spec.objective = std::strtod(parts[1].c_str(), &end);
+    if (end == parts[1].c_str() || spec.objective < 0.0 ||
+        spec.objective >= 1.0) {
+      return Status::InvalidArgument("SLO objective must be in [0,1): " +
+                                     parts[1]);
+    }
+  }
+  if (spec.kind == SloKind::kLatency) {
+    if (parts.size() < 3) {
+      return Status::InvalidArgument(
+          "latency SLO needs a threshold: latency:<objective>:<threshold_us>");
+    }
+    char* end = nullptr;
+    spec.latency_threshold_us = std::strtod(parts[2].c_str(), &end);
+    if (end == parts[2].c_str() || spec.latency_threshold_us <= 0.0) {
+      return Status::InvalidArgument("bad latency threshold: " + parts[2]);
+    }
+  } else if (parts.size() > 2) {
+    return Status::InvalidArgument("unexpected SLO field: " + parts[2]);
+  }
+  return spec;
+}
+
+StatusOr<std::vector<SloSpec>> ParseSloSpecs(const std::string& text) {
+  std::vector<SloSpec> specs;
+  if (text.empty()) return specs;
+  for (const std::string& part : SplitOn(text, ',')) {
+    auto spec = ParseSloSpec(part);
+    if (!spec.ok()) return spec.status();
+    specs.push_back(std::move(*spec));
+  }
+  return specs;
+}
+
+SloEngine::SloEngine(ServingTelemetry* telemetry, std::vector<SloSpec> specs)
+    : telemetry_(telemetry) {
+  const int64_t now = telemetry_->options().window.clock
+                          ? telemetry_->options().window.clock()
+                          : SteadyNowNs();
+  machines_.reserve(specs.size());
+  for (SloSpec& spec : specs) {
+    Machine m;
+    m.spec = std::move(spec);
+    m.since_ns = now;
+    machines_.push_back(std::move(m));
+  }
+}
+
+SloEngine::WindowSample SloEngine::SampleWindow(const SloSpec& spec,
+                                                int64_t window_ns) const {
+  WindowSample sample;
+  switch (spec.kind) {
+    case SloKind::kAvailability:
+      sample.total = telemetry_->requests().SumOver(window_ns);
+      sample.bad = telemetry_->errors().SumOver(window_ns);
+      break;
+    case SloKind::kLatency: {
+      // Admitted requests only: shed requests never reach the latency ring.
+      sample.total = telemetry_->latency().SnapshotOver(window_ns).count;
+      sample.bad = telemetry_->latency().CountAbove(window_ns,
+                                                    spec.latency_threshold_us);
+      break;
+    }
+    case SloKind::kShedRate:
+      sample.total = telemetry_->requests().SumOver(window_ns);
+      sample.bad = telemetry_->shed().SumOver(window_ns);
+      break;
+  }
+  return sample;
+}
+
+std::vector<SloStatus> SloEngine::EvaluateLocked(int64_t now_ns) {
+  std::vector<SloStatus> statuses;
+  statuses.reserve(machines_.size());
+  for (Machine& m : machines_) {
+    const WindowSample fast = SampleWindow(m.spec, m.spec.fast_window_ns);
+    const WindowSample slow = SampleWindow(m.spec, m.spec.slow_window_ns);
+    const double fast_burn = Burn(fast.bad, fast.total, m.spec.objective);
+    const double slow_burn = Burn(slow.bad, slow.total, m.spec.objective);
+
+    const SloAlertState before = m.state;
+    const bool tripping = fast_burn > m.spec.burn_threshold &&
+                          slow_burn > m.spec.burn_threshold;
+    switch (m.state) {
+      case SloAlertState::kHealthy:
+        if (tripping) m.state = SloAlertState::kBurning;
+        break;
+      case SloAlertState::kBurning:
+        // Budget spend rate back under 1x on the fast window: the incident
+        // stopped, even though the slow window still remembers it.
+        if (fast_burn < 1.0) m.state = SloAlertState::kResolved;
+        break;
+      case SloAlertState::kResolved:
+        if (tripping) {
+          m.state = SloAlertState::kBurning;
+        } else if (slow_burn < 1.0) {
+          m.state = SloAlertState::kHealthy;
+        }
+        break;
+    }
+    if (m.state != before) {
+      if (m.state == SloAlertState::kBurning) {
+        ++m.trips;
+        TripsCounter().Increment();
+      }
+      m.since_ns = now_ns;
+      std::string record = "{\"slo\":\"" + m.spec.name + "\"";
+      record += ",\"from\":\"" + std::string(SloAlertStateName(before)) + "\"";
+      record +=
+          ",\"to\":\"" + std::string(SloAlertStateName(m.state)) + "\"";
+      record += ",\"fast_burn\":" + Num(fast_burn);
+      record += ",\"slow_burn\":" + Num(slow_burn);
+      record += ",\"at_ns\":" + std::to_string(now_ns) + "}";
+      transitions_.push_back(std::move(record));
+      while (transitions_.size() > kMaxTransitions) transitions_.pop_front();
+    }
+
+    SloStatus status;
+    status.spec = m.spec;
+    status.state = m.state;
+    status.fast_burn = fast_burn;
+    status.slow_burn = slow_burn;
+    status.fast_bad = fast.bad;
+    status.fast_total = fast.total;
+    status.slow_bad = slow.bad;
+    status.slow_total = slow.total;
+    status.since_ns = m.since_ns;
+    status.trips = m.trips;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+std::vector<SloStatus> SloEngine::Evaluate() {
+  const int64_t now = telemetry_->options().window.clock
+                          ? telemetry_->options().window.clock()
+                          : SteadyNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvaluateLocked(now);
+}
+
+std::string SloEngine::AlertzJson() {
+  const int64_t now = telemetry_->options().window.clock
+                          ? telemetry_->options().window.clock()
+                          : SteadyNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<SloStatus> statuses = EvaluateLocked(now);
+  std::string out = "{\"slos\":[";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const SloStatus& s = statuses[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + s.spec.name + "\"";
+    out += ",\"kind\":\"" + std::string(SloKindName(s.spec.kind)) + "\"";
+    out += ",\"objective\":" + Num(s.spec.objective);
+    if (s.spec.kind == SloKind::kLatency) {
+      out += ",\"threshold_us\":" + Num(s.spec.latency_threshold_us);
+    }
+    out += ",\"burn_threshold\":" + Num(s.spec.burn_threshold);
+    out += ",\"state\":\"" + std::string(SloAlertStateName(s.state)) + "\"";
+    out += ",\"fast\":{\"window_sec\":" +
+           Num(static_cast<double>(s.spec.fast_window_ns) * 1e-9);
+    out += ",\"burn\":" + Num(s.fast_burn);
+    out += ",\"bad\":" + std::to_string(s.fast_bad);
+    out += ",\"total\":" + std::to_string(s.fast_total) + "}";
+    out += ",\"slow\":{\"window_sec\":" +
+           Num(static_cast<double>(s.spec.slow_window_ns) * 1e-9);
+    out += ",\"burn\":" + Num(s.slow_burn);
+    out += ",\"bad\":" + std::to_string(s.slow_bad);
+    out += ",\"total\":" + std::to_string(s.slow_total) + "}";
+    out += ",\"since_sec\":" +
+           Num(static_cast<double>(now - s.since_ns) * 1e-9);
+    out += ",\"trips\":" + std::to_string(s.trips);
+    out += "}";
+  }
+  out += "],\"transitions\":[";
+  // Newest first, like /tracez.
+  bool first = true;
+  for (auto it = transitions_.rbegin(); it != transitions_.rend(); ++it) {
+    if (!first) out += ",";
+    first = false;
+    out += *it;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SloEngine::StatuszSection() {
+  const std::vector<SloStatus> statuses = Evaluate();
+  std::string out = "[";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const SloStatus& s = statuses[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + s.spec.name + "\"";
+    out += ",\"state\":\"" + std::string(SloAlertStateName(s.state)) + "\"";
+    out += ",\"fast_burn\":" + Num(s.fast_burn);
+    out += ",\"slow_burn\":" + Num(s.slow_burn);
+    out += ",\"trips\":" + std::to_string(s.trips);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pqsda::obs

@@ -1,0 +1,131 @@
+#ifndef PQSDA_OBS_SLO_H_
+#define PQSDA_OBS_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pqsda::obs {
+
+class ServingTelemetry;
+
+/// What a serving SLO counts as a bad event.
+enum class SloKind {
+  /// Bad = internal errors (NotFound is routine traffic, shed has its own
+  /// kind). Objective 0.999 reads "99.9% of requests error-free".
+  kAvailability,
+  /// Bad = admitted requests slower than latency_threshold_us, at histogram
+  /// bucket resolution. Objective 0.99 with threshold 200ms reads "p99 of
+  /// admitted requests under 200ms".
+  kLatency,
+  /// Bad = requests shed by admission control.
+  kShedRate,
+};
+
+const char* SloKindName(SloKind kind);
+
+/// One declarative serving objective, evaluated with the classic
+/// multi-window burn rate: burn = bad_fraction / (1 - objective), i.e. how
+/// many times faster than "exactly on objective" the error budget is being
+/// spent. An alert needs the fast AND the slow window burning (fast alone
+/// is a blip; slow alone is an old wound already healing).
+struct SloSpec {
+  std::string name;  // defaults to the kind name when parsed
+  SloKind kind = SloKind::kAvailability;
+  /// Target good fraction in [0, 1); 1 - objective is the error budget.
+  double objective = 0.999;
+  /// kLatency only: the "too slow" threshold.
+  double latency_threshold_us = 0.0;
+  int64_t fast_window_ns = 60LL * 1'000'000'000;   // 1m
+  int64_t slow_window_ns = 300LL * 1'000'000'000;  // 5m
+  /// Both windows' burn must exceed this to trip the alert.
+  double burn_threshold = 4.0;
+};
+
+/// Alert lifecycle of one SLO:
+///   healthy  --(fast & slow burn > threshold)-->  burning
+///   burning  --(fast burn < 1: budget no longer being spent)--> resolved
+///   resolved --(slow burn < 1)--> healthy, or back to burning on re-trip.
+/// The resolved limbo keeps the alert visible while the slow window still
+/// remembers the incident.
+enum class SloAlertState { kHealthy, kBurning, kResolved };
+
+const char* SloAlertStateName(SloAlertState state);
+
+/// Point-in-time evaluation of one SLO's state machine.
+struct SloStatus {
+  SloSpec spec;
+  SloAlertState state = SloAlertState::kHealthy;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  uint64_t fast_bad = 0;
+  uint64_t fast_total = 0;
+  uint64_t slow_bad = 0;
+  uint64_t slow_total = 0;
+  /// Clock reading (telemetry time base) when the current state was entered.
+  int64_t since_ns = 0;
+  /// healthy->burning transitions since configuration.
+  uint64_t trips = 0;
+};
+
+/// Parses one spec of the form "kind:objective[:threshold_us]" with kind in
+/// {availability, latency, shed_rate}, e.g. "availability:0.999" or
+/// "latency:0.99:200000". InvalidArgument on malformed input.
+StatusOr<SloSpec> ParseSloSpec(const std::string& text);
+
+/// Parses a comma-separated list of specs ("" yields an empty list).
+StatusOr<std::vector<SloSpec>> ParseSloSpecs(const std::string& text);
+
+/// Burn-rate alerting over the telemetry windows. Pull-based: every
+/// Evaluate (scrape of /alertz or /statusz) samples the fast and slow
+/// windows from the live WindowedRate/SlidingWindowHistogram rings and
+/// advances the per-SLO state machines; nothing runs between scrapes, and
+/// the request path pays nothing for SLO tracking.
+class SloEngine {
+ public:
+  /// `telemetry` must outlive the engine (both are process-lifetime
+  /// objects; see ServingTelemetry::Install).
+  SloEngine(ServingTelemetry* telemetry, std::vector<SloSpec> specs);
+
+  /// Evaluates every state machine at the current clock reading and
+  /// returns the statuses.
+  std::vector<SloStatus> Evaluate();
+
+  /// {"slos":[...],"transitions":[...]} — full state for /alertz, newest
+  /// transitions first.
+  std::string AlertzJson();
+
+  /// Compact array for the "slo" section of /statusz.
+  std::string StatuszSection();
+
+  size_t num_slos() const { return machines_.size(); }
+
+ private:
+  struct Machine {
+    SloSpec spec;
+    SloAlertState state = SloAlertState::kHealthy;
+    int64_t since_ns = 0;
+    uint64_t trips = 0;
+  };
+  struct WindowSample {
+    uint64_t total = 0;
+    uint64_t bad = 0;
+  };
+
+  WindowSample SampleWindow(const SloSpec& spec, int64_t window_ns) const;
+  std::vector<SloStatus> EvaluateLocked(int64_t now_ns);
+
+  ServingTelemetry* telemetry_;
+  std::mutex mu_;
+  std::vector<Machine> machines_;
+  /// Rendered transition records, newest at the back, capped.
+  std::deque<std::string> transitions_;
+};
+
+}  // namespace pqsda::obs
+
+#endif  // PQSDA_OBS_SLO_H_

@@ -8,6 +8,8 @@
 #include "common/thread_pool.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/retire.h"
+#include "obs/stage_profiler.h"
 
 namespace pqsda::obs {
 
@@ -43,6 +45,23 @@ std::string JsonEscape(const std::string& s) {
 std::atomic<ServingTelemetry*> g_default{nullptr};
 std::mutex g_install_mu;
 
+// Builds the quality surface's options from the telemetry options (shared
+// window ring and clock, its own sampling knob).
+QualityTelemetryOptions QualityOptionsOf(const ServingTelemetryOptions& o) {
+  QualityTelemetryOptions q;
+  q.window = o.window;
+  q.sample_every = o.quality_sample_every;
+  return q;
+}
+
+// "?window=10s|1m|5m" on /profilez; defaults to 1m.
+int64_t ProfilezWindowNs(const std::string& query) {
+  for (size_t w = 0; w < 3; ++w) {
+    if (query == std::string("window=") + kWindowNames[w]) return kWindowsNs[w];
+  }
+  return kWindowsNs[1];
+}
+
 }  // namespace
 
 ServingTelemetry::ServingTelemetry(ServingTelemetryOptions options)
@@ -58,7 +77,11 @@ ServingTelemetry::ServingTelemetry(ServingTelemetryOptions options)
       cache_hits_(options.window),
       cache_lookups_(options.window),
       shed_(options.window),
-      latency_(options.window) {}
+      latency_(options.window),
+      quality_(QualityOptionsOf(options)) {
+  exemplars_ =
+      std::make_unique<ExemplarSlot[]>(latency_.bounds().size() + 1);
+}
 
 ServingTelemetry& ServingTelemetry::Default() {
   ServingTelemetry* t = g_default.load(std::memory_order_acquire);
@@ -75,10 +98,10 @@ ServingTelemetry& ServingTelemetry::Default() {
 ServingTelemetry& ServingTelemetry::Install(ServingTelemetryOptions options) {
   std::lock_guard<std::mutex> lock(g_install_mu);
   auto* t = new ServingTelemetry(std::move(options));
-  // The previous instance leaks deliberately: request threads may hold a
+  // The previous instance is never freed: request threads may hold a
   // reference across the swap and windowed recorders must never die under
   // them.
-  g_default.store(t, std::memory_order_release);
+  RetireForever(g_default.exchange(t, std::memory_order_acq_rel));
   return *t;
 }
 
@@ -91,13 +114,32 @@ bool ServingTelemetry::SampleTrace() {
 
 void ServingTelemetry::RecordRequest(double latency_us, bool ok,
                                      bool not_found, bool cache_enabled,
-                                     bool cache_hit, bool shed) {
+                                     bool cache_hit, bool shed,
+                                     uint64_t request_id) {
   requests_.Add();
   if (shed) {
     shed_.Add();
     return;
   }
   latency_.Record(latency_us);
+  if (request_id != 0) {
+    const std::vector<double>& bounds = latency_.bounds();
+    const size_t bucket = static_cast<size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), latency_us) -
+        bounds.begin());
+    ExemplarSlot& slot = exemplars_[bucket];
+    slot.request_id.store(request_id, std::memory_order_relaxed);
+    slot.latency_us.store(static_cast<int64_t>(latency_us),
+                          std::memory_order_relaxed);
+    slot.at_ns.store(options_.window.clock
+                         ? options_.window.clock()
+                         : std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now()
+                                   .time_since_epoch())
+                               .count(),
+                     std::memory_order_relaxed);
+  }
   if (!ok && !not_found) errors_.Add();
   if (not_found) not_found_.Add();
   if (cache_enabled) {
@@ -137,9 +179,23 @@ void ServingTelemetry::RecordTrace(uint64_t request_id,
 }
 
 void ServingTelemetry::AttachRequestLog(std::unique_ptr<RequestLog> log) {
-  // Ownership transfers to the process (leaked like Install's predecessor);
-  // the raw pointer is what the request path loads.
-  request_log_.store(log.release(), std::memory_order_release);
+  // Ownership transfers to the process (retired like Install's
+  // predecessor); the raw pointer is what the request path loads.
+  RetireForever(
+      request_log_.exchange(log.release(), std::memory_order_acq_rel));
+}
+
+void ServingTelemetry::ConfigureSlos(std::vector<SloSpec> specs) {
+  SloEngine* engine =
+      specs.empty() ? nullptr : new SloEngine(this, std::move(specs));
+  // The predecessor is retired, never freed: a scrape thread may be
+  // mid-Evaluate.
+  RetireForever(slo_.exchange(engine, std::memory_order_acq_rel));
+}
+
+std::string ServingTelemetry::AlertzJson() const {
+  if (SloEngine* engine = slo()) return engine->AlertzJson();
+  return "{\"slos\":[],\"transitions\":[]}";
 }
 
 std::string ServingTelemetry::StatuszJson() const {
@@ -207,6 +263,34 @@ std::string ServingTelemetry::StatuszJson() const {
   }
   out += "}";
 
+  // Exemplars: the most recent request id seen in each latency bucket, the
+  // bridge from a percentile spike here to the concrete trace in /tracez or
+  // the JSONL request log.
+  out += ",\"exemplars\":[";
+  {
+    const std::vector<double>& bounds = latency_.bounds();
+    bool first = true;
+    for (size_t b = 0; b <= bounds.size(); ++b) {
+      const ExemplarSlot& slot = exemplars_[b];
+      const uint64_t id = slot.request_id.load(std::memory_order_relaxed);
+      if (id == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"le\":";
+      out += b < bounds.size() ? "\"" + Num(bounds[b]) + "\""
+                               : std::string("\"+Inf\"");
+      out += ",\"request_id\":" + std::to_string(id);
+      out += ",\"latency_us\":" +
+             std::to_string(slot.latency_us.load(std::memory_order_relaxed));
+      out += ",\"age_sec\":" +
+             Num(static_cast<double>(
+                     now_ns - slot.at_ns.load(std::memory_order_relaxed)) *
+                 1e-9);
+      out += "}";
+    }
+  }
+  out += "]";
+
   // Pool state is read at scrape time (collect-on-scrape: the hot path pays
   // nothing for these).
   ThreadPool& pool = ThreadPool::Shared();
@@ -247,6 +331,13 @@ std::string ServingTelemetry::StatuszJson() const {
     out += "}";
   }
   out += "}";
+
+  // Online quality over the last minute (sampled served lists; see
+  // QualityTelemetry) and the SLO state machines, when configured.
+  out += ",\"quality\":" + quality_.StatuszSection(kWindowsNs[1]);
+  if (SloEngine* engine = slo()) {
+    out += ",\"slo\":" + engine->StatuszSection();
+  }
 
   // Overload-hardening state: shed/admission totals and how many requests
   // each degradation-ladder rung served since process start.
@@ -366,6 +457,19 @@ void ServingTelemetry::RegisterEndpoints(HttpExporter* exporter) {
     HttpResponse response;
     response.content_type = "application/json";
     response.body = TracezJson();
+    return response;
+  });
+  exporter->Route("/profilez", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StageProfiler::Default().ProfilezJson(
+        ProfilezWindowNs(request.query));
+    return response;
+  });
+  exporter->Route("/alertz", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = AlertzJson();
     return response;
   });
 }

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/quality.h"
 #include "obs/request_log.h"
 #include "obs/sliding_window.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace pqsda::obs {
@@ -29,6 +31,9 @@ struct ServingTelemetryOptions {
   /// /tracez keeps this many most-recent and this many slowest traces.
   size_t tracez_recent = 16;
   size_t tracez_slowest = 16;
+  /// Online quality telemetry samples 1 of every N served lists (1 = all,
+  /// 0 = disabled); see QualityTelemetry.
+  uint64_t quality_sample_every = 4;
 };
 
 /// Process-wide live serving telemetry: windowed request rates and latency
@@ -65,8 +70,12 @@ class ServingTelemetry {
   /// (admission control answered kUnavailable before any pipeline work)
   /// feeds the shed window only — its near-zero latency would poison the
   /// percentiles, and it is neither an error nor traffic served.
+  /// A nonzero `request_id` additionally stamps the request as the exemplar
+  /// of its latency bucket, so /statusz can link a percentile spike to the
+  /// concrete request in /tracez or the request log.
   void RecordRequest(double latency_us, bool ok, bool not_found,
-                     bool cache_enabled, bool cache_hit, bool shed = false);
+                     bool cache_enabled, bool cache_hit, bool shed = false,
+                     uint64_t request_id = 0);
 
   /// Stores a finished request's trace in the /tracez ring (rendered to
   /// JSON once, here, so the ring holds no live SpanNode trees).
@@ -91,18 +100,41 @@ class ServingTelemetry {
   /// {"recent":[...],"slowest":[...]} of rendered trace trees.
   std::string TracezJson() const;
 
-  /// Registers /metrics, /healthz, /statusz and /tracez on `exporter`.
+  /// Installs (or replaces) the burn-rate SLO engine over this surface's
+  /// windows; the predecessor leaks deliberately (same contract as
+  /// Install). An empty spec list removes SLO tracking.
+  void ConfigureSlos(std::vector<SloSpec> specs);
+  /// Null until ConfigureSlos installs an engine.
+  SloEngine* slo() const { return slo_.load(std::memory_order_acquire); }
+  /// /alertz body: the SLO engine's state, or {"slos":[],...} when none is
+  /// configured.
+  std::string AlertzJson() const;
+
+  /// Registers /metrics, /healthz, /statusz, /tracez, /profilez and
+  /// /alertz on `exporter`.
   void RegisterEndpoints(HttpExporter* exporter);
 
   const ServingTelemetryOptions& options() const { return options_; }
   WindowedRate& requests() { return requests_; }
+  WindowedRate& errors() { return errors_; }
+  WindowedRate& shed() { return shed_; }
   SlidingWindowHistogram& latency() { return latency_; }
+  QualityTelemetry& quality() { return quality_; }
 
  private:
   struct TracezEntry {
     uint64_t request_id = 0;
     int64_t total_us = 0;
     std::string json;  // rendered SpanNode tree + id/query header
+  };
+
+  /// Most recent request landing in one latency bucket. Torn reads across
+  /// the three fields are possible and acceptable — exemplars are debugging
+  /// breadcrumbs, not accounting.
+  struct ExemplarSlot {
+    std::atomic<uint64_t> request_id{0};
+    std::atomic<int64_t> latency_us{0};
+    std::atomic<int64_t> at_ns{0};
   };
 
   ServingTelemetryOptions options_;
@@ -117,12 +149,16 @@ class ServingTelemetry {
   WindowedRate cache_lookups_;
   WindowedRate shed_;
   SlidingWindowHistogram latency_;
+  QualityTelemetry quality_;
+  /// One exemplar per latency bucket (bounds().size() + 1 overflow).
+  std::unique_ptr<ExemplarSlot[]> exemplars_;
 
   mutable std::mutex tracez_mu_;
   std::deque<TracezEntry> recent_;    // newest at the back
   std::vector<TracezEntry> slowest_;  // sorted by total_us descending
 
   std::atomic<RequestLog*> request_log_{nullptr};
+  std::atomic<SloEngine*> slo_{nullptr};
 };
 
 }  // namespace pqsda::obs

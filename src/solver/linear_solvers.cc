@@ -6,10 +6,21 @@
 
 #include "common/fault_injector.h"
 #include "common/math_util.h"
+#include "obs/stage_profiler.h"
 
 namespace pqsda {
 
 namespace {
+
+// Attributes the solve's iteration count as solver-stage work on whatever
+// request is being profiled on this thread (no-op outside one). RAII so
+// every exit path — convergence, iteration cap, cancellation — reports.
+struct SolveWorkAttribution {
+  const SolverResult& result;
+  ~SolveWorkAttribution() {
+    obs::StageProfiler::AddWork(obs::ProfileStage::kSolve, result.iterations);
+  }
+};
 
 // Top-of-iteration cooperative check shared by every solver loop: fires the
 // fault-injection point first (so an armed clock jump is visible to this
@@ -58,6 +69,7 @@ SolverResult JacobiSolve(const CsrMatrix& a, const std::vector<double>& b,
   const size_t n = b.size();
   std::vector<double> next(n, 0.0);
   SolverResult result;
+  SolveWorkAttribution work_attribution{result};
   for (size_t it = 0; it < options.max_iterations; ++it) {
     if (SolveInterrupted(options, it, result)) return result;
     for (size_t i = 0; i < n; ++i) {
@@ -92,6 +104,7 @@ SolverResult GaussSeidelSolve(const CsrMatrix& a, const std::vector<double>& b,
   if (x.size() != b.size()) x.assign(b.size(), 0.0);
   const size_t n = b.size();
   SolverResult result;
+  SolveWorkAttribution work_attribution{result};
   for (size_t it = 0; it < options.max_iterations; ++it) {
     if (SolveInterrupted(options, it, result)) return result;
     for (size_t i = 0; i < n; ++i) {
@@ -153,6 +166,7 @@ SolverResult JacobiSolveParallel(const CsrMatrix& a,
   };
 
   SolverResult result;
+  SolveWorkAttribution work_attribution{result};
   const size_t grain = (n + threads - 1) / threads;
   for (size_t it = 0; it < options.max_iterations; ++it) {
     // Only the issuing thread polls; workers run one full sweep at most
@@ -186,6 +200,7 @@ SolverResult ConjugateGradientSolve(const CsrMatrix& a,
   const double b_norm = std::max(Norm2(b), 1e-300);
 
   SolverResult result;
+  SolveWorkAttribution work_attribution{result};
   for (size_t it = 0; it < options.max_iterations; ++it) {
     if (SolveInterrupted(options, it, result)) return result;
     result.iterations = it + 1;

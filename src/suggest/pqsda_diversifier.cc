@@ -7,6 +7,7 @@
 
 #include "common/fault_injector.h"
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
 
@@ -101,6 +102,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
   CompactBuildStats build_stats;
   {
     obs::TraceSpan span("expansion");
+    obs::StageScope stage(obs::ProfileStage::kExpansion);
     obs::ScopedTimer timer(expansion_us);
     input = mb_->QueryId(request.query);
     for (const auto& [q, ts] : request.context) {
@@ -136,6 +138,8 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
     compact_rounds.Increment(build_stats.rounds);
     compact_walk_steps.Increment(build_stats.walk_steps);
     compact_admitted.Increment(build_stats.queries_admitted);
+    obs::StageProfiler::AddWork(obs::ProfileStage::kExpansion,
+                                build_stats.walk_steps);
     if (rep_or.ok()) {
       span.Annotate("compact_size", static_cast<int64_t>(rep_or->size()));
       span.Annotate("rounds", static_cast<int64_t>(build_stats.rounds));
@@ -193,6 +197,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
     // over the seed rows' nonzeros; deterministic like the full pipeline.
     DiversificationOutput out;
     obs::TraceSpan span("walk_only_scatter");
+    obs::StageScope stage(obs::ProfileStage::kSelection);
     obs::ScopedTimer timer(selection_us);
     static thread_local std::vector<double> f0;
     build_seed(f0);
@@ -235,6 +240,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
       stats->candidates_scored = scored;
       stats->suggestions_returned = out.candidates.size();
     }
+    obs::StageProfiler::AddWork(obs::ProfileStage::kSelection, scored);
     span.Annotate("candidates_scored", static_cast<int64_t>(scored));
     span.Annotate("selected", static_cast<int64_t>(out.candidates.size()));
     return out;
@@ -244,6 +250,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
   std::vector<double> f;
   {
     obs::TraceSpan span("regularization_solve");
+    obs::StageScope stage(obs::ProfileStage::kSolve);
     obs::ScopedTimer timer(solve_us);
     static thread_local std::vector<double> f0;
     build_seed(f0);
@@ -271,6 +278,7 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
   DiversificationOutput out;
   {
     obs::TraceSpan span("hitting_time_selection");
+    obs::StageScope stage(obs::ProfileStage::kSelection);
     obs::ScopedTimer timer(selection_us);
 
     // The input (when it is a log query) and its context are not candidates;
@@ -358,6 +366,8 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
       stats->hitting_rounds = rounds;
       stats->candidates_scored = candidates_scored;
     }
+    obs::StageProfiler::AddWork(obs::ProfileStage::kSelection,
+                                candidates_scored);
     span.Annotate("rounds", static_cast<int64_t>(rounds));
     span.Annotate("candidates_scored",
                   static_cast<int64_t>(candidates_scored));

@@ -5,6 +5,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/stage_profiler.h"
 #include "optim/beta_fit.h"
 #include "optim/dirichlet_opt.h"
 
@@ -233,6 +234,10 @@ std::vector<double> UpmModel::PredictiveWordDistribution(size_t doc) const {
 double UpmModel::PreferenceScore(size_t doc,
                                  const std::vector<uint32_t>& words) const {
   if (doc >= docs_ || words.empty()) return 1e-9;
+  // Personalization work = candidate words scored through the topic mixture
+  // (Eq. 31); one rerank calls this once per candidate.
+  obs::StageProfiler::AddWork(obs::ProfileStage::kPersonalization,
+                              words.size());
   const size_t K = options_.base.num_topics;
   std::vector<double> theta = DocumentTopicMixture(doc);
   double score = 0.0;

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -462,6 +463,281 @@ TEST(RequestLogTest, ToJsonSchema) {
   EXPECT_NE(failed_json.find("\"status\":\"NotFound: unknown query\""),
             std::string::npos);
   EXPECT_EQ(failed_json.find("suggestions"), std::string::npos);
+}
+
+// --------------------------------- sliding-window edge cases ----
+
+TEST(SlidingWindowEdgeTest, BackwardsClockWriteIsDroppedNotCorrupting) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options(kSecond, /*epochs=*/4));
+  clock.Advance(10 * kSecond);
+  rate.Add(5);  // epoch 10, slot 2
+  EXPECT_EQ(rate.SumOver(kSecond), 5u);
+
+  // The clock steps backwards onto the same ring slot (epoch 6 also maps to
+  // slot 2, which holds the newer epoch 10): the write is dropped rather
+  // than corrupting the newer epoch, and reads at the rewound time see
+  // nothing from the future.
+  clock.Advance(-4 * kSecond);
+  rate.Add(2);
+  EXPECT_EQ(rate.SumOver(4 * kSecond), 0u);
+
+  // Once the clock recovers, the original epoch's count is intact — the
+  // backwards write neither lost it nor double-counted anything.
+  clock.Advance(4 * kSecond);
+  EXPECT_EQ(rate.SumOver(kSecond), 5u);
+}
+
+TEST(SlidingWindowEdgeTest, BackwardsClockHistogramRecordIsDropped) {
+  FakeClock clock;
+  SlidingWindowHistogram hist(clock.Options(kSecond, /*epochs=*/4));
+  clock.Advance(10 * kSecond);
+  hist.Record(100.0);
+  clock.Advance(-4 * kSecond);  // same slot, older epoch: dropped
+  hist.Record(999.0);
+  clock.Advance(4 * kSecond);
+  WindowSnapshot snap = hist.SnapshotOver(kSecond);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 100.0);
+}
+
+TEST(SlidingWindowEdgeTest, RecordsStraddlingAnEpochBoundary) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options(kSecond, /*epochs=*/8));
+  clock.Advance(kSecond - 1);  // last nanosecond of epoch 0
+  rate.Add(1);
+  clock.Advance(1);  // first nanosecond of epoch 1
+  rate.Add(1);
+  // One-epoch window: only the event on this side of the boundary.
+  EXPECT_EQ(rate.SumOver(kSecond), 1u);
+  EXPECT_EQ(rate.SumOver(2 * kSecond), 2u);
+
+  SlidingWindowHistogram hist(clock.Options(kSecond, /*epochs=*/8));
+  hist.Record(10.0);  // epoch 1 (clock is at exactly 1s)
+  clock.Advance(kSecond);
+  hist.Record(20.0);  // epoch 2
+  EXPECT_EQ(hist.SnapshotOver(kSecond).count, 1u);
+  EXPECT_DOUBLE_EQ(hist.SnapshotOver(2 * kSecond).sum, 30.0);
+}
+
+TEST(SlidingWindowEdgeTest, ZeroWidthWindowsAndDegenerateOptions) {
+  FakeClock clock;
+  WindowedRate rate(clock.Options());
+  rate.Add(3);
+  // A zero (or negative) window clamps to the current epoch.
+  EXPECT_EQ(rate.SumOver(0), 3u);
+  EXPECT_EQ(rate.SumOver(-5 * kSecond), 3u);
+  EXPECT_DOUBLE_EQ(rate.RatePerSec(0), 0.0);
+
+  SlidingWindowHistogram hist(clock.Options());
+  hist.Record(42.0);
+  EXPECT_EQ(hist.SnapshotOver(0).count, 1u);
+  EXPECT_EQ(hist.CountAbove(0, 1.0), 1u);
+
+  // Zero-width epochs and a zero-size ring are sanitized at construction
+  // instead of dividing by zero on the first Add.
+  WindowOptions degenerate;
+  degenerate.epoch_ns = 0;
+  degenerate.epochs = 0;
+  degenerate.clock = [] { return int64_t{7}; };
+  WindowedRate pinned(degenerate);
+  pinned.Add(4);
+  EXPECT_EQ(pinned.SumOver(kSecond), 4u);
+  EXPECT_GE(pinned.options().epoch_ns, 1);
+  EXPECT_GE(pinned.options().epochs, 1u);
+}
+
+TEST(SlidingWindowHistogramTest, CountAboveAtBucketResolution) {
+  FakeClock clock;
+  std::vector<double> bounds = {10.0, 20.0, 40.0};
+  SlidingWindowHistogram hist(clock.Options(), &bounds);
+  hist.Record(5.0);    // bucket (0, 10]
+  hist.Record(15.0);   // bucket (10, 20]
+  hist.Record(30.0);   // bucket (20, 40]
+  hist.Record(100.0);  // overflow
+
+  // Threshold on a bucket bound: exactly the strictly-above buckets count.
+  EXPECT_EQ(hist.CountAbove(kSecond, 20.0), 2u);
+  EXPECT_EQ(hist.CountAbove(kSecond, 10.0), 3u);
+  // Mid-bucket threshold: the containing bucket contributes a linearly
+  // interpolated share ((20-15)/10 = 0.5), rounded at the end.
+  EXPECT_EQ(hist.CountAbove(kSecond, 15.0), 3u);  // 0.5 + 1 + 1 rounds to 3
+  // Threshold below every bound counts everything; past the last bound only
+  // the overflow bucket (whose observations are at least that bound).
+  EXPECT_EQ(hist.CountAbove(kSecond, 0.0), 4u);
+  EXPECT_EQ(hist.CountAbove(kSecond, 50.0), 1u);
+  // Aged-out observations leave the count.
+  clock.Advance(20 * kSecond);
+  EXPECT_EQ(hist.CountAbove(8 * kSecond, 0.0), 0u);
+}
+
+// ------------------------------------ request-log rotation ----
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+TEST(RequestLogTest, SizeRotationPreservesEveryLineAndTheAccounting) {
+  const std::string path = TempLogPath("rotate");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 1;
+  options.slow_us = 1'000'000'000;
+  options.rotate_bytes = 1500;  // ~16 entries of ~90 bytes per file
+  options.max_rotated_files = 3;
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 30; ++i) (*log)->Log(MakeEntry(i, 50));
+  (*log)->Flush();
+
+  EXPECT_EQ((*log)->accepted(), 30u);
+  EXPECT_EQ((*log)->written() + (*log)->dropped(), (*log)->accepted());
+  EXPECT_GE((*log)->rotations(), 1u);
+  // Few enough rotations that nothing aged out of the kept chain: every
+  // written line is on disk, whole, in exactly one file.
+  size_t on_disk = CountLines(path);
+  for (size_t i = 1; i <= options.max_rotated_files; ++i) {
+    on_disk += CountLines(path + "." + std::to_string(i));
+  }
+  EXPECT_EQ(on_disk, (*log)->written());
+  // Rotated files hold only complete JSON lines (no entry split across the
+  // boundary).
+  std::ifstream rotated(path + ".1");
+  std::string line;
+  while (std::getline(rotated, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  log->reset();
+  std::remove(path.c_str());
+  for (size_t i = 1; i <= options.max_rotated_files; ++i) {
+    std::remove((path + "." + std::to_string(i)).c_str());
+  }
+}
+
+TEST(RequestLogTest, RotationDropsBeyondMaxRotatedFiles) {
+  const std::string path = TempLogPath("rotate_cap");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 1;
+  options.slow_us = 1'000'000'000;
+  options.rotate_bytes = 200;  // ~2 entries per file: many rotations
+  options.max_rotated_files = 2;
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 40; ++i) (*log)->Log(MakeEntry(i, 50));
+  (*log)->Flush();
+
+  EXPECT_EQ((*log)->written() + (*log)->dropped(), (*log)->accepted());
+  EXPECT_GE((*log)->rotations(), 5u);
+  // The chain is bounded: path.1 and path.2 may exist, path.3 never does.
+  EXPECT_FALSE(FileExists(path + ".3"));
+  EXPECT_TRUE(FileExists(path + ".1"));
+  // Old lines aged out of the kept chain, so disk holds fewer lines than
+  // were written — but what is kept is the newest tail: the final entry's
+  // id is in the active file chain.
+  size_t on_disk = CountLines(path) + CountLines(path + ".1") +
+                   CountLines(path + ".2");
+  EXPECT_LT(on_disk, (*log)->written());
+  EXPECT_GT(on_disk, 0u);
+  std::stringstream all;
+  all << std::ifstream(path).rdbuf();
+  EXPECT_NE(all.str().find("\"request_id\":39,"), std::string::npos);
+  log->reset();
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  std::remove((path + ".2").c_str());
+}
+
+TEST(RequestLogTest, RotationWithZeroKeptFilesDiscards) {
+  const std::string path = TempLogPath("rotate_discard");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 1;
+  options.slow_us = 1'000'000'000;
+  options.rotate_bytes = 200;
+  options.max_rotated_files = 0;
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 40; ++i) (*log)->Log(MakeEntry(i, 50));
+  (*log)->Flush();
+
+  EXPECT_EQ((*log)->written() + (*log)->dropped(), (*log)->accepted());
+  EXPECT_GE((*log)->rotations(), 5u);
+  EXPECT_FALSE(FileExists(path + ".1"));
+  EXPECT_LT(CountLines(path), (*log)->written());
+  log->reset();
+  std::remove(path.c_str());
+}
+
+TEST(RequestLogTest, RotationDisabledNeverRotates) {
+  const std::string path = TempLogPath("rotate_off");
+  RequestLogOptions options;
+  options.path = path;
+  options.sample_every = 1;
+  options.slow_us = 1'000'000'000;
+  options.rotate_bytes = 0;
+  auto log = RequestLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (uint64_t i = 0; i < 40; ++i) (*log)->Log(MakeEntry(i, 50));
+  (*log)->Flush();
+  EXPECT_EQ((*log)->rotations(), 0u);
+  EXPECT_FALSE(FileExists(path + ".1"));
+  EXPECT_EQ(CountLines(path), (*log)->written());
+  log->reset();
+  std::remove(path.c_str());
+}
+
+// --------------------------- HttpExporter lifecycle hardening ----
+
+TEST(HttpExporterTest, TwoExportersGetDistinctEphemeralPorts) {
+  HttpExporter a;
+  HttpExporter b;
+  auto route = [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  };
+  a.Route("/healthz", route);
+  b.Route("/healthz", route);
+  ASSERT_TRUE(a.Start(0).ok());
+  ASSERT_TRUE(b.Start(0).ok());
+  EXPECT_GT(a.port(), 0);
+  EXPECT_GT(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_TRUE(HttpGet(a.port(), "/healthz").ok());
+  EXPECT_TRUE(HttpGet(b.port(), "/healthz").ok());
+  a.Stop();
+  // Stopping one must not affect the other.
+  EXPECT_TRUE(HttpGet(b.port(), "/healthz").ok());
+  b.Stop();
+}
+
+TEST(HttpExporterTest, RestartAfterStopServesAgain) {
+  HttpExporter exporter;
+  exporter.Route("/healthz", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  const int first_port = exporter.port();
+  // A second Start while running is refused, not a silent rebind.
+  EXPECT_EQ(exporter.Start(0).code(), StatusCode::kFailedPrecondition);
+  exporter.Stop();
+  ASSERT_FALSE(exporter.running());
+
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_GT(exporter.port(), 0);
+  int status = 0;
+  auto body = HttpGet(exporter.port(), "/healthz", &status);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(*body, "ok\n");
+  exporter.Stop();
+  (void)first_port;
 }
 
 // ---------------------------------------- end-to-end serving ----
