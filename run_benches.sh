@@ -15,19 +15,21 @@ run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 # ladder under a mid-flight cancellation storm), the live-ingestion path
 # (snapshot publication/reclaim racing in-flight requests) and the stage
 # profiler (thread-local accumulators folding into the shared epoch ring)
-# — by running obs_test, serving_test, telemetry_test, fault_injection_test,
-# ingest_test and profiler_test under ThreadSanitizer before spending 20
-# minutes on figures. Skip with PQSDA_TSAN_VERIFY=0.
+# — plus the SIMD kernel dispatch (kernel_equivalence_test) — by running
+# obs_test, serving_test, telemetry_test, fault_injection_test, ingest_test,
+# profiler_test and kernel_equivalence_test under ThreadSanitizer before
+# spending 20 minutes on figures. Skip with PQSDA_TSAN_VERIFY=0.
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: obs + serving + telemetry + fault_injection + ingest + profiler tests under ThreadSanitizer ====="
+  echo "===== verify: obs + serving + telemetry + fault_injection + ingest + profiler + kernel_equivalence tests under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test profiler_test -j >/dev/null &&
+    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test profiler_test kernel_equivalence_test -j >/dev/null &&
     timeout 600 ./build-tsan/tests/obs_test &&
     timeout 600 ./build-tsan/tests/serving_test &&
     timeout 600 ./build-tsan/tests/telemetry_test &&
     timeout 600 ./build-tsan/tests/fault_injection_test &&
     timeout 600 ./build-tsan/tests/ingest_test &&
-    timeout 600 ./build-tsan/tests/profiler_test || {
+    timeout 600 ./build-tsan/tests/profiler_test &&
+    timeout 600 ./build-tsan/tests/kernel_equivalence_test || {
       echo "TSAN verify failed" >&2
       exit 1
     }
@@ -39,13 +41,14 @@ fi
 # request serving out of generation g while g+1 swaps in must never touch
 # freed memory. Skip with PQSDA_ASAN_VERIFY=0.
 if [ "${PQSDA_ASAN_VERIFY:-1}" = "1" ]; then
-  echo "===== verify: ingest + serving + fault_injection + profiler tests under AddressSanitizer ====="
+  echo "===== verify: ingest + serving + fault_injection + profiler + kernel_equivalence tests under AddressSanitizer ====="
   cmake -B build-asan -S . -DPQSDA_ENABLE_ASAN=ON >/dev/null &&
-    cmake --build build-asan --target ingest_test serving_test fault_injection_test profiler_test -j >/dev/null &&
+    cmake --build build-asan --target ingest_test serving_test fault_injection_test profiler_test kernel_equivalence_test -j >/dev/null &&
     timeout 600 ./build-asan/tests/ingest_test &&
     timeout 600 ./build-asan/tests/serving_test &&
     timeout 600 ./build-asan/tests/fault_injection_test &&
-    timeout 600 ./build-asan/tests/profiler_test || {
+    timeout 600 ./build-asan/tests/profiler_test &&
+    timeout 600 ./build-asan/tests/kernel_equivalence_test || {
       echo "ASan verify failed" >&2
       exit 1
     }
@@ -69,5 +72,25 @@ if ! grep -q '"gate_pass": true' BENCH_profile.json 2>/dev/null; then
   echo "profiling-overhead gate FAILED (see BENCH_profile.json)" >&2
   exit 1
 fi
+# The kernel numbers below are only worth publishing if the vectorized
+# kernels actually compute what the scalar references compute — run the
+# equivalence suite unconditionally (it is cheap) before timing anything.
+echo "===== verify: kernel equivalence (vectorized vs scalar reference) ====="
+timeout 600 build/tests/kernel_equivalence_test || {
+  echo "kernel equivalence FAILED — not running kernel benchmarks" >&2
+  exit 1
+}
+echo
 echo "===== micro_kernels ====="
 PQSDA_USERS=120 timeout 900 "$B/micro_kernels" --benchmark_min_time=0.2
+# The tentpole's promise, enforced: the packed-operator Jacobi row sweep
+# must be at least 2x the legacy CSR sweep, and the SIMD serving pass must
+# return bitwise-identical suggestion lists to the scalar pass.
+if ! grep -q '"jacobi_gate_pass": true' BENCH_kernels.json 2>/dev/null; then
+  echo "jacobi row-sweep speedup gate FAILED (see BENCH_kernels.json)" >&2
+  exit 1
+fi
+if ! grep -q '"results_bitwise_equal": true' BENCH_kernels.json 2>/dev/null; then
+  echo "SIMD-vs-scalar result equality gate FAILED (see BENCH_kernels.json)" >&2
+  exit 1
+fi

@@ -1,0 +1,160 @@
+#ifndef PQSDA_COMMON_FLAT_HASH_H_
+#define PQSDA_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pqsda {
+
+/// Open-addressing hash map over a dense arena: the (key, value) pairs live
+/// contiguously in insertion order in one vector, and a separate
+/// power-of-two slot table holds 32-bit indices into it. Compared to
+/// std::unordered_map this is one indirection instead of a node chase per
+/// lookup, a single allocation growth pattern, and *deterministic
+/// insertion-order iteration* — the property the compact-representation
+/// expansion relies on for reproducible request handling.
+///
+/// Supports the subset of the unordered_map API the hot paths use: find /
+/// at / count / operator[] / emplace / range-for / initializer-list
+/// assignment. No erase — the request-path maps are build-once, read-many.
+/// Iterators are invalidated by any insertion (the arena may reallocate).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatMap() = default;
+  FlatMap(std::initializer_list<value_type> init) { assign(init); }
+  FlatMap& operator=(std::initializer_list<value_type> init) {
+    assign(init);
+    return *this;
+  }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void clear() {
+    entries_.clear();
+    slots_.assign(slots_.size(), kEmpty);
+  }
+
+  void reserve(size_t n) {
+    entries_.reserve(n);
+    if (n * 4 >= slots_.size() * 3) Rehash(SlotCountFor(n));
+  }
+
+  iterator find(const K& key) {
+    size_t s = FindSlot(key);
+    return s == kNotFound ? entries_.end() : entries_.begin() + slots_[s];
+  }
+  const_iterator find(const K& key) const {
+    size_t s = FindSlot(key);
+    return s == kNotFound ? entries_.end() : entries_.begin() + slots_[s];
+  }
+
+  size_t count(const K& key) const { return FindSlot(key) == kNotFound ? 0 : 1; }
+
+  V& at(const K& key) {
+    size_t s = FindSlot(key);
+    if (s == kNotFound) throw std::out_of_range("FlatMap::at: missing key");
+    return entries_[slots_[s]].second;
+  }
+  const V& at(const K& key) const {
+    size_t s = FindSlot(key);
+    if (s == kNotFound) throw std::out_of_range("FlatMap::at: missing key");
+    return entries_[slots_[s]].second;
+  }
+
+  V& operator[](const K& key) { return TryEmplace(key).first->second; }
+
+  /// Inserts (key, value) if the key is absent; returns the entry and
+  /// whether an insertion happened (unordered_map::emplace contract).
+  std::pair<iterator, bool> emplace(const K& key, V value) {
+    auto [it, inserted] = TryEmplace(key);
+    if (inserted) it->second = std::move(value);
+    return {it, inserted};
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  static constexpr size_t kNotFound = SIZE_MAX;
+
+  static size_t SlotCountFor(size_t entries) {
+    size_t slots = 16;
+    // Keep the load factor under 3/4.
+    while (entries * 4 >= slots * 3) slots *= 2;
+    return slots;
+  }
+
+  // Fibonacci mixing on top of Hash: identity hashes (dense uint32 ids, the
+  // common case here) still spread across the high bits the mask keeps.
+  size_t SlotOf(const K& key) const {
+    uint64_t h = static_cast<uint64_t>(Hash{}(key)) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h >> shift_);
+  }
+
+  size_t FindSlot(const K& key) const {
+    if (slots_.empty()) return kNotFound;
+    const size_t mask = slots_.size() - 1;
+    for (size_t s = SlotOf(key);; s = (s + 1) & mask) {
+      uint32_t e = slots_[s];
+      if (e == kEmpty) return kNotFound;
+      if (entries_[e].first == key) return s;
+    }
+  }
+
+  std::pair<iterator, bool> TryEmplace(const K& key) {
+    if ((entries_.size() + 1) * 4 >= slots_.size() * 3) {
+      Rehash(SlotCountFor(entries_.size() + 1));
+    }
+    const size_t mask = slots_.size() - 1;
+    for (size_t s = SlotOf(key);; s = (s + 1) & mask) {
+      uint32_t e = slots_[s];
+      if (e == kEmpty) {
+        slots_[s] = static_cast<uint32_t>(entries_.size());
+        entries_.emplace_back(key, V{});
+        return {entries_.end() - 1, true};
+      }
+      if (entries_[e].first == key) return {entries_.begin() + e, false};
+    }
+  }
+
+  void Rehash(size_t new_slots) {
+    slots_.assign(new_slots, kEmpty);
+    shift_ = 64;
+    for (size_t s = new_slots; s > 1; s /= 2) --shift_;
+    const size_t mask = new_slots - 1;
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      size_t s = SlotOf(entries_[e].first);
+      while (slots_[s] != kEmpty) s = (s + 1) & mask;
+      slots_[s] = static_cast<uint32_t>(e);
+    }
+  }
+
+  void assign(std::initializer_list<value_type> init) {
+    entries_.clear();
+    slots_.clear();
+    for (const auto& [k, v] : init) emplace(k, v);
+  }
+
+  std::vector<value_type> entries_;
+  std::vector<uint32_t> slots_;
+  // 64 - log2(slots_.size()): SlotOf keeps the top bits of the mixed hash.
+  unsigned shift_ = 64;
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_COMMON_FLAT_HASH_H_

@@ -1,0 +1,335 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define PQSDA_SIMD_X86 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define PQSDA_SIMD_NEON 1
+#endif
+
+namespace pqsda::simd {
+
+namespace {
+
+// All implementations below compute the SAME canonical operation order (see
+// simd.h): lane j accumulates elements i with i % 4 == j over full blocks
+// of 4, lanes combine as (l0 + l1) + (l2 + l3), the tail is appended
+// sequentially. Keep them in lockstep — the kernel_equivalence suite
+// asserts bitwise equality across levels.
+
+double DotScalar(const double* values, const uint32_t* cols, size_t n,
+                 const double* x) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += values[i] * x[cols[i]];
+    a1 += values[i + 1] * x[cols[i + 1]];
+    a2 += values[i + 2] * x[cols[i + 2]];
+    a3 += values[i + 3] * x[cols[i + 3]];
+  }
+  double s = (a0 + a1) + (a2 + a3);
+  for (; i < n; ++i) s += values[i] * x[cols[i]];
+  return s;
+}
+
+#ifdef PQSDA_SIMD_X86
+// No FMA: mul then add, exactly like the scalar reference — a fused
+// multiply-add would round once instead of twice and break the bitwise
+// contract between levels.
+__attribute__((target("avx2"))) double DotAvx2(const double* values,
+                                               const uint32_t* cols, size_t n,
+                                               const double* x) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // x lanes are assembled with scalar loads: vgatherdpd is microcoded on
+    // most cores and loses to four plain loads at CSR row lengths.
+    __m128d x01 = _mm_loadh_pd(_mm_load_sd(x + cols[i]), x + cols[i + 1]);
+    __m128d x23 =
+        _mm_loadh_pd(_mm_load_sd(x + cols[i + 2]), x + cols[i + 3]);
+    __m256d xv = _mm256_set_m128d(x23, x01);
+    __m256d vv = _mm256_loadu_pd(values + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vv, xv));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) s += values[i] * x[cols[i]];
+  return s;
+}
+#endif
+
+#ifdef PQSDA_SIMD_NEON
+double DotNeon(const double* values, const uint32_t* cols, size_t n,
+               const double* x) {
+  // Two 2-lane accumulators: v01 carries lanes {0,1}, v23 lanes {2,3}; the
+  // (l0 + l1) + (l2 + l3) combine then matches the canonical order. NEON
+  // has no gather, so x is loaded lane by lane.
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float64x2_t x01 = {x[cols[i]], x[cols[i + 1]]};
+    float64x2_t x23 = {x[cols[i + 2]], x[cols[i + 3]]};
+    float64x2_t v01 = vld1q_f64(values + i);
+    float64x2_t v23 = vld1q_f64(values + i + 2);
+    acc01 = vaddq_f64(acc01, vmulq_f64(v01, x01));
+    acc23 = vaddq_f64(acc23, vmulq_f64(v23, x23));
+  }
+  double s = (vgetq_lane_f64(acc01, 0) + vgetq_lane_f64(acc01, 1)) +
+             (vgetq_lane_f64(acc23, 0) + vgetq_lane_f64(acc23, 1));
+  for (; i < n; ++i) s += values[i] * x[cols[i]];
+  return s;
+}
+#endif
+
+void ScatterScalar(const double* values, const uint32_t* cols, size_t n,
+                   double xi, double* y) {
+  for (size_t i = 0; i < n; ++i) y[cols[i]] += values[i] * xi;
+}
+
+#ifdef PQSDA_SIMD_X86
+__attribute__((target("avx2"))) void ScatterAvx2(const double* values,
+                                                 const uint32_t* cols,
+                                                 size_t n, double xi,
+                                                 double* y) {
+  const __m256d xv = _mm256_set1_pd(xi);
+  size_t i = 0;
+  alignas(32) double lanes[4];
+  for (; i + 4 <= n; i += 4) {
+    _mm256_store_pd(lanes, _mm256_mul_pd(_mm256_loadu_pd(values + i), xv));
+    y[cols[i]] += lanes[0];
+    y[cols[i + 1]] += lanes[1];
+    y[cols[i + 2]] += lanes[2];
+    y[cols[i + 3]] += lanes[3];
+  }
+  for (; i < n; ++i) y[cols[i]] += values[i] * xi;
+}
+#endif
+
+#ifdef PQSDA_SIMD_NEON
+void ScatterNeon(const double* values, const uint32_t* cols, size_t n,
+                 double xi, double* y) {
+  const float64x2_t xv = vdupq_n_f64(xi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t prod = vmulq_f64(vld1q_f64(values + i), xv);
+    y[cols[i]] += vgetq_lane_f64(prod, 0);
+    y[cols[i + 1]] += vgetq_lane_f64(prod, 1);
+  }
+  for (; i < n; ++i) y[cols[i]] += values[i] * xi;
+}
+#endif
+
+// Fused Jacobi sweeps: one call per sweep instead of one indirect dot call
+// per row. Each body is the level's Dot* inlined into the row loop, so the
+// per-row IEEE operations — and therefore the results — match the
+// dispatch-per-row form bit for bit.
+
+void SweepScalar(const double* values, const uint32_t* cols,
+                 const uint32_t* row_ptr, const double* b,
+                 const double* inv_diag, const double* x, double* next,
+                 size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const size_t begin = row_ptr[i];
+    const double off =
+        DotScalar(values + begin, cols + begin, row_ptr[i + 1] - begin, x);
+    next[i] = (b[i] - off) * inv_diag[i];
+  }
+}
+
+#ifdef PQSDA_SIMD_X86
+__attribute__((target("avx2"))) void SweepAvx2(
+    const double* values, const uint32_t* cols, const uint32_t* row_ptr,
+    const double* b, const double* inv_diag, const double* x, double* next,
+    size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const size_t begin = row_ptr[i];
+    const double off =
+        DotAvx2(values + begin, cols + begin, row_ptr[i + 1] - begin, x);
+    next[i] = (b[i] - off) * inv_diag[i];
+  }
+}
+#endif
+
+#ifdef PQSDA_SIMD_NEON
+void SweepNeon(const double* values, const uint32_t* cols,
+               const uint32_t* row_ptr, const double* b,
+               const double* inv_diag, const double* x, double* next,
+               size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const size_t begin = row_ptr[i];
+    const double off =
+        DotNeon(values + begin, cols + begin, row_ptr[i + 1] - begin, x);
+    next[i] = (b[i] - off) * inv_diag[i];
+  }
+}
+#endif
+
+Level BestSupported() {
+#ifdef PQSDA_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+#ifdef PQSDA_SIMD_NEON
+  return Level::kNeon;
+#endif
+  return Level::kScalar;
+}
+
+Level ClampToSupported(Level want) {
+  Level best = BestSupported();
+  if (want == Level::kScalar) return Level::kScalar;
+  return want == best ? want : best == Level::kScalar ? Level::kScalar : best;
+}
+
+Level InitialLevel() {
+  const char* env = std::getenv("PQSDA_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return ClampToSupported(Level::kAvx2);
+    if (std::strcmp(env, "neon") == 0) return ClampToSupported(Level::kNeon);
+  }
+  return BestSupported();
+}
+
+SparseDotFn FnFor(Level level) {
+  switch (level) {
+#ifdef PQSDA_SIMD_X86
+    case Level::kAvx2:
+      return &DotAvx2;
+#endif
+#ifdef PQSDA_SIMD_NEON
+    case Level::kNeon:
+      return &DotNeon;
+#endif
+    default:
+      return &DotScalar;
+  }
+}
+
+JacobiSweepFn SweepFnFor(Level level) {
+  switch (level) {
+#ifdef PQSDA_SIMD_X86
+    case Level::kAvx2:
+      return &SweepAvx2;
+#endif
+#ifdef PQSDA_SIMD_NEON
+    case Level::kNeon:
+      return &SweepNeon;
+#endif
+    default:
+      return &SweepScalar;
+  }
+}
+
+AxpyScatterFn ScatterFnFor(Level level) {
+  switch (level) {
+#ifdef PQSDA_SIMD_X86
+    case Level::kAvx2:
+      return &ScatterAvx2;
+#endif
+#ifdef PQSDA_SIMD_NEON
+    case Level::kNeon:
+      return &ScatterNeon;
+#endif
+    default:
+      return &ScatterScalar;
+  }
+}
+
+// The active level and its function pointers, published together. Relaxed
+// is enough: SetLevel is a test/bench knob, not a synchronization point,
+// and every value either pointer can hold computes the identical result.
+std::atomic<Level>& LevelCell() {
+  static std::atomic<Level> level{InitialLevel()};
+  return level;
+}
+std::atomic<SparseDotFn>& FnCell() {
+  static std::atomic<SparseDotFn> fn{FnFor(LevelCell().load())};
+  return fn;
+}
+std::atomic<AxpyScatterFn>& ScatterFnCell() {
+  static std::atomic<AxpyScatterFn> fn{ScatterFnFor(LevelCell().load())};
+  return fn;
+}
+std::atomic<JacobiSweepFn>& SweepFnCell() {
+  static std::atomic<JacobiSweepFn> fn{SweepFnFor(LevelCell().load())};
+  return fn;
+}
+
+}  // namespace
+
+Level ActiveLevel() { return LevelCell().load(std::memory_order_relaxed); }
+
+void SetLevel(Level level) {
+  Level clamped = ClampToSupported(level);
+  LevelCell().store(clamped, std::memory_order_relaxed);
+  FnCell().store(FnFor(clamped), std::memory_order_relaxed);
+  ScatterFnCell().store(ScatterFnFor(clamped), std::memory_order_relaxed);
+  SweepFnCell().store(SweepFnFor(clamped), std::memory_order_relaxed);
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+double SparseDot(const double* values, const uint32_t* cols, size_t n,
+                 const double* x) {
+  return FnCell().load(std::memory_order_relaxed)(values, cols, n, x);
+}
+
+SparseDotFn ActiveSparseDot() {
+  return FnCell().load(std::memory_order_relaxed);
+}
+
+double SparseDotScalar(const double* values, const uint32_t* cols, size_t n,
+                       const double* x) {
+  return DotScalar(values, cols, n, x);
+}
+
+double SparseDotSequential(const double* values, const uint32_t* cols,
+                           size_t n, const double* x) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += values[i] * x[cols[i]];
+  return s;
+}
+
+void AxpyScatter(const double* values, const uint32_t* cols, size_t n,
+                 double xi, double* y) {
+  ScatterFnCell().load(std::memory_order_relaxed)(values, cols, n, xi, y);
+}
+
+AxpyScatterFn ActiveAxpyScatter() {
+  return ScatterFnCell().load(std::memory_order_relaxed);
+}
+
+void AxpyScatterScalar(const double* values, const uint32_t* cols, size_t n,
+                       double xi, double* y) {
+  ScatterScalar(values, cols, n, xi, y);
+}
+
+JacobiSweepFn ActiveJacobiSweep() {
+  return SweepFnCell().load(std::memory_order_relaxed);
+}
+
+void JacobiSweepScalar(const double* values, const uint32_t* cols,
+                       const uint32_t* row_ptr, const double* b,
+                       const double* inv_diag, const double* x, double* next,
+                       size_t row_begin, size_t row_end) {
+  SweepScalar(values, cols, row_ptr, b, inv_diag, x, next, row_begin,
+              row_end);
+}
+
+}  // namespace pqsda::simd

@@ -1,0 +1,89 @@
+#ifndef PQSDA_COMMON_SIMD_H_
+#define PQSDA_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pqsda::simd {
+
+/// Instruction set driving the sparse row kernels.
+enum class Level { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// The level the kernels currently dispatch to. Resolved once on first use:
+/// the best set the host supports, unless the PQSDA_SIMD environment
+/// variable (`scalar`, `avx2`, `neon`, `auto`) says otherwise.
+Level ActiveLevel();
+
+/// Forces a level (clamped to what the host supports; kScalar always
+/// sticks). The oracle tests and the before/after benchmark use this to run
+/// the identical build with the vector units switched off.
+void SetLevel(Level level);
+
+const char* LevelName(Level level);
+
+/// sum_i values[i] * x[cols[i]] in the canonical kernel order: four partial
+/// accumulators over index strides of 4, combined as (l0 + l1) + (l2 + l3),
+/// then the tail (< 4 leftover elements) added sequentially. Every
+/// implementation — scalar, AVX2, NEON — performs these exact IEEE
+/// operations in this exact order (no FMA contraction), so results are
+/// bitwise identical across levels and SetLevel is purely a speed knob.
+double SparseDot(const double* values, const uint32_t* cols, size_t n,
+                 const double* x);
+
+/// Function-pointer form of SparseDot so row loops resolve the dispatch
+/// once outside the loop instead of per row.
+using SparseDotFn = double (*)(const double*, const uint32_t*, size_t,
+                               const double*);
+SparseDotFn ActiveSparseDot();
+
+/// The scalar reference implementation of the canonical order (the oracle
+/// the kernel_equivalence suite compares the vector paths against).
+double SparseDotScalar(const double* values, const uint32_t* cols, size_t n,
+                       const double* x);
+
+/// y[cols[i]] += values[i] * xi for i in [0, n) — the transpose-MatVec
+/// scatter. Column ids are unique within a CSR row, so every element
+/// updates a distinct slot and the result is bitwise independent of how
+/// the products are computed; the vector path computes 4 products at a
+/// time and scatters with scalar stores (x86 has no double scatter below
+/// AVX-512).
+void AxpyScatter(const double* values, const uint32_t* cols, size_t n,
+                 double xi, double* y);
+
+using AxpyScatterFn = void (*)(const double*, const uint32_t*, size_t, double,
+                               double*);
+AxpyScatterFn ActiveAxpyScatter();
+
+/// Scalar reference for AxpyScatter (sequential products and stores).
+void AxpyScatterScalar(const double* values, const uint32_t* cols, size_t n,
+                       double xi, double* y);
+
+/// One fused Jacobi sweep over rows [row_begin, row_end) of a split
+/// operator: next[i] = (b[i] - off_row_i . x) * inv_diag[i], with every
+/// row dot computed in the canonical SparseDot order (so sweeps are
+/// bitwise identical across levels, like the dots themselves). Fusing the
+/// row loop into the kernel removes the per-row indirect dispatch, which
+/// at the short rows of the Eq. 15 operator costs as much as the dot.
+using JacobiSweepFn = void (*)(const double* values, const uint32_t* cols,
+                               const uint32_t* row_ptr, const double* b,
+                               const double* inv_diag, const double* x,
+                               double* next, size_t row_begin,
+                               size_t row_end);
+JacobiSweepFn ActiveJacobiSweep();
+
+/// Scalar reference for the fused sweep.
+void JacobiSweepScalar(const double* values, const uint32_t* cols,
+                       const uint32_t* row_ptr, const double* b,
+                       const double* inv_diag, const double* x, double* next,
+                       size_t row_begin, size_t row_end);
+
+/// Plain left-to-right sequential sum — the pre-SIMD accumulation order.
+/// Differs from SparseDot only in floating-point association; kept as the
+/// numerical (tolerance-gated) oracle and the before-side of the kernel
+/// benchmarks.
+double SparseDotSequential(const double* values, const uint32_t* cols,
+                           size_t n, const double* x);
+
+}  // namespace pqsda::simd
+
+#endif  // PQSDA_COMMON_SIMD_H_

@@ -228,7 +228,7 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
     stats->degradation_rung = static_cast<size_t>(rung);
   }
 
-  std::string cache_key;
+  SuggestionCache::CacheKey cache_key;
   if (cache_ != nullptr) {
     // The snapshot generation is part of the key: after a swap, a pre-swap
     // entry can never answer a post-swap request — stale lists age out of

@@ -9,11 +9,11 @@ namespace {
 
 // One walk step from `mass` (global query id -> probability) through one
 // bipartite: q -> object -> q', using row-normalized transitions. Results are
-// accumulated into `out`.
+// accumulated into `out`. The flat maps iterate in insertion order, so the
+// accumulation order — and with it the admitted set — is deterministic.
 void StepThroughBipartite(const BipartiteGraph& g,
-                          const std::unordered_map<StringId, double>& mass,
-                          double scale,
-                          std::unordered_map<StringId, double>& out) {
+                          const FlatMap<StringId, double>& mass,
+                          double scale, FlatMap<StringId, double>& out) {
   const CsrMatrix& q2o = g.query_to_object();
   const CsrMatrix& o2q = g.object_to_query();
   for (const auto& [q, p] : mass) {
@@ -80,14 +80,14 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
   // Expansion: accumulate two-step walk probability from the current member
   // set, averaged over the three bipartites; each round admits the
   // highest-scoring outsiders.
-  std::unordered_map<StringId, double> mass;
+  FlatMap<StringId, double> mass;
   for (StringId q : rep.queries) {
     mass[q] = 1.0 / static_cast<double>(rep.queries.size());
   }
   for (size_t round = 0;
        round < options.max_rounds && rep.queries.size() < options.target_size;
        ++round) {
-    std::unordered_map<StringId, double> reached;
+    FlatMap<StringId, double> reached;
     for (BipartiteKind kind : kAllBipartites) {
       StepThroughBipartite(mb_->graph(kind), mass, 1.0 / 3.0, reached);
     }
@@ -121,7 +121,7 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
   for (BipartiteKind kind : kAllBipartites) {
     size_t ki = static_cast<size_t>(kind);
     const CsrMatrix& q2o = mb_->graph(kind).query_to_object();
-    std::unordered_map<uint32_t, uint32_t> object_index;
+    FlatMap<uint32_t, uint32_t> object_index;
     std::vector<Triplet> triplets;
     for (uint32_t local = 0; local < rep.queries.size(); ++local) {
       StringId global = rep.queries[local];

@@ -3,9 +3,9 @@
 
 #include <array>
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "graph/csr_matrix.h"
 #include "graph/multi_bipartite.h"
@@ -19,8 +19,10 @@ namespace pqsda {
 struct CompactRepresentation {
   /// Local index -> global query id. Entry 0.. are the seeds in seed order.
   std::vector<StringId> queries;
-  /// Global query id -> local index.
-  std::unordered_map<StringId, uint32_t> local_index;
+  /// Global query id -> local index. Flat open-addressing map: the suggest
+  /// path probes it per candidate (seed construction, exclusion checks), so
+  /// lookups stay one cache line instead of a node chase.
+  FlatMap<StringId, uint32_t> local_index;
   /// W^X: local queries x local objects, weights copied from the full
   /// representation (raw or cfiqf according to the source MultiBipartite).
   std::array<CsrMatrix, 3> w;

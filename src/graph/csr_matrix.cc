@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/simd.h"
+
 namespace pqsda {
 
 CsrMatrix::CsrMatrix(size_t rows, size_t cols)
@@ -20,6 +22,13 @@ CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
   m.col_idx_.reserve(triplets.size());
   m.values_.reserve(triplets.size());
   size_t i = 0;
+  // The loop runs over every row index, not just rows present in the
+  // triplet list: a row with no triplets still executes the
+  // `row_ptr_[row + 1] = col_idx_.size()` epilogue, so interior and
+  // trailing empty rows get a correct (empty) [row_ptr_[r], row_ptr_[r+1])
+  // range instead of the zero-initialized garbage a triplet-driven loop
+  // would leave behind. Guarded by the EmptyRow regression tests in
+  // graph_test.
   for (size_t row = 0; row < rows; ++row) {
     while (i < triplets.size() && triplets[i].row == row) {
       uint32_t col = triplets[i].col;
@@ -58,12 +67,12 @@ void CsrMatrix::MatVec(const std::vector<double>& x,
                        std::vector<double>& y) const {
   assert(x.size() == cols_);
   y.assign(rows_, 0.0);
+  const auto dot = simd::ActiveSparseDot();
+  const double* xp = x.data();
   for (size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
-    }
-    y[i] = acc;
+    const size_t begin = row_ptr_[i];
+    y[i] = dot(values_.data() + begin, col_idx_.data() + begin,
+               row_ptr_[i + 1] - begin, xp);
   }
 }
 
@@ -71,12 +80,14 @@ void CsrMatrix::TransposeMatVec(const std::vector<double>& x,
                                 std::vector<double>& y) const {
   assert(x.size() == rows_);
   y.assign(cols_, 0.0);
+  const auto axpy = simd::ActiveAxpyScatter();
+  double* yp = y.data();
   for (size_t i = 0; i < rows_; ++i) {
     double xi = x[i];
     if (xi == 0.0) continue;
-    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      y[col_idx_[k]] += values_[k] * xi;
-    }
+    const size_t begin = row_ptr_[i];
+    axpy(values_.data() + begin, col_idx_.data() + begin,
+         row_ptr_[i + 1] - begin, xi, yp);
   }
 }
 

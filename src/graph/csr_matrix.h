@@ -7,6 +7,8 @@
 #include <tuple>
 #include <vector>
 
+#include "common/aligned.h"
+
 namespace pqsda {
 
 /// One (row, col, value) entry used to assemble a CsrMatrix.
@@ -78,7 +80,9 @@ class CsrMatrix {
   size_t cols_ = 0;
   std::vector<size_t> row_ptr_;
   std::vector<uint32_t> col_idx_;
-  std::vector<double> values_;
+  /// 64-byte-aligned so the SIMD MatVec/TransposeMatVec kernels stream
+  /// whole cache lines.
+  AlignedVector<double> values_;
 };
 
 }  // namespace pqsda

@@ -1,0 +1,40 @@
+#ifndef PQSDA_GRAPH_PACKED_CSR_H_
+#define PQSDA_GRAPH_PACKED_CSR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace pqsda {
+
+/// Request-path CSR layout: 32-bit row pointers and column ids (a compact
+/// representation holds at most a few thousand queries, so nnz always fits)
+/// and 64-byte-aligned value storage for the SIMD row kernels. Half the
+/// index bandwidth of the general CsrMatrix (size_t row_ptr) and values the
+/// gather loads can stream. Built once per request (Eq. 15 operator, merged
+/// hitting-time chain), swept many times.
+struct PackedCsr {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  /// rows + 1 prefix offsets into col/val.
+  std::vector<uint32_t> row_ptr;
+  std::vector<uint32_t> col;
+  AlignedVector<double> val;
+
+  size_t nnz() const { return val.size(); }
+
+  std::span<const uint32_t> RowIndices(size_t i) const {
+    return {col.data() + row_ptr[i], row_ptr[i + 1] - row_ptr[i]};
+  }
+  std::span<const double> RowValues(size_t i) const {
+    return {val.data() + row_ptr[i], row_ptr[i + 1] - row_ptr[i]};
+  }
+  size_t RowNnz(size_t i) const { return row_ptr[i + 1] - row_ptr[i]; }
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_GRAPH_PACKED_CSR_H_

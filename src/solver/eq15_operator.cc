@@ -1,0 +1,260 @@
+#include "solver/eq15_operator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "common/math_util.h"
+#include "common/simd.h"
+#include "solver/solver_hooks.h"
+
+namespace pqsda {
+
+namespace {
+
+using solver_detail::SolveInterrupted;
+using solver_detail::SolveTrivialZeroRhs;
+using solver_detail::SolveWorkAttribution;
+
+double RelativeResidualInto(const Eq15Operator& op,
+                            const std::vector<double>& x,
+                            const std::vector<double>& b,
+                            std::vector<double>& ax) {
+  Eq15MatVec(op, x, ax);
+  double num = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    double d = ax[i] - b[i];
+    num += d * d;
+  }
+  double den = Norm2(b);
+  return std::sqrt(num) / std::max(den, 1e-300);
+}
+
+}  // namespace
+
+Eq15Operator BuildEq15Operator(const CompactRepresentation& rep,
+                               const std::array<double, 3>& alpha) {
+  const size_t n = rep.size();
+  Eq15Operator op;
+  op.n = n;
+  const double alpha_sum = alpha[0] + alpha[1] + alpha[2];
+  op.diag.assign(n, 1.0 + alpha_sum);
+  op.off.rows = static_cast<uint32_t>(n);
+  op.off.cols = static_cast<uint32_t>(n);
+  op.off.row_ptr.assign(n + 1, 0);
+  size_t cap = 0;
+  for (size_t x = 0; x < 3; ++x) cap += rep.sym_norm[x].nnz();
+  op.off.col.reserve(cap);
+  op.off.val.reserve(cap);
+
+  // Three-way sorted merge of the S^X rows: each output column accumulates
+  // its -alpha[x] * S^X(i, j) contributions in bipartite order (U, S, T);
+  // diagonal hits fold into the dense diag array instead of the CSR part.
+  for (uint32_t i = 0; i < n; ++i) {
+    std::span<const uint32_t> idx[3];
+    std::span<const double> val[3];
+    size_t p[3] = {0, 0, 0};
+    for (size_t x = 0; x < 3; ++x) {
+      idx[x] = rep.sym_norm[x].RowIndices(i);
+      val[x] = rep.sym_norm[x].RowValues(i);
+    }
+    for (;;) {
+      uint32_t c = UINT32_MAX;
+      for (size_t x = 0; x < 3; ++x) {
+        if (p[x] < idx[x].size() && idx[x][p[x]] < c) c = idx[x][p[x]];
+      }
+      if (c == UINT32_MAX) break;
+      double acc = 0.0;
+      for (size_t x = 0; x < 3; ++x) {
+        if (p[x] < idx[x].size() && idx[x][p[x]] == c) {
+          acc -= alpha[x] * val[x][p[x]];
+          ++p[x];
+        }
+      }
+      if (c == i) {
+        op.diag[i] += acc;
+      } else if (acc != 0.0) {
+        op.off.col.push_back(c);
+        op.off.val.push_back(acc);
+      }
+    }
+    op.off.row_ptr[i + 1] = static_cast<uint32_t>(op.off.col.size());
+  }
+  op.inv_diag.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    op.inv_diag[i] = op.diag[i] != 0.0 ? 1.0 / op.diag[i] : 0.0;
+  }
+  return op;
+}
+
+void Eq15MatVec(const Eq15Operator& op, const std::vector<double>& x,
+                std::vector<double>& y) {
+  assert(x.size() == op.n);
+  y.assign(op.n, 0.0);
+  const auto dot = simd::ActiveSparseDot();
+  const double* xp = x.data();
+  for (size_t i = 0; i < op.n; ++i) {
+    const size_t begin = op.off.row_ptr[i];
+    y[i] = op.diag[i] * x[i] +
+           dot(op.off.val.data() + begin, op.off.col.data() + begin,
+               op.off.row_ptr[i + 1] - begin, xp);
+  }
+}
+
+double Eq15RelativeResidual(const Eq15Operator& op,
+                            const std::vector<double>& x,
+                            const std::vector<double>& b,
+                            std::vector<double>& ax) {
+  return RelativeResidualInto(op, x, b, ax);
+}
+
+SolverResult JacobiSolve(const Eq15Operator& op, const std::vector<double>& b,
+                         std::vector<double>& x,
+                         const SolverOptions& options) {
+  assert(b.size() == op.n);
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  std::vector<double> next(n, 0.0);
+  std::vector<double> ax;
+  SolverResult result;
+  SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
+  const auto sweep = simd::ActiveJacobiSweep();
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    if (SolveInterrupted(options, it, result)) return result;
+    sweep(op.off.val.data(), op.off.col.data(), op.off.row_ptr.data(),
+          b.data(), op.inv_diag.data(), x.data(), next.data(), 0, n);
+    x.swap(next);
+    result.iterations = it + 1;
+    result.relative_residual = RelativeResidualInto(op, x, b, ax);
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SolverResult GaussSeidelSolve(const Eq15Operator& op,
+                              const std::vector<double>& b,
+                              std::vector<double>& x,
+                              const SolverOptions& options) {
+  assert(b.size() == op.n);
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  std::vector<double> ax;
+  SolverResult result;
+  SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
+  const auto dot = simd::ActiveSparseDot();
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    if (SolveInterrupted(options, it, result)) return result;
+    // In-place sweep: the off-diagonal dot reads already-updated entries of
+    // x for columns < i — the Gauss–Seidel recurrence.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t begin = op.off.row_ptr[i];
+      double off = dot(op.off.val.data() + begin, op.off.col.data() + begin,
+                       op.off.row_ptr[i + 1] - begin, x.data());
+      if (op.diag[i] != 0.0) x[i] = (b[i] - off) * op.inv_diag[i];
+    }
+    result.iterations = it + 1;
+    result.relative_residual = RelativeResidualInto(op, x, b, ax);
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SolverResult JacobiSolveParallel(const Eq15Operator& op,
+                                 const std::vector<double>& b,
+                                 std::vector<double>& x,
+                                 const SolverOptions& options, size_t threads,
+                                 ThreadPool* pool,
+                                 SolverWorkspace* workspace) {
+  assert(b.size() == op.n);
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  if (pool == nullptr) pool = &ThreadPool::Shared();
+  threads = std::min(threads == 0 ? pool->size() + 1 : threads,
+                     std::max<size_t>(n, 1));
+
+  SolverWorkspace local;
+  SolverWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.next.assign(n, 0.0);
+
+  const auto sweep = simd::ActiveJacobiSweep();
+  auto sweep_rows = [&op, &b, &x, &ws, sweep](size_t begin, size_t end) {
+    sweep(op.off.val.data(), op.off.col.data(), op.off.row_ptr.data(),
+          b.data(), op.inv_diag.data(), x.data(), ws.next.data(), begin, end);
+  };
+
+  SolverResult result;
+  SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
+  const size_t grain = (n + threads - 1) / threads;
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    // Only the issuing thread polls; workers run one full sweep at most
+    // past an interruption, which is the advertised granularity.
+    if (SolveInterrupted(options, it, result)) return result;
+    pool->ParallelFor(0, n, grain, sweep_rows, threads);
+    x.swap(ws.next);
+    result.iterations = it + 1;
+    result.relative_residual = RelativeResidualInto(op, x, b, ws.ax);
+    if (result.relative_residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+SolverResult ConjugateGradientSolve(const Eq15Operator& op,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& x,
+                                    const SolverOptions& options) {
+  assert(b.size() == op.n);
+  if (x.size() != b.size()) x.assign(b.size(), 0.0);
+  const size_t n = b.size();
+  SolverResult result;
+  SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
+  std::vector<double> r(n), p(n), ap(n);
+  Eq15MatVec(op, x, ap);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  p = r;
+  double rs_old = 0.0;
+  for (size_t i = 0; i < n; ++i) rs_old += r[i] * r[i];
+  const double b_norm = std::max(Norm2(b), 1e-300);
+
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    if (SolveInterrupted(options, it, result)) return result;
+    result.iterations = it + 1;
+    if (std::sqrt(rs_old) / b_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    Eq15MatVec(op, p, ap);
+    double p_ap = 0.0;
+    for (size_t i = 0; i < n; ++i) p_ap += p[i] * ap[i];
+    if (p_ap == 0.0) break;
+    double alpha = rs_old / p_ap;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    double rs_new = 0.0;
+    for (size_t i = 0; i < n; ++i) rs_new += r[i] * r[i];
+    double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  std::vector<double> ax;
+  result.relative_residual = RelativeResidualInto(op, x, b, ax);
+  if (result.relative_residual < options.tolerance) result.converged = true;
+  return result;
+}
+
+}  // namespace pqsda

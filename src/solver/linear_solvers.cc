@@ -4,39 +4,16 @@
 #include <cassert>
 #include <cmath>
 
-#include "common/fault_injector.h"
 #include "common/math_util.h"
-#include "obs/stage_profiler.h"
+#include "solver/solver_hooks.h"
 
 namespace pqsda {
 
 namespace {
 
-// Attributes the solve's iteration count as solver-stage work on whatever
-// request is being profiled on this thread (no-op outside one). RAII so
-// every exit path — convergence, iteration cap, cancellation — reports.
-struct SolveWorkAttribution {
-  const SolverResult& result;
-  ~SolveWorkAttribution() {
-    obs::StageProfiler::AddWork(obs::ProfileStage::kSolve, result.iterations);
-  }
-};
-
-// Top-of-iteration cooperative check shared by every solver loop: fires the
-// fault-injection point first (so an armed clock jump is visible to this
-// very check), then polls the token. Returns true when the solve must stop,
-// with the interruption recorded in `result`.
-bool SolveInterrupted(const SolverOptions& options, size_t iteration,
-                      SolverResult& result) {
-  FaultInjector::Default().Hit(faults::kSolverIteration);
-  if (options.cancel == nullptr) return false;
-  const size_t every = std::max<size_t>(options.cancel_check_every, 1);
-  if (iteration % every != 0) return false;
-  Status status = options.cancel->Check();
-  if (status.ok()) return false;
-  result.interrupt = std::move(status);
-  return true;
-}
+using solver_detail::SolveInterrupted;
+using solver_detail::SolveTrivialZeroRhs;
+using solver_detail::SolveWorkAttribution;
 
 // RelativeResidual with a caller-owned product buffer (allocation-free when
 // the buffer is already sized).
@@ -70,6 +47,7 @@ SolverResult JacobiSolve(const CsrMatrix& a, const std::vector<double>& b,
   std::vector<double> next(n, 0.0);
   SolverResult result;
   SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
     if (SolveInterrupted(options, it, result)) return result;
     for (size_t i = 0; i < n; ++i) {
@@ -105,6 +83,7 @@ SolverResult GaussSeidelSolve(const CsrMatrix& a, const std::vector<double>& b,
   const size_t n = b.size();
   SolverResult result;
   SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
     if (SolveInterrupted(options, it, result)) return result;
     for (size_t i = 0; i < n; ++i) {
@@ -167,6 +146,7 @@ SolverResult JacobiSolveParallel(const CsrMatrix& a,
 
   SolverResult result;
   SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
   const size_t grain = (n + threads - 1) / threads;
   for (size_t it = 0; it < options.max_iterations; ++it) {
     // Only the issuing thread polls; workers run one full sweep at most
@@ -201,6 +181,7 @@ SolverResult ConjugateGradientSolve(const CsrMatrix& a,
 
   SolverResult result;
   SolveWorkAttribution work_attribution{result};
+  if (SolveTrivialZeroRhs(b, x, result)) return result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
     if (SolveInterrupted(options, it, result)) return result;
     result.iterations = it + 1;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "solver/eq15_operator.h"
 
 namespace pqsda {
 
@@ -75,7 +76,11 @@ StatusOr<std::vector<double>> SolveRegularization(
   static obs::Gauge& last_residual =
       obs::MetricsRegistry::Default().GetGauge("pqsda.solver.last_residual");
 
-  CsrMatrix system = AssembleRegularizationSystem(rep, options.alpha);
+  // The packed split-diagonal operator replaces the triplet-assembled CSR
+  // system: built once per solve by merging the three sorted S^X rows, it
+  // feeds the SIMD row sweeps without the per-iteration in-row diagonal
+  // search the generic solvers pay.
+  Eq15Operator system = BuildEq15Operator(rep, options.alpha);
   std::vector<double> f = f0;  // warm start from the seed
   SolverResult result;
   switch (options.solver) {

@@ -55,7 +55,10 @@ void BuildF0Into(const CompactRepresentation& rep, StringId input_query,
 /// Assembles the Eq. 15 coefficient matrix
 /// (1 + sum_X alpha^X) I - sum_X alpha^X S^X over the compact
 /// representation. The result is strictly diagonally dominant (S^X row sums
-/// are <= 1), so the classic iterative solvers converge.
+/// are <= 1), so the classic iterative solvers converge. This is the
+/// reference (triplet-based) assembly kept for tests and as the oracle of
+/// the kernel_equivalence suite; SolveRegularization itself runs on the
+/// packed split-diagonal BuildEq15Operator form (solver/eq15_operator.h).
 CsrMatrix AssembleRegularizationSystem(const CompactRepresentation& rep,
                                        const std::array<double, 3>& alpha);
 

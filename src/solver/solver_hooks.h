@@ -1,0 +1,59 @@
+#ifndef PQSDA_SOLVER_SOLVER_HOOKS_H_
+#define PQSDA_SOLVER_SOLVER_HOOKS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "obs/stage_profiler.h"
+#include "solver/linear_solvers.h"
+
+namespace pqsda::solver_detail {
+
+/// Attributes the solve's iteration count as solver-stage work on whatever
+/// request is being profiled on this thread (no-op outside one). RAII so
+/// every exit path — convergence, iteration cap, cancellation — reports.
+struct SolveWorkAttribution {
+  const SolverResult& result;
+  ~SolveWorkAttribution() {
+    obs::StageProfiler::AddWork(obs::ProfileStage::kSolve, result.iterations);
+  }
+};
+
+/// Top-of-iteration cooperative check shared by every solver loop: fires the
+/// fault-injection point first (so an armed clock jump is visible to this
+/// very check), then polls the token. Returns true when the solve must stop,
+/// with the interruption recorded in `result`.
+inline bool SolveInterrupted(const SolverOptions& options, size_t iteration,
+                             SolverResult& result) {
+  FaultInjector::Default().Hit(faults::kSolverIteration);
+  if (options.cancel == nullptr) return false;
+  const size_t every = std::max<size_t>(options.cancel_check_every, 1);
+  if (iteration % every != 0) return false;
+  Status status = options.cancel->Check();
+  if (status.ok()) return false;
+  result.interrupt = std::move(status);
+  return true;
+}
+
+/// The b = 0 edge of every iterative solver: the exact solution of A x = 0
+/// (A nonsingular) is the zero vector, but the convergence check divides by
+/// max(||b||, eps) and so can never see a residual below tolerance — the
+/// solve used to burn max_iterations and report failure. Detect the exact
+/// all-zero right-hand side up front and return the converged zero iterate.
+inline bool SolveTrivialZeroRhs(const std::vector<double>& b,
+                                std::vector<double>& x,
+                                SolverResult& result) {
+  for (double v : b) {
+    if (v != 0.0) return false;
+  }
+  x.assign(b.size(), 0.0);
+  result.iterations = 0;
+  result.relative_residual = 0.0;
+  result.converged = true;
+  return true;
+}
+
+}  // namespace pqsda::solver_detail
+
+#endif  // PQSDA_SOLVER_SOLVER_HOOKS_H_

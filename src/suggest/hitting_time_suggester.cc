@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
 #include "common/fault_injector.h"
+#include "common/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -69,23 +71,31 @@ void BipartiteHittingTimeInto(const CsrMatrix& q2u_stochastic,
   hq_next.assign(total_q, 0.0);
   hu.assign(nu, 0.0);
   hu_next.assign(nu, 0.0);
+  // The row sums do not change across iterations — hoist them out of the
+  // sweeps (the sums were previously recomputed per row per iteration).
+  ws.u_row_sum.resize(nu);
+  for (size_t u = 0; u < nu; ++u) {
+    double extra = pseudo != nullptr ? pseudo_weight_of_url[u] : 0.0;
+    ws.u_row_sum[u] = u2q_stochastic.RowSum(u) + extra;
+  }
+  ws.q_row_sum.resize(nq);
+  for (size_t q = 0; q < nq; ++q) ws.q_row_sum[q] = q2u_stochastic.RowSum(q);
+  const auto dot = simd::ActiveSparseDot();
   for (size_t t = 0; t < iterations; ++t) {
     if (SweepInterrupted(cancel)) return;
     // URL side first: one hop u -> q. Rows write disjoint entries of the
     // next iterate and read only the previous one, so ranges parallelize.
     auto url_sweep = [&](size_t begin, size_t end) {
       for (size_t u = begin; u < end; ++u) {
-        double extra = pseudo != nullptr ? pseudo_weight_of_url[u] : 0.0;
-        double s = u2q_stochastic.RowSum(u) + extra;
+        double s = ws.u_row_sum[u];
         if (s <= 0.0) {
           hu_next[u] = static_cast<double>(t + 1);
           continue;
         }
-        double acc = 0.0;
         auto idx = u2q_stochastic.RowIndices(u);
         auto val = u2q_stochastic.RowValues(u);
-        for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hq[idx[k]];
-        if (pseudo != nullptr) acc += extra * hq[nq];
+        double acc = dot(val.data(), idx.data(), idx.size(), hq.data());
+        if (pseudo != nullptr) acc += pseudo_weight_of_url[u] * hq[nq];
         hu_next[u] = 1.0 + acc / s;
       }
     };
@@ -96,16 +106,15 @@ void BipartiteHittingTimeInto(const CsrMatrix& q2u_stochastic,
           hq_next[q] = 0.0;
           continue;
         }
-        double s = q2u_stochastic.RowSum(q);
+        double s = ws.q_row_sum[q];
         if (s <= 0.0) {
           hq_next[q] = static_cast<double>(t + 1);
           continue;
         }
-        double acc = 0.0;
         auto idx = q2u_stochastic.RowIndices(q);
         auto val = q2u_stochastic.RowValues(q);
-        for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * hu[idx[k]];
-        hq_next[q] = 1.0 + acc / s;
+        hq_next[q] = 1.0 + dot(val.data(), idx.data(), idx.size(),
+                               hu.data()) / s;
       }
     };
     if (pool != nullptr) {
@@ -204,6 +213,107 @@ std::vector<double> ChainHittingTime(
   HittingTimeWorkspace ws;
   ChainHittingTimeInto(chains, weights, seeds, iterations, pool, ws);
   return std::move(ws.h);
+}
+
+MergedChain BuildMergedChain(const std::vector<const CsrMatrix*>& chains,
+                             const std::vector<double>& weights) {
+  assert(!chains.empty() && chains.size() == weights.size());
+  const size_t n = chains[0]->rows();
+  const size_t nx = chains.size();
+  MergedChain out;
+  out.m.rows = static_cast<uint32_t>(n);
+  out.m.cols = static_cast<uint32_t>(n);
+  out.m.row_ptr.assign(n + 1, 0);
+  out.mass.assign(n, 0.0);
+  size_t cap = 0;
+  for (const CsrMatrix* c : chains) cap += c->nnz();
+  out.m.col.reserve(cap);
+  out.m.val.reserve(cap);
+
+  // N-way sorted merge per row: each output column accumulates its
+  // weights[x] * chain[x](v, j) contributions in chain order; the row mass
+  // sums the merged values as they are emitted, so it equals the row sum of
+  // M exactly.
+  std::vector<std::span<const uint32_t>> idx(nx);
+  std::vector<std::span<const double>> val(nx);
+  std::vector<size_t> p(nx);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (size_t x = 0; x < nx; ++x) {
+      idx[x] = chains[x]->RowIndices(v);
+      val[x] = chains[x]->RowValues(v);
+      p[x] = 0;
+    }
+    double mass = 0.0;
+    for (;;) {
+      uint32_t c = UINT32_MAX;
+      for (size_t x = 0; x < nx; ++x) {
+        if (p[x] < idx[x].size() && idx[x][p[x]] < c) c = idx[x][p[x]];
+      }
+      if (c == UINT32_MAX) break;
+      double acc = 0.0;
+      for (size_t x = 0; x < nx; ++x) {
+        if (p[x] < idx[x].size() && idx[x][p[x]] == c) {
+          acc += weights[x] * val[x][p[x]];
+          ++p[x];
+        }
+      }
+      if (acc != 0.0) {
+        out.m.col.push_back(c);
+        out.m.val.push_back(acc);
+        mass += acc;
+      }
+    }
+    out.mass[v] = mass;
+    out.m.row_ptr[v + 1] = static_cast<uint32_t>(out.m.col.size());
+  }
+  return out;
+}
+
+void MergedChainHittingTimeInto(const MergedChain& chain,
+                                const std::vector<uint32_t>& seeds,
+                                size_t iterations, ThreadPool* pool,
+                                HittingTimeWorkspace& ws,
+                                const CancelToken* cancel) {
+  const size_t n = chain.m.rows;
+  ws.is_seed.assign(n, 0);
+  for (uint32_t s : seeds) {
+    // Unconditional bounds check — see BipartiteHittingTimeInto.
+    if (s < n) ws.is_seed[s] = 1;
+  }
+  std::vector<double>& h = ws.h;
+  std::vector<double>& next = ws.next;
+  h.assign(n, 0.0);
+  next.assign(n, 0.0);
+  const auto dot = simd::ActiveSparseDot();
+  for (size_t t = 0; t < iterations; ++t) {
+    if (SweepInterrupted(cancel)) return;
+    auto sweep = [&](size_t begin, size_t end) {
+      const double* hp = h.data();
+      for (size_t v = begin; v < end; ++v) {
+        if (ws.is_seed[v] != 0) {
+          next[v] = 0.0;
+          continue;
+        }
+        const double mass = chain.mass[v];
+        if (mass <= 0.0) {
+          next[v] = static_cast<double>(t + 1);
+          continue;
+        }
+        // Sub-stochastic rows (drop-tolerance pruning) would leak mass
+        // into an implicit absorbing state; renormalize instead.
+        const size_t row_begin = chain.m.row_ptr[v];
+        next[v] = 1.0 + dot(chain.m.val.data() + row_begin,
+                            chain.m.col.data() + row_begin,
+                            chain.m.row_ptr[v + 1] - row_begin, hp) / mass;
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, n, kSweepGrain, sweep);
+    } else {
+      sweep(0, n);
+    }
+    h.swap(next);
+  }
 }
 
 HittingTimeSuggester::HittingTimeSuggester(const ClickGraph& graph,

@@ -6,9 +6,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "graph/click_graph.h"
+#include "graph/packed_csr.h"
 #include "suggest/engine.h"
 
 namespace pqsda {
@@ -24,6 +26,9 @@ struct HittingTimeWorkspace {
   /// Seed membership (char, not vector<bool>, so parallel row sweeps read
   /// plain bytes).
   std::vector<char> is_seed;
+  /// Per-row sums of the two bipartite orientations, hoisted out of the
+  /// sweep loop (bipartite variant only; recomputed per call).
+  std::vector<double> q_row_sum, u_row_sum;
 };
 
 /// Extra node grafted onto the query side of a bipartite walk: a pseudo
@@ -80,13 +85,43 @@ std::vector<double> ChainHittingTime(const std::vector<const CsrMatrix*>& chains
 
 /// ChainHittingTime computing into `ws.h`, allocation-free when warm. A
 /// non-null `cancel` stops the sweep at iteration granularity (see
-/// BipartiteHittingTimeInto for the partial-result contract).
+/// BipartiteHittingTimeInto for the partial-result contract). This is the
+/// reference implementation (walks all chains per row per iteration); the
+/// serving path builds a MergedChain once and sweeps that instead.
 void ChainHittingTimeInto(const std::vector<const CsrMatrix*>& chains,
                           const std::vector<double>& weights,
                           const std::vector<uint32_t>& seeds,
                           size_t iterations, ThreadPool* pool,
                           HittingTimeWorkspace& ws,
                           const CancelToken* cancel = nullptr);
+
+/// The mixture chain M = sum_x weights[x] chain[x] materialized once as
+/// packed CSR, with the per-row mass (row sum of M, the renormalizer for
+/// sub-stochastic rows) precomputed. Algorithm 1 runs K-1 selection rounds
+/// of `iterations` sweeps each over the same mixture — merging up front
+/// turns every sweep row into one SIMD sparse dot instead of three span
+/// walks with a mass accumulation.
+///
+/// Values merge per column in chain order, so M(i, j) groups the weighted
+/// terms differently than the reference's interleaved accumulation;
+/// results agree to ~1 ulp per entry (tolerance-gated in the
+/// kernel_equivalence suite, 1e-9 relative on hitting times).
+struct MergedChain {
+  PackedCsr m;
+  AlignedVector<double> mass;
+};
+
+MergedChain BuildMergedChain(const std::vector<const CsrMatrix*>& chains,
+                             const std::vector<double>& weights);
+
+/// ChainHittingTimeInto over a prebuilt MergedChain: same contract
+/// (seeds pinned to 0, dangling rows saturate at the horizon, cancel polled
+/// per iteration, result in `ws.h`).
+void MergedChainHittingTimeInto(const MergedChain& chain,
+                                const std::vector<uint32_t>& seeds,
+                                size_t iterations, ThreadPool* pool,
+                                HittingTimeWorkspace& ws,
+                                const CancelToken* cancel = nullptr);
 
 /// Options for the hitting-time baselines.
 struct HittingTimeOptions {

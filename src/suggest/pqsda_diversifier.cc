@@ -322,6 +322,10 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
                                             &rep.P(BipartiteKind::kTerm)};
     std::vector<double> weights(options.chain_weights.begin(),
                                 options.chain_weights.end());
+    // The K-1 selection rounds all sweep the same mixture M = sum_x w_x P^X
+    // — merge it once, with per-row masses precomputed, so each sweep row
+    // is a single SIMD sparse dot.
+    MergedChain merged = BuildMergedChain(chains, weights);
     size_t rounds = 0;
     size_t candidates_scored = 0;
     const size_t want = std::min(k, by_relevance.size());
@@ -338,9 +342,8 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
         Status interrupted = cancel->Check();
         if (!interrupted.ok()) return interrupted;
       }
-      ChainHittingTimeInto(chains, weights, selected,
-                           options.hitting_iterations,
-                           &ThreadPool::Shared(), ht_workspace, cancel);
+      MergedChainHittingTimeInto(merged, selected, options.hitting_iterations,
+                                 &ThreadPool::Shared(), ht_workspace, cancel);
       if (cancel != nullptr) {
         Status interrupted = cancel->Check();
         if (!interrupted.ok()) return interrupted;

@@ -9,26 +9,24 @@ namespace pqsda {
 
 namespace {
 
-// FNV-1a over the context (query, timestamp-offset) pairs; collisions only
-// merge *context hashes* inside the full key, and the full key still differs
-// in query/user/k, so a collision can at worst alias two near-identical
-// contexts — acceptable for a cache.
-uint64_t ContextHash(const SuggestionRequest& request) {
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
+// Serializes the context (query, timestamp-offset) pairs verbatim. An
+// earlier revision stored an FNV-1a hash of this instead; two colliding
+// contexts then shared one cache entry and one session could be served
+// another session's suggestions. Offsets are taken relative to the request
+// timestamp so time-shifted but otherwise identical requests still share an
+// entry (the decay of Eq. 7 only sees relative age). Context queries are
+// length-prefixed so their bytes cannot be confused with the separators.
+std::string SerializeContext(const SuggestionRequest& request) {
+  std::string out;
   for (const auto& [q, ts] : request.context) {
-    for (char c : q) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ull;
-    }
-    mix(static_cast<uint64_t>(ts - request.timestamp));
+    out += std::to_string(q.size());
+    out += ':';
+    out += q;
+    out += '\x1e';
+    out += std::to_string(static_cast<int64_t>(ts - request.timestamp));
+    out += '\x1e';
   }
-  return h;
+  return out;
 }
 
 obs::Counter& HitsCounter() {
@@ -81,30 +79,34 @@ SuggestionCache::SuggestionCache(SuggestionCacheOptions options) {
 
 SuggestionCache::~SuggestionCache() = default;
 
-std::string SuggestionCache::KeyOf(const SuggestionRequest& request,
-                                   size_t k, uint64_t generation) {
+SuggestionCache::CacheKey::CacheKey(std::string full_key)
+    : hash(std::hash<std::string>{}(full_key)), full(std::move(full_key)) {}
+
+SuggestionCache::CacheKey SuggestionCache::KeyOf(
+    const SuggestionRequest& request, size_t k, uint64_t generation) {
   std::string key = request.query;
   key += '\x1f';
-  key += std::to_string(ContextHash(request));
+  key += SerializeContext(request);
   key += '\x1f';
   key += std::to_string(request.user);
   key += '\x1f';
   key += std::to_string(k);
   key += '\x1f';
   key += std::to_string(generation);
-  return key;
+  return CacheKey(std::move(key));
 }
 
-SuggestionCache::Shard& SuggestionCache::ShardOf(
-    const std::string& key) const {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+SuggestionCache::Shard& SuggestionCache::ShardOf(const CacheKey& key) const {
+  // The hash only routes to a shard; inside the shard the index compares
+  // full keys, so hash collisions cost a probe, never a wrong answer.
+  return *shards_[key.hash % shards_.size()];
 }
 
-bool SuggestionCache::Lookup(const std::string& key,
+bool SuggestionCache::Lookup(const CacheKey& key,
                              std::vector<Suggestion>* out) const {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
+  auto it = shard.index.find(key.full);
   if (it == shard.index.end()) {
     MissesCounter().Increment();
     return false;
@@ -115,18 +117,18 @@ bool SuggestionCache::Lookup(const std::string& key,
   return true;
 }
 
-void SuggestionCache::Insert(const std::string& key,
+void SuggestionCache::Insert(const CacheKey& key,
                              std::vector<Suggestion> value) {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
+  auto it = shard.index.find(key.full);
   if (it != shard.index.end()) {
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key, std::move(value));
-  shard.index.emplace(key, shard.lru.begin());
+  shard.lru.emplace_front(key.full, std::move(value));
+  shard.index.emplace(key.full, shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();

@@ -24,17 +24,20 @@ struct SuggestionCacheOptions {
   size_t shards = 8;
 };
 
-/// Sharded LRU cache of finished suggestion lists, keyed by
-/// (query, context-hash, user, k, index generation). Heavy serving traffic
-/// is Zipf-shaped —
+/// Sharded LRU cache of finished suggestion lists, keyed by the full
+/// (query, context offsets, user, k, index generation) tuple. Heavy serving
+/// traffic is Zipf-shaped —
 /// the same head queries arrive over and over — so a small cache absorbs a
 /// large fraction of requests before they reach the expansion/solve/
 /// selection pipeline.
 ///
-/// The context component hashes (query, timestamp offset) pairs, offsets
-/// taken relative to the request timestamp: the decay function (Eq. 7)
-/// depends only on relative age, so two requests identical up to a time
-/// shift correctly share an entry.
+/// The context component serializes every (query, timestamp offset) pair,
+/// offsets taken relative to the request timestamp: the decay function
+/// (Eq. 7) depends only on relative age, so two requests identical up to a
+/// time shift correctly share an entry. An earlier revision collapsed the
+/// context to a 64-bit hash inside the key, so a hash collision could serve
+/// one session's list to another; the full serialization is compared on
+/// every hit now and the precomputed hash only routes to a shard.
 ///
 /// All methods are thread-safe. Hits, misses and evictions are counted into
 /// the default MetricsRegistry (`pqsda.cache.hits_total`,
@@ -42,6 +45,27 @@ struct SuggestionCacheOptions {
 /// `pqsda.cache.size`).
 class SuggestionCache {
  public:
+  /// A cache key: the full serialized request tuple plus its 64-bit hash,
+  /// computed once per request. The hash picks the shard; equality always
+  /// compares the full serialization, so keys that collide in the hash are
+  /// distinct entries, never aliases.
+  struct CacheKey {
+    uint64_t hash = 0;
+    std::string full;
+
+    CacheKey() = default;
+    // Implicit: existing call sites (and tests) key by plain strings.
+    CacheKey(std::string full_key);
+    CacheKey(const char* full_key) : CacheKey(std::string(full_key)) {}
+
+    friend bool operator==(const CacheKey& a, const CacheKey& b) {
+      return a.full == b.full;
+    }
+    friend bool operator!=(const CacheKey& a, const CacheKey& b) {
+      return !(a == b);
+    }
+  };
+
   explicit SuggestionCache(SuggestionCacheOptions options = {});
   ~SuggestionCache();
 
@@ -49,16 +73,16 @@ class SuggestionCache {
   /// generation makes every pre-swap entry unreachable after a rebuild
   /// publishes a new snapshot — stale lists age out of the LRU instead of
   /// being served, with no explicit flush on the swap path.
-  static std::string KeyOf(const SuggestionRequest& request, size_t k,
-                           uint64_t generation = 0);
+  static CacheKey KeyOf(const SuggestionRequest& request, size_t k,
+                        uint64_t generation = 0);
 
   /// On a hit, copies the cached list into `out`, refreshes the entry's LRU
   /// position and returns true.
-  bool Lookup(const std::string& key, std::vector<Suggestion>* out) const;
+  bool Lookup(const CacheKey& key, std::vector<Suggestion>* out) const;
 
   /// Inserts or refreshes `key`, evicting the shard's least-recently-used
   /// entry when over budget.
-  void Insert(const std::string& key, std::vector<Suggestion> value);
+  void Insert(const CacheKey& key, std::vector<Suggestion> value);
 
   /// Current number of cached entries (sums the shards; approximate under
   /// concurrent writes).
@@ -75,7 +99,7 @@ class SuggestionCache {
  private:
   struct Shard;
 
-  Shard& ShardOf(const std::string& key) const;
+  Shard& ShardOf(const CacheKey& key) const;
 
   size_t per_shard_capacity_;
   size_t capacity_;

@@ -1,6 +1,8 @@
 #include "topic/upm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -154,6 +156,33 @@ void UpmModel::Train(const QueryLogCorpus& corpus) {
     }
   }
   if (options_.learn_hyperparameters) OptimizeHyperparameters();
+  BuildScoreIndex();
+}
+
+void UpmModel::BuildScoreIndex() {
+  const size_t K = options_.base.num_topics;
+  score_offsets_.assign(docs_ * K + 1, 0);
+  size_t total = 0;
+  for (size_t d = 0; d < docs_; ++d) {
+    for (size_t k = 0; k < K; ++k) total += c_wkd_[d][k].size();
+  }
+  score_words_.clear();
+  score_counts_.clear();
+  score_words_.reserve(total);
+  score_counts_.reserve(total);
+  std::vector<std::pair<uint32_t, double>> segment;
+  for (size_t d = 0; d < docs_; ++d) {
+    for (size_t k = 0; k < K; ++k) {
+      const SparseMap& m = c_wkd_[d][k];
+      segment.assign(m.begin(), m.end());
+      std::sort(segment.begin(), segment.end());
+      for (const auto& [w, c] : segment) {
+        score_words_.push_back(w);
+        score_counts_.push_back(c);
+      }
+      score_offsets_[d * K + k + 1] = score_words_.size();
+    }
+  }
 }
 
 void UpmModel::OptimizeHyperparameters() {
@@ -205,9 +234,22 @@ std::vector<double> UpmModel::DocumentTopicMixture(size_t doc) const {
 
 double UpmModel::WordProbability(size_t doc, size_t topic,
                                  uint32_t word) const {
-  const SparseMap& m = c_wkd_[doc][topic];
-  auto it = m.find(word);
-  double c = it != m.end() ? it->second : 0.0;
+  double c = 0.0;
+  if (!score_offsets_.empty()) {
+    // Binary search of the packed (doc, topic) segment — the request-path
+    // fast path; same count the map would return.
+    const size_t K = options_.base.num_topics;
+    const size_t begin = score_offsets_[doc * K + topic];
+    const size_t end = score_offsets_[doc * K + topic + 1];
+    const uint32_t* lo = score_words_.data() + begin;
+    const uint32_t* hi = score_words_.data() + end;
+    const uint32_t* it = std::lower_bound(lo, hi, word);
+    if (it != hi && *it == word) c = score_counts_[it - score_words_.data()];
+  } else {
+    const SparseMap& m = c_wkd_[doc][topic];
+    auto it = m.find(word);
+    c = it != m.end() ? it->second : 0.0;
+  }
   return (c + beta_[topic][word]) /
          (c_wkd_total_[doc][topic] + beta_sum_[topic]);
 }
@@ -224,8 +266,17 @@ std::vector<double> UpmModel::PredictiveWordDistribution(size_t doc) const {
     for (size_t w = 0; w < vocab_; ++w) {
       p[w] += scale * beta_[k][w];
     }
-    for (const auto& [w, c] : c_wkd_[doc][k]) {
-      p[w] += scale * c;
+    if (!score_offsets_.empty()) {
+      // Packed segment walk (each word id appears once per (doc, topic), so
+      // the accumulation is order-independent and matches the map path).
+      for (size_t i = score_offsets_[doc * K + k];
+           i < score_offsets_[doc * K + k + 1]; ++i) {
+        p[score_words_[i]] += scale * score_counts_[i];
+      }
+    } else {
+      for (const auto& [w, c] : c_wkd_[doc][k]) {
+        p[w] += scale * c;
+      }
     }
   }
   return p;

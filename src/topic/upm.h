@@ -85,6 +85,12 @@ class UpmModel : public TopicModel {
 
   void OptimizeHyperparameters();
 
+  /// Packs the per-(doc, topic) word-count maps into sorted parallel arrays
+  /// for the request-path scorers. Called at the end of Train; the maps
+  /// themselves stay authoritative for training and hyperparameter fits
+  /// (whose L-BFGS inputs are sensitive to map iteration order).
+  void BuildScoreIndex();
+
   UpmOptions options_;
   size_t vocab_ = 0;
   size_t num_urls_ = 0;
@@ -110,6 +116,16 @@ class UpmModel : public TopicModel {
   std::vector<std::vector<double>> c_wkd_total_;
   std::vector<std::vector<SparseMap>> c_ukd_;
   std::vector<std::vector<double>> c_ukd_total_;
+
+  /// Read-only SoA view of c_wkd_ for scoring: per (doc, topic) the word
+  /// ids sorted ascending with their counts in lockstep, all segments
+  /// concatenated. score_offsets_[doc * K + topic] bounds the segment.
+  /// WordProbability binary-searches this instead of probing the hash map
+  /// once per candidate word per topic on every personalized rerank.
+  /// Empty until Train runs (the scorers fall back to the maps).
+  std::vector<uint32_t> score_words_;
+  std::vector<double> score_counts_;
+  std::vector<size_t> score_offsets_;
 };
 
 }  // namespace pqsda

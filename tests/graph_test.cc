@@ -40,6 +40,57 @@ TEST(CsrMatrixTest, ZeroEntriesDropped) {
   EXPECT_EQ(m.nnz(), 0u);
 }
 
+// Regression guard for the row_ptr prefix fill: interior empty rows must
+// get row_ptr[i] == row_ptr[i+1], not stale or skipped offsets.
+TEST(CsrMatrixTest, FromTripletsInteriorEmptyRows) {
+  auto m = CsrMatrix::FromTriplets(5, 3, {{0, 2, 1.0}, {3, 0, 2.0}});
+  EXPECT_EQ(m.RowNnz(0), 1u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+  EXPECT_EQ(m.RowNnz(2), 0u);
+  EXPECT_EQ(m.RowNnz(3), 1u);
+  EXPECT_EQ(m.RowNnz(4), 0u);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(3, 0), 2.0);
+}
+
+// Trailing empty rows are the nastiest case (the epilogue fill must run
+// past the last populated row): check row extents and MatVec against a
+// dense reference.
+TEST(CsrMatrixTest, FromTripletsTrailingEmptyRows) {
+  auto m = CsrMatrix::FromTriplets(6, 4, {{0, 1, 1.0}, {1, 3, -2.0},
+                                          {1, 0, 0.5}});
+  EXPECT_EQ(m.nnz(), 3u);
+  for (size_t i = 2; i < 6; ++i) {
+    EXPECT_EQ(m.RowNnz(i), 0u) << "row " << i;
+    EXPECT_TRUE(m.RowIndices(i).empty()) << "row " << i;
+  }
+
+  const double dense[6][4] = {{0.0, 1.0, 0.0, 0.0},
+                              {0.5, 0.0, 0.0, -2.0},
+                              {0.0, 0.0, 0.0, 0.0},
+                              {0.0, 0.0, 0.0, 0.0},
+                              {0.0, 0.0, 0.0, 0.0},
+                              {0.0, 0.0, 0.0, 0.0}};
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  m.MatVec(x, y);
+  ASSERT_EQ(y.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    double expect = 0.0;
+    for (size_t j = 0; j < 4; ++j) expect += dense[i][j] * x[j];
+    EXPECT_DOUBLE_EQ(y[i], expect) << "row " << i;
+  }
+}
+
+TEST(CsrMatrixTest, FromTripletsAllRowsEmpty) {
+  auto m = CsrMatrix::FromTriplets(4, 4, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(m.RowNnz(i), 0u);
+  std::vector<double> y;
+  m.MatVec({1.0, 1.0, 1.0, 1.0}, y);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
 TEST(CsrMatrixTest, MatVec) {
   auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0},
                                           {1, 1, 3.0}});

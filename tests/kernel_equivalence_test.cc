@@ -1,0 +1,397 @@
+// Equivalence suite for the hot-path kernels: every vectorized
+// implementation is held against its scalar reference — bitwise where the
+// canonical accumulation order guarantees it (SIMD levels of one kernel),
+// tolerance-gated where the algorithm itself changed the floating-point
+// grouping (operator assembly vs triplet assembly, merged chain vs
+// interleaved reference). Runs under the plain, TSAN and ASan verify
+// stages; run_benches.sh refuses to publish kernel numbers unless this
+// suite is green.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "graph/csr_matrix.h"
+#include "graph/multi_bipartite.h"
+#include "solver/eq15_operator.h"
+#include "solver/linear_solvers.h"
+#include "solver/regularization.h"
+#include "suggest/hitting_time_suggester.h"
+
+namespace pqsda {
+namespace {
+
+// Deterministic pseudo-random doubles (no std::random, so the fixture is
+// identical on every platform and run).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+  double NextDouble() {  // in (-1, 1), never exactly 0
+    double v = static_cast<double>(Next() % 2000001) / 1000000.0 - 1.0;
+    return v == 0.0 ? 0.5 : v;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Restores the dispatch level on scope exit so a failing test cannot leak a
+// forced level into the rest of the binary.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) : saved_(simd::ActiveLevel()) {
+    simd::SetLevel(level);
+  }
+  ~ScopedLevel() { simd::SetLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+// ------------------------------------------------ SparseDot / AxpyScatter --
+
+// Every level the host actually supports (SetLevel clamps, so asking for
+// AVX2 on a non-AVX2 host sticks at scalar — skip those).
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  for (simd::Level l : {simd::Level::kAvx2, simd::Level::kNeon}) {
+    simd::SetLevel(l);
+    if (simd::ActiveLevel() == l) levels.push_back(l);
+  }
+  simd::SetLevel(simd::Level::kScalar);
+  return levels;
+}
+
+TEST(SparseDotTest, AllLevelsBitwiseMatchScalarReference) {
+  Lcg rng(7);
+  std::vector<double> x(256);
+  for (double& v : x) v = rng.NextDouble();
+  auto levels = SupportedLevels();
+  // Row lengths 0..64 cover every vector-body/tail split (n % 4 in
+  // {0,1,2,3}) plus the empty row.
+  for (size_t n = 0; n <= 64; ++n) {
+    std::vector<double> values(n);
+    std::vector<uint32_t> cols(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = rng.NextDouble();
+      cols[i] = static_cast<uint32_t>(rng.Next() % x.size());
+    }
+    const double reference =
+        simd::SparseDotScalar(values.data(), cols.data(), n, x.data());
+    for (simd::Level level : levels) {
+      ScopedLevel scoped(level);
+      const double got =
+          simd::SparseDot(values.data(), cols.data(), n, x.data());
+      EXPECT_EQ(reference, got)
+          << "n=" << n << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SparseDotTest, SequentialOrderAgreesWithinTolerance) {
+  Lcg rng(11);
+  std::vector<double> x(128);
+  for (double& v : x) v = rng.NextDouble();
+  for (size_t n : {1u, 3u, 7u, 32u, 63u}) {
+    std::vector<double> values(n);
+    std::vector<uint32_t> cols(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = rng.NextDouble();
+      cols[i] = static_cast<uint32_t>(rng.Next() % x.size());
+    }
+    const double canonical =
+        simd::SparseDotScalar(values.data(), cols.data(), n, x.data());
+    const double sequential =
+        simd::SparseDotSequential(values.data(), cols.data(), n, x.data());
+    EXPECT_NEAR(canonical, sequential, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(AxpyScatterTest, AllLevelsBitwiseMatchScalarReference) {
+  Lcg rng(13);
+  auto levels = SupportedLevels();
+  for (size_t n = 0; n <= 64; ++n) {
+    // Unique columns per row, as CSR guarantees.
+    std::vector<uint32_t> cols(n);
+    for (size_t i = 0; i < n; ++i) cols[i] = static_cast<uint32_t>(i * 3);
+    std::vector<double> values(n);
+    for (double& v : values) v = rng.NextDouble();
+    const double xi = rng.NextDouble();
+    std::vector<double> reference(200, 0.25);
+    simd::AxpyScatterScalar(values.data(), cols.data(), n, xi,
+                            reference.data());
+    for (simd::Level level : levels) {
+      ScopedLevel scoped(level);
+      std::vector<double> y(200, 0.25);
+      simd::AxpyScatter(values.data(), cols.data(), n, xi, y.data());
+      for (size_t i = 0; i < y.size(); ++i) {
+        ASSERT_EQ(reference[i], y[i])
+            << "n=" << n << " i=" << i << " level=" << simd::LevelName(level);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- MatVec through levels --
+
+CsrMatrix RaggedMatrix(uint32_t rows, uint32_t cols, Lcg& rng) {
+  std::vector<Triplet> triplets;
+  for (uint32_t i = 0; i < rows; ++i) {
+    // Ragged: row i has i % 9 entries, so empty rows, short tails and
+    // full vector bodies all appear in one matrix.
+    const uint32_t nnz = i % 9;
+    for (uint32_t k = 0; k < nnz; ++k) {
+      triplets.push_back(Triplet{i, static_cast<uint32_t>(rng.Next() % cols),
+                                 rng.NextDouble()});
+    }
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+TEST(MatVecTest, LevelsBitwiseAgree) {
+  Lcg rng(17);
+  CsrMatrix a = RaggedMatrix(60, 40, rng);
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.NextDouble();
+  std::vector<double> reference, y;
+  {
+    ScopedLevel scoped(simd::Level::kScalar);
+    a.MatVec(x, reference);
+  }
+  for (simd::Level level : SupportedLevels()) {
+    ScopedLevel scoped(level);
+    a.MatVec(x, y);
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], y[i])
+          << "row " << i << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(MatVecTest, TransposeLevelsBitwiseAgree) {
+  Lcg rng(19);
+  CsrMatrix a = RaggedMatrix(60, 40, rng);
+  std::vector<double> x(60);
+  for (double& v : x) v = rng.NextDouble();
+  std::vector<double> reference, y;
+  {
+    ScopedLevel scoped(simd::Level::kScalar);
+    a.TransposeMatVec(x, reference);
+  }
+  for (simd::Level level : SupportedLevels()) {
+    ScopedLevel scoped(level);
+    a.TransposeMatVec(x, y);
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], y[i])
+          << "col " << i << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+// ------------------------------------------------------- Eq. 15 operator --
+
+std::vector<QueryLogRecord> FixtureLog() {
+  return {
+      {1, "sun", "www.java.com", 100},
+      {1, "sun java", "java.sun.com", 120},
+      {1, "jvm download", "", 200},
+      {2, "sun", "www.suncellular.com", 100},
+      {2, "solar cell", "en.wikipedia.org", 160},
+      {3, "sun oracle", "www.oracle.com", 100},
+      {3, "java", "www.java.com", 172},
+      {4, "solar panel", "en.wikipedia.org", 90},
+      {4, "sun", "www.java.com", 210},
+  };
+}
+
+CompactRepresentation FixtureRep() {
+  auto records = FixtureLog();
+  auto sessions = Sessionize(records);
+  auto mb = MultiBipartite::Build(records, sessions, EdgeWeighting::kRaw);
+  CompactBuilder builder(mb);
+  auto rep = builder.Build(mb.QueryId("sun"), {}, CompactBuilderOptions{12, 4});
+  EXPECT_TRUE(rep.ok());
+  return std::move(rep).value();
+}
+
+constexpr std::array<double, 3> kAlpha = {0.6, 0.45, 0.25};
+
+TEST(Eq15OperatorTest, MatchesTripletAssembly) {
+  auto rep = FixtureRep();
+  CsrMatrix reference = AssembleRegularizationSystem(rep, kAlpha);
+  Eq15Operator op = BuildEq15Operator(rep, kAlpha);
+  ASSERT_EQ(op.n, rep.size());
+  // Compare as dense MatVec against unit vectors: exercises diag + off
+  // exactly the way the solvers consume them. The assemblies group the
+  // duplicate-entry sums differently, hence 1e-12 instead of bitwise.
+  const size_t n = rep.size();
+  std::vector<double> e(n, 0.0), col_ref, col_op;
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    reference.MatVec(e, col_ref);
+    Eq15MatVec(op, e, col_op);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(col_ref[i], col_op[i], 1e-12) << "entry (" << i << "," << j
+                                                << ")";
+    }
+    e[j] = 0.0;
+  }
+}
+
+TEST(Eq15OperatorTest, OffDiagonalHasNoDiagonalEntries) {
+  auto rep = FixtureRep();
+  Eq15Operator op = BuildEq15Operator(rep, kAlpha);
+  for (uint32_t i = 0; i < op.off.rows; ++i) {
+    auto cols = op.off.RowIndices(i);
+    for (uint32_t c : cols) EXPECT_NE(c, i);
+    for (size_t k = 1; k < cols.size(); ++k) {
+      EXPECT_LT(cols[k - 1], cols[k]);  // strictly ascending
+    }
+  }
+}
+
+TEST(Eq15OperatorTest, SolversMatchCsrSolvers) {
+  auto rep = FixtureRep();
+  CsrMatrix a = AssembleRegularizationSystem(rep, kAlpha);
+  Eq15Operator op = BuildEq15Operator(rep, kAlpha);
+  std::vector<double> b(rep.size());
+  Lcg rng(23);
+  for (double& v : b) v = std::abs(rng.NextDouble());
+
+  SolverOptions options;
+  options.tolerance = 1e-10;
+
+  std::vector<double> x_csr, x_op;
+  auto r_csr = JacobiSolve(a, b, x_csr, options);
+  auto r_op = JacobiSolve(op, b, x_op, options);
+  EXPECT_EQ(r_csr.converged, r_op.converged);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x_csr[i], x_op[i], 1e-9);
+
+  auto g_csr = GaussSeidelSolve(a, b, x_csr, options);
+  auto g_op = GaussSeidelSolve(op, b, x_op, options);
+  EXPECT_EQ(g_csr.converged, g_op.converged);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x_csr[i], x_op[i], 1e-9);
+
+  auto c_csr = ConjugateGradientSolve(a, b, x_csr, options);
+  auto c_op = ConjugateGradientSolve(op, b, x_op, options);
+  EXPECT_EQ(c_csr.converged, c_op.converged);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x_csr[i], x_op[i], 1e-9);
+}
+
+TEST(Eq15OperatorTest, ParallelJacobiBitwiseStableAcrossThreadCounts) {
+  auto rep = FixtureRep();
+  Eq15Operator op = BuildEq15Operator(rep, kAlpha);
+  std::vector<double> b(rep.size());
+  Lcg rng(29);
+  for (double& v : b) v = std::abs(rng.NextDouble());
+  SolverOptions options;
+  options.tolerance = 1e-10;
+
+  std::vector<double> x1;
+  JacobiSolveParallel(op, b, x1, options, 1, nullptr);
+  for (size_t threads : {2u, 3u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<double> xt;
+    JacobiSolveParallel(op, b, xt, options, threads, &pool);
+    ASSERT_EQ(x1.size(), xt.size());
+    for (size_t i = 0; i < x1.size(); ++i) {
+      ASSERT_EQ(x1[i], xt[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(Eq15OperatorTest, SolverLevelsBitwiseAgree) {
+  auto rep = FixtureRep();
+  Eq15Operator op = BuildEq15Operator(rep, kAlpha);
+  std::vector<double> b(rep.size());
+  Lcg rng(31);
+  for (double& v : b) v = std::abs(rng.NextDouble());
+  SolverOptions options;
+  options.tolerance = 1e-10;
+
+  std::vector<double> reference, x;
+  {
+    ScopedLevel scoped(simd::Level::kScalar);
+    JacobiSolve(op, b, reference, options);
+  }
+  for (simd::Level level : SupportedLevels()) {
+    ScopedLevel scoped(level);
+    x.clear();  // cold start — a warm start would hide level differences
+    JacobiSolve(op, b, x, options);
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], x[i])
+          << "i=" << i << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+// --------------------------------------------------------- Merged chain --
+
+TEST(MergedChainTest, HittingTimesMatchReference) {
+  auto rep = FixtureRep();
+  std::vector<const CsrMatrix*> chains = {&rep.row_norm[0], &rep.row_norm[1],
+                                          &rep.row_norm[2]};
+  std::vector<double> weights = {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  std::vector<uint32_t> seeds = {0};
+
+  HittingTimeWorkspace ref_ws, merged_ws;
+  ChainHittingTimeInto(chains, weights, seeds, 24, nullptr, ref_ws);
+  MergedChain merged = BuildMergedChain(chains, weights);
+  MergedChainHittingTimeInto(merged, seeds, 24, nullptr, merged_ws);
+
+  ASSERT_EQ(ref_ws.h.size(), merged_ws.h.size());
+  for (size_t i = 0; i < ref_ws.h.size(); ++i) {
+    // The merge regroups the weighted per-chain terms, so agreement is
+    // tolerance-gated (relative 1e-9), not bitwise.
+    const double scale = std::max(1.0, std::abs(ref_ws.h[i]));
+    EXPECT_NEAR(ref_ws.h[i], merged_ws.h[i], 1e-9 * scale) << "i=" << i;
+  }
+}
+
+TEST(MergedChainTest, MassIsRowSumOfMixture) {
+  auto rep = FixtureRep();
+  std::vector<const CsrMatrix*> chains = {&rep.row_norm[0], &rep.row_norm[1],
+                                          &rep.row_norm[2]};
+  std::vector<double> weights = {0.5, 0.3, 0.2};
+  MergedChain merged = BuildMergedChain(chains, weights);
+  ASSERT_EQ(merged.mass.size(), merged.m.rows);
+  for (uint32_t i = 0; i < merged.m.rows; ++i) {
+    auto vals = merged.m.RowValues(i);
+    double sum = 0.0;
+    for (double v : vals) sum += v;
+    EXPECT_NEAR(sum, merged.mass[i], 1e-15) << "row " << i;
+  }
+}
+
+TEST(MergedChainTest, StableAcrossThreadCounts) {
+  auto rep = FixtureRep();
+  std::vector<const CsrMatrix*> chains = {&rep.row_norm[0], &rep.row_norm[1],
+                                          &rep.row_norm[2]};
+  std::vector<double> weights = {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  std::vector<uint32_t> seeds = {0, 2};
+  MergedChain merged = BuildMergedChain(chains, weights);
+
+  HittingTimeWorkspace serial_ws;
+  MergedChainHittingTimeInto(merged, seeds, 16, nullptr, serial_ws);
+  for (size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    HittingTimeWorkspace ws;
+    MergedChainHittingTimeInto(merged, seeds, 16, &pool, ws);
+    ASSERT_EQ(serial_ws.h.size(), ws.h.size());
+    for (size_t i = 0; i < ws.h.size(); ++i) {
+      ASSERT_EQ(serial_ws.h[i], ws.h[i]) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pqsda

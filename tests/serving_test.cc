@@ -401,6 +401,48 @@ TEST(SuggestionCacheTest, KeyDistinguishesQueryUserContextAndK) {
             SuggestionCache::KeyOf(shifted, 5));
 }
 
+// Regression: the key used to embed only a 64-bit hash of the context, so
+// two colliding contexts shared one entry and a user could be served
+// another session's suggestions. The hash now routes to a shard only;
+// entries are stored and compared under the full serialized key. Force two
+// distinct keys onto the same hash and check they never alias.
+TEST(SuggestionCacheTest, HashCollisionDoesNotAliasEntries) {
+  SuggestionCache cache;
+
+  SuggestionCache::CacheKey first("session-one\x1f" "ctx-a");
+  SuggestionCache::CacheKey second("session-two\x1f" "ctx-b");
+  second.hash = first.hash;  // worst case: a full 64-bit collision
+
+  cache.Insert(first, {{"alpha", 1.0}});
+  cache.Insert(second, {{"beta", 2.0}});
+  EXPECT_EQ(cache.size(), 2u);
+
+  std::vector<Suggestion> out;
+  ASSERT_TRUE(cache.Lookup(first, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query, "alpha");
+  ASSERT_TRUE(cache.Lookup(second, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query, "beta");
+}
+
+// The serialization must keep distinct contexts distinct even when the
+// pairs only differ in how the bytes split between query and offset.
+TEST(SuggestionCacheTest, KeySeparatesContextQueryFromOffset) {
+  SuggestionRequest a = ServingRequest("sun", 1);
+  a.context = {{"solar1", 300}};
+  SuggestionRequest b = ServingRequest("sun", 1);
+  b.context = {{"solar", 1300}};
+  EXPECT_NE(SuggestionCache::KeyOf(a, 5), SuggestionCache::KeyOf(b, 5));
+
+  // Two single-entry contexts vs one two-entry context with the same bytes.
+  SuggestionRequest c = ServingRequest("sun", 1);
+  c.context = {{"x", 300}, {"y", 300}};
+  SuggestionRequest d = ServingRequest("sun", 1);
+  d.context = {{"x", 300}};
+  EXPECT_NE(SuggestionCache::KeyOf(c, 5), SuggestionCache::KeyOf(d, 5));
+}
+
 TEST(SuggestionCacheTest, LruEvictsOldestAndRefreshesOnHit) {
   SuggestionCacheOptions options;
   options.capacity = 2;

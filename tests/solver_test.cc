@@ -82,6 +82,45 @@ TEST(SolverTest, ReportsNonConvergence) {
   EXPECT_EQ(result.iterations, 1u);
 }
 
+// Regression: an exactly-zero right-hand side used to iterate all the way
+// to max_iterations chasing a residual that was already zero. Every solver
+// must return the converged zero iterate without a single sweep.
+TEST(SolverTest, ZeroRhsReturnsConvergedZeroWithoutIterating) {
+  auto a = TestSystem();
+  std::vector<double> b = {0.0, 0.0, 0.0};
+  SolverOptions opts;
+  opts.tolerance = 1e-15;  // would take many sweeps if it iterated at all
+
+  auto check = [&](SolverResult result, const std::vector<double>& x,
+                   const char* solver) {
+    EXPECT_TRUE(result.converged) << solver;
+    EXPECT_EQ(result.iterations, 0u) << solver;
+    EXPECT_DOUBLE_EQ(result.relative_residual, 0.0) << solver;
+    ASSERT_EQ(x.size(), b.size()) << solver;
+    for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0) << solver;
+  };
+
+  std::vector<double> x = {9.0, 9.0, 9.0};  // stale warm start must be reset
+  check(JacobiSolve(a, b, x, opts), x, "jacobi");
+  x = {9.0, 9.0, 9.0};
+  check(GaussSeidelSolve(a, b, x, opts), x, "gauss-seidel");
+  x = {9.0, 9.0, 9.0};
+  check(ConjugateGradientSolve(a, b, x, opts), x, "cg");
+  x = {9.0, 9.0, 9.0};
+  check(JacobiSolveParallel(a, b, x, opts, 2, nullptr), x, "jacobi-parallel");
+}
+
+// A nonzero-but-tiny rhs must NOT take the zero shortcut.
+TEST(SolverTest, TinyNonzeroRhsStillSolves) {
+  auto a = TestSystem();
+  std::vector<double> b = {0.0, 1e-30, 0.0};
+  std::vector<double> x;
+  auto result = JacobiSolve(a, b, x, SolverOptions{});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_NE(x[1], 0.0);
+}
+
 TEST(SolverTest, IdentitySolvesInstantly) {
   auto a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
   std::vector<double> b = {5.0, -3.0};
