@@ -28,6 +28,15 @@
 // latency). Emits BENCH_profile.json with overhead_pct and gate_pass;
 // run_benches.sh fails the stage when the gate doesn't hold.
 //
+// Then the explain layer's cost the same way: the storm with explain
+// disabled (the default — one atomic load at admission, one thread-local
+// read per seam) measured before vs after full-capture storms armed the
+// subsystem and filled the /explainz ring. That residual-cost delta is
+// gated at <=1% + 50us on the p95 (the "zero cost when disabled"
+// contract); head-sampled 1/32 and worst-case every-request p95s are
+// reported ungated. Emits BENCH_explain.json; run_benches.sh enforces
+// the gate.
+//
 // Scale knobs: PQSDA_USERS (default 150), PQSDA_TESTS (default 200 serving
 // requests), PQSDA_SERVE_THREADS (batch pool size, default 4),
 // PQSDA_CACHE (cache capacity for the cached runs, default 512),
@@ -37,6 +46,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -713,6 +723,137 @@ void Main() {
       std::printf("  wrote BENCH_profile.json\n");
     } else {
       std::printf("  could not write BENCH_profile.json\n");
+    }
+  }
+
+  // --- explain overhead: the disabled path must stay free --------------
+  // The decision-observability contract is "zero cost when disabled": with
+  // explain_sample_every=0 the request path pays one relaxed atomic load at
+  // admission and one thread-local read per seam, nothing else. One binary
+  // can't diff itself against a build without the seams, so the gate
+  // measures the disabled path's residual cost: storm p95 with explain off
+  // *before* the subsystem was ever exercised vs *after* full-capture
+  // storms armed it and filled the /explainz ring. Any allocation, ring
+  // contention or atomic cost the armed subsystem leaked into the disabled
+  // path would show here; the budget is <=1% + 50us, widened by the box's
+  // *measured* noise floor. Calibrating that floor needs care: the gated
+  // comparison spans minutes of hot storms, so minute-scale drift (thermal,
+  // container neighbors) lands entirely on the "after" side. The baseline
+  // is therefore measured as two identical halves separated by a *placebo*
+  // arming block — untimed disabled storms of the same shape as the real
+  // arming block — and however far those two same-state minima disagree is
+  // drift the host injects into any before/after comparison on this box,
+  // which a 1% gate cannot resolve and must not fail on. The sampled
+  // (1/32) and worst-case every-request p95s are reported alongside,
+  // ungated — sampled requests pay for the per-chain hitting-time sweeps
+  // they record.
+  const size_t explain_reps = EnvSize("EXPLAIN_REPS", 3);
+  std::printf("\nexplain overhead: %zu-request storm, explain disabled "
+              "before vs after arming, min over %zu passes each\n",
+              zipf.size(), explain_reps);
+  (void)TimedPass(engine, zipf, k);  // warm
+  double explain_p95_off_a = 1e300;
+  double explain_p95_off_b = 1e300;
+  double explain_p95_off_armed = 1e300;
+  double explain_p95_sampled = 1e300;
+  double explain_p95_full = 1e300;
+  // Baseline: both halves run before the subsystem has ever captured
+  // anything. The placebo block between them mirrors the real arming
+  // block's pass count (2 per rep) plus its equalizer, so a-to-b sees the
+  // same wall-clock gap and workload cadence as off-to-off_armed.
+  telemetry.SetExplainSampleEvery(0);
+  for (size_t rep = 0; rep < explain_reps; ++rep) {
+    explain_p95_off_a = std::min(explain_p95_off_a,
+                                 Percentile(TimedPass(engine, zipf, k), 95));
+  }
+  for (size_t rep = 0; rep < 2 * explain_reps + 1; ++rep) {
+    (void)TimedPass(engine, zipf, k);  // placebo arming block, untimed
+  }
+  for (size_t rep = 0; rep < explain_reps; ++rep) {
+    explain_p95_off_b = std::min(explain_p95_off_b,
+                                 Percentile(TimedPass(engine, zipf, k), 95));
+  }
+  // The b half is the drift-matched baseline: it sits at the same temporal
+  // distance from its (placebo) hot block as off_armed sits from the real
+  // one. The a half only serves the noise-floor estimate.
+  const double explain_p95_off = explain_p95_off_b;
+  const double explain_noise_us =
+      std::abs(explain_p95_off_a - explain_p95_off_b);
+  // Arm: full-capture and sampled storms (reported ungated below). These
+  // run hotter than the disabled storms, which is why the off-after block
+  // leads with an untimed disabled pass — every timed disabled pass, before
+  // or after arming, then follows the same kind of workload instead of
+  // inheriting the full storm's thermal and cache state.
+  for (size_t rep = 0; rep < explain_reps; ++rep) {
+    telemetry.SetExplainSampleEvery(1);
+    explain_p95_full =
+        std::min(explain_p95_full, Percentile(TimedPass(engine, zipf, k), 95));
+    telemetry.SetExplainSampleEvery(32);
+    explain_p95_sampled = std::min(explain_p95_sampled,
+                                   Percentile(TimedPass(engine, zipf, k), 95));
+  }
+  telemetry.SetExplainSampleEvery(0);
+  (void)TimedPass(engine, zipf, k);  // equalizer, untimed
+  for (size_t rep = 0; rep < explain_reps; ++rep) {
+    explain_p95_off_armed = std::min(
+        explain_p95_off_armed, Percentile(TimedPass(engine, zipf, k), 95));
+  }
+  const double explain_off_overhead_pct =
+      explain_p95_off > 0.0
+          ? 100.0 * (explain_p95_off_armed - explain_p95_off) /
+                explain_p95_off
+          : 0.0;
+  const bool explain_gate = explain_p95_off_armed <=
+                            explain_p95_off * 1.01 + 50.0 + explain_noise_us;
+  std::printf("  p95 disabled: %9.0fus   disabled after arming: %9.0fus   "
+              "overhead: %+.2f%%  gate(<=1%%+50us+%.0fus noise floor): %s\n",
+              explain_p95_off, explain_p95_off_armed,
+              explain_off_overhead_pct, explain_noise_us,
+              explain_gate ? "pass" : "FAIL");
+  std::printf("  p95 sampled(1/32): %9.0fus   full(1/1): %9.0fus  "
+              "(ungated: sampled requests pay for the sweeps they record)\n",
+              explain_p95_sampled, explain_p95_full);
+
+  // The sampled passes must actually have landed in the ring: /explainz has
+  // to list captured records.
+  auto explainz_scrape = obs::HttpGet(exporter.port(), "/explainz");
+  size_t explainz_records = 0;
+  if (explainz_scrape.ok()) {
+    const std::string needle = "\"request_id\":";
+    for (size_t pos = explainz_scrape->find(needle);
+         pos != std::string::npos;
+         pos = explainz_scrape->find(needle, pos + needle.size())) {
+      ++explainz_records;
+    }
+  }
+  std::printf("  /explainz captured records: %zu (ring capacity %zu)\n",
+              explainz_records, telemetry.explain_store().capacity());
+
+  {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n  \"bench\": \"serving_explain_overhead\",\n"
+        "  \"offered\": %zu,\n  \"reps\": %zu,\n"
+        "  \"p95_explain_off_us\": %.1f,\n"
+        "  \"p95_explain_off_armed_us\": %.1f,\n"
+        "  \"p95_explain_sampled_us\": %.1f,\n"
+        "  \"p95_explain_full_us\": %.1f,\n"
+        "  \"disabled_overhead_pct\": %.3f,\n"
+        "  \"p95_explain_off_halves_us\": [%.1f, %.1f],\n"
+        "  \"noise_floor_us\": %.1f,\n"
+        "  \"explainz_records\": %zu,\n"
+        "  \"gate_pass\": %s\n}\n",
+        zipf.size(), explain_reps, explain_p95_off, explain_p95_off_armed,
+        explain_p95_sampled, explain_p95_full, explain_off_overhead_pct,
+        explain_p95_off_a, explain_p95_off_b, explain_noise_us,
+        explainz_records, explain_gate ? "true" : "false");
+    if (std::FILE* f = std::fopen("BENCH_explain.json", "w")) {
+      std::fwrite(buf, 1, std::strlen(buf), f);
+      std::fclose(f);
+      std::printf("  wrote BENCH_explain.json\n");
+    } else {
+      std::printf("  could not write BENCH_explain.json\n");
     }
   }
 

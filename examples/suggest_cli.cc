@@ -7,7 +7,7 @@
 //                                [--sample_every=N] [--deadline_ms=T]
 //                                [--shed_queue_depth=N] [--min_rung=R]
 //                                [--ingest=N] [--tail=path] [--slo=SPECS]
-//                                [--log_rotate_kb=N]
+//                                [--log_rotate_kb=N] [--explain_every=N]
 //                                [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
@@ -19,6 +19,10 @@
 //   > rebuild                  # force a rebuild+swap of buffered deltas
 //   > index                    # live-index status (generation, delta depth)
 //   > tail 12                  # user 12's open tail session in the stream
+//   > explain sun              # serve + full per-candidate attribution
+//   > explain @12 sun          # ... personalized (UPM + Borda terms shown)
+//   > replay 17                # re-run logged request 17 against its pinned
+//                              # generation and verify the result bitwise
 //   > quit
 //
 // With --stats every answer is followed by the request's stage trace and
@@ -35,6 +39,18 @@
 // kind:objective[:threshold_us] with kind in availability|latency|
 // shed_rate, e.g. --slo=availability:0.999,latency:0.99:200000.
 // --log_rotate_kb=N rolls the request log at N KiB (3 rotated files kept).
+//
+// Decision observability: --explain_every=N head-samples every Nth request
+// into the /explainz ring (0 = off; the 'explain' command always captures
+// regardless). 'explain <query>' prints the served list followed by the
+// per-candidate attribution table — Eq. 15 relevance, Algorithm 1 selection
+// round / hitting-time rank per chain, and (for @user requests) the UPM
+// preference score and Borda points per source list. 'replay <id>' looks a
+// request up in the --request_log JSONL (including rotated files), re-runs
+// it against the snapshot generation it originally pinned (IndexManager
+// keeps a bounded ring of retired generations) at the logged degradation
+// rung with the cache bypassed, and reports whether the reproduced list is
+// bitwise identical to the logged one.
 //
 // Serve mode: --http_port=N starts the embedded telemetry exporter on
 // 127.0.0.1:N (0 picks a free port) with /metrics (Prometheus), /healthz,
@@ -70,6 +86,7 @@
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -127,6 +144,7 @@ int main(int argc, char** argv) {
   const char* tail_path = nullptr;
   const char* slo_specs = nullptr;
   unsigned long log_rotate_kb = 0;
+  unsigned long explain_every = 0;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -155,6 +173,8 @@ int main(int argc, char** argv) {
       slo_specs = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--log_rotate_kb=", 16) == 0) {
       log_rotate_kb = std::strtoul(argv[i] + 16, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--explain_every=", 16) == 0) {
+      explain_every = std::strtoul(argv[i] + 16, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -244,9 +264,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("telemetry exporter on http://127.0.0.1:%d "
-                  "(/metrics /healthz /statusz /tracez /profilez /alertz)\n",
+                  "(/metrics /healthz /statusz /tracez /profilez /alertz "
+                  "/explainz)\n",
                   exporter.port());
     }
+  }
+  if (explain_every > 0) {
+    obs::ServingTelemetry::Default().SetExplainSampleEvery(explain_every);
+    std::printf("explain sampling: every %luth request into the /explainz "
+                "ring\n",
+                explain_every);
   }
 
   PqsdaEngineConfig config;
@@ -317,7 +344,8 @@ int main(int argc, char** argv) {
               "the registry, 'statusz' / 'profilez' / 'alertz' for windowed "
               "snapshots, 'ingest "
               "[n]' / 'rebuild' / 'index' / 'tail <user>' for the live "
-              "index, 'quit' to exit)\n");
+              "index, 'explain <query>' for per-candidate attribution, "
+              "'replay <id>' to re-run a logged request, 'quit' to exit)\n");
 
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
@@ -414,6 +442,102 @@ int main(int argc, char** argv) {
         std::printf("  t=%lld  %s\n", static_cast<long long>(ts),
                     query.c_str());
       }
+      continue;
+    }
+
+    if (line.rfind("explain ", 0) == 0) {
+      SuggestionRequest request = ParseRequest(line.substr(8));
+      if (request.query.empty()) continue;
+      CancelToken token;
+      if (deadline_ms > 0) {
+        token.SetDeadlineAfter(deadline_ms * 1'000'000);
+        request.cancel = &token;
+      }
+      obs::ExplainRecord record;
+      auto suggestions = (*engine)->Suggest(request, 10, nullptr, &record);
+      if (!suggestions.ok()) {
+        std::printf("  (%s)\n", suggestions.status().ToString().c_str());
+        continue;
+      }
+      for (size_t i = 0; i < suggestions->size(); ++i) {
+        std::printf("  %2zu. %s\n", i + 1, (*suggestions)[i].query.c_str());
+      }
+      std::printf("\n%s", record.Render().c_str());
+      continue;
+    }
+
+    if (line.rfind("replay ", 0) == 0) {
+      if (request_log_path == nullptr) {
+        std::printf("replay needs --request_log=path\n");
+        continue;
+      }
+      const uint64_t id = std::strtoull(line.c_str() + 7, nullptr, 10);
+      if (obs::RequestLog* log =
+              obs::ServingTelemetry::Default().request_log()) {
+        log->Flush();
+      }
+      // Look the request up in the active log file, then the rotated chain
+      // (newest first), so recently-rolled entries stay replayable.
+      const std::string needle = "\"request_id\":" + std::to_string(id) + ",";
+      std::optional<obs::RequestLogEntry> entry;
+      for (int f = 0; f <= 4 && !entry.has_value(); ++f) {
+        std::string p = request_log_path;
+        if (f > 0) p += "." + std::to_string(f);
+        std::ifstream in(p);
+        std::string l;
+        while (std::getline(in, l)) {
+          if (l.find(needle) == std::string::npos) continue;
+          auto parsed = obs::ParseRequestLogEntry(l);
+          if (!parsed.ok()) {
+            std::printf("  (%s)\n", parsed.status().ToString().c_str());
+            continue;
+          }
+          if (parsed->request_id == id) {
+            entry = std::move(*parsed);
+            break;
+          }
+        }
+      }
+      if (!entry.has_value()) {
+        std::printf("request %llu not in %s or its rotated chain (sampled "
+                    "out, rotated away, or never served)\n",
+                    static_cast<unsigned long long>(id), request_log_path);
+        continue;
+      }
+      std::printf("replaying request %llu: \"%s\" (generation %llu, rung "
+                  "%u%s)\n",
+                  static_cast<unsigned long long>(id), entry->query.c_str(),
+                  static_cast<unsigned long long>(entry->generation),
+                  static_cast<unsigned>(entry->rung),
+                  entry->cache_hit ? ", originally a cache hit" : "");
+      obs::ExplainRecord record;
+      auto replayed = (*engine)->Replay(*entry, &record);
+      if (!replayed.ok()) {
+        if (!entry->ok) {
+          std::printf("  replay failed like the original: %s (logged: %s)\n",
+                      replayed.status().ToString().c_str(),
+                      entry->status.c_str());
+        } else {
+          std::printf("  (%s)\n", replayed.status().ToString().c_str());
+        }
+        continue;
+      }
+      for (size_t i = 0; i < replayed->size(); ++i) {
+        std::printf("  %2zu. %s\n", i + 1, (*replayed)[i].query.c_str());
+      }
+      bool lists_match = replayed->size() == entry->suggestions.size();
+      for (size_t i = 0; lists_match && i < replayed->size(); ++i) {
+        lists_match = (*replayed)[i].query == entry->suggestions[i];
+      }
+      if (record.fingerprint == entry->fingerprint && lists_match) {
+        std::printf("bitwise match: fingerprint %s reproduced\n",
+                    obs::FingerprintToHex(record.fingerprint).c_str());
+      } else {
+        std::printf("MISMATCH: logged fingerprint %s, replayed %s\n",
+                    obs::FingerprintToHex(entry->fingerprint).c_str(),
+                    obs::FingerprintToHex(record.fingerprint).c_str());
+      }
+      std::printf("\n%s", record.Render().c_str());
       continue;
     }
 

@@ -71,6 +71,11 @@ struct IngestOptions {
   size_t max_delta_records = 1 << 16;
   /// Pool the rebuild tasks run on; null = ThreadPool::Shared().
   ThreadPool* rebuild_pool = nullptr;
+  /// Recently-retired snapshots IndexManager keeps alive after a swap, so a
+  /// logged request can be replayed against its pinned generation for a
+  /// while (suggest_cli replay / PqsdaEngine::Replay). 0 keeps none: only
+  /// the published generation is replayable.
+  size_t retired_snapshots = 4;
 };
 
 /// End-to-end PQS-DA configuration.

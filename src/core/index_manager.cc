@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/stage_profiler.h"
 #include "obs/trace.h"
 
 namespace pqsda {
@@ -32,6 +33,7 @@ struct IngestMetrics {
   obs::Gauge& index_records;
   obs::Gauge& last_rebuild_us;
   obs::Gauge& last_swap_monotonic_sec;
+  obs::Gauge& oldest_live_generation;
 
   static IngestMetrics& Get() {
     static IngestMetrics* m = [] {
@@ -47,7 +49,8 @@ struct IngestMetrics {
           reg.GetGauge("pqsda.ingest.delta_depth"),
           reg.GetGauge("pqsda.ingest.index_records"),
           reg.GetGauge("pqsda.ingest.last_rebuild_us"),
-          reg.GetGauge("pqsda.ingest.last_swap_monotonic_sec")};
+          reg.GetGauge("pqsda.ingest.last_swap_monotonic_sec"),
+          reg.GetGauge("pqsda.ingest.oldest_live_generation")};
     }();
     return *m;
   }
@@ -85,17 +88,20 @@ StatusOr<std::shared_ptr<IndexSnapshot>> BuildIndexSnapshot(
   snap->records = std::move(records);
   {
     obs::TraceSpan span("sessionize");
+    obs::StageScope stage(obs::ProfileStage::kSessionize);
     obs::ScopedTimer timer(metrics ? &sessionize_us : nullptr);
     snap->sessions = Sessionize(snap->records, config.sessionizer);
   }
   {
     obs::TraceSpan span("representation");
+    obs::StageScope stage(obs::ProfileStage::kGraphBuild);
     obs::ScopedTimer timer(metrics ? &representation_us : nullptr);
     snap->mb = std::make_unique<MultiBipartite>(MultiBipartite::Build(
         snap->records, snap->sessions, config.weighting));
   }
   {
     obs::TraceSpan span("corpus");
+    obs::StageScope stage(obs::ProfileStage::kGraphBuild);
     obs::ScopedTimer timer(metrics ? &corpus_us : nullptr);
     snap->corpus = std::make_unique<QueryLogCorpus>(
         QueryLogCorpus::Build(snap->records, snap->sessions));
@@ -104,6 +110,7 @@ StatusOr<std::shared_ptr<IndexSnapshot>> BuildIndexSnapshot(
       std::make_unique<PqsdaDiversifier>(*snap->mb, config.diversifier);
   if (config.personalize) {
     obs::TraceSpan span("upm_train");
+    obs::StageScope stage(obs::ProfileStage::kGraphBuild);
     obs::ScopedTimer timer(metrics ? &upm_train_us : nullptr);
     // Tee Gibbs progress into the registry (sweep counter/latency and the
     // convergence gauge), then onward to any caller-supplied callback.
@@ -148,6 +155,7 @@ IndexManager::IndexManager(std::shared_ptr<IndexSnapshot> initial,
   m.delta_depth.Set(0.0);
   m.last_swap_monotonic_sec.Set(
       static_cast<double>(initial->published_ns) * 1e-9);
+  m.oldest_live_generation.Set(static_cast<double>(initial->generation));
   snapshot_ = std::move(initial);
 }
 
@@ -156,6 +164,26 @@ IndexManager::~IndexManager() { WaitForRebuilds(); }
 std::shared_ptr<const IndexSnapshot> IndexManager::Acquire() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
+}
+
+std::shared_ptr<const IndexSnapshot> IndexManager::AcquireGeneration(
+    uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_ != nullptr && snapshot_->generation == generation) {
+    return snapshot_;
+  }
+  // Newest retired first: the common replay target is the generation that
+  // just swapped out.
+  for (auto it = retired_.rbegin(); it != retired_.rend(); ++it) {
+    if ((*it)->generation == generation) return *it;
+  }
+  return nullptr;
+}
+
+uint64_t IndexManager::oldest_live_generation() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (!retired_.empty()) return retired_.front()->generation;
+  return snapshot_ != nullptr ? snapshot_->generation : 0;
 }
 
 uint64_t IndexManager::generation() const { return Acquire()->generation; }
@@ -246,17 +274,27 @@ Status IndexManager::RebuildWith(std::vector<QueryLogRecord> batch) {
   std::lock_guard<std::mutex> build_lock(build_mu_);
   IngestMetrics& m = IngestMetrics::Get();
   const size_t batch_records = batch.size();
-  std::shared_ptr<const IndexSnapshot> base = Acquire();
+  // The rebuild runs entirely on this thread, so it profiles like a request
+  // under its own lane: drain/sessionize/graph-build/publish stages land in
+  // /profilez next to the serving rungs.
+  obs::StageProfiler& profiler = obs::StageProfiler::Default();
+  profiler.BeginRequest();
   std::vector<QueryLogRecord> all;
-  all.reserve(base->records.size() + batch.size());
-  all.insert(all.end(), base->records.begin(), base->records.end());
-  for (QueryLogRecord& r : batch) all.push_back(std::move(r));
-  base.reset();  // don't pin the old generation across the build
+  {
+    obs::StageScope stage(obs::ProfileStage::kDrain);
+    std::shared_ptr<const IndexSnapshot> base = Acquire();
+    all.reserve(base->records.size() + batch.size());
+    all.insert(all.end(), base->records.begin(), base->records.end());
+    for (QueryLogRecord& r : batch) all.push_back(std::move(r));
+    obs::StageProfiler::AddWork(obs::ProfileStage::kDrain, batch_records);
+    // base drops here: don't pin the old generation across the build.
+  }
 
   WallTimer timer;
   auto snap_or = BuildIndexSnapshot(std::move(all), config_, next_generation_);
   if (!snap_or.ok()) {
     m.rebuild_failures_total.Increment();
+    profiler.EndRequest(obs::kProfileRebuildLane);
     return snap_or.status();
   }
   ++next_generation_;
@@ -265,12 +303,14 @@ Status IndexManager::RebuildWith(std::vector<QueryLogRecord> batch) {
   m.last_rebuild_us.Set(static_cast<double>(rebuild_us));
   m.rebuild_batch_records.Observe(static_cast<double>(batch_records));
   Publish(std::move(*snap_or), batch_records);
+  profiler.EndRequest(obs::kProfileRebuildLane);
   return Status::OK();
 }
 
 void IndexManager::Publish(std::shared_ptr<IndexSnapshot> next,
                            size_t batch_records) {
   (void)batch_records;
+  obs::StageScope stage(obs::ProfileStage::kPublish);
   next->published_ns = SteadyNowNs();
   IngestMetrics& m = IngestMetrics::Get();
   m.generation.Set(static_cast<double>(next->generation));
@@ -279,7 +319,19 @@ void IndexManager::Publish(std::shared_ptr<IndexSnapshot> next,
                                 1e-9);
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
+    // The outgoing generation moves into the bounded replay ring instead of
+    // dying with its last in-flight request, so logged requests stay
+    // reproducible for the ring's depth.
+    if (snapshot_ != nullptr && config_.ingest.retired_snapshots > 0) {
+      retired_.push_back(std::move(snapshot_));
+      while (retired_.size() > config_.ingest.retired_snapshots) {
+        retired_.pop_front();
+      }
+    }
     snapshot_ = std::move(next);
+    m.oldest_live_generation.Set(static_cast<double>(
+        retired_.empty() ? snapshot_->generation
+                         : retired_.front()->generation));
   }
   rebuilds_total_.fetch_add(1, std::memory_order_relaxed);
   m.rebuilds_total.Increment();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,6 +106,18 @@ class IndexManager {
   /// alive while g+1 swaps in.
   std::shared_ptr<const IndexSnapshot> Acquire() const;
 
+  /// A specific generation: the published one, or a recently-retired one
+  /// still held in the replay ring (IngestOptions::retired_snapshots). Null
+  /// when the generation was never published or already aged out — the
+  /// caller (replay) reports it as no longer reproducible.
+  std::shared_ptr<const IndexSnapshot> AcquireGeneration(
+      uint64_t generation) const;
+
+  /// Oldest generation AcquireGeneration can still return (the published
+  /// generation when the retired ring is empty). /statusz uses this to age
+  /// out exemplars that can no longer be replayed.
+  uint64_t oldest_live_generation() const;
+
   /// Generation of the published snapshot.
   uint64_t generation() const;
 
@@ -156,6 +169,10 @@ class IndexManager {
   /// Publication slot. The mutex guards only the shared_ptr swap/copy.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const IndexSnapshot> snapshot_;
+  /// Recently-retired generations (oldest at the front), kept alive for
+  /// replay; bounded by IngestOptions::retired_snapshots. Guarded by
+  /// snapshot_mu_.
+  std::deque<std::shared_ptr<const IndexSnapshot>> retired_;
 
   /// Delta buffer + streaming sessionizer state.
   mutable std::mutex delta_mu_;

@@ -1,11 +1,14 @@
 #include "core/pqsda_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "common/fault_injector.h"
 #include "common/timer.h"
 #include "eval/diversity.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/request_log.h"
 #include "obs/stage_profiler.h"
@@ -13,6 +16,48 @@
 #include "obs/trace.h"
 
 namespace pqsda {
+
+namespace {
+
+// The shared result fingerprint: FNV-1a 64 over each served query's bytes
+// and its score's bit pattern, in rank order. The request log, the explain
+// record and replay verification all agree on this definition.
+uint64_t FingerprintOf(const std::vector<Suggestion>& list) {
+  obs::Fingerprint64 fp;
+  for (const Suggestion& s : list) {
+    fp.Mix(s.query);
+    fp.MixDouble(s.score);
+  }
+  return fp.value();
+}
+
+// Remaps the pipeline-order attribution candidates onto the served list:
+// final_rank/score become the served position and Suggestion::score (the
+// §V-B rerank may have reordered), then the candidates sort into served
+// order. A candidate that fell out of the served list keeps SIZE_MAX and
+// sorts last.
+void AlignExplainToServed(obs::ExplainRecord& record,
+                          const std::vector<Suggestion>& served) {
+  std::unordered_map<std::string, size_t> rank_of;
+  rank_of.reserve(served.size());
+  for (size_t i = 0; i < served.size(); ++i) rank_of[served[i].query] = i;
+  for (obs::ExplainCandidate& c : record.candidates) {
+    auto it = rank_of.find(c.query);
+    if (it == rank_of.end()) {
+      c.final_rank = SIZE_MAX;
+      continue;
+    }
+    c.final_rank = it->second;
+    c.score = served[it->second].score;
+  }
+  std::stable_sort(record.candidates.begin(), record.candidates.end(),
+                   [](const obs::ExplainCandidate& a,
+                      const obs::ExplainCandidate& b) {
+                     return a.final_rank < b.final_rank;
+                   });
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
     std::vector<QueryLogRecord> records, const PqsdaEngineConfig& config) {
@@ -52,7 +97,8 @@ StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
 }
 
 StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
-    const SuggestionRequest& request, size_t k, SuggestStats* stats) const {
+    const SuggestionRequest& request, size_t k, SuggestStats* stats,
+    obs::ExplainRecord* explain) const {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   static obs::Counter& requests_total =
       reg.GetCounter("pqsda.suggest.requests_total");
@@ -110,6 +156,16 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   std::optional<obs::TraceCollector> collector;
   if (stats != nullptr || trace_sampled) collector.emplace("suggest");
 
+  // Explain: collected when the caller asked (explain != nullptr) or when
+  // head sampling selected this request for the /explainz ring. The record
+  // is heap-held behind a shared_ptr because the store publishes it to
+  // scrape threads after the request finishes.
+  const bool explain_sampled = telemetry.SampleExplain();
+  std::shared_ptr<obs::ExplainRecord> erec;
+  if (explain != nullptr || explain_sampled) {
+    erec = std::make_shared<obs::ExplainRecord>();
+  }
+
   // The profiler brackets exactly the admitted request on this thread; the
   // pipeline's stage scopes fold into this bracket and EndRequest attributes
   // the whole to the rung chosen above.
@@ -117,8 +173,15 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   profiler.BeginRequest();
   WallTimer wall;
   bool cache_hit = false;
-  StatusOr<std::vector<Suggestion>> result =
-      SuggestImpl(request, k, rung, *snap, stats, &cache_hit);
+  StatusOr<std::vector<Suggestion>> result = Status::Internal("unset");
+  {
+    // The scope installs the record as the thread's explain sink for exactly
+    // the pipeline's duration; the diversifier and personalizer write their
+    // score terms through obs::CurrentExplain().
+    std::optional<obs::ExplainScope> explain_scope;
+    if (erec != nullptr) explain_scope.emplace(erec.get());
+    result = SuggestImpl(request, k, rung, *snap, stats, &cache_hit);
+  }
   const double elapsed_us = static_cast<double>(wall.ElapsedNanos()) * 1e-3;
   profiler.EndRequest(static_cast<size_t>(rung));
   const int64_t total_us = static_cast<int64_t>(elapsed_us);
@@ -138,7 +201,38 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     }
   }
   telemetry.RecordRequest(elapsed_us, ok, not_found, cache_ != nullptr,
-                          cache_hit, /*shed=*/false, request_id);
+                          cache_hit, /*shed=*/false, request_id,
+                          snap->generation + 1);
+
+  // The fingerprint is only computed when something consumes it (explain
+  // record or request log) — it is per-result work the unobserved request
+  // path must not pay.
+  obs::RequestLog* log = telemetry.request_log();
+  uint64_t fingerprint = 0;
+  if (ok && (erec != nullptr || log != nullptr)) {
+    fingerprint = FingerprintOf(*result);
+  }
+
+  if (erec != nullptr) {
+    erec->request_id = request_id;
+    erec->query = request.query;
+    erec->user = request.user;
+    erec->k = k;
+    erec->generation = snap->generation;
+    erec->rung = static_cast<size_t>(rung);
+    erec->cache_hit = cache_hit;
+    erec->total_us = total_us;
+    erec->ok = ok;
+    erec->fingerprint = fingerprint;
+    if (ok) {
+      AlignExplainToServed(*erec, *result);
+    } else {
+      erec->status = result.status().ToString();
+      erec->candidates.clear();
+    }
+    telemetry.explain_store().Add(erec);
+    if (explain != nullptr) *explain = *erec;
+  }
 
   // Online quality sampling runs after the latency was measured and
   // recorded, so the measurement itself never shows up in the percentiles
@@ -159,12 +253,19 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
     telemetry.RecordTrace(request_id, request.query, total_us, trace);
   }
 
-  if (obs::RequestLog* log = telemetry.request_log()) {
+  if (log != nullptr) {
     obs::RequestLogEntry entry;
     entry.request_id = request_id;
     entry.user = request.user;
     entry.query = request.query;
     entry.k = k;
+    // Replay inputs: the full request (timestamp + context), the pinned
+    // generation, the rung, and the result fingerprint replay must match.
+    entry.timestamp = request.timestamp;
+    entry.context = request.context;
+    entry.generation = snap->generation;
+    entry.rung = static_cast<size_t>(rung);
+    entry.fingerprint = fingerprint;
     entry.total_us = total_us;
     entry.cache_hit = cache_hit;
     entry.ok = ok;
@@ -194,6 +295,66 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::Suggest(
   return result;
 }
 
+StatusOr<std::vector<Suggestion>> PqsdaEngine::Replay(
+    const obs::RequestLogEntry& entry, obs::ExplainRecord* explain) const {
+  std::shared_ptr<const IndexSnapshot> snap =
+      index_->AcquireGeneration(entry.generation);
+  if (snap == nullptr) {
+    return Status::NotFound(
+        "generation " + std::to_string(entry.generation) +
+        " is no longer live (oldest replayable generation is " +
+        std::to_string(index_->oldest_live_generation()) +
+        "); the request is not reproducible anymore");
+  }
+
+  SuggestionRequest request;
+  request.query = entry.query;
+  request.user = entry.user;
+  request.timestamp = entry.timestamp;
+  request.context = entry.context;
+
+  // A logged cache hit was filled by an earlier full-rung compute, so with
+  // the cache bypassed the full pipeline is what reproduces its list. A
+  // cache-only *miss* replays as the same fast NotFound the original served.
+  const DegradationRung rung =
+      entry.cache_hit
+          ? DegradationRung::kFull
+          : static_cast<DegradationRung>(std::min<size_t>(entry.rung, 3));
+
+  obs::ExplainRecord record;
+  bool cache_hit = false;
+  WallTimer wall;
+  StatusOr<std::vector<Suggestion>> result = Status::Internal("unset");
+  {
+    // Nested scope: replay may run on a serving thread mid-conversation
+    // (the CLI), and the previous sink is restored on exit.
+    std::optional<obs::ExplainScope> scope;
+    if (explain != nullptr) scope.emplace(&record);
+    result = SuggestImpl(request, entry.k, rung, *snap, /*stats=*/nullptr,
+                         &cache_hit, /*bypass_cache=*/true);
+  }
+  if (explain != nullptr) {
+    record.request_id = entry.request_id;
+    record.query = entry.query;
+    record.user = entry.user;
+    record.k = entry.k;
+    record.generation = snap->generation;
+    record.rung = static_cast<size_t>(rung);
+    record.cache_hit = false;  // the replayed execution itself never hits
+    record.total_us = wall.ElapsedMicros();
+    record.ok = result.ok();
+    if (result.ok()) {
+      record.fingerprint = FingerprintOf(*result);
+      AlignExplainToServed(record, *result);
+    } else {
+      record.status = result.status().ToString();
+      record.candidates.clear();
+    }
+    *explain = std::move(record);
+  }
+  return result;
+}
+
 DegradationRung PqsdaEngine::ChooseRung(const SuggestionRequest& request) const {
   // Injection point first, so an armed clock jump here shapes the very
   // budget reading the ladder decides on.
@@ -216,7 +377,8 @@ DegradationRung PqsdaEngine::ChooseRung(const SuggestionRequest& request) const 
 
 StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
     const SuggestionRequest& request, size_t k, DegradationRung rung,
-    const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit) const {
+    const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit,
+    bool bypass_cache) const {
   static obs::Counter& personalized_total = obs::MetricsRegistry::Default()
       .GetCounter("pqsda.suggest.personalized_total");
 
@@ -229,7 +391,7 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
   }
 
   SuggestionCache::CacheKey cache_key;
-  if (cache_ != nullptr) {
+  if (cache_ != nullptr && !bypass_cache) {
     // The snapshot generation is part of the key: after a swap, a pre-swap
     // entry can never answer a post-swap request — stale lists age out of
     // the LRU instead of being served.
@@ -272,7 +434,7 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
   if (stats != nullptr) stats->suggestions_returned = list.size();
   // Only full-quality results may fill the cache: a degraded answer cached
   // under the same key would outlive the overload that justified it.
-  if (cache_ != nullptr && rung == DegradationRung::kFull) {
+  if (cache_ != nullptr && !bypass_cache && rung == DegradationRung::kFull) {
     cache_->Insert(cache_key, list);
   }
   return list;

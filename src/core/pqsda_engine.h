@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/admission.h"
+#include "obs/explain.h"
+#include "obs/request_log.h"
 #include "core/engine_config.h"
 #include "core/index_manager.h"
 #include "core/personalizer.h"
@@ -57,9 +59,31 @@ class PqsdaEngine {
   /// head-sampled subset is traced into the /tracez ring, and — when a
   /// request log is attached — a sampled-or-slow subset is emitted as
   /// structured JSONL.
-  StatusOr<std::vector<Suggestion>> Suggest(const SuggestionRequest& request,
-                                            size_t k,
-                                            SuggestStats* stats = nullptr) const;
+  /// `explain`, when non-null, opts this request into full decision
+  /// observability: on return it holds the per-candidate score attribution
+  /// (Eq. 15 relevance, Algorithm 1 selection round + hitting time + chain
+  /// ranks, UPM preference and Borda points) plus the pinned generation,
+  /// rung and result fingerprint. Explain is also head-sampled
+  /// (ServingTelemetryOptions::explain_sample_every) into the /explainz
+  /// ring; sampled requests pay extra per-chain hitting-time sweeps, all
+  /// others one thread-local check per seam.
+  StatusOr<std::vector<Suggestion>> Suggest(
+      const SuggestionRequest& request, size_t k,
+      SuggestStats* stats = nullptr,
+      obs::ExplainRecord* explain = nullptr) const;
+
+  /// Deterministic re-execution of a logged request: rebuilds the
+  /// SuggestionRequest from `entry`, pins the snapshot generation the
+  /// original pinned (the published one or a recently-retired one held in
+  /// IndexManager's replay ring — NotFound when it aged out), re-runs the
+  /// pipeline at the logged degradation rung with the cache bypassed, and
+  /// returns the reproduced list. Bitwise determinism of the pipeline makes
+  /// the result fingerprint-equal to the logged one (ctest-enforced). No
+  /// telemetry, cache or log side effects; `explain`, when non-null,
+  /// receives the replayed request's full attribution.
+  StatusOr<std::vector<Suggestion>> Replay(
+      const obs::RequestLogEntry& entry,
+      obs::ExplainRecord* explain = nullptr) const;
 
   /// Serves a batch of independent requests concurrently, fanning them
   /// across `pool` (ThreadPool::Shared() when null). Each request pins its
@@ -136,9 +160,13 @@ class PqsdaEngine {
   /// recording and request-log emission. Resets a reused `stats` struct up
   /// front so no field of a previous request survives any exit path (error,
   /// cancel, deadline).
+  /// `bypass_cache` (replay) skips both the lookup and the fill, so a
+  /// replayed request always re-runs the pipeline and never pollutes the
+  /// cache with a result keyed to a retired generation.
   StatusOr<std::vector<Suggestion>> SuggestImpl(
       const SuggestionRequest& request, size_t k, DegradationRung rung,
-      const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit) const;
+      const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit,
+      bool bypass_cache = false) const;
 
   std::unique_ptr<IndexManager> index_;
   std::unique_ptr<SuggestionCache> cache_;

@@ -1,5 +1,10 @@
 #include "obs/request_log.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/explain.h"
 #include "obs/metrics.h"
 
 namespace pqsda::obs {
@@ -186,6 +191,18 @@ std::string RequestLog::ToJson(const RequestLogEntry& entry) {
   out += ",\"user\":" + std::to_string(entry.user);
   out += ",\"query\":\"" + JsonEscape(entry.query) + "\"";
   out += ",\"k\":" + std::to_string(entry.k);
+  out += ",\"timestamp\":" + std::to_string(entry.timestamp);
+  if (!entry.context.empty()) {
+    out += ",\"context\":[";
+    for (size_t i = 0; i < entry.context.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "[\"" + JsonEscape(entry.context[i].first) +
+             "\"," + std::to_string(entry.context[i].second) + "]";
+    }
+    out += "]";
+  }
+  out += ",\"generation\":" + std::to_string(entry.generation);
+  out += ",\"rung\":" + std::to_string(entry.rung);
   out += ",\"total_us\":" + std::to_string(entry.total_us);
   out += ",\"cache_hit\":";
   out += entry.cache_hit ? "true" : "false";
@@ -193,6 +210,9 @@ std::string RequestLog::ToJson(const RequestLogEntry& entry) {
   out += entry.ok ? "true" : "false";
   if (!entry.ok) {
     out += ",\"status\":\"" + JsonEscape(entry.status) + "\"";
+  }
+  if (entry.ok) {
+    out += ",\"fingerprint\":\"" + FingerprintToHex(entry.fingerprint) + "\"";
   }
   if (!entry.stage_us.empty()) {
     out += ",\"stage_us\":{";
@@ -213,6 +233,270 @@ std::string RequestLog::ToJson(const RequestLogEntry& entry) {
   }
   out += "}";
   return out;
+}
+
+namespace {
+
+// Minimal cursor parser for the log's own JSONL schema (the reverse of
+// ToJson/JsonEscape). It understands exactly the JSON subset the writer
+// emits — objects, arrays, strings with escapes, integers, booleans — and
+// skips unknown values so a newer writer stays readable.
+struct JsonCursor {
+  const char* p;
+  const char* end;
+
+  bool AtEnd() const { return p >= end; }
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return p < end && *p == c;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) return false;
+      char e = *p++;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (end - p < 4) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The writer only emits \u00XX for control bytes; anything else
+          // would need UTF-8 encoding the log never produces.
+          if (code > 0xff) return false;
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool ParseInt(int64_t* out) {
+    SkipWs();
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+      return false;
+    }
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    *out = std::strtoll(std::string(start, p).c_str(), nullptr, 10);
+    return true;
+  }
+
+  bool ParseUint(uint64_t* out) {
+    SkipWs();
+    const char* start = p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+      return false;
+    }
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    *out = std::strtoull(std::string(start, p).c_str(), nullptr, 10);
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    SkipWs();
+    if (end - p >= 4 && std::memcmp(p, "true", 4) == 0) {
+      p += 4;
+      *out = true;
+      return true;
+    }
+    if (end - p >= 5 && std::memcmp(p, "false", 5) == 0) {
+      p += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  // Skips one value of any shape (forward compatibility with unknown keys).
+  bool SkipValue() {
+    SkipWs();
+    if (p >= end) return false;
+    if (*p == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (*p == '{' || *p == '[') {
+      const char open = *p;
+      const char close = open == '{' ? '}' : ']';
+      ++p;
+      SkipWs();
+      if (Consume(close)) return true;
+      for (;;) {
+        if (open == '{') {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) return false;
+        }
+        if (!SkipValue()) return false;
+        if (Consume(close)) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    // number / true / false / null
+    while (p < end && *p != ',' && *p != '}' && *p != ']' && *p != ' ') ++p;
+    return true;
+  }
+};
+
+}  // namespace
+
+StatusOr<RequestLogEntry> ParseRequestLogEntry(const std::string& line) {
+  JsonCursor cur{line.data(), line.data() + line.size()};
+  RequestLogEntry entry;
+  auto malformed = [&line]() {
+    return Status::InvalidArgument("malformed request-log line: " + line);
+  };
+  if (!cur.Consume('{')) return malformed();
+  if (!cur.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!cur.ParseString(&key) || !cur.Consume(':')) return malformed();
+      bool parsed = true;
+      if (key == "request_id") {
+        parsed = cur.ParseUint(&entry.request_id);
+      } else if (key == "user") {
+        uint64_t user = 0;
+        parsed = cur.ParseUint(&user);
+        entry.user = static_cast<uint32_t>(user);
+      } else if (key == "query") {
+        parsed = cur.ParseString(&entry.query);
+      } else if (key == "k") {
+        uint64_t k = 0;
+        parsed = cur.ParseUint(&k);
+        entry.k = static_cast<size_t>(k);
+      } else if (key == "timestamp") {
+        parsed = cur.ParseInt(&entry.timestamp);
+      } else if (key == "context") {
+        parsed = cur.Consume('[');
+        if (parsed && !cur.Consume(']')) {
+          for (;;) {
+            std::string q;
+            int64_t ts = 0;
+            if (!cur.Consume('[') || !cur.ParseString(&q) ||
+                !cur.Consume(',') || !cur.ParseInt(&ts) ||
+                !cur.Consume(']')) {
+              parsed = false;
+              break;
+            }
+            entry.context.emplace_back(std::move(q), ts);
+            if (cur.Consume(']')) break;
+            if (!cur.Consume(',')) {
+              parsed = false;
+              break;
+            }
+          }
+        }
+      } else if (key == "generation") {
+        parsed = cur.ParseUint(&entry.generation);
+      } else if (key == "rung") {
+        uint64_t rung = 0;
+        parsed = cur.ParseUint(&rung);
+        entry.rung = static_cast<size_t>(rung);
+      } else if (key == "total_us") {
+        parsed = cur.ParseInt(&entry.total_us);
+      } else if (key == "cache_hit") {
+        parsed = cur.ParseBool(&entry.cache_hit);
+      } else if (key == "ok") {
+        parsed = cur.ParseBool(&entry.ok);
+      } else if (key == "status") {
+        parsed = cur.ParseString(&entry.status);
+      } else if (key == "fingerprint") {
+        std::string hex;
+        parsed = cur.ParseString(&hex) &&
+                 FingerprintFromHex(hex, &entry.fingerprint);
+      } else if (key == "stage_us") {
+        parsed = cur.Consume('{');
+        if (parsed && !cur.Consume('}')) {
+          for (;;) {
+            std::string stage;
+            int64_t us = 0;
+            if (!cur.ParseString(&stage) || !cur.Consume(':') ||
+                !cur.ParseInt(&us)) {
+              parsed = false;
+              break;
+            }
+            entry.stage_us.emplace_back(std::move(stage), us);
+            if (cur.Consume('}')) break;
+            if (!cur.Consume(',')) {
+              parsed = false;
+              break;
+            }
+          }
+        }
+      } else if (key == "suggestions") {
+        parsed = cur.Consume('[');
+        if (parsed && !cur.Consume(']')) {
+          for (;;) {
+            std::string q;
+            if (!cur.ParseString(&q)) {
+              parsed = false;
+              break;
+            }
+            entry.suggestions.push_back(std::move(q));
+            if (cur.Consume(']')) break;
+            if (!cur.Consume(',')) {
+              parsed = false;
+              break;
+            }
+          }
+        }
+      } else {
+        parsed = cur.SkipValue();
+      }
+      if (!parsed) return malformed();
+      if (cur.Consume('}')) break;
+      if (!cur.Consume(',')) return malformed();
+    }
+  }
+  cur.SkipWs();
+  if (!cur.AtEnd()) return malformed();
+  return entry;
 }
 
 }  // namespace pqsda::obs

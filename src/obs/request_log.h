@@ -50,18 +50,41 @@ struct RequestLogOptions {
 /// One serving request as recorded in the log. `stage_us` carries whatever
 /// per-stage timings were available (populated when the request was traced);
 /// `suggestions` holds the returned queries, best first.
+///
+/// The entry carries everything needed to re-execute the request
+/// deterministically (`suggest_cli replay` / PqsdaEngine::Replay): the full
+/// input (query, timestamp, context, user, k), the snapshot `generation` the
+/// request pinned, the degradation `rung` it was served at, and the result
+/// `fingerprint` (FNV-1a 64 over the served queries + score bit patterns,
+/// see obs::Fingerprint64) that replay must reproduce bitwise.
 struct RequestLogEntry {
   uint64_t request_id = 0;
   uint32_t user = 0;
   std::string query;
   size_t k = 0;
+  /// Request timestamp and session context (Definition 2), verbatim from
+  /// the SuggestionRequest — replay inputs.
+  int64_t timestamp = 0;
+  std::vector<std::pair<std::string, int64_t>> context;
+  /// Index generation pinned at admission.
+  uint64_t generation = 0;
+  /// DegradationRung numeric value chosen at admission.
+  size_t rung = 0;
   int64_t total_us = 0;
   bool cache_hit = false;
   bool ok = true;
   std::string status;  // "" when ok
+  /// Result fingerprint; 0 for failed requests.
+  uint64_t fingerprint = 0;
   std::vector<std::pair<std::string, int64_t>> stage_us;
   std::vector<std::string> suggestions;
 };
+
+/// Parses one JSONL line as rendered by RequestLog::ToJson back into an
+/// entry (the reader half of the log schema, used by replay and the
+/// round-trip test). Unknown keys are skipped, so newer writers stay
+/// readable; malformed lines return InvalidArgument.
+StatusOr<RequestLogEntry> ParseRequestLogEntry(const std::string& line);
 
 /// Sampled structured JSONL request logging with an asynchronous writer:
 /// Log() classifies the entry (sampled / slow / skipped), enqueues accepted

@@ -32,10 +32,12 @@ size_t WindowEpochs(int64_t window_ns, int64_t epoch_ns, size_t ring) {
 }
 
 constexpr const char* kStageNames[kProfileStageCount] = {
-    "request", "cache", "expansion", "solve", "selection", "personalization"};
+    "request", "cache",      "expansion",  "solve",      "selection",
+    "personalization", "drain", "sessionize", "graph_build", "publish"};
 
 constexpr const char* kRungNames[kProfileRungCount] = {
-    "rung_full", "rung_truncated_solve", "rung_walk_only", "rung_cache_only"};
+    "rung_full", "rung_truncated_solve", "rung_walk_only", "rung_cache_only",
+    "rebuild"};
 
 // Per-request accumulator; armed by BeginRequest, folded by EndRequest,
 // always owned by exactly one thread — plain fields, no synchronization.

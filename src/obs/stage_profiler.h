@@ -21,6 +21,11 @@ namespace pqsda::obs {
 ///   kSelection       - Algorithm 1 rounds ("hitting_time_selection") or the
 ///                      walk-only scatter on rung 2 ("walk_only_scatter")
 ///   kPersonalization - §V-B UPM rerank ("personalization")
+///
+/// The rebuild/ingest path shares the same machinery under its own lane
+/// (kProfileRebuildLane): IndexManager brackets each rebuild with
+/// BeginRequest/EndRequest and marks its phases with the kDrain..kPublish
+/// stages, so /profilez shows where rebuild time goes alongside serving.
 enum class ProfileStage : size_t {
   kRequest = 0,
   kCache,
@@ -28,10 +33,17 @@ enum class ProfileStage : size_t {
   kSolve,
   kSelection,
   kPersonalization,
+  // Rebuild-path stages (only folded into the rebuild lane).
+  kDrain,      // delta-stream drain + record concatenation
+  kSessionize, // record -> session grouping
+  kGraphBuild, // bipartite representation + corpus
+  kPublish,    // snapshot swap + gauge updates
 };
 
-inline constexpr size_t kProfileStageCount = 6;
-inline constexpr size_t kProfileRungCount = 4;
+inline constexpr size_t kProfileStageCount = 10;
+/// Lanes 0..3 are DegradationRung values; lane 4 is the rebuild path.
+inline constexpr size_t kProfileRungCount = 5;
+inline constexpr size_t kProfileRebuildLane = 4;
 
 const char* ProfileStageName(ProfileStage stage);
 

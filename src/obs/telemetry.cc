@@ -66,6 +66,7 @@ int64_t ProfilezWindowNs(const std::string& query) {
 
 ServingTelemetry::ServingTelemetry(ServingTelemetryOptions options)
     : options_(options),
+      explain_sample_every_(options.explain_sample_every),
       start_ns_(options.window.clock
                     ? options.window.clock()
                     : std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -78,7 +79,8 @@ ServingTelemetry::ServingTelemetry(ServingTelemetryOptions options)
       cache_lookups_(options.window),
       shed_(options.window),
       latency_(options.window),
-      quality_(QualityOptionsOf(options)) {
+      quality_(QualityOptionsOf(options)),
+      explain_store_(options.explain_store_capacity) {
   exemplars_ =
       std::make_unique<ExemplarSlot[]>(latency_.bounds().size() + 1);
 }
@@ -112,10 +114,17 @@ bool ServingTelemetry::SampleTrace() {
          0;
 }
 
+bool ServingTelemetry::SampleExplain() {
+  const uint64_t every = explain_sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  return explain_seq_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
 void ServingTelemetry::RecordRequest(double latency_us, bool ok,
                                      bool not_found, bool cache_enabled,
                                      bool cache_hit, bool shed,
-                                     uint64_t request_id) {
+                                     uint64_t request_id,
+                                     uint64_t generation_plus_one) {
   requests_.Add();
   if (shed) {
     shed_.Add();
@@ -139,6 +148,8 @@ void ServingTelemetry::RecordRequest(double latency_us, bool ok,
                                    .time_since_epoch())
                                .count(),
                      std::memory_order_relaxed);
+    slot.generation_plus_one.store(generation_plus_one,
+                                   std::memory_order_relaxed);
   }
   if (!ok && !not_found) errors_.Add();
   if (not_found) not_found_.Add();
@@ -265,15 +276,26 @@ std::string ServingTelemetry::StatuszJson() const {
 
   // Exemplars: the most recent request id seen in each latency bucket, the
   // bridge from a percentile spike here to the concrete trace in /tracez or
-  // the JSONL request log.
+  // the JSONL request log. An exemplar whose pinned generation has left the
+  // replayable snapshot ring (pqsda.ingest.oldest_live_generation) is aged
+  // out instead of emitted — a stale id must never advertise a replay
+  // against a reclaimed snapshot.
   out += ",\"exemplars\":[";
   {
+    const double oldest_live =
+        reg.GetGauge("pqsda.ingest.oldest_live_generation").Value();
     const std::vector<double>& bounds = latency_.bounds();
     bool first = true;
     for (size_t b = 0; b <= bounds.size(); ++b) {
       const ExemplarSlot& slot = exemplars_[b];
       const uint64_t id = slot.request_id.load(std::memory_order_relaxed);
       if (id == 0) continue;
+      const uint64_t gen_p1 =
+          slot.generation_plus_one.load(std::memory_order_relaxed);
+      if (gen_p1 != 0 && oldest_live > 0 &&
+          static_cast<double>(gen_p1 - 1) < oldest_live) {
+        continue;  // generation reclaimed: exemplar aged out
+      }
       if (!first) out += ",";
       first = false;
       out += "{\"le\":";
@@ -286,6 +308,10 @@ std::string ServingTelemetry::StatuszJson() const {
              Num(static_cast<double>(
                      now_ns - slot.at_ns.load(std::memory_order_relaxed)) *
                  1e-9);
+      if (gen_p1 != 0) {
+        out += ",\"generation\":" + std::to_string(gen_p1 - 1);
+        out += ",\"replay\":\"suggest_cli replay " + std::to_string(id) + "\"";
+      }
       out += "}";
     }
   }
@@ -418,6 +444,29 @@ std::string ServingTelemetry::StatuszJson() const {
   return out;
 }
 
+std::string ServingTelemetry::ExplainzJson(uint64_t request_id,
+                                           bool has_id) const {
+  if (has_id) {
+    std::shared_ptr<const ExplainRecord> record =
+        explain_store_.Find(request_id);
+    return record != nullptr ? record->ToJson() : std::string();
+  }
+  std::string out = "{\"sample_every\":" +
+                    std::to_string(explain_sample_every()) +
+                    ",\"capacity\":" +
+                    std::to_string(explain_store_.capacity()) +
+                    ",\"records\":[";
+  const std::vector<std::pair<uint64_t, std::string>> index =
+      explain_store_.Index();
+  for (size_t i = 0; i < index.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"request_id\":" + std::to_string(index[i].first) +
+           ",\"query\":\"" + JsonEscape(index[i].second) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string ServingTelemetry::TracezJson() const {
   std::lock_guard<std::mutex> lock(tracez_mu_);
   std::string out = "{\"recent\":[";
@@ -470,6 +519,36 @@ void ServingTelemetry::RegisterEndpoints(HttpExporter* exporter) {
     HttpResponse response;
     response.content_type = "application/json";
     response.body = AlertzJson();
+    return response;
+  });
+  exporter->Route("/explainz", [this](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    // "?id=<request_id>" looks up one record; anything else after "id=" that
+    // fails to parse as a full decimal id answers 404 (malformed), as does an
+    // unknown or evicted id.
+    if (request.query.rfind("id=", 0) == 0) {
+      const std::string value = request.query.substr(3);
+      uint64_t id = 0;
+      bool valid = !value.empty();
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          valid = false;
+          break;
+        }
+        id = id * 10 + static_cast<uint64_t>(c - '0');
+      }
+      std::string body =
+          valid ? ExplainzJson(id, /*has_id=*/true) : std::string();
+      if (body.empty()) {
+        response.status = 404;
+        response.body = "{\"error\":\"unknown or malformed id\"}";
+      } else {
+        response.body = std::move(body);
+      }
+      return response;
+    }
+    response.body = ExplainzJson(0, /*has_id=*/false);
     return response;
   });
 }

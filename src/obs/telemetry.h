@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/explain.h"
 #include "obs/quality.h"
 #include "obs/request_log.h"
 #include "obs/sliding_window.h"
@@ -34,6 +35,14 @@ struct ServingTelemetryOptions {
   /// Online quality telemetry samples 1 of every N served lists (1 = all,
   /// 0 = disabled); see QualityTelemetry.
   uint64_t quality_sample_every = 4;
+  /// Collect a full ExplainRecord (per-candidate score attribution, see
+  /// obs/explain.h) for 1 of every N requests into the /explainz ring
+  /// (1 = all, 0 = disabled). Separate from trace sampling: explain pays for
+  /// extra per-chain hitting-time sweeps on the sampled request, so its
+  /// default is off and serve mode opts in explicitly.
+  uint64_t explain_sample_every = 0;
+  /// How many explain records /explainz retains (newest win).
+  size_t explain_store_capacity = 64;
 };
 
 /// Process-wide live serving telemetry: windowed request rates and latency
@@ -66,16 +75,38 @@ class ServingTelemetry {
   /// Head-sampling decision for tracing this request into /tracez.
   bool SampleTrace();
 
+  /// Head-sampling decision for collecting an ExplainRecord into /explainz.
+  bool SampleExplain();
+  /// Adjusts the explain sampling rate at runtime (0 disables). Used by the
+  /// CLI's --explain_every flag and the bench's on/off overhead sweep.
+  void SetExplainSampleEvery(uint64_t every) {
+    explain_sample_every_.store(every, std::memory_order_relaxed);
+  }
+  uint64_t explain_sample_every() const {
+    return explain_sample_every_.load(std::memory_order_relaxed);
+  }
+  /// The /explainz ring of recent explain records.
+  ExplainStore& explain_store() { return explain_store_; }
+  const ExplainStore& explain_store() const { return explain_store_; }
+  /// /explainz body: without `id=` an index of stored records; with
+  /// `request_id` the record's full JSON, or "" when unknown (the route
+  /// answers 404).
+  std::string ExplainzJson(uint64_t request_id, bool has_id) const;
+
   /// Records one finished request into the sliding windows. A shed request
   /// (admission control answered kUnavailable before any pipeline work)
   /// feeds the shed window only — its near-zero latency would poison the
   /// percentiles, and it is neither an error nor traffic served.
   /// A nonzero `request_id` additionally stamps the request as the exemplar
   /// of its latency bucket, so /statusz can link a percentile spike to the
-  /// concrete request in /tracez or the request log.
+  /// concrete request in /tracez or the request log. `generation_plus_one`
+  /// is the pinned index generation shifted by one so the real generation 0
+  /// stays representable; 0 means unknown. Exemplars with a known generation
+  /// carry a replay link and age out of /statusz once that generation leaves
+  /// the replayable snapshot ring.
   void RecordRequest(double latency_us, bool ok, bool not_found,
                      bool cache_enabled, bool cache_hit, bool shed = false,
-                     uint64_t request_id = 0);
+                     uint64_t request_id = 0, uint64_t generation_plus_one = 0);
 
   /// Stores a finished request's trace in the /tracez ring (rendered to
   /// JSON once, here, so the ring holds no live SpanNode trees).
@@ -110,8 +141,8 @@ class ServingTelemetry {
   /// configured.
   std::string AlertzJson() const;
 
-  /// Registers /metrics, /healthz, /statusz, /tracez, /profilez and
-  /// /alertz on `exporter`.
+  /// Registers /metrics, /healthz, /statusz, /tracez, /profilez, /alertz
+  /// and /explainz on `exporter`.
   void RegisterEndpoints(HttpExporter* exporter);
 
   const ServingTelemetryOptions& options() const { return options_; }
@@ -135,11 +166,17 @@ class ServingTelemetry {
     std::atomic<uint64_t> request_id{0};
     std::atomic<int64_t> latency_us{0};
     std::atomic<int64_t> at_ns{0};
+    /// Pinned index generation + 1; 0 means unknown (callers predating the
+    /// generation plumbing), which never ages out.
+    std::atomic<uint64_t> generation_plus_one{0};
   };
 
   ServingTelemetryOptions options_;
   std::atomic<uint64_t> next_request_id_{0};
   std::atomic<uint64_t> trace_seq_{0};
+  std::atomic<uint64_t> explain_seq_{0};
+  /// Runtime-adjustable copy of options_.explain_sample_every.
+  std::atomic<uint64_t> explain_sample_every_;
   const int64_t start_ns_;
 
   WindowedRate requests_;
@@ -150,6 +187,7 @@ class ServingTelemetry {
   WindowedRate shed_;
   SlidingWindowHistogram latency_;
   QualityTelemetry quality_;
+  ExplainStore explain_store_;
   /// One exemplar per latency bucket (bounds().size() + 1 overflow).
   std::unique_ptr<ExemplarSlot[]> exemplars_;
 

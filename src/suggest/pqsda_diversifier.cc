@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/fault_injector.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/stage_profiler.h"
 #include "obs/trace.h"
@@ -240,6 +241,19 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
       stats->candidates_scored = scored;
       stats->suggestions_returned = out.candidates.size();
     }
+    if (obs::ExplainRecord* er = obs::CurrentExplain()) {
+      er->walk_only = true;
+      er->candidates.clear();
+      er->candidates.reserve(out.candidates.size());
+      for (size_t rank = 0; rank < out.candidates.size(); ++rank) {
+        obs::ExplainCandidate c;
+        c.query = out.candidates[rank].query;
+        c.final_rank = rank;
+        c.score = out.candidates[rank].score;
+        c.relevance = out.candidates[rank].score;  // the one-hop walk score
+        er->candidates.push_back(std::move(c));
+      }
+    }
     obs::StageProfiler::AddWork(obs::ProfileStage::kSelection, scored);
     span.Annotate("candidates_scored", static_cast<int64_t>(scored));
     span.Annotate("selected", static_cast<int64_t>(out.candidates.size()));
@@ -326,6 +340,29 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
     // — merge it once, with per-row masses precomputed, so each sweep row
     // is a single SIMD sparse dot.
     MergedChain merged = BuildMergedChain(chains, weights);
+
+    // Explain collection (sampled requests only): per selected candidate,
+    // the round it won, its marginal hitting-time gain, and its rank under
+    // each single-chain ordering at that round. The per-chain sweeps are the
+    // explain surcharge — they run only when a record is installed, so the
+    // unsampled request path pays one thread-local load here.
+    obs::ExplainRecord* er = obs::CurrentExplain();
+    struct SelMeta {
+      size_t round = 0;
+      double gain = 0.0;
+      size_t chain_rank[obs::kExplainChainCount] = {SIZE_MAX, SIZE_MAX,
+                                                    SIZE_MAX};
+    };
+    std::unordered_map<uint32_t, SelMeta> sel_meta;
+    std::vector<MergedChain> single_chains;
+    if (er != nullptr) {
+      sel_meta.emplace(selected[0], SelMeta{});  // round 0: Eq. 15 argmax
+      single_chains.reserve(chains.size());
+      for (const CsrMatrix* chain : chains) {
+        single_chains.push_back(
+            BuildMergedChain({chain}, std::vector<double>{1.0}));
+      }
+    }
     size_t rounds = 0;
     size_t candidates_scored = 0;
     const size_t want = std::min(k, by_relevance.size());
@@ -362,6 +399,28 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
         }
       }
       if (best_q == UINT32_MAX) break;
+      if (er != nullptr) {
+        SelMeta meta;
+        meta.round = rounds;  // rounds is 1 on the first Algorithm 1 sweep
+        meta.gain = best;
+        // Rank of the winner under each single-chain ordering, computed
+        // against the same already-selected seed set this round swept.
+        static thread_local HittingTimeWorkspace chain_ws;
+        for (size_t x = 0; x < single_chains.size(); ++x) {
+          MergedChainHittingTimeInto(single_chains[x], selected,
+                                     options.hitting_iterations,
+                                     &ThreadPool::Shared(), chain_ws, cancel);
+          const std::vector<double>& hx = chain_ws.h;
+          size_t rank = 0;
+          for (const auto& [rel2, q2] : by_relevance) {
+            (void)rel2;
+            if (taken[q2] || q2 == best_q) continue;
+            if (hx[q2] > hx[best_q]) ++rank;
+          }
+          meta.chain_rank[x] = rank;
+        }
+        sel_meta[best_q] = meta;
+      }
       selected.push_back(best_q);
       taken[best_q] = true;
     }
@@ -385,6 +444,28 @@ StatusOr<DiversificationOutput> PqsdaDiversifier::DiversifyWith(
       out.candidates.push_back(
           Suggestion{mb_->QueryString(rep.queries[selected[rank]]),
                      static_cast<double>(selected.size() - rank)});
+    }
+    if (er != nullptr) {
+      er->candidates.clear();
+      er->candidates.reserve(selected.size());
+      for (size_t rank = 0; rank < selected.size(); ++rank) {
+        const uint32_t q = selected[rank];
+        obs::ExplainCandidate c;
+        c.query = out.candidates[rank].query;
+        c.final_rank = rank;  // diversification order; the engine remaps
+                              // after the §V-B rerank
+        c.score = out.candidates[rank].score;
+        c.relevance = f[q];
+        auto it = sel_meta.find(q);
+        if (it != sel_meta.end()) {
+          c.selection_round = it->second.round;
+          c.hitting_time = it->second.gain;
+          for (size_t x = 0; x < obs::kExplainChainCount; ++x) {
+            c.chain_rank[x] = it->second.chain_rank[x];
+          }
+        }
+        er->candidates.push_back(std::move(c));
+      }
     }
   }
   if (stats != nullptr) stats->suggestions_returned = out.candidates.size();

@@ -438,6 +438,11 @@ TEST(RequestLogTest, ToJsonSchema) {
   entry.user = 3;
   entry.query = "solar \"flare\"\n";
   entry.k = 5;
+  entry.timestamp = 777;
+  entry.context = {{"prior query", 700}};
+  entry.generation = 4;
+  entry.rung = 1;
+  entry.fingerprint = 0x0123456789abcdefULL;
   entry.total_us = 1234;
   entry.cache_hit = true;
   entry.ok = true;
@@ -447,7 +452,10 @@ TEST(RequestLogTest, ToJsonSchema) {
   EXPECT_EQ(json,
             "{\"request_id\":17,\"user\":3,"
             "\"query\":\"solar \\\"flare\\\"\\n\",\"k\":5,"
+            "\"timestamp\":777,\"context\":[[\"prior query\",700]],"
+            "\"generation\":4,\"rung\":1,"
             "\"total_us\":1234,\"cache_hit\":true,\"ok\":true,"
+            "\"fingerprint\":\"0123456789abcdef\","
             "\"stage_us\":{\"expansion\":400,"
             "\"regularization_solve\":700},"
             "\"suggestions\":[\"solar energy\",\"solar system\"]}");
@@ -463,6 +471,8 @@ TEST(RequestLogTest, ToJsonSchema) {
   EXPECT_NE(failed_json.find("\"status\":\"NotFound: unknown query\""),
             std::string::npos);
   EXPECT_EQ(failed_json.find("suggestions"), std::string::npos);
+  // Failed requests carry no fingerprint — there is no list to reproduce.
+  EXPECT_EQ(failed_json.find("fingerprint"), std::string::npos);
 }
 
 // --------------------------------- sliding-window edge cases ----
@@ -623,7 +633,7 @@ TEST(RequestLogTest, RotationDropsBeyondMaxRotatedFiles) {
   options.path = path;
   options.sample_every = 1;
   options.slow_us = 1'000'000'000;
-  options.rotate_bytes = 200;  // ~2 entries per file: many rotations
+  options.rotate_bytes = 200;  // below one entry's size: every line rotates
   options.max_rotated_files = 2;
   auto log = RequestLog::Open(options);
   ASSERT_TRUE(log.ok());
@@ -637,14 +647,19 @@ TEST(RequestLogTest, RotationDropsBeyondMaxRotatedFiles) {
   EXPECT_TRUE(FileExists(path + ".1"));
   // Old lines aged out of the kept chain, so disk holds fewer lines than
   // were written — but what is kept is the newest tail: the final entry's
-  // id is in the active file chain.
+  // id is in the kept chain (the active file, or path.1 when a rotation
+  // landed right after it).
   size_t on_disk = CountLines(path) + CountLines(path + ".1") +
                    CountLines(path + ".2");
   EXPECT_LT(on_disk, (*log)->written());
   EXPECT_GT(on_disk, 0u);
-  std::stringstream all;
-  all << std::ifstream(path).rdbuf();
-  EXPECT_NE(all.str().find("\"request_id\":39,"), std::string::npos);
+  auto slurp = [](const std::string& p) {
+    std::stringstream ss;
+    ss << std::ifstream(p).rdbuf();
+    return ss.str();
+  };
+  std::string all = slurp(path) + slurp(path + ".1");
+  EXPECT_NE(all.find("\"request_id\":39,"), std::string::npos);
   log->reset();
   std::remove(path.c_str());
   std::remove((path + ".1").c_str());
