@@ -8,7 +8,7 @@
 //                                [--shed_queue_depth=N] [--min_rung=R]
 //                                [--ingest=N] [--tail=path] [--slo=SPECS]
 //                                [--log_rotate_kb=N] [--explain_every=N]
-//                                [log.tsv]
+//                                [--shards=N] [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
 //   > batch sun; solar energy; @3 java     # serve ';'-separated requests
@@ -77,6 +77,16 @@
 // runs are parsed and ingested live, with rebuilds triggering off-path at
 // the configured threshold. 'tail <user>' shows a user's open (not yet
 // absorbed) session in the ingest stream.
+//
+// Sharded serving: --shards=N (N>1) builds the scatter-gather ShardedEngine
+// instead of the monolithic one — queries route to a primary shard's lane,
+// expansion gathers rows across shards, and served lists stay bitwise
+// identical to unsharded mode. --shed_queue_depth then configures the
+// *per-shard* admission gates, 'batch' admits at each request's own
+// primary lane, 'index' shows the consistent-cut build id plus per-shard
+// generations, and 'statusz' grows the per-shard section. With --stats the
+// per-shard serving rungs and partial-merge flag are printed per request.
+// 'explain', 'replay' and --tail still need the unsharded engine.
 
 #include <atomic>
 #include <chrono>
@@ -93,6 +103,7 @@
 
 #include "common/cancellation.h"
 #include "core/pqsda_engine.h"
+#include "core/sharded_engine.h"
 #include "log/log_io.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
@@ -145,6 +156,7 @@ int main(int argc, char** argv) {
   const char* slo_specs = nullptr;
   unsigned long log_rotate_kb = 0;
   unsigned long explain_every = 0;
+  size_t shards = 0;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -175,6 +187,8 @@ int main(int argc, char** argv) {
       log_rotate_kb = std::strtoul(argv[i] + 16, nullptr, 10);
     } else if (std::strncmp(argv[i], "--explain_every=", 16) == 0) {
       explain_every = std::strtoul(argv[i] + 16, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::strtoul(argv[i] + 9, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -295,12 +309,39 @@ int main(int argc, char** argv) {
   if (min_rung > 0) {
     std::printf("degradation ladder floored at rung %zu\n", min_rung);
   }
-  std::printf("building engine (representation + UPM training)...\n");
-  auto engine = PqsdaEngine::Build(std::move(records), config);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "build failed: %s\n",
-                 engine.status().ToString().c_str());
-    return 1;
+  // --shards=N builds the scatter-gather coordinator instead; exactly one
+  // of the two engines exists below. Commands that need the monolithic
+  // engine's internals (explain/replay/--tail) refuse in sharded mode.
+  std::unique_ptr<PqsdaEngine> engine;
+  std::unique_ptr<ShardedEngine> sharded;
+  if (shards > 1) {
+    if (tail_path != nullptr) {
+      std::fprintf(stderr, "--tail is not supported with --shards\n");
+      return 1;
+    }
+    ShardedEngineOptions shard_options;
+    shard_options.shards = shards;
+    shard_options.shard_queue_depth = shed_queue_depth;
+    std::printf("building sharded engine (%zu shards, representation + UPM "
+                "training)...\n",
+                shards);
+    auto built = ShardedEngine::Build(std::move(records), config,
+                                      shard_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::move(*built);
+  } else {
+    std::printf("building engine (representation + UPM training)...\n");
+    auto built = PqsdaEngine::Build(std::move(records), config);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(*built);
   }
   // --tail=path: follow a TSV file from its current end; appended complete
   // lines are parsed and ingested live while the prompt keeps serving.
@@ -325,7 +366,7 @@ int main(int argc, char** argv) {
                          record.status().ToString().c_str());
             continue;
           }
-          Status ingested = (*engine)->Ingest(std::move(record).value());
+          Status ingested = engine->Ingest(std::move(record).value());
           if (!ingested.ok()) {
             std::fprintf(stderr, "tail: %s\n", ingested.ToString().c_str());
           }
@@ -373,7 +414,23 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == "index") {
-      IndexManager& index = (*engine)->index_manager();
+      if (sharded) {
+        auto build = sharded->AcquireConsistent();
+        std::printf("build %llu | %zu records | %zu shards | delta depth "
+                    "%zu | upm generation %llu | shard generations [",
+                    static_cast<unsigned long long>(build->build_id),
+                    build->base->records.size(), sharded->shards(),
+                    sharded->delta_depth(),
+                    static_cast<unsigned long long>(build->upm_generation));
+        for (size_t s = 0; s < build->shard_generation.size(); ++s) {
+          std::printf("%s%llu", s > 0 ? " " : "",
+                      static_cast<unsigned long long>(
+                          build->shard_generation[s]));
+        }
+        std::printf("]\n");
+        continue;
+      }
+      IndexManager& index = engine->index_manager();
       auto snap = index.Acquire();
       std::printf("generation %llu | %zu records | %zu sessions | delta "
                   "depth %zu | ingested %llu | rebuilds %llu | last build "
@@ -387,7 +444,28 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == "rebuild") {
-      IndexManager& index = (*engine)->index_manager();
+      if (sharded) {
+        const uint64_t before = sharded->AcquireConsistent()->build_id;
+        Status rebuilt = sharded->RebuildNow();
+        if (!rebuilt.ok()) {
+          std::printf("  (%s)\n", rebuilt.ToString().c_str());
+          continue;
+        }
+        // An ingest may already have scheduled the rebuild on a shard lane;
+        // wait it out so the printed build id reflects the drained buffer.
+        sharded->WaitForRebuilds();
+        const uint64_t after = sharded->AcquireConsistent()->build_id;
+        if (after == before) {
+          std::printf("delta buffer empty; still build %llu\n",
+                      static_cast<unsigned long long>(after));
+        } else {
+          std::printf("build %llu -> %llu\n",
+                      static_cast<unsigned long long>(before),
+                      static_cast<unsigned long long>(after));
+        }
+        continue;
+      }
+      IndexManager& index = engine->index_manager();
       const uint64_t before = index.generation();
       Status rebuilt = index.RebuildNow();
       if (!rebuilt.ok()) {
@@ -415,23 +493,45 @@ int main(int argc, char** argv) {
       n = std::min(n, holdout.size());
       std::vector<QueryLogRecord> chunk(holdout.begin(), holdout.begin() + n);
       holdout.erase(holdout.begin(), holdout.begin() + n);
+      if (sharded) {
+        size_t fed = 0;
+        Status ingested = Status::OK();
+        for (QueryLogRecord& record : chunk) {
+          ingested = sharded->Ingest(std::move(record));
+          if (!ingested.ok()) break;
+          ++fed;
+        }
+        if (!ingested.ok()) {
+          std::printf("  (%s after %zu records)\n",
+                      ingested.ToString().c_str(), fed);
+          continue;
+        }
+        std::printf("ingested %zu records (%zu held out remain, delta depth "
+                    "%zu)\n",
+                    fed, holdout.size(), sharded->delta_depth());
+        continue;
+      }
       Status ingested =
-          (*engine)->index_manager().IngestBatch(std::move(chunk));
+          engine->index_manager().IngestBatch(std::move(chunk));
       if (!ingested.ok()) {
         std::printf("  (%s)\n", ingested.ToString().c_str());
         continue;
       }
       std::printf("ingested %zu records (%zu held out remain, delta depth "
                   "%zu)\n",
-                  n, holdout.size(), (*engine)->index_manager().delta_depth());
+                  n, holdout.size(), engine->index_manager().delta_depth());
       continue;
     }
     if (line.rfind("tail ", 0) == 0) {
+      if (sharded) {
+        std::printf("tail inspection is not supported with --shards\n");
+        continue;
+      }
       const char* arg = line.c_str() + 5;
       while (*arg == ' ' || *arg == '@') ++arg;
       const UserId user =
           static_cast<UserId>(std::strtoul(arg, nullptr, 10));
-      auto tail = (*engine)->index_manager().TailContext(user);
+      auto tail = engine->index_manager().TailContext(user);
       if (tail.empty()) {
         std::printf("user %u has no open tail session in the ingest stream\n",
                     user);
@@ -446,6 +546,11 @@ int main(int argc, char** argv) {
     }
 
     if (line.rfind("explain ", 0) == 0) {
+      if (sharded) {
+        std::printf("explain capture is not supported with --shards (use "
+                    "--stats for per-shard rungs)\n");
+        continue;
+      }
       SuggestionRequest request = ParseRequest(line.substr(8));
       if (request.query.empty()) continue;
       CancelToken token;
@@ -454,7 +559,7 @@ int main(int argc, char** argv) {
         request.cancel = &token;
       }
       obs::ExplainRecord record;
-      auto suggestions = (*engine)->Suggest(request, 10, nullptr, &record);
+      auto suggestions = engine->Suggest(request, 10, nullptr, &record);
       if (!suggestions.ok()) {
         std::printf("  (%s)\n", suggestions.status().ToString().c_str());
         continue;
@@ -467,6 +572,10 @@ int main(int argc, char** argv) {
     }
 
     if (line.rfind("replay ", 0) == 0) {
+      if (sharded) {
+        std::printf("replay is not supported with --shards\n");
+        continue;
+      }
       if (request_log_path == nullptr) {
         std::printf("replay needs --request_log=path\n");
         continue;
@@ -511,7 +620,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned>(entry->rung),
                   entry->cache_hit ? ", originally a cache hit" : "");
       obs::ExplainRecord record;
-      auto replayed = (*engine)->Replay(*entry, &record);
+      auto replayed = engine->Replay(*entry, &record);
       if (!replayed.ok()) {
         if (!entry->ok) {
           std::printf("  replay failed like the original: %s (logged: %s)\n",
@@ -560,7 +669,8 @@ int main(int argc, char** argv) {
           request.cancel = &tokens.back();
         }
       }
-      auto results = (*engine)->SuggestBatch(requests, 10);
+      auto results = sharded ? sharded->SuggestBatch(requests, 10)
+                             : engine->SuggestBatch(requests, 10);
       for (size_t r = 0; r < results.size(); ++r) {
         std::printf("[%zu] %s\n", r + 1, requests[r].query.c_str());
         if (!results[r].ok()) {
@@ -588,7 +698,8 @@ int main(int argc, char** argv) {
     if (show_stats) before = obs::MetricsRegistry::Default().Snapshot();
     SuggestStats stats;
     auto suggestions =
-        (*engine)->Suggest(request, 10, show_stats ? &stats : nullptr);
+        sharded ? sharded->Suggest(request, 10, show_stats ? &stats : nullptr)
+                : engine->Suggest(request, 10, show_stats ? &stats : nullptr);
     if (!suggestions.ok()) {
       std::printf("  (%s)\n", suggestions.status().ToString().c_str());
       continue;

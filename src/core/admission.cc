@@ -25,9 +25,13 @@ Status AdmissionController::Admit() const {
 
   FaultInjector& injector = FaultInjector::Default();
   if (options_.max_queue_depth > 0) {
+    const ThreadPool& pool =
+        options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
+    const char* depth_point = options_.queue_depth_point.empty()
+                                  ? faults::kQueueDepth
+                                  : options_.queue_depth_point.c_str();
     const int64_t depth = injector.Value(
-        faults::kQueueDepth,
-        static_cast<int64_t>(ThreadPool::Shared().QueueDepth()));
+        depth_point, static_cast<int64_t>(pool.QueueDepth()));
     if (depth > static_cast<int64_t>(options_.max_queue_depth)) {
       shed_total.Increment();
       return Status::Unavailable(
@@ -38,7 +42,10 @@ Status AdmissionController::Admit() const {
   if (options_.max_p95_us > 0.0) {
     // The injector override carries microseconds directly (int64); the live
     // reading merges the trailing window of the serving latency histogram.
-    const int64_t fake = injector.Value(faults::kP95Us, -1);
+    const char* p95_point = options_.p95_point.empty()
+                                ? faults::kP95Us
+                                : options_.p95_point.c_str();
+    const int64_t fake = injector.Value(p95_point, -1);
     const double p95 =
         fake >= 0 ? static_cast<double>(fake)
                   : obs::ServingTelemetry::Default()

@@ -2,14 +2,17 @@
 #define PQSDA_CORE_ADMISSION_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 
 namespace pqsda {
 
+class ThreadPool;
+
 /// Load-shedding policy applied before any per-request work.
 struct AdmissionOptions {
-  /// Shed when the shared pool's queue depth exceeds this. 0 disables the
+  /// Shed when the observed pool's queue depth exceeds this. 0 disables the
   /// queue-depth gate.
   size_t max_queue_depth = 0;
   /// Shed when the windowed request-latency p95 (microseconds, over
@@ -18,6 +21,17 @@ struct AdmissionOptions {
   /// Window the latency gate reads (trailing, from the serving telemetry's
   /// sliding histogram).
   int64_t p95_window_ns = 10'000'000'000;
+  /// Pool whose queue depth the gate reads; null means ThreadPool::Shared().
+  /// The sharded engine points each shard's controller at that shard's lane,
+  /// so one saturated shard sheds alone while the others keep admitting.
+  /// The pool must outlive the controller.
+  const ThreadPool* pool = nullptr;
+  /// Override point names consulted through FaultInjector::Value for the
+  /// queue-depth / p95 signals. Empty means the global admission points
+  /// (faults::kQueueDepth / kP95Us); per-shard controllers scope them (e.g.
+  /// "shard.2.queue_depth") so a test can saturate exactly one shard.
+  std::string queue_depth_point;
+  std::string p95_point;
 };
 
 /// Admission controller in front of the suggestion request path: an

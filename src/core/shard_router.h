@@ -1,0 +1,56 @@
+#ifndef PQSDA_CORE_SHARD_ROUTER_H_
+#define PQSDA_CORE_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "log/record.h"
+
+namespace pqsda {
+
+/// Deterministic request/record routing for the sharded serving path:
+/// queries route by a hash of their *string* (never their interned id — ids
+/// shift between index generations as fresh queries interleave into the
+/// log, and a route that moved on every rebuild would defeat the per-shard
+/// generation accounting), users by an integer mix of their UserId. Both
+/// functions are pure, so every layer — partition builder, coordinator,
+/// tests, benches — derives the same placement independently.
+struct ShardRouter {
+  size_t shards = 1;
+
+  /// FNV-1a 64 over the bytes (the same family as obs::Fingerprint64, kept
+  /// dependency-free here because the graph layer also partitions with it).
+  static uint64_t HashBytes(std::string_view s) {
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// SplitMix64 finalizer: UserIds are small dense integers, so a plain
+  /// modulo would send consecutive users to consecutive shards and any
+  /// stride in the traffic straight into one shard.
+  static uint64_t MixUser(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  size_t QueryShardOf(std::string_view query) const {
+    return shards <= 1 ? 0 : static_cast<size_t>(HashBytes(query) % shards);
+  }
+
+  size_t UserShardOf(UserId user) const {
+    return shards <= 1
+               ? 0
+               : static_cast<size_t>(MixUser(user) % shards);
+  }
+};
+
+}  // namespace pqsda
+
+#endif  // PQSDA_CORE_SHARD_ROUTER_H_

@@ -11,6 +11,9 @@ namespace {
 // bipartite: q -> object -> q', using row-normalized transitions. Results are
 // accumulated into `out`. The flat maps iterate in insertion order, so the
 // accumulation order — and with it the admitted set — is deterministic.
+// This loop nest *is* the canonical order of the CompactWalkBackend bitwise
+// contract; the sharded backend (src/core/sharded_engine.cc) mirrors the
+// inner expression and replays this merge order on gathered contributions.
 void StepThroughBipartite(const BipartiteGraph& g,
                           const FlatMap<StringId, double>& mass,
                           double scale, FlatMap<StringId, double>& out) {
@@ -89,7 +92,12 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
        ++round) {
     FlatMap<StringId, double> reached;
     for (BipartiteKind kind : kAllBipartites) {
-      StepThroughBipartite(mb_->graph(kind), mass, 1.0 / 3.0, reached);
+      if (backend_ != nullptr) {
+        Status step = backend_->Step(kind, mass, 1.0 / 3.0, reached);
+        if (!step.ok()) return step;
+      } else {
+        StepThroughBipartite(mb_->graph(kind), mass, 1.0 / 3.0, reached);
+      }
     }
     if (stats != nullptr) {
       ++stats->rounds;
@@ -125,8 +133,15 @@ StatusOr<CompactRepresentation> CompactBuilder::BuildFromSeeds(
     std::vector<Triplet> triplets;
     for (uint32_t local = 0; local < rep.queries.size(); ++local) {
       StringId global = rep.queries[local];
-      auto idx = q2o.RowIndices(global);
-      auto val = q2o.RowValues(global);
+      std::span<const uint32_t> idx;
+      std::span<const double> val;
+      if (backend_ != nullptr) {
+        Status row = backend_->QueryRow(kind, global, idx, val);
+        if (!row.ok()) return row;
+      } else {
+        idx = q2o.RowIndices(global);
+        val = q2o.RowValues(global);
+      }
       for (size_t k = 0; k < idx.size(); ++k) {
         auto [it, inserted] = object_index.emplace(
             idx[k], static_cast<uint32_t>(object_index.size()));

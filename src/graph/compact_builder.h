@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/flat_hash.h"
@@ -73,6 +74,40 @@ struct CompactBuildStats {
   size_t queries_admitted = 0;
 };
 
+/// The row-source seam of the §IV-A expansion. The walk and the induction
+/// read the full representation only through these two operations, so a
+/// scatter-gather coordinator can substitute per-shard fetches without the
+/// builder (or anything downstream of the compact representation) knowing.
+///
+/// Bitwise contract — what makes sharded results provably equal to the
+/// unsharded ones (tests/sharding_test.cc): FP addition is non-associative,
+/// so an implementation must reproduce the *canonical accumulation order*
+/// of the local walk exactly:
+///  - Step accumulates into `out` iterating `mass` in insertion order, each
+///    frontier row's objects in row order, each object row in row order,
+///    and every contribution evaluated as
+///    `((((scale * p) * p_obj) * q_val[k2]) / obj_sum)` — where contributions
+///    are computed is free (replica, remote shard), where they are *summed*
+///    is not.
+///  - QueryRow returns the query->object row verbatim (the induction copies
+///    it in row order).
+class CompactWalkBackend {
+ public:
+  virtual ~CompactWalkBackend() = default;
+
+  /// One two-step walk pass (q -> object -> q') through `kind` from `mass`,
+  /// accumulated into `out` in canonical order. Errors abort the build.
+  virtual Status Step(BipartiteKind kind, const FlatMap<StringId, double>& mass,
+                      double scale, FlatMap<StringId, double>& out) const = 0;
+
+  /// The query->object row of one member query for the induction. An
+  /// implementation may return empty spans for a row it cannot serve (a
+  /// degraded shard's cold row) — deterministically for the whole request.
+  virtual Status QueryRow(BipartiteKind kind, StringId query,
+                          std::span<const uint32_t>& indices,
+                          std::span<const double>& values) const = 0;
+};
+
 /// Expands the seed set (input query + search context) through the full
 /// multi-bipartite representation, scoring candidate queries by accumulated
 /// two-step walk probability (query -> object -> query averaged over the
@@ -80,7 +115,12 @@ struct CompactBuildStats {
 /// `target_size` queries.
 class CompactBuilder {
  public:
-  explicit CompactBuilder(const MultiBipartite& mb) : mb_(&mb) {}
+  /// A null `backend` reads `mb` directly (the unsharded serving path, kept
+  /// branch-for-branch identical to the pre-seam code); a non-null backend
+  /// owns every row read of the expansion and induction.
+  explicit CompactBuilder(const MultiBipartite& mb,
+                          const CompactWalkBackend* backend = nullptr)
+      : mb_(&mb), backend_(backend) {}
 
   /// `input_query` must be a valid query id of the source representation;
   /// context ids that are invalid are skipped. `stats`, when non-null,
@@ -99,6 +139,7 @@ class CompactBuilder {
 
  private:
   const MultiBipartite* mb_;
+  const CompactWalkBackend* backend_;
 };
 
 }  // namespace pqsda

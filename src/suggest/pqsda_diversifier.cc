@@ -15,8 +15,9 @@
 namespace pqsda {
 
 PqsdaDiversifier::PqsdaDiversifier(const MultiBipartite& mb,
-                                   PqsdaDiversifierOptions options)
-    : mb_(&mb), options_(options), builder_(mb) {}
+                                   PqsdaDiversifierOptions options,
+                                   const CompactWalkBackend* backend)
+    : mb_(&mb), options_(options), builder_(mb, backend) {}
 
 std::vector<bool> ExcludedCandidates(const CompactRepresentation& rep,
                                      StringId input,

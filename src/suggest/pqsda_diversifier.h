@@ -61,8 +61,14 @@ struct DiversificationOutput {
 /// cross-bipartite hitting time to the already-selected set (Algorithm 1).
 class PqsdaDiversifier : public SuggestionEngine {
  public:
+  /// `backend`, when non-null, owns every row read of the §IV-A expansion
+  /// (see CompactWalkBackend) — the sharded coordinator constructs one
+  /// per-request diversifier around its scatter-gather backend, and the
+  /// solve/selection/personalization stages then run unchanged on the
+  /// merged compact representation. Null is the local (unsharded) path.
   explicit PqsdaDiversifier(const MultiBipartite& mb,
-                            PqsdaDiversifierOptions options = {});
+                            PqsdaDiversifierOptions options = {},
+                            const CompactWalkBackend* backend = nullptr);
 
   std::string name() const override { return "PQS-DA"; }
 

@@ -44,6 +44,11 @@ obs::Counter& EvictionsCounter() {
       obs::MetricsRegistry::Default().GetCounter("pqsda.cache.evictions_total");
   return c;
 }
+obs::Counter& StaleInvalidationsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.stale_invalidations_total");
+  return c;
+}
 obs::Gauge& SizeGauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::Default().GetGauge("pqsda.cache.size");
@@ -53,14 +58,19 @@ obs::Gauge& SizeGauge() {
 }  // namespace
 
 struct SuggestionCache::Shard {
+  struct Entry {
+    std::string key;
+    std::vector<Suggestion> value;
+    /// Empty when the entry's generation lives inside the key string (the
+    /// unsharded path); otherwise the per-component generations the entry
+    /// was built against, checked by validating Lookups.
+    ValidationVector components;
+  };
   mutable std::mutex mu;
   /// Front = most recently used. The key is stored in the entry so the
   /// index can hold iterators only.
-  std::list<std::pair<std::string, std::vector<Suggestion>>> lru;
-  std::unordered_map<std::string,
-                     std::list<std::pair<std::string,
-                                         std::vector<Suggestion>>>::iterator>
-      index;
+  std::list<Entry> lru;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index;
 };
 
 SuggestionCache::SuggestionCache(SuggestionCacheOptions options) {
@@ -104,6 +114,11 @@ SuggestionCache::Shard& SuggestionCache::ShardOf(const CacheKey& key) const {
 
 bool SuggestionCache::Lookup(const CacheKey& key,
                              std::vector<Suggestion>* out) const {
+  return Lookup(key, out, Validator());
+}
+
+bool SuggestionCache::Lookup(const CacheKey& key, std::vector<Suggestion>* out,
+                             const Validator& validator) const {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key.full);
@@ -111,26 +126,45 @@ bool SuggestionCache::Lookup(const CacheKey& key,
     MissesCounter().Increment();
     return false;
   }
+  if (validator && !it->second->components.empty() &&
+      !validator(it->second->components)) {
+    // Stale: some component the entry read has been rebuilt since. Erase it
+    // now — keeping it would re-run the validator on every probe and the
+    // entry can never become valid again (generations only move forward).
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    SizeGauge().Add(-1.0);
+    StaleInvalidationsCounter().Increment();
+    MissesCounter().Increment();
+    return false;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  if (out != nullptr) *out = it->second->second;
+  if (out != nullptr) *out = it->second->value;
   HitsCounter().Increment();
   return true;
 }
 
 void SuggestionCache::Insert(const CacheKey& key,
                              std::vector<Suggestion> value) {
+  Insert(key, std::move(value), ValidationVector());
+}
+
+void SuggestionCache::Insert(const CacheKey& key, std::vector<Suggestion> value,
+                             ValidationVector components) {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key.full);
   if (it != shard.index.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
+    it->second->components = std::move(components);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key.full, std::move(value));
+  shard.lru.emplace_front(
+      Shard::Entry{key.full, std::move(value), std::move(components)});
   shard.index.emplace(key.full, shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     EvictionsCounter().Increment();
   } else {

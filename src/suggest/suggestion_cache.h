@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -39,9 +40,10 @@ struct SuggestionCacheOptions {
 /// one session's list to another; the full serialization is compared on
 /// every hit now and the precomputed hash only routes to a shard.
 ///
-/// All methods are thread-safe. Hits, misses and evictions are counted into
-/// the default MetricsRegistry (`pqsda.cache.hits_total`,
-/// `pqsda.cache.misses_total`, `pqsda.cache.evictions_total`,
+/// All methods are thread-safe. Hits, misses, evictions and stale
+/// invalidations are counted into the default MetricsRegistry
+/// (`pqsda.cache.hits_total`, `pqsda.cache.misses_total`,
+/// `pqsda.cache.evictions_total`, `pqsda.cache.stale_invalidations_total`,
 /// `pqsda.cache.size`).
 class SuggestionCache {
  public:
@@ -66,6 +68,18 @@ class SuggestionCache {
     }
   };
 
+  /// What an entry's correctness depended on when it was inserted: a list of
+  /// (component id, generation) pairs. The unsharded engine keys entries by a
+  /// single scalar generation inside the key string; the sharded engine
+  /// instead records the generation of every shard the request touched (plus
+  /// a synthetic UPM component for personalized entries), so a rebuild that
+  /// changes one shard invalidates only entries that actually read that
+  /// shard — entries whose touched shards all carried over are still served.
+  using ValidationVector = std::vector<std::pair<uint32_t, uint64_t>>;
+  /// Checks a stored ValidationVector against current generations; false
+  /// means the entry is stale and must not be served.
+  using Validator = std::function<bool(const ValidationVector&)>;
+
   explicit SuggestionCache(SuggestionCacheOptions options = {});
   ~SuggestionCache();
 
@@ -80,9 +94,24 @@ class SuggestionCache {
   /// position and returns true.
   bool Lookup(const CacheKey& key, std::vector<Suggestion>* out) const;
 
+  /// Lookup that additionally validates the entry's ValidationVector. When
+  /// the entry carries components and `validator` rejects them, the entry is
+  /// erased (counted as `pqsda.cache.stale_invalidations_total`) and the
+  /// call is a miss — a stale list is never served and never lingers to be
+  /// re-validated on every probe. Entries inserted without components are
+  /// always considered valid (the key itself carries their generation).
+  bool Lookup(const CacheKey& key, std::vector<Suggestion>* out,
+              const Validator& validator) const;
+
   /// Inserts or refreshes `key`, evicting the shard's least-recently-used
   /// entry when over budget.
   void Insert(const CacheKey& key, std::vector<Suggestion> value);
+
+  /// Insert with a ValidationVector recording what the entry depends on
+  /// (see ValidationVector). Components should be sorted by component id so
+  /// tests can compare them structurally.
+  void Insert(const CacheKey& key, std::vector<Suggestion> value,
+              ValidationVector components);
 
   /// Current number of cached entries (sums the shards; approximate under
   /// concurrent writes).

@@ -28,6 +28,7 @@
 #include "common/fault_injector.h"
 #include "common/thread_pool.h"
 #include "core/pqsda_engine.h"
+#include "core/sharded_engine.h"
 #include "obs/metrics.h"
 #include "solver/linear_solvers.h"
 
@@ -527,6 +528,228 @@ TEST_F(FaultInjectionTest, DeadlineStormUnderBatchStaysWellFormed) {
                 code == StatusCode::kNotFound ||
                 code == StatusCode::kUnavailable)
         << "request " << i << ": " << results[i].status().ToString();
+  }
+}
+
+// --------------------------------------- per-shard fault matrix ----
+
+// The sharded scatter-gather coordinator under per-shard faults: one shard
+// past its fetch deadline, one shard shedding, one shard mid-swap. The
+// invariants: only the affected shard degrades (every other touched shard
+// stays kShardFull), a partial merge is always loud (SuggestStats rungs +
+// partial_merge + counters, never a cache fill), and a mid-swap holdback
+// serves the *whole* previous build, not a mixed view.
+
+std::unique_ptr<ShardedEngine> BuildShardedFaultEngine(
+    size_t cache_capacity = 0) {
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  config.cache_capacity = cache_capacity;
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.hot_row_min_degree = 0;  // strict ownership: faults must bite
+  auto built = ShardedEngine::Build(FaultLog(), config, options);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+// A probe whose expansion crosses shards, plus one touched non-primary
+// shard to play the victim. The 14-record log is one connected cluster, so
+// such a probe always exists at 4 shards with strict ownership.
+struct ShardedProbe {
+  SuggestionRequest request;
+  size_t victim = 0;
+};
+
+ShardedProbe FindCrossShardProbe(const ShardedEngine& engine) {
+  const char* queries[] = {"sun",          "sun java",     "solar energy",
+                           "solar system", "java download", "sun daily uk"};
+  for (const char* q : queries) {
+    SuggestStats stats;
+    auto result = engine.Suggest(FaultRequest(q), 5, &stats);
+    if (!result.ok() || stats.shards_touched < 2) continue;
+    const size_t primary = engine.router().QueryShardOf(q);
+    for (size_t s = 0; s < stats.shard_rungs.size(); ++s) {
+      if (s != primary && stats.shard_rungs[s] == SuggestStats::kShardFull) {
+        return {FaultRequest(q), s};
+      }
+    }
+  }
+  ADD_FAILURE() << "no cross-shard probe found";
+  return {FaultRequest("sun"), 1};
+}
+
+TEST_F(FaultInjectionTest, ShardDeadlineDegradesOnlyThatShard) {
+  auto engine = BuildShardedFaultEngine();
+  const ShardedProbe probe = FindCrossShardProbe(*engine);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& deadline_total = reg.GetCounter(
+      "pqsda.shard." + std::to_string(probe.victim) + ".deadline_total");
+  obs::Counter& partial_total =
+      reg.GetCounter("pqsda.sharded.partial_merges_total");
+  const uint64_t deadline0 = deadline_total.Value();
+  const uint64_t partial0 = partial_total.Value();
+
+  FaultInjector::Default().SetValue(faults::kShardDeadlineShard,
+                                    static_cast<int64_t>(probe.victim));
+  SuggestStats stats;
+  auto result = engine->Suggest(probe.request, 5, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Loud, and surgical: the victim carries kShardDeadline, everyone else
+  // is untouched-or-full, the request-level rung is still kFull.
+  EXPECT_TRUE(stats.partial_merge);
+  EXPECT_EQ(stats.degradation_rung, 0u);
+  EXPECT_EQ(stats.shard_rungs[probe.victim], SuggestStats::kShardDeadline);
+  for (size_t s = 0; s < stats.shard_rungs.size(); ++s) {
+    if (s == probe.victim) continue;
+    EXPECT_TRUE(stats.shard_rungs[s] == SuggestStats::kShardFull ||
+                stats.shard_rungs[s] == SuggestStats::kShardUntouched)
+        << "shard " << s;
+  }
+  EXPECT_EQ(deadline_total.Value(), deadline0 + 1);
+  EXPECT_EQ(partial_total.Value(), partial0 + 1);
+}
+
+TEST_F(FaultInjectionTest, ShardShedDegradesOnlyThatShard) {
+  auto engine = BuildShardedFaultEngine();
+  const ShardedProbe probe = FindCrossShardProbe(*engine);
+  obs::Counter& degraded_total = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.shard." + std::to_string(probe.victim) + ".degraded_total");
+  const uint64_t degraded0 = degraded_total.Value();
+
+  FaultInjector::Default().SetValue(faults::kShardShedShard,
+                                    static_cast<int64_t>(probe.victim));
+  SuggestStats stats;
+  auto result = engine->Suggest(probe.request, 5, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(stats.partial_merge);
+  EXPECT_EQ(stats.shard_rungs[probe.victim], SuggestStats::kShardDegraded);
+  EXPECT_EQ(degraded_total.Value(), degraded0 + 1);
+
+  // With the fault cleared the same request merges fully again.
+  FaultInjector::Default().Reset();
+  SuggestStats clean;
+  ASSERT_TRUE(engine->Suggest(probe.request, 5, &clean).ok());
+  EXPECT_FALSE(clean.partial_merge);
+}
+
+TEST_F(FaultInjectionTest, ShardPartialMergeIsNeverCached) {
+  auto engine = BuildShardedFaultEngine(/*cache_capacity=*/16);
+  // Probe discovery serves requests — run it on a cache-less twin (same
+  // records, same partition geometry) so this engine's cache stays cold.
+  const ShardedProbe probe = FindCrossShardProbe(*BuildShardedFaultEngine());
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& hits = reg.GetCounter("pqsda.cache.hits_total");
+  obs::Counter& misses = reg.GetCounter("pqsda.cache.misses_total");
+
+  // Partial serve on a cold key: computed, served loudly, NOT stored.
+  FaultInjector::Default().SetValue(faults::kShardShedShard,
+                                    static_cast<int64_t>(probe.victim));
+  const uint64_t hits0 = hits.Value();
+  const uint64_t misses0 = misses.Value();
+  SuggestStats stats;
+  auto partial = engine->Suggest(probe.request, 5, &stats);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_TRUE(stats.partial_merge);
+  EXPECT_EQ(misses.Value(), misses0 + 1);
+
+  // Fault cleared: the same key must MISS (nothing was cached) and the
+  // full merge then fills the cache for the third call.
+  FaultInjector::Default().Reset();
+  SuggestStats full;
+  ASSERT_TRUE(engine->Suggest(probe.request, 5, &full).ok());
+  EXPECT_FALSE(full.partial_merge);
+  EXPECT_EQ(misses.Value(), misses0 + 2);
+  EXPECT_EQ(hits.Value(), hits0);
+  ASSERT_TRUE(engine->Suggest(probe.request, 5).ok());
+  EXPECT_EQ(hits.Value(), hits0 + 1);
+}
+
+TEST_F(FaultInjectionTest, ShardAdmissionShedsAtPrimaryGateWithCleanStats) {
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.shard_queue_depth = 4;  // enable the per-shard queue gate
+  auto built = ShardedEngine::Build(FaultLog(), config, options);
+  ASSERT_TRUE(built.ok());
+  auto& engine = *built;
+
+  const SuggestionRequest request = FaultRequest("sun");
+  const size_t primary = engine->router().QueryShardOf(request.query);
+  obs::Counter& shed_total = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.shard." + std::to_string(primary) + ".shed_total");
+  const uint64_t shed0 = shed_total.Value();
+
+  // Overload exactly the primary shard's scoped queue-depth point: the
+  // request sheds at its gate; a query homed on any other shard still
+  // serves.
+  FaultInjector::Default().SetValue(
+      "shard." + std::to_string(primary) + ".queue_depth", 100);
+  SuggestStats stats = PoisonedStats();
+  auto shed = engine->Suggest(request, 5, &stats);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(stats.shed);
+  ExpectStatsReset(stats);
+  EXPECT_EQ(shed_total.Value(), shed0 + 1);
+
+  for (const char* q :
+       {"sun java", "solar energy", "solar system", "uk news"}) {
+    if (engine->router().QueryShardOf(q) == primary) continue;
+    EXPECT_TRUE(engine->Suggest(FaultRequest(q), 5).ok()) << q;
+    break;
+  }
+}
+
+TEST_F(FaultInjectionTest, ShardHoldbackMidSwapServesOldBuildConsistently) {
+  auto engine = BuildShardedFaultEngine();
+  const SuggestionRequest request = FaultRequest("sun");
+  auto before = engine->Suggest(request, 5);
+  ASSERT_TRUE(before.ok());
+
+  // Shard 2 stalls mid-swap across the rebuild. Requests must keep serving
+  // the previous build whole — bitwise the pre-rebuild list, no partial
+  // merge, no error.
+  FaultInjector::Default().SetValue(faults::kShardSwapHoldback, 2);
+  std::vector<QueryLogRecord> delta = {{7, "sun", "www.nasa.gov", 500},
+                                       {7, "sun spots", "www.nasa.gov", 520},
+                                       {8, "sun spots", "www.nasa.gov", 510}};
+  for (const auto& record : delta) {
+    ASSERT_TRUE(engine->Ingest(record).ok());
+  }
+  ASSERT_TRUE(engine->RebuildNow().ok());
+  EXPECT_GE(FaultInjector::Default().Hits(faults::kShardSwap), 4u);
+
+  SuggestStats stats;
+  auto held = engine->Suggest(request, 5, &stats);
+  ASSERT_TRUE(held.ok());
+  EXPECT_FALSE(stats.partial_merge);
+  ASSERT_EQ(before->size(), held->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].query, (*held)[i].query);
+    EXPECT_EQ((*before)[i].score, (*held)[i].score);
+  }
+
+  // Swap completes: the engine serves what a fresh build over the grown
+  // log serves.
+  FaultInjector::Default().Reset();
+  engine->SyncShards();
+  auto grown = FaultLog();
+  grown.insert(grown.end(), delta.begin(), delta.end());
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  auto reference = PqsdaEngine::Build(std::move(grown), config);
+  ASSERT_TRUE(reference.ok());
+  auto expected = (*reference)->Suggest(request, 5);
+  ASSERT_TRUE(expected.ok());
+  auto after = engine->Suggest(request, 5);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(expected->size(), after->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*expected)[i].query, (*after)[i].query);
+    EXPECT_EQ((*expected)[i].score, (*after)[i].score);
   }
 }
 
