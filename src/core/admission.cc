@@ -30,28 +30,39 @@ Status AdmissionController::Admit() const {
     const char* depth_point = options_.queue_depth_point.empty()
                                   ? faults::kQueueDepth
                                   : options_.queue_depth_point.c_str();
-    const int64_t depth = injector.Value(
-        depth_point, static_cast<int64_t>(pool.QueueDepth()));
+    // Queued tasks plus requests executing right now: single-request
+    // serving runs on the calling thread without ever enqueuing, so queue
+    // depth alone is blind to it (the wired in-flight counter is what makes
+    // the gate react to non-batch load).
+    uint64_t live = pool.QueueDepth();
+    if (options_.inflight != nullptr) {
+      live += options_.inflight->load(std::memory_order_relaxed);
+    }
+    const int64_t depth =
+        injector.Value(depth_point, static_cast<int64_t>(live));
     if (depth > static_cast<int64_t>(options_.max_queue_depth)) {
       shed_total.Increment();
       return Status::Unavailable(
-          "load shed: pool queue depth " + std::to_string(depth) + " > " +
-          std::to_string(options_.max_queue_depth));
+          "load shed: queue depth + in-flight " + std::to_string(depth) +
+          " > " + std::to_string(options_.max_queue_depth));
     }
   }
   if (options_.max_p95_us > 0.0) {
     // The injector override carries microseconds directly (int64); the live
-    // reading merges the trailing window of the serving latency histogram.
+    // reading merges the trailing window of the configured latency
+    // histogram — the controller's own (a per-shard window for per-shard
+    // gates) or the global serving telemetry when none is wired.
     const char* p95_point = options_.p95_point.empty()
                                 ? faults::kP95Us
                                 : options_.p95_point.c_str();
     const int64_t fake = injector.Value(p95_point, -1);
+    const obs::SlidingWindowHistogram& latency =
+        options_.latency != nullptr
+            ? *options_.latency
+            : obs::ServingTelemetry::Default().latency();
     const double p95 =
         fake >= 0 ? static_cast<double>(fake)
-                  : obs::ServingTelemetry::Default()
-                        .latency()
-                        .SnapshotOver(options_.p95_window_ns)
-                        .p95;
+                  : latency.SnapshotOver(options_.p95_window_ns).p95;
     if (p95 > options_.max_p95_us) {
       shed_total.Increment();
       return Status::Unavailable(

@@ -171,6 +171,15 @@ Status ShardedWalkBackend::QueryRow(BipartiteKind kind, StringId query,
 
 struct ShardedEngine::ShardState {
   std::unique_ptr<ThreadPool> lane;
+  /// This shard's own request-latency window — the live signal of its p95
+  /// admission gate. Deliberately not the global ServingTelemetry
+  /// histogram: a per-shard gate fed process-wide latency would trip on
+  /// every shard the moment one shard is slow.
+  std::unique_ptr<obs::SlidingWindowHistogram> latency;
+  /// Requests of this shard currently executing (the single-request path
+  /// runs on the calling thread and never enqueues on the lane, so the
+  /// queue-depth gate needs this to see non-batch load at all).
+  std::atomic<uint64_t> inflight{0};
   AdmissionController admission;
   obs::Counter* requests_total = nullptr;
   obs::Counter* fetches_total = nullptr;
@@ -225,10 +234,13 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
     auto state = std::make_unique<ShardState>();
     state->lane = std::make_unique<ThreadPool>(
         std::max<size_t>(options.lane_threads, 1));
+    state->latency = std::make_unique<obs::SlidingWindowHistogram>();
     AdmissionOptions admission;
     admission.max_queue_depth = options.shard_queue_depth;
     admission.max_p95_us = options.shard_p95_us;
     admission.pool = state->lane.get();
+    admission.inflight = &state->inflight;
+    admission.latency = state->latency.get();
     admission.queue_depth_point =
         "shard." + std::to_string(s) + ".queue_depth";
     admission.p95_point = "shard." + std::to_string(s) + ".p95_us";
@@ -242,6 +254,10 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
     state->generation = &reg.GetGauge(prefix + "generation");
     engine->states_.push_back(std::move(state));
   }
+  // Rebuilds get their own thread: the build is global (see ShardedBuild)
+  // and long, so parking it on a single-threaded serving lane would make
+  // that shard slow/shedding for the whole build duration.
+  engine->rebuild_pool_ = std::make_unique<ThreadPool>(1);
 
   ShardPartitionOptions popts;
   popts.shards = options.shards;
@@ -333,6 +349,11 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestAdmitted(
   const DegradationRung rung = ChooseRung(request);
   rung_totals[static_cast<size_t>(rung)]->Increment();
 
+  // In-flight for the whole pipeline run: this is the part of the primary
+  // shard's load its queue-depth gate cannot see in the lane (single
+  // requests execute right here on the calling thread; batch tasks leave
+  // the queue the moment they start).
+  states_[primary]->inflight.fetch_add(1, std::memory_order_relaxed);
   obs::StageProfiler& profiler = obs::StageProfiler::Default();
   profiler.BeginRequest();
   WallTimer wall;
@@ -341,7 +362,9 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestAdmitted(
       SuggestImpl(request, k, rung, *build, primary, stats, &cache_hit);
   const double elapsed_us = static_cast<double>(wall.ElapsedNanos()) * 1e-3;
   profiler.EndRequest(static_cast<size_t>(rung));
+  states_[primary]->inflight.fetch_sub(1, std::memory_order_relaxed);
   latency_us.Observe(elapsed_us);
+  states_[primary]->latency->Record(elapsed_us);
 
   const bool ok = result.ok();
   const bool not_found =
@@ -419,7 +442,7 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestImpl(
   // The primary shard passed request-level admission; it serves its own
   // rows unconditionally.
   ctx.rung[primary] = SuggestStats::kShardFull;
-  ctx.classify = [this](size_t s) -> uint8_t {
+  ctx.classify = [this, cancel = request.cancel](size_t s) -> uint8_t {
     FaultInjector& injector = FaultInjector::Default();
     if (injector.Value(faults::kShardShedShard, -1) ==
         static_cast<int64_t>(s)) {
@@ -427,6 +450,18 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestImpl(
     }
     if (injector.Value(faults::kShardDeadlineShard, -1) ==
         static_cast<int64_t>(s)) {
+      return SuggestStats::kShardDeadline;
+    }
+    // The per-fetch deadline floor: once the request's remaining budget has
+    // collapsed below fetch_budget_floor_us (or the deadline has passed
+    // outright), fetches to shards not yet touched are refused — the shard
+    // classifies kShardDeadline for the rest of the request and its cold
+    // rows drop, loudly, instead of remote reads eating the budget the
+    // rest of the pipeline still needs.
+    if (cancel != nullptr && cancel->has_deadline() &&
+        (cancel->expired() ||
+         static_cast<double>(cancel->RemainingNanos()) * 1e-3 <
+             options_.fetch_budget_floor_us)) {
       return SuggestStats::kShardDeadline;
     }
     if (!states_[s]->admission.Admit().ok()) {
@@ -567,7 +602,6 @@ std::vector<StatusOr<std::vector<Suggestion>>> ShardedEngine::SuggestBatch(
 }
 
 Status ShardedEngine::Ingest(QueryLogRecord record) {
-  const size_t shard = router_.QueryShardOf(record.query);
   std::lock_guard<std::mutex> lock(delta_mu_);
   if (delta_.size() >= config_.ingest.max_delta_records) {
     return Status::Unavailable(
@@ -578,10 +612,11 @@ Status ShardedEngine::Ingest(QueryLogRecord record) {
   if (delta_.size() >= config_.ingest.rebuild_min_records &&
       !rebuild_scheduled_) {
     rebuild_scheduled_ = true;
-    // The coalescing rebuild task runs on the *triggering record's*
-    // primary-shard lane: rebuild scheduling is per-shard even though the
-    // build itself is global (the cfiqf IQF term — see ShardedBuild).
-    states_[shard]->lane->Submit([this] { RebuildLoop(); });
+    // The coalescing rebuild task runs on the dedicated rebuild thread,
+    // never a serving lane: the build is global (the cfiqf IQF term — see
+    // ShardedBuild) and long, and a single-threaded lane carrying it could
+    // not serve batch requests or scatter fetches until it finished.
+    rebuild_pool_->Submit([this] { RebuildLoop(); });
   }
   return Status::OK();
 }

@@ -38,9 +38,24 @@ struct ShardedEngineOptions {
   size_t lane_threads = 1;
   /// Per-shard admission gates, same semantics as AdmissionOptions: a
   /// request sheds at its primary shard's gate, a cross-shard fetch degrades
-  /// (only) the refusing shard. 0 disables each gate.
+  /// (only) the refusing shard. 0 disables each gate. The queue-depth gate
+  /// reads the shard's lane depth plus its in-flight request count (the
+  /// single-request path executes on the calling thread, so queued tasks
+  /// alone would miss it); the p95 gate reads the shard's *own* latency
+  /// window, never the process-wide percentile — one slow shard must not
+  /// trip every shard's gate.
   size_t shard_queue_depth = 0;
   double shard_p95_us = 0.0;
+  /// Per-fetch deadline floor (microseconds): a cross-shard fetch is not
+  /// attempted once the request's remaining deadline budget falls below
+  /// this — the owning shard is classified kShardDeadline on touch and its
+  /// cold rows drop, spending what little budget remains on finishing the
+  /// pipeline instead of on remote reads that would blow the deadline. The
+  /// default matches RobustnessOptions::cache_only_below_us: a budget that
+  /// has collapsed into cache-only territory mid-request stops paying for
+  /// fetches. 0 disables the floor (expired deadlines still refuse
+  /// fetches). Requests without a deadline are unaffected.
+  double fetch_budget_floor_us = 2'000.0;
 };
 
 /// One immutable published state of the sharded engine: the underlying
@@ -155,8 +170,10 @@ class ShardedEngine {
 
   /// Live ingestion into the global delta buffer (kUnavailable past the
   /// configured backpressure bound). Crossing the rebuild threshold
-  /// schedules one coalescing rebuild task on the *triggering record's*
-  /// primary-shard lane.
+  /// schedules one coalescing rebuild task on the dedicated rebuild thread
+  /// — never on a serving lane, which must stay free for request work (a
+  /// global rebuild parked on a single-threaded lane would make that shard
+  /// slow/shedding for the whole build).
   Status Ingest(QueryLogRecord record);
   /// Drains the delta buffer and rebuilds/publishes on the calling thread
   /// (no-op OK when empty). Serialized against the async rebuild task.
@@ -235,6 +252,10 @@ class ShardedEngine {
 
   /// Serializes builds (async task vs RebuildNow).
   std::mutex build_mu_;
+
+  /// Runs the coalescing RebuildLoop tasks. Declared last so it is joined
+  /// first in destruction, while every member a rebuild touches is alive.
+  std::unique_ptr<ThreadPool> rebuild_pool_;
 };
 
 }  // namespace pqsda

@@ -39,10 +39,18 @@ ShardPartition BuildShardPartition(const MultiBipartite& mb,
     query_hash[q] = ShardRouter::HashBytes(mb.QueryString(q));
   }
 
-  // Content hash of every object, per bipartite. URLs and terms hash their
-  // strings; session objects have no string, so they hash the *content* of
-  // their object->query row (query strings + weights, combined
-  // order-independently) — a session is its membership.
+  // Content hash of every object, per bipartite: the object's identity
+  // (URL/term string; sessions have none — their membership is their
+  // identity) mixed with the *content* of its object->query row (query
+  // string hashes + value bits, combined order-independently). The row
+  // contents are part of every kind's hash, not just the session kind's,
+  // because the walk reads the full o2q row — values and RowSum — of every
+  // object adjacent to a frontier query: a changed edge count c_zu anywhere
+  // in an object's row (a duplicate record, say) changes the contributions
+  // flowing through that object to *every* adjacent query, including ones
+  // owned by other shards, so it must perturb all of their row
+  // fingerprints or the cache's per-shard validation vectors would pass on
+  // stale entries.
   std::array<std::vector<uint64_t>, 3> obj_hash;
   for (BipartiteKind kind : kAllBipartites) {
     const size_t ki = static_cast<size_t>(kind);
@@ -54,14 +62,14 @@ ShardPartition BuildShardPartition(const MultiBipartite& mb,
         h = ShardRouter::HashBytes(mb.urls().Get(static_cast<StringId>(obj)));
       } else if (kind == BipartiteKind::kTerm) {
         h = ShardRouter::HashBytes(mb.terms().Get(static_cast<StringId>(obj)));
-      } else {
-        auto idx = o2q.RowIndices(obj);
-        auto val = o2q.RowValues(obj);
-        for (size_t k = 0; k < idx.size(); ++k) {
-          h += Mix2(query_hash[idx[k]], DoubleBits(val[k]));
-        }
       }
-      obj_hash[ki][obj] = h;
+      uint64_t row = 0;
+      auto idx = o2q.RowIndices(obj);
+      auto val = o2q.RowValues(obj);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        row += Mix2(query_hash[idx[k]], DoubleBits(val[k]));
+      }
+      obj_hash[ki][obj] = Mix2(h, row);
     }
   }
 

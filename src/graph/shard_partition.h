@@ -50,13 +50,18 @@ struct ShardPartition {
     /// bipartites (the shard's share of the walkable graph).
     size_t owned_nnz = 0;
     /// Content fingerprint of everything this shard serves (owned + hot
-    /// rows). Defined over query/URL/term *strings* and session-row
-    /// *contents* — never interned ids — and combined order-independently,
-    /// so it is stable under the id renumbering a rebuild may cause and
-    /// changes exactly when the shard's served slice changes. The sharded
-    /// engine bumps a shard's generation only on a fingerprint change,
-    /// which is what lets a single-shard delta invalidate only the cache
-    /// entries that touched that shard.
+    /// rows). Defined over query/URL/term *strings* and the full
+    /// object->query row contents of every adjacent object — never
+    /// interned ids — and combined order-independently, so it is stable
+    /// under the id renumbering a rebuild may cause and changes exactly
+    /// when the data a walk through the shard's rows can read changes.
+    /// Covering adjacent objects' whole rows (not just their identities)
+    /// matters: an edge-count delta on a query owned by another shard
+    /// still changes the contributions flowing through a shared object
+    /// into this shard's rows. The sharded engine bumps a shard's
+    /// generation only on a fingerprint change, which is what lets a
+    /// single-shard delta invalidate only the cache entries whose served
+    /// content it could actually have affected.
     uint64_t content_fingerprint = 0;
   };
   std::vector<PerShard> shard;

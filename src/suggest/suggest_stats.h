@@ -49,8 +49,11 @@ struct SuggestStats {
   /// shard, ShardedEngine only; empty on the unsharded engine). kShardFull:
   /// the shard served every row asked of it. kShardDegraded: its admission
   /// gate refused, so only its hot replicated rows were served.
-  /// kShardDeadline: a fetch overran the per-fetch budget mid-request, cold
-  /// rows dropped from then on. kShardUntouched: the request never needed
+  /// kShardDeadline: the request's remaining deadline budget had fallen
+  /// below ShardedEngineOptions::fetch_budget_floor_us (or the deadline had
+  /// passed) when the shard was first touched, so the fetch was refused and
+  /// cold rows dropped from then on; tests can also force it per shard via
+  /// faults::kShardDeadlineShard. kShardUntouched: the request never needed
   /// the shard.
   static constexpr uint8_t kShardFull = 0;
   static constexpr uint8_t kShardDegraded = 1;

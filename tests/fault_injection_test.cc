@@ -27,9 +27,12 @@
 #include "common/cancellation.h"
 #include "common/fault_injector.h"
 #include "common/thread_pool.h"
+#include "core/admission.h"
 #include "core/pqsda_engine.h"
 #include "core/sharded_engine.h"
 #include "obs/metrics.h"
+#include "obs/sliding_window.h"
+#include "obs/telemetry.h"
 #include "solver/linear_solvers.h"
 
 namespace pqsda {
@@ -701,6 +704,134 @@ TEST_F(FaultInjectionTest, ShardAdmissionShedsAtPrimaryGateWithCleanStats) {
     EXPECT_TRUE(engine->Suggest(FaultRequest(q), 5).ok()) << q;
     break;
   }
+}
+
+// The p95 gate's live signal must be scoped to the controller's own
+// latency window when one is wired — a per-shard gate reading process-wide
+// latency would trip on every shard the moment one shard is slow.
+TEST_F(FaultInjectionTest, AdmissionGatesOnItsOwnLatencyWindow) {
+  obs::SlidingWindowHistogram slow;
+  obs::SlidingWindowHistogram fast;
+  for (int i = 0; i < 64; ++i) slow.Record(400'000.0);
+  for (int i = 0; i < 64; ++i) fast.Record(1'000.0);
+
+  AdmissionOptions options;
+  options.max_p95_us = 50'000.0;
+  options.latency = &slow;
+  AdmissionController overloaded(options);
+  EXPECT_EQ(overloaded.Admit().code(), StatusCode::kUnavailable);
+
+  options.latency = &fast;
+  AdmissionController healthy(options);
+  EXPECT_TRUE(healthy.Admit().ok());
+}
+
+// Single-request serving executes on the calling thread and never enqueues
+// on a lane, so the depth gate counts the wired in-flight counter on top of
+// the pool's queue depth.
+TEST_F(FaultInjectionTest, AdmissionCountsInflightRequestsInTheDepthGate) {
+  ThreadPool pool(1);  // idle: queue depth 0
+  std::atomic<uint64_t> inflight{0};
+  AdmissionOptions options;
+  options.max_queue_depth = 2;
+  options.pool = &pool;
+  options.inflight = &inflight;
+  AdmissionController gate(options);
+
+  EXPECT_TRUE(gate.Admit().ok());
+  inflight.store(3, std::memory_order_relaxed);
+  EXPECT_EQ(gate.Admit().code(), StatusCode::kUnavailable);
+  inflight.store(2, std::memory_order_relaxed);  // at the limit, not over
+  EXPECT_TRUE(gate.Admit().ok());
+}
+
+// Regression: configuring shard_p95_us must scope each shard's live signal
+// to that shard's own latency window. Poison the *global* serving-telemetry
+// histogram with a storm of slow samples; every shard gate must keep
+// admitting (the old behavior — reading the global percentile — shed every
+// request on every shard, so one slow shard degraded the whole engine).
+TEST_F(FaultInjectionTest, ShardP95GateReadsPerShardWindowNotGlobalLatency) {
+  obs::ServingTelemetry& poisoned = obs::ServingTelemetry::Install({});
+  for (int i = 0; i < 256; ++i) poisoned.latency().Record(5'000'000.0);
+
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.hot_row_min_degree = 0;
+  options.shard_p95_us = 1'000'000.0;  // global window reads 5x this
+  auto built = ShardedEngine::Build(FaultLog(), config, options);
+  ASSERT_TRUE(built.ok());
+
+  SuggestStats stats = PoisonedStats();
+  auto result = (*built)->Suggest(FaultRequest("sun"), 5, &stats);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(stats.shed);
+  // Cross-shard fetches pass their gates too: no shard refused.
+  EXPECT_FALSE(stats.partial_merge);
+
+  // Leave a clean global surface for the rest of the suite.
+  obs::ServingTelemetry::Install({});
+}
+
+// The real per-fetch deadline floor (no injector override): a request whose
+// remaining budget has collapsed below fetch_budget_floor_us by the time
+// the expansion first touches a non-primary shard gets that shard
+// classified kShardDeadline — the fetch is refused and cold rows drop,
+// loudly — while the request itself still completes: the budget has not
+// expired, it is merely too thin to pay for remote reads.
+TEST_F(FaultInjectionTest, BudgetCollapseMidRequestRefusesFetchesLoudly) {
+  FaultInjector& injector = FaultInjector::Default();
+  injector.SetClock(0);
+
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  // Budget rungs off: any remaining budget > 0 keeps the full pipeline, so
+  // the degradation below is attributable to the fetch floor alone.
+  config.robustness.truncated_below_us = 0;
+  config.robustness.walk_only_below_us = 0;
+  config.robustness.cache_only_below_us = 0;
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.hot_row_min_degree = 0;
+  options.fetch_budget_floor_us = 2'000.0;
+  auto built = ShardedEngine::Build(FaultLog(), config, options);
+  ASSERT_TRUE(built.ok());
+  auto& engine = *built;
+  const ShardedProbe probe = FindCrossShardProbe(*engine);
+
+  obs::Counter& partial_total = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.sharded.partial_merges_total");
+  const uint64_t partial0 = partial_total.Value();
+
+  CancelToken token(injector.ClockFn());
+  token.SetDeadlineAfter(1 * kMs);  // 1ms remaining: under the 2ms floor
+  SuggestionRequest request = probe.request;
+  request.cancel = &token;
+  SuggestStats stats;
+  auto result = engine->Suggest(request, 5, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(stats.degradation_rung, 0u);
+  EXPECT_TRUE(stats.partial_merge);
+  size_t deadline_shards = 0;
+  for (size_t s = 0; s < stats.shard_rungs.size(); ++s) {
+    EXPECT_NE(stats.shard_rungs[s], SuggestStats::kShardDegraded)
+        << "shard " << s;
+    if (stats.shard_rungs[s] == SuggestStats::kShardDeadline) {
+      ++deadline_shards;
+    }
+  }
+  EXPECT_GT(deadline_shards, 0u);
+  EXPECT_EQ(partial_total.Value(), partial0 + 1);
+
+  // With a budget comfortably above the floor the same probe merges fully.
+  CancelToken roomy(injector.ClockFn());
+  roomy.SetDeadlineAfter(10 * kSec);
+  request.cancel = &roomy;
+  SuggestStats clean;
+  ASSERT_TRUE(engine->Suggest(request, 5, &clean).ok());
+  EXPECT_FALSE(clean.partial_merge);
 }
 
 TEST_F(FaultInjectionTest, ShardHoldbackMidSwapServesOldBuildConsistently) {

@@ -317,6 +317,48 @@ TEST_F(ShardingTest, ContentFingerprintMovesOnlyForTheChangedShard) {
             part1.shard[1].content_fingerprint);
 }
 
+TEST_F(ShardingTest, EdgeCountChangeThroughSharedObjectMovesAdjacentShards) {
+  // Regression (stale-cache hazard): Step() reads the *full* object->query
+  // row — values and RowSum — of every object adjacent to a frontier row.
+  // A change to an edge count c_zu on a query owned by shard 1 therefore
+  // changes the contributions flowing through the shared object into
+  // shard 0's rows, and shard 0's fingerprint must move even though no
+  // shard-0 row was edited; otherwise shard 0's generation would survive
+  // the rebuild and the cache's validation vector would pass on entries
+  // whose served content the delta changed.
+  ShardRouter router{2};
+  const std::string a = QueryOnShard(router, 0, "alphaq");
+  const std::string b = QueryOnShard(router, 1, "betaq");
+  std::vector<QueryLogRecord> records = {
+      {1, a, "shared.com", 100},
+      {2, b, "shared.com", 100},
+  };
+  const auto config = ClusterConfig();
+  ShardPartitionOptions options;
+  options.shards = 2;
+  options.hot_row_min_degree = 0;
+
+  auto base = BuildIndexSnapshot(records, config, 0);
+  ASSERT_TRUE(base.ok());
+  const ShardPartition part0 = BuildShardPartition(*(*base)->mb, options);
+
+  // A duplicate of b's click: no new query, URL, term or user — the only
+  // content delta is the edge count c_{b,shared.com} (plus b's session
+  // row), exactly the under-captured dependency.
+  auto grown = records;
+  grown.push_back({2, b, "shared.com", 130});
+  auto next = BuildIndexSnapshot(grown, config, 1);
+  ASSERT_TRUE(next.ok());
+  const ShardPartition part1 = BuildShardPartition(*(*next)->mb, options);
+
+  EXPECT_NE(part0.shard[1].content_fingerprint,
+            part1.shard[1].content_fingerprint);
+  // The crux: a's walk reads shared.com's whole o2q row, so shard 0's
+  // served content changed too.
+  EXPECT_NE(part0.shard[0].content_fingerprint,
+            part1.shard[0].content_fingerprint);
+}
+
 // ------------------------------------ the differential property ----
 
 void RunInvarianceProperty(bool personalize) {
