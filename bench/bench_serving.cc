@@ -48,12 +48,22 @@
 // on sequential probes). Emits BENCH_sharding.json; run_benches.sh
 // enforces both verdicts.
 //
+// Closes with the adaptive-cache scenario: a purpose-built corpus of many
+// small disconnected clusters served under a Zipf head with one-shot scan
+// pollution and swap churn from localized ingest deltas. Two gated
+// verdicts in BENCH_cache.json: the better of ARC/CAR must match-or-beat
+// LRU's hit rate under the scan traffic, and delta-aware validation must
+// retain >= 1.3x the hits of whole-generation keying across the same swap
+// schedule. run_benches.sh enforces both.
+//
 // Scale knobs: PQSDA_USERS (default 150), PQSDA_TESTS (default 200 serving
 // requests), PQSDA_SERVE_THREADS (batch pool size, default 4),
 // PQSDA_CACHE (cache capacity for the cached runs, default 512),
 // PQSDA_OVERLOAD_DEADLINE_MS (per-request budget in the overload burst,
 // default 400), PQSDA_SHARD_BURST / PQSDA_SHARD_DEPTH (sharded burst size
-// and per-shard admission depth, defaults 96 / 8).
+// and per-shard admission depth, defaults 96 / 8), PQSDA_CACHE_OPS /
+// PQSDA_CACHE_POLICY_CAP (cache-scenario workload length and scan-run
+// capacity, defaults 1200 / 24).
 
 #include <algorithm>
 #include <atomic>
@@ -1001,6 +1011,285 @@ void Main() {
       std::printf("  wrote BENCH_sharding.json\n");
     } else {
       std::printf("  could not write BENCH_sharding.json\n");
+    }
+  }
+
+  // --- adaptive cache hierarchy: policy matrix + delta-aware retention --
+  // A Zipf head with one-shot scan pollution every 3rd request, and
+  // generation swaps from small localized ingest deltas every
+  // `swap_every` requests. Two verdicts, both gated by run_benches.sh:
+  //   - adaptivity: the better of ARC/CAR must match-or-beat LRU's hit
+  //     rate (the scan traffic is exactly what ARC/CAR exist to absorb);
+  //   - retention: delta-aware validation must keep >= 1.3x the hits of
+  //     whole-generation keying across the same swap schedule.
+  //
+  // The corpus is many small *disconnected* clusters (cluster-unique
+  // vocabulary, urls and users) rather than the shared synthetic log: a
+  // request's expansion then reads only its own cluster's rows, so its
+  // validation footprint spans a few of the 8 fingerprint components and a
+  // one-query delta invalidates only the entries that actually read the
+  // component it landed in. On a well-connected corpus every footprint
+  // covers all components and delta-aware degenerates to whole-generation
+  // — the corpus shape IS the scenario.
+  {
+    const size_t cache_ops = EnvSize("CACHE_OPS", 1200);
+    const size_t cache_cap = EnvSize("CACHE_POLICY_CAP", 24);
+    const size_t swap_every = std::max<size_t>(2, cache_ops / 8);
+    const size_t kHeadClusters = 64;
+    const size_t scan_count = cache_ops / 3 + 1;
+
+    std::vector<QueryLogRecord> cluster_log;
+    std::vector<SuggestionRequest> head_probes;
+    uint32_t next_user = 1;
+    int64_t ts = 100;
+    auto add_cluster = [&](const std::string& stem, size_t queries,
+                           std::vector<SuggestionRequest>* probes) {
+      // Chain-connected inside the cluster via shared cluster-unique
+      // terms; nothing — term, url or user — is shared across clusters.
+      std::vector<std::string> qs;
+      for (size_t q = 0; q < queries; ++q) {
+        qs.push_back(stem + "t" + std::to_string(q) + " " + stem + "t" +
+                     std::to_string(q + 1));
+      }
+      const std::string url = "www." + stem + ".example";
+      const uint32_t user_a = next_user++;
+      const uint32_t user_b = next_user++;
+      for (size_t q = 0; q < qs.size(); ++q) {
+        cluster_log.push_back(
+            {q + 1 < qs.size() ? user_a : user_b, qs[q], url, ts});
+        ts += 10;
+      }
+      if (probes != nullptr) {
+        SuggestionRequest probe;
+        probe.query = qs.front();
+        probe.timestamp = 50'000;
+        probes->push_back(probe);
+      }
+    };
+    for (size_t cl = 0; cl < kHeadClusters; ++cl) {
+      // Two queries per cluster: an entry's validation footprint is then
+      // ~2 of the 8 fingerprint components, so a one-component delta kills
+      // only ~1/4 of resident entries — the contrast the retention gate
+      // measures.
+      add_cluster("h" + std::to_string(cl), 2, &head_probes);
+    }
+    std::vector<SuggestionRequest> scan_probes;
+    for (size_t s = 0; s < scan_count; ++s) {
+      add_cluster("s" + std::to_string(s), 2, &scan_probes);
+    }
+
+    // One deterministic workload replayed against every configuration.
+    std::vector<SuggestionRequest> cache_workload;
+    cache_workload.reserve(cache_ops);
+    {
+      std::vector<double> weights;
+      for (size_t r = 0; r < head_probes.size(); ++r) {
+        weights.push_back(1.0 / static_cast<double>(r + 1));
+      }
+      std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+      std::mt19937_64 rng(133);
+      size_t scan_next = 0;
+      for (size_t i = 0; i < cache_ops; ++i) {
+        if (i % 3 == 2 && scan_next < scan_probes.size()) {
+          cache_workload.push_back(scan_probes[scan_next++]);
+        } else {
+          cache_workload.push_back(head_probes[pick(rng)]);
+        }
+      }
+    }
+
+    // The retention pair runs a separate sub-workload: pure Zipf over the
+    // head clusters, capacity above the head working set, swaps twice as
+    // frequent. Retention is only observable when entries are resident at
+    // swap time — under the scan-thrash workload above, eviction churn
+    // drowns the swap signal for delta-aware and whole-gen alike.
+    std::vector<SuggestionRequest> churn_workload;
+    churn_workload.reserve(cache_ops);
+    {
+      std::vector<double> weights;
+      for (size_t r = 0; r < head_probes.size(); ++r) {
+        weights.push_back(1.0 / static_cast<double>(r + 1));
+      }
+      std::discrete_distribution<size_t> pick(weights.begin(), weights.end());
+      std::mt19937_64 rng(211);
+      for (size_t i = 0; i < cache_ops; ++i) {
+        churn_workload.push_back(head_probes[pick(rng)]);
+      }
+    }
+    const size_t retention_cap = head_probes.size() + head_probes.size() / 2;
+    const size_t retention_swap_every = std::max<size_t>(2, cache_ops / 24);
+
+    struct CacheRun {
+      const char* label;
+      CachePolicyKind policy;
+      bool delta_aware;
+      const std::vector<SuggestionRequest>* workload;
+      size_t capacity;
+      size_t swap_every;
+      uint64_t hits = 0;
+      uint64_t misses = 0;
+      uint64_t stale = 0;
+      uint64_t evictions = 0;
+      double hit_rate = 0.0;
+      double p95_us = 0.0;
+      size_t swaps = 0;
+    };
+    obs::Counter& cache_hits =
+        obs::MetricsRegistry::Default().GetCounter("pqsda.cache.hits_total");
+    obs::Counter& cache_misses =
+        obs::MetricsRegistry::Default().GetCounter("pqsda.cache.misses_total");
+    obs::Counter& cache_stale = obs::MetricsRegistry::Default().GetCounter(
+        "pqsda.cache.stale_invalidations_total");
+    obs::Counter& cache_evictions = obs::MetricsRegistry::Default().GetCounter(
+        "pqsda.cache.evictions_total");
+    auto run_workload = [&](CacheRun* run) {
+      PqsdaEngineConfig cache_config;
+      cache_config.personalize = false;
+      cache_config.weighting = EdgeWeighting::kRaw;  // fingerprints stay local
+      cache_config.cache_capacity = run->capacity;
+      cache_config.cache_shards = 1;
+      cache_config.cache_policy = run->policy;
+      cache_config.cache_delta_aware = run->delta_aware;
+      cache_config.ingest.rebuild_min_records = SIZE_MAX;  // swaps on demand
+      auto built = PqsdaEngine::Build(cluster_log, cache_config);
+      if (!built.ok()) {
+        std::printf("  cache bench engine build failed: %s\n",
+                    built.status().ToString().c_str());
+        return false;
+      }
+      std::unique_ptr<PqsdaEngine> cache_engine = std::move(built).value();
+      const uint64_t h0 = cache_hits.Value();
+      const uint64_t m0 = cache_misses.Value();
+      const uint64_t s0 = cache_stale.Value();
+      const uint64_t e0 = cache_evictions.Value();
+      const std::vector<SuggestionRequest>& stream = *run->workload;
+      std::vector<double> lat_us;
+      lat_us.reserve(stream.size());
+      size_t delta_seq = 0;
+      for (size_t i = 0; i < stream.size(); ++i) {
+        if (i > 0 && i % run->swap_every == 0) {
+          // A one-query, fresh-vocabulary delta: exactly one fingerprint
+          // component changes per swap.
+          const std::string stem = "d" + std::to_string(delta_seq++);
+          if (!cache_engine
+                   ->Ingest({next_user + static_cast<uint32_t>(delta_seq),
+                             stem + "a " + stem + "b",
+                             "www." + stem + ".example", 60'000 + ts})
+                   .ok() ||
+              !cache_engine->index_manager().RebuildNow().ok()) {
+            std::printf("  cache bench churn failed\n");
+            return false;
+          }
+          ++run->swaps;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        auto served = cache_engine->Suggest(stream[i], k);
+        const auto stop = std::chrono::steady_clock::now();
+        (void)served;  // scans may serve short lists; outcome not gated
+        lat_us.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count() /
+            1000.0);
+      }
+      run->hits = cache_hits.Value() - h0;
+      run->misses = cache_misses.Value() - m0;
+      run->stale = cache_stale.Value() - s0;
+      run->evictions = cache_evictions.Value() - e0;
+      const uint64_t lookups = run->hits + run->misses;
+      run->hit_rate =
+          lookups > 0 ? static_cast<double>(run->hits) / lookups : 0.0;
+      std::sort(lat_us.begin(), lat_us.end());
+      run->p95_us = lat_us.empty() ? 0.0
+                                   : lat_us[static_cast<size_t>(
+                                         0.95 * (lat_us.size() - 1))];
+      return true;
+    };
+
+    std::printf("\nadaptive cache: %zu ops; scan runs capacity=%zu swap "
+                "every %zu; retention runs capacity=%zu swap every %zu\n",
+                cache_ops, cache_cap, swap_every, retention_cap,
+                retention_swap_every);
+    CacheRun runs[] = {
+        {"lru/scan", CachePolicyKind::kLru, true, &cache_workload, cache_cap,
+         swap_every},
+        {"arc/scan", CachePolicyKind::kArc, true, &cache_workload, cache_cap,
+         swap_every},
+        {"car/scan", CachePolicyKind::kCar, true, &cache_workload, cache_cap,
+         swap_every},
+        {"arc/delta", CachePolicyKind::kArc, true, &churn_workload,
+         retention_cap, retention_swap_every},
+        {"arc/whole-gen", CachePolicyKind::kArc, false, &churn_workload,
+         retention_cap, retention_swap_every},
+    };
+    bool cache_ran = true;
+    for (CacheRun& run : runs) cache_ran = run_workload(&run) && cache_ran;
+    if (cache_ran) {
+      for (const CacheRun& run : runs) {
+        std::printf("  %-14s hits=%6llu misses=%6llu stale=%5llu "
+                    "evict=%6llu hit_rate=%5.1f%%  p95=%8.1fus  swaps=%zu\n",
+                    run.label, static_cast<unsigned long long>(run.hits),
+                    static_cast<unsigned long long>(run.misses),
+                    static_cast<unsigned long long>(run.stale),
+                    static_cast<unsigned long long>(run.evictions),
+                    100.0 * run.hit_rate, run.p95_us, run.swaps);
+      }
+      const CacheRun& lru = runs[0];
+      const CacheRun& arc = runs[1];
+      const CacheRun& car = runs[2];
+      const CacheRun& delta_ret = runs[3];
+      const CacheRun& whole = runs[4];
+      const double adaptive_rate = std::max(arc.hit_rate, car.hit_rate);
+      const bool policy_gate = adaptive_rate >= lru.hit_rate;
+      const double retention_ratio =
+          static_cast<double>(delta_ret.hits) /
+          static_cast<double>(std::max<uint64_t>(1, whole.hits));
+      const bool retention_gate = retention_ratio >= 1.3;
+      std::printf("  adaptive(best of arc/car) vs lru hit rate: %.3f vs "
+                  "%.3f (gate >=: %s)\n",
+                  adaptive_rate, lru.hit_rate, policy_gate ? "PASS" : "FAIL");
+      std::printf("  delta-aware vs whole-gen hits: %.2fx (gate >= 1.30x: "
+                  "%s)\n",
+                  retention_ratio, retention_gate ? "PASS" : "FAIL");
+
+      std::string cache_json = "{\n  \"bench\": \"serving_cache\",\n";
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "  \"ops\": %zu,\n  \"capacity\": %zu,\n"
+                    "  \"swap_every\": %zu,\n  \"runs\": [\n",
+                    cache_ops, cache_cap, swap_every);
+      cache_json += buf;
+      const size_t num_runs = sizeof(runs) / sizeof(runs[0]);
+      for (size_t i = 0; i < num_runs; ++i) {
+        const CacheRun& run = runs[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"label\": \"%s\", \"delta_aware\": %s, \"hits\": %llu, "
+            "\"misses\": %llu, \"hit_rate\": %.4f, \"p95_us\": %.1f, "
+            "\"swaps\": %zu}%s\n",
+            run.label, run.delta_aware ? "true" : "false",
+            static_cast<unsigned long long>(run.hits),
+            static_cast<unsigned long long>(run.misses), run.hit_rate,
+            run.p95_us, run.swaps, i + 1 < num_runs ? "," : "");
+        cache_json += buf;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "  ],\n  \"adaptive_hit_rate\": %.4f,\n"
+                    "  \"lru_hit_rate\": %.4f,\n"
+                    "  \"retention_ratio\": %.3f,\n"
+                    "  \"policy_gate\": %s,\n  \"retention_gate\": %s,\n"
+                    "  \"gate_pass\": %s\n}\n",
+                    adaptive_rate, lru.hit_rate, retention_ratio,
+                    policy_gate ? "true" : "false",
+                    retention_gate ? "true" : "false",
+                    policy_gate && retention_gate ? "true" : "false");
+      cache_json += buf;
+      if (std::FILE* f = std::fopen("BENCH_cache.json", "w")) {
+        std::fwrite(cache_json.data(), 1, cache_json.size(), f);
+        std::fclose(f);
+        std::printf("  wrote BENCH_cache.json\n");
+      } else {
+        std::printf("  could not write BENCH_cache.json\n");
+      }
     }
   }
 

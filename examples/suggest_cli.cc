@@ -8,7 +8,10 @@
 //                                [--shed_queue_depth=N] [--min_rung=R]
 //                                [--ingest=N] [--tail=path] [--slo=SPECS]
 //                                [--log_rotate_kb=N] [--explain_every=N]
-//                                [--shards=N] [log.tsv]
+//                                [--shards=N] [--cache_policy=NAME]
+//                                [--negative_cache=N] [--whole_gen_cache]
+//                                [--warmup_log=path] [--warmup_max=N]
+//                                [log.tsv]
 //   > sun                      # plain query
 //   > @12 sun                  # personalize for user 12
 //   > batch sun; solar energy; @3 java     # serve ';'-separated requests
@@ -29,7 +32,7 @@
 // work counters (SuggestStats::Render()) plus the *delta* of the process
 // metrics registry across the request — what this one request recorded,
 // not the session's cumulative totals.
-// With --cache=N served lists are kept in an N-entry LRU result cache;
+// With --cache=N served lists are kept in an N-entry result cache;
 // repeated requests are answered from it (watch pqsda.cache.hits_total in
 // 'metrics').
 //
@@ -103,6 +106,7 @@
 
 #include "common/cancellation.h"
 #include "core/pqsda_engine.h"
+#include "suggest/cache_policy.h"
 #include "core/sharded_engine.h"
 #include "log/log_io.h"
 #include "obs/http_exporter.h"
@@ -157,6 +161,11 @@ int main(int argc, char** argv) {
   unsigned long log_rotate_kb = 0;
   unsigned long explain_every = 0;
   size_t shards = 0;
+  CachePolicyKind cache_policy = CachePolicyKind::kLru;
+  size_t negative_cache = 0;
+  bool whole_gen_cache = false;
+  const char* warmup_log = nullptr;
+  unsigned long warmup_max = 0;
   const char* log_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
@@ -189,6 +198,21 @@ int main(int argc, char** argv) {
       explain_every = std::strtoul(argv[i] + 16, nullptr, 10);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::strtoul(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--cache_policy=", 15) == 0) {
+      if (!ParseCachePolicy(argv[i] + 15, &cache_policy)) {
+        std::fprintf(stderr,
+                     "unknown cache policy '%s' (lru, clock, arc, car)\n",
+                     argv[i] + 15);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--negative_cache=", 17) == 0) {
+      negative_cache = std::strtoul(argv[i] + 17, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--whole_gen_cache") == 0) {
+      whole_gen_cache = true;
+    } else if (std::strncmp(argv[i], "--warmup_log=", 13) == 0) {
+      warmup_log = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--warmup_max=", 13) == 0) {
+      warmup_max = std::strtoul(argv[i] + 13, nullptr, 10);
     } else {
       log_path = argv[i];
     }
@@ -294,10 +318,27 @@ int main(int argc, char** argv) {
   config.upm.base.num_topics = 12;
   config.upm.base.gibbs_iterations = 40;
   config.cache_capacity = cache_capacity;
+  config.cache_policy = cache_policy;
+  config.negative_cache_capacity = negative_cache;
+  config.cache_delta_aware = !whole_gen_cache;
+  if (warmup_log != nullptr) {
+    config.cache_warmup.log_path = warmup_log;
+    if (warmup_max > 0) config.cache_warmup.max_requests = warmup_max;
+  }
   config.robustness.min_rung = min_rung;
   config.robustness.shed_queue_depth = shed_queue_depth;
   if (cache_capacity > 0) {
-    std::printf("result cache enabled (%zu entries)\n", cache_capacity);
+    std::printf("result cache enabled (%zu entries, policy %s, %s "
+                "invalidation)\n",
+                cache_capacity, CachePolicyName(cache_policy),
+                whole_gen_cache ? "whole-generation" : "delta-aware");
+  }
+  if (negative_cache > 0) {
+    std::printf("negative cache enabled (%zu known-NotFound entries)\n",
+                negative_cache);
+  }
+  if (warmup_log != nullptr) {
+    std::printf("post-swap cache warmup from %s\n", warmup_log);
   }
   if (deadline_ms > 0) {
     std::printf("per-request deadline: %ldms\n", deadline_ms);

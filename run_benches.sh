@@ -26,7 +26,7 @@ run() { echo "===== $* ====="; env "${@:2}" timeout 1200 "$B/$1"; echo; }
 if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
   echo "===== verify: obs + serving + telemetry + fault_injection + ingest + profiler + explain + sharding + kernel_equivalence tests under ThreadSanitizer ====="
   cmake -B build-tsan -S . -DPQSDA_ENABLE_TSAN=ON >/dev/null &&
-    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test profiler_test explain_test sharding_test kernel_equivalence_test -j >/dev/null &&
+    cmake --build build-tsan --target obs_test serving_test telemetry_test fault_injection_test ingest_test profiler_test explain_test sharding_test cache_policy_test kernel_equivalence_test -j >/dev/null &&
     timeout 600 ./build-tsan/tests/obs_test &&
     timeout 600 ./build-tsan/tests/serving_test &&
     timeout 600 ./build-tsan/tests/telemetry_test &&
@@ -35,6 +35,7 @@ if [ "${PQSDA_TSAN_VERIFY:-1}" = "1" ]; then
     timeout 600 ./build-tsan/tests/profiler_test &&
     timeout 600 ./build-tsan/tests/explain_test &&
     timeout 600 ./build-tsan/tests/sharding_test &&
+    timeout 600 ./build-tsan/tests/cache_policy_test &&
     timeout 600 ./build-tsan/tests/kernel_equivalence_test || {
       echo "TSAN verify failed" >&2
       exit 1
@@ -49,13 +50,14 @@ fi
 if [ "${PQSDA_ASAN_VERIFY:-1}" = "1" ]; then
   echo "===== verify: ingest + serving + fault_injection + profiler + explain + sharding + kernel_equivalence tests under AddressSanitizer ====="
   cmake -B build-asan -S . -DPQSDA_ENABLE_ASAN=ON >/dev/null &&
-    cmake --build build-asan --target ingest_test serving_test fault_injection_test profiler_test explain_test sharding_test kernel_equivalence_test -j >/dev/null &&
+    cmake --build build-asan --target ingest_test serving_test fault_injection_test profiler_test explain_test sharding_test cache_policy_test kernel_equivalence_test -j >/dev/null &&
     timeout 600 ./build-asan/tests/ingest_test &&
     timeout 600 ./build-asan/tests/serving_test &&
     timeout 600 ./build-asan/tests/fault_injection_test &&
     timeout 600 ./build-asan/tests/profiler_test &&
     timeout 600 ./build-asan/tests/explain_test &&
     timeout 600 ./build-asan/tests/sharding_test &&
+    timeout 600 ./build-asan/tests/cache_policy_test &&
     timeout 600 ./build-asan/tests/kernel_equivalence_test || {
       echo "ASan verify failed" >&2
       exit 1
@@ -91,6 +93,14 @@ fi
 # Sharded scatter-gather, both halves of its promise: admitted capacity
 # under a burst must scale (>= 1.6x at 4 shards vs 1), and every shard
 # count must serve bitwise-identical lists on the sequential probes.
+# Adaptive cache hierarchy, both halves of its promise: the better of
+# ARC/CAR must match-or-beat LRU's hit rate under scan pollution, and
+# delta-aware validation must retain >= 1.3x the hits of whole-generation
+# keying across the same swap-churn schedule.
+if ! grep -q '"gate_pass": true' BENCH_cache.json 2>/dev/null; then
+  echo "adaptive-cache gate FAILED (see BENCH_cache.json)" >&2
+  exit 1
+fi
 if ! grep -q '"gate_pass": true' BENCH_sharding.json 2>/dev/null; then
   echo "shard-scaling gate FAILED (see BENCH_sharding.json)" >&2
   exit 1

@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "graph/multi_bipartite.h"
 #include "log/sessionizer.h"
+#include "suggest/cache_policy.h"
 #include "suggest/pqsda_diversifier.h"
 #include "topic/upm.h"
 
@@ -78,6 +80,17 @@ struct IngestOptions {
   size_t retired_snapshots = 4;
 };
 
+/// Post-swap cache warmup: after a rebuild publishes, the rebuild thread
+/// replays the tail of a sampled JSONL request log (obs::RequestLog format)
+/// through the full pipeline against the new snapshot, off the serving
+/// path, so head queries are already resident when traffic arrives.
+struct CacheWarmupOptions {
+  /// Path of the request log to replay; empty disables warmup.
+  std::string log_path;
+  /// Newest distinct requests replayed per swap.
+  size_t max_requests = 256;
+};
+
 /// End-to-end PQS-DA configuration.
 struct PqsdaEngineConfig {
   EdgeWeighting weighting = EdgeWeighting::kCfIqf;
@@ -101,8 +114,21 @@ struct PqsdaEngineConfig {
   /// byte-identical to the miss that filled it and a snapshot swap can never
   /// serve a list computed against a previous generation.
   size_t cache_capacity = 0;
-  /// LRU shards of the cache (see SuggestionCacheOptions).
+  /// Mutex shards of the cache (see SuggestionCacheOptions).
   size_t cache_shards = 8;
+  /// Replacement policy of each cache shard (the CLI's `--cache_policy=`).
+  CachePolicyKind cache_policy = CachePolicyKind::kLru;
+  /// Capacity of the negative-result (NotFound) cache; 0 disables it.
+  size_t negative_cache_capacity = 0;
+  /// When true (the default), cache entries carry a per-component
+  /// ValidationVector built from content-defined fingerprints, so a snapshot
+  /// swap only invalidates entries whose components actually changed.
+  /// When false, entries are keyed by the scalar snapshot generation and
+  /// every swap soft-invalidates the whole cache (the pre-PR-10 behavior,
+  /// kept as the bench baseline).
+  bool cache_delta_aware = true;
+  /// Post-swap warmup replay (see CacheWarmupOptions).
+  CacheWarmupOptions cache_warmup;
   /// Overload hardening: degradation ladder thresholds and load shedding.
   RobustnessOptions robustness;
   /// Live ingestion: delta buffering and rebuild scheduling.

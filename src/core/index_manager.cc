@@ -108,6 +108,20 @@ StatusOr<std::shared_ptr<IndexSnapshot>> BuildIndexSnapshot(
   }
   snap->diversifier =
       std::make_unique<PqsdaDiversifier>(*snap->mb, config.diversifier);
+  {
+    // Validation slices for delta-aware cache invalidation: strict
+    // ownership (no hot-row replication) so every query row belongs to
+    // exactly one fingerprinted component. Publish() compares these
+    // fingerprints against the outgoing snapshot's to carry unchanged
+    // components' generations over.
+    ShardPartitionOptions vopt;
+    vopt.shards = kCacheValidationComponents;
+    vopt.hot_row_min_degree = 0;
+    snap->validation = BuildShardPartition(*snap->mb, vopt);
+    snap->validation_generation.assign(snap->validation.shard.size(),
+                                       generation);
+  }
+  snap->upm_generation = generation;
   if (config.personalize) {
     obs::TraceSpan span("upm_train");
     obs::StageScope stage(obs::ProfileStage::kGraphBuild);
@@ -317,8 +331,27 @@ void IndexManager::Publish(std::shared_ptr<IndexSnapshot> next,
   m.index_records.Set(static_cast<double>(next->records.size()));
   m.last_swap_monotonic_sec.Set(static_cast<double>(next->published_ns) *
                                 1e-9);
+  std::shared_ptr<const IndexSnapshot> published = next;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
+    if (snapshot_ != nullptr) {
+      // Delta-aware carry-over: a validation component whose content
+      // fingerprint did not change between the outgoing and incoming build
+      // keeps its *effective* generation, so cache entries that only read
+      // unchanged components still grade kValid after the swap.
+      const IndexSnapshot& prev = *snapshot_;
+      if (prev.validation.shards == next->validation.shards &&
+          prev.validation_generation.size() ==
+              next->validation_generation.size()) {
+        for (size_t s = 0; s < next->validation_generation.size(); ++s) {
+          if (prev.validation.shard[s].content_fingerprint ==
+              next->validation.shard[s].content_fingerprint) {
+            next->validation_generation[s] = prev.validation_generation[s];
+          }
+        }
+      }
+      if (next->upm == nullptr) next->upm_generation = prev.upm_generation;
+    }
     // The outgoing generation moves into the bounded replay ring instead of
     // dying with its last in-flight request, so logged requests stay
     // reproducible for the ring's depth.
@@ -343,6 +376,10 @@ void IndexManager::Publish(std::shared_ptr<IndexSnapshot> next,
     std::lock_guard<std::mutex> lock(delta_mu_);
     stream_.FlushAll();
   }
+  // Post-swap warmup (and any other observer) runs on the rebuild thread,
+  // outside every manager lock: serving traffic already sees the new
+  // generation while the warmup fills its cache off-path.
+  if (post_publish_hook_) post_publish_hook_(published);
 }
 
 void IndexManager::WaitForRebuilds() {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/engine_config.h"
 #include "core/personalizer.h"
 #include "graph/multi_bipartite.h"
+#include "graph/shard_partition.h"
 #include "log/record.h"
 #include "log/sessionizer.h"
 #include "log/stream_sessionizer.h"
@@ -24,6 +26,13 @@
 #include "topic/upm.h"
 
 namespace pqsda {
+
+/// Components of the unsharded engine's cache ValidationVector: the index is
+/// sliced into this many content-fingerprinted partitions (strict ownership,
+/// no hot-row replication) purely for delta-aware cache invalidation — a
+/// rebuild that only changes some partitions' fingerprints only invalidates
+/// cache entries whose recorded reads touched those partitions.
+inline constexpr size_t kCacheValidationComponents = 8;
 
 /// One immutable, generation-numbered build of the §III query-log index and
 /// everything derived from it: the sorted records, their sessions, the
@@ -57,6 +66,21 @@ struct IndexSnapshot {
   int64_t build_us = 0;
   /// Steady-clock instant (ns) this snapshot became the published one.
   int64_t published_ns = 0;
+  /// Strict-ownership partition of `mb` into kCacheValidationComponents
+  /// content-fingerprinted slices, used only to grade cache
+  /// ValidationVectors (delta-aware invalidation). Built with the snapshot.
+  ShardPartition validation;
+  /// Effective generation of each validation component: the generation of
+  /// the last build whose fingerprint for that component differed from its
+  /// predecessor's. Publish() carries unchanged components' generations
+  /// over, so cache entries depending only on them stay valid across the
+  /// swap. Initialized to this snapshot's generation everywhere.
+  std::vector<uint64_t> validation_generation;
+  /// Effective generation of the personalization model (UPM+Personalizer):
+  /// carried over on rebuilds that skip training, bumped when the model is
+  /// retrained (personalize=true retrains every build — the Gibbs sampler
+  /// sees new evidence — so it bumps every swap).
+  uint64_t upm_generation = 0;
 };
 
 /// From-scratch batch build of one snapshot: sort, sessionize, representation,
@@ -153,6 +177,16 @@ class IndexManager {
   const PqsdaEngineConfig& config() const { return config_; }
   const IngestOptions& ingest_options() const { return config_.ingest; }
 
+  /// Hook invoked on the rebuild thread after every Publish, outside the
+  /// manager's locks, with the freshly-published snapshot. The engine uses
+  /// it for post-swap cache warmup. Install before any rebuild can run
+  /// (i.e. right after construction) — installation is not synchronized
+  /// against concurrent rebuilds.
+  void SetPostPublishHook(
+      std::function<void(const std::shared_ptr<const IndexSnapshot>&)> hook) {
+    post_publish_hook_ = std::move(hook);
+  }
+
  private:
   ThreadPool& pool() const;
   /// Body of the async rebuild task: drain-build-publish until the buffer is
@@ -189,6 +223,9 @@ class IndexManager {
 
   std::atomic<uint64_t> ingested_total_{0};
   std::atomic<uint64_t> rebuilds_total_{0};
+
+  std::function<void(const std::shared_ptr<const IndexSnapshot>&)>
+      post_publish_hook_;
 };
 
 }  // namespace pqsda

@@ -4,9 +4,11 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/fault_injector.h"
 #include "common/timer.h"
+#include "core/sharded_engine.h"
 #include "eval/diversity.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
@@ -72,7 +74,26 @@ StatusOr<std::unique_ptr<PqsdaEngine>> PqsdaEngine::Build(
     SuggestionCacheOptions cache_options;
     cache_options.capacity = config.cache_capacity;
     cache_options.shards = config.cache_shards;
+    cache_options.policy = config.cache_policy;
+    cache_options.name = "suggest";
     engine->cache_ = std::make_unique<SuggestionCache>(cache_options);
+  }
+  if (config.negative_cache_capacity > 0) {
+    engine->negative_cache_ = std::make_unique<NegativeSuggestionCache>(
+        config.negative_cache_capacity);
+  }
+  engine->cache_delta_aware_ = config.cache_delta_aware;
+  engine->warmup_ = config.cache_warmup;
+  if (engine->cache_ != nullptr && !config.cache_warmup.log_path.empty()) {
+    // Post-swap warmup runs on the rebuild thread via the manager's
+    // post-publish hook. The raw pointer is safe: index_ is declared last
+    // in the engine, so ~IndexManager joins every rebuild (and with it any
+    // running hook) before the caches or this object's other members die.
+    PqsdaEngine* raw = engine.get();
+    engine->index_->SetPostPublishHook(
+        [raw](const std::shared_ptr<const IndexSnapshot>& snap) {
+          raw->WarmupCache(*snap);
+        });
   }
   engine->robustness_ = config.robustness;
   AdmissionOptions admission_options;
@@ -391,23 +412,68 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
   }
 
   SuggestionCache::CacheKey cache_key;
+  SuggestionCache::Validator validator;
+  const bool use_cache =
+      (cache_ != nullptr || negative_cache_ != nullptr) && !bypass_cache;
+  const bool delta_aware = cache_delta_aware_ && snap.validation.shards > 0;
+  if (use_cache) {
+    if (delta_aware) {
+      // Delta-aware mode: the key carries generation 0 and the entry
+      // instead records, per validation component it read, the generation
+      // that last changed that component's content. A swap that left those
+      // components byte-identical leaves the entry servable.
+      cache_key = SuggestionCache::KeyOf(request, k, /*generation=*/0);
+      validator = [&snap](const SuggestionCache::ValidationVector& components)
+          -> CacheValidity {
+        bool stale = false;
+        for (const auto& [component, gen] : components) {
+          uint64_t current;
+          if (component == ShardServingContext::kUpmComponent) {
+            current = snap.upm_generation;
+          } else if (component < snap.validation_generation.size()) {
+            current = snap.validation_generation[component];
+          } else {
+            return CacheValidity::kStale;
+          }
+          // Newer than this snapshot: the entry belongs to a generation
+          // built after the one this request pinned (replay of a retired
+          // generation racing a warmup fill). Miss, but keep the entry —
+          // it is perfectly valid for current-generation readers.
+          if (gen > current) return CacheValidity::kMismatch;
+          if (gen < current) stale = true;
+        }
+        return stale ? CacheValidity::kStale : CacheValidity::kValid;
+      };
+    } else {
+      // Whole-generation mode: the snapshot generation is part of the key,
+      // so after a swap a pre-swap entry can never answer a post-swap
+      // request — stale lists age out of the policy instead of being
+      // served.
+      cache_key = SuggestionCache::KeyOf(request, k, snap.generation);
+    }
+  }
   if (cache_ != nullptr && !bypass_cache) {
-    // The snapshot generation is part of the key: after a swap, a pre-swap
-    // entry can never answer a post-swap request — stale lists age out of
-    // the LRU instead of being served.
-    cache_key = SuggestionCache::KeyOf(request, k, snap.generation);
     std::vector<Suggestion> cached;
     bool hit;
     {
       obs::StageScope cache_scope(obs::ProfileStage::kCache);
       obs::StageProfiler::AddWork(obs::ProfileStage::kCache, 1);
-      hit = cache_->Lookup(cache_key, &cached);
+      hit = cache_->Lookup(cache_key, &cached, validator);
     }
     if (hit) {
       *cache_hit = true;
       if (stats != nullptr) stats->suggestions_returned = cached.size();
       return cached;
     }
+  }
+  // The negative cache absorbs NotFound storms: a remembered miss answers
+  // without touching the index, validated by the same component
+  // generations so an ingest that makes the query known invalidates it.
+  if (negative_cache_ != nullptr && !bypass_cache &&
+      negative_cache_->Lookup(cache_key, validator)) {
+    if (stats != nullptr) stats->negative_cache_hit = true;
+    return Status::NotFound("no suggestions for \"" + request.query +
+                            "\" (negative cache)");
   }
   if (rung == DegradationRung::kCacheOnly) {
     // The last rung does no pipeline work at all: a hit above served it, a
@@ -419,25 +485,121 @@ StatusOr<std::vector<Suggestion>> PqsdaEngine::SuggestImpl(
   const PqsdaDiversifierOptions* options = &snap.diversifier->options();
   if (rung == DegradationRung::kTruncatedSolve) options = &truncated_options_;
   if (rung == DegradationRung::kWalkOnly) options = &walk_only_options_;
-  auto diversified =
-      snap.diversifier->DiversifyWith(request, k, *options, stats);
-  if (!diversified.ok()) return diversified.status();
+
+  // Delta-aware fills must know which validation components the request
+  // read, so the full-rung pipeline runs over the tracking backend — the
+  // scatter-gather seam with every shard local, bitwise-identical to the
+  // plain walk (sharding differential tests pin that equivalence).
+  const bool track = use_cache && delta_aware &&
+                     rung == DegradationRung::kFull && snap.mb != nullptr;
+  ShardServingContext ctx;
+  StatusOr<DiversificationOutput> diversified = Status::Internal("unset");
+  if (track) {
+    ctx.mb = snap.mb.get();
+    ctx.partition = &snap.validation;
+    ctx.router.shards = snap.validation.shards;
+    ctx.primary = ctx.router.QueryShardOf(request.query);
+    ctx.rung.assign(snap.validation.shards, SuggestStats::kShardUntouched);
+    ctx.shard_fetches.assign(snap.validation.shards, 0);
+    ctx.rung[ctx.primary] = SuggestStats::kShardFull;
+    ShardedWalkBackend backend(&ctx, /*lanes=*/{});
+    PqsdaDiversifier tracking(*snap.mb, *options, &backend);
+    diversified = tracking.DiversifyWith(request, k, *options, stats);
+  } else {
+    diversified = snap.diversifier->DiversifyWith(request, k, *options, stats);
+  }
+  if (!diversified.ok()) {
+    const Status status = diversified.status();
+    // Remember full-rung NotFounds, stamped with the owning component's
+    // generation (the verdict "this query is unknown" depends only on the
+    // owner shard's content); an ingest that changes that shard re-asks.
+    if (use_cache && negative_cache_ != nullptr &&
+        rung == DegradationRung::kFull &&
+        status.code() == StatusCode::kNotFound) {
+      SuggestionCache::ValidationVector components;
+      if (delta_aware) {
+        ShardRouter router;
+        router.shards = snap.validation.shards;
+        const uint32_t owner =
+            static_cast<uint32_t>(router.QueryShardOf(request.query));
+        components.emplace_back(owner, snap.validation_generation[owner]);
+      }
+      negative_cache_->Insert(cache_key, std::move(components));
+    }
+    return status;
+  }
   std::vector<Suggestion> list = std::move(diversified->candidates);
   // Personalization is skipped on the walk-only rung — the rerank reads the
   // UPM per candidate and the rung's point is a bounded answer.
+  bool reranked = false;
   if (rung != DegradationRung::kWalkOnly && snap.personalizer != nullptr &&
       request.user != kNoUser) {
     list = snap.personalizer->Rerank(request.user, list);
     personalized_total.Increment();
+    reranked = true;
     if (stats != nullptr) stats->personalized = true;
   }
   if (stats != nullptr) stats->suggestions_returned = list.size();
   // Only full-quality results may fill the cache: a degraded answer cached
   // under the same key would outlive the overload that justified it.
   if (cache_ != nullptr && !bypass_cache && rung == DegradationRung::kFull) {
-    cache_->Insert(cache_key, list);
+    SuggestionCache::ValidationVector components;
+    if (track) {
+      for (size_t s = 0; s < ctx.rung.size(); ++s) {
+        if (ctx.rung[s] != SuggestStats::kShardUntouched) {
+          components.emplace_back(static_cast<uint32_t>(s),
+                                  snap.validation_generation[s]);
+        }
+      }
+      if (reranked) {
+        components.emplace_back(ShardServingContext::kUpmComponent,
+                                snap.upm_generation);
+      }
+    }
+    cache_->Insert(cache_key, list, std::move(components));
   }
   return list;
+}
+
+void PqsdaEngine::WarmupCache(const IndexSnapshot& snap) const {
+  if (cache_ == nullptr || warmup_.log_path.empty()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  static obs::Counter& replayed_total =
+      reg.GetCounter("pqsda.cache.warmup_replayed_total");
+  static obs::Counter& hits_total =
+      reg.GetCounter("pqsda.cache.warmup_hits_total");
+  static obs::Counter& filled_total =
+      reg.GetCounter("pqsda.cache.warmup_filled_total");
+  auto entries = obs::ReadRequestLog(warmup_.log_path, /*max_entries=*/0);
+  if (!entries.ok()) return;
+  // Newest entries first, deduplicated by cache key: the tail of the log is
+  // the best estimate of the head of the live distribution.
+  std::unordered_set<std::string> seen;
+  size_t replayed = 0;
+  const uint64_t key_generation = cache_delta_aware_ ? 0 : snap.generation;
+  for (auto it = entries->rbegin();
+       it != entries->rend() && replayed < warmup_.max_requests; ++it) {
+    const obs::RequestLogEntry& e = *it;
+    if (!e.ok) continue;
+    SuggestionRequest request;
+    request.query = e.query;
+    request.user = e.user;
+    request.timestamp = e.timestamp;
+    request.context = e.context;
+    const SuggestionCache::CacheKey key =
+        SuggestionCache::KeyOf(request, e.k, key_generation);
+    if (!seen.insert(key.full).second) continue;
+    ++replayed;
+    replayed_total.Increment();
+    bool hit = false;
+    auto result = SuggestImpl(request, e.k, DegradationRung::kFull, snap,
+                              /*stats=*/nullptr, &hit);
+    if (hit) {
+      hits_total.Increment();
+    } else if (result.ok()) {
+      filled_total.Increment();
+    }
+  }
 }
 
 std::vector<StatusOr<std::vector<Suggestion>>> PqsdaEngine::SuggestBatch(

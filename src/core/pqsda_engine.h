@@ -119,6 +119,10 @@ class PqsdaEngine {
 
   /// Null when caching is disabled.
   const SuggestionCache* cache() const { return cache_.get(); }
+  /// Null when the negative-result (NotFound) cache is disabled.
+  const NegativeSuggestionCache* negative_cache() const {
+    return negative_cache_.get();
+  }
 
   /// The admission controller in front of Suggest/SuggestBatch.
   const AdmissionController& admission() const { return admission_; }
@@ -168,8 +172,17 @@ class PqsdaEngine {
       const IndexSnapshot& snap, SuggestStats* stats, bool* cache_hit,
       bool bypass_cache = false) const;
 
-  std::unique_ptr<IndexManager> index_;
+  /// Post-swap warmup (IndexManager's post-publish hook, rebuild thread):
+  /// replays the tail of the configured JSONL request log through
+  /// SuggestImpl against `snap`, filling the cache off the serving path.
+  void WarmupCache(const IndexSnapshot& snap) const;
+
   std::unique_ptr<SuggestionCache> cache_;
+  std::unique_ptr<NegativeSuggestionCache> negative_cache_;
+  /// Delta-aware invalidation on: cache keys carry generation 0 and entries
+  /// validate per-component (see PqsdaEngineConfig::cache_delta_aware).
+  bool cache_delta_aware_ = false;
+  CacheWarmupOptions warmup_;
 
   RobustnessOptions robustness_;
   AdmissionController admission_;
@@ -177,6 +190,11 @@ class PqsdaEngine {
   /// are config-only, so one copy serves every snapshot generation).
   PqsdaDiversifierOptions truncated_options_;
   PqsdaDiversifierOptions walk_only_options_;
+
+  /// Declared last so it is destroyed first: ~IndexManager joins in-flight
+  /// rebuilds, whose post-publish warmup hook touches the caches above —
+  /// they must outlive it.
+  std::unique_ptr<IndexManager> index_;
 };
 
 }  // namespace pqsda

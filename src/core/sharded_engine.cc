@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <iterator>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
 #include "common/fault_injector.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/stage_profiler.h"
 #include "obs/telemetry.h"
 #include "suggest/pqsda_diversifier.h"
@@ -62,11 +64,10 @@ Status ShardedWalkBackend::Step(BipartiteKind kind,
                                 double scale,
                                 FlatMap<StringId, double>& out) const {
   obs::StageScope stage(obs::ProfileStage::kScatterGather);
-  const ShardedBuild& build = *ctx_->build;
-  const BipartiteGraph& g = build.base->mb->graph(kind);
+  const BipartiteGraph& g = ctx_->rep().graph(kind);
   const CsrMatrix& q2o = g.query_to_object();
   const CsrMatrix& o2q = g.object_to_query();
-  const ShardPartition& part = build.partition;
+  const ShardPartition& part = ctx_->part();
 
   // Snapshot the frontier in FlatMap insertion order: slot i of `deltas`
   // belongs to frontier row i no matter which thread computes it, so the
@@ -149,9 +150,8 @@ Status ShardedWalkBackend::Step(BipartiteKind kind,
 Status ShardedWalkBackend::QueryRow(BipartiteKind kind, StringId query,
                                     std::span<const uint32_t>& indices,
                                     std::span<const double>& values) const {
-  const ShardedBuild& build = *ctx_->build;
-  const CsrMatrix& q2o = build.base->mb->graph(kind).query_to_object();
-  const ShardPartition& part = build.partition;
+  const CsrMatrix& q2o = ctx_->rep().graph(kind).query_to_object();
+  const ShardPartition& part = ctx_->part();
   const size_t owner = part.query_owner[query];
   if (owner != ctx_->primary && part.hot[query] == 0) {
     if (ctx_->Touch(owner) != SuggestStats::kShardFull) {
@@ -222,7 +222,13 @@ StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Build(
     SuggestionCacheOptions cache_options;
     cache_options.capacity = config.cache_capacity;
     cache_options.shards = config.cache_shards;
+    cache_options.policy = config.cache_policy;
+    cache_options.name = "sharded";
     engine->cache_ = std::make_unique<SuggestionCache>(cache_options);
+  }
+  if (config.negative_cache_capacity > 0) {
+    engine->negative_cache_ = std::make_unique<NegativeSuggestionCache>(
+        config.negative_cache_capacity);
   }
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
@@ -398,35 +404,56 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestImpl(
   }
 
   SuggestionCache::CacheKey cache_key;
-  if (cache_ != nullptr) {
+  SuggestionCache::Validator validator;
+  if (cache_ != nullptr || negative_cache_ != nullptr) {
     // Generation 0 inside the key: validity is carried by the per-shard
     // validation vector instead of a scalar generation, so an entry
     // survives rebuilds that changed no shard it actually read.
     cache_key = SuggestionCache::KeyOf(request, k, /*generation=*/0);
+    // Grades an entry against the *pinned* build only. The tri-state
+    // matters mid-swap: an entry filled under the incoming build (its
+    // component generations run ahead of this request's consistent cut)
+    // must miss WITHOUT being erased — it is exactly what post-swap readers
+    // want — while an entry behind the cut is dead for good and is erased.
+    validator =
+        [&build](const SuggestionCache::ValidationVector& components) {
+          bool stale = false;
+          for (const auto& [component, gen] : components) {
+            uint64_t current;
+            if (component == ShardServingContext::kUpmComponent) {
+              current = build.upm_generation;
+            } else if (component < build.shard_generation.size()) {
+              current = build.shard_generation[component];
+            } else {
+              return CacheValidity::kStale;  // unknown component: ungradable
+            }
+            if (gen > current) return CacheValidity::kMismatch;
+            if (gen < current) stale = true;
+          }
+          return stale ? CacheValidity::kStale : CacheValidity::kValid;
+        };
+  }
+  if (cache_ != nullptr) {
     std::vector<Suggestion> cached;
     bool hit;
     {
       obs::StageScope cache_scope(obs::ProfileStage::kCache);
       obs::StageProfiler::AddWork(obs::ProfileStage::kCache, 1);
-      hit = cache_->Lookup(
-          cache_key, &cached,
-          [&build](const SuggestionCache::ValidationVector& components) {
-            for (const auto& [component, gen] : components) {
-              if (component == ShardServingContext::kUpmComponent) {
-                if (gen != build.upm_generation) return false;
-              } else if (component >= build.shard_generation.size() ||
-                         gen != build.shard_generation[component]) {
-                return false;
-              }
-            }
-            return true;
-          });
+      hit = cache_->Lookup(cache_key, &cached, validator);
     }
     if (hit) {
       *cache_hit = true;
       if (stats != nullptr) stats->suggestions_returned = cached.size();
       return cached;
     }
+  }
+  if (negative_cache_ != nullptr &&
+      negative_cache_->Lookup(cache_key, validator)) {
+    // A confirmed-NotFound request: absorbed here, the shards are never
+    // touched.
+    if (stats != nullptr) stats->negative_cache_hit = true;
+    return Status::NotFound("no suggestions for \"" + request.query +
+                            "\" (negative cache)");
   }
   if (rung == DegradationRung::kCacheOnly) {
     return Status::NotFound("cache-only rung: no cached result for \"" +
@@ -435,6 +462,8 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestImpl(
 
   ShardServingContext ctx;
   ctx.build = &build;
+  ctx.mb = build.base->mb.get();
+  ctx.partition = &build.partition;
   ctx.router = router_;
   ctx.primary = primary;
   ctx.rung.assign(options_.shards, SuggestStats::kShardUntouched);
@@ -528,7 +557,23 @@ StatusOr<std::vector<Suggestion>> ShardedEngine::SuggestImpl(
     stats->partial_merge = ctx.partial;
     if (status.ok()) stats->suggestions_returned = list.size();
   }
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    // A full-rung, full-merge NotFound is a property of the index (the
+    // query is unknown), not of this request's luck — record it so the
+    // next storm of lookups is absorbed. The entry depends on the query's
+    // *owning* shard: its content fingerprint covers the owned query-string
+    // set, so an ingested record that makes the query known bumps that
+    // shard's generation and kills the entry.
+    if (negative_cache_ != nullptr && rung == DegradationRung::kFull &&
+        !ctx.partial && status.code() == StatusCode::kNotFound) {
+      const uint32_t owner =
+          static_cast<uint32_t>(router_.QueryShardOf(request.query));
+      SuggestionCache::ValidationVector components;
+      components.emplace_back(owner, build.shard_generation[owner]);
+      negative_cache_->Insert(cache_key, std::move(components));
+    }
+    return status;
+  }
 
   // Only full-rung, full-merge results fill the cache — a partial merge is
   // served but never cached (it would outlive the one shard's overload that
@@ -704,8 +749,55 @@ Status ShardedEngine::RebuildWith(std::vector<QueryLogRecord> batch) {
   obs::MetricsRegistry::Default()
       .GetGauge("pqsda.shard.replicated_hot_rows")
       .Set(static_cast<double>(next->partition.replicated_rows));
+  std::shared_ptr<const ShardedBuild> published = next;
   Publish(std::move(next));
+  // Warmup runs here on the rebuild thread, after serving traffic already
+  // sees the new build: replayed head queries fill the cache off-path.
+  WarmupCache(*published);
   return Status::OK();
+}
+
+void ShardedEngine::WarmupCache(const ShardedBuild& build) const {
+  if (cache_ == nullptr || config_.cache_warmup.log_path.empty()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  static obs::Counter& replayed_total =
+      reg.GetCounter("pqsda.cache.warmup_replayed_total");
+  static obs::Counter& hits_total =
+      reg.GetCounter("pqsda.cache.warmup_hits_total");
+  static obs::Counter& filled_total =
+      reg.GetCounter("pqsda.cache.warmup_filled_total");
+  auto entries =
+      obs::ReadRequestLog(config_.cache_warmup.log_path, /*max_entries=*/0);
+  if (!entries.ok()) return;
+  // Newest entries first, deduplicated by cache key: the tail of the log is
+  // the best estimate of the head of the live distribution.
+  std::unordered_set<std::string> seen;
+  size_t replayed = 0;
+  for (auto it = entries->rbegin();
+       it != entries->rend() && replayed < config_.cache_warmup.max_requests;
+       ++it) {
+    const obs::RequestLogEntry& e = *it;
+    if (!e.ok) continue;
+    SuggestionRequest request;
+    request.query = e.query;
+    request.user = e.user;
+    request.timestamp = e.timestamp;
+    request.context = e.context;
+    const SuggestionCache::CacheKey key =
+        SuggestionCache::KeyOf(request, e.k, /*generation=*/0);
+    if (!seen.insert(key.full).second) continue;
+    ++replayed;
+    replayed_total.Increment();
+    bool hit = false;
+    const size_t primary = router_.QueryShardOf(request.query);
+    auto result = SuggestImpl(request, e.k, DegradationRung::kFull, build,
+                              primary, /*stats=*/nullptr, &hit);
+    if (hit) {
+      hits_total.Increment();
+    } else if (result.ok()) {
+      filled_total.Increment();
+    }
+  }
 }
 
 void ShardedEngine::Publish(std::shared_ptr<const ShardedBuild> next) {

@@ -78,10 +78,21 @@ struct ShardedBuild {
 /// Per-request scatter-gather state shared between the coordinator and its
 /// walk backend. Public so the merge-correctness unit tests can drive
 /// ShardedWalkBackend directly against adversarial inputs.
+///
+/// The walk backend reads only `mb` + `partition` (+ routing state), so the
+/// context works without a ShardedBuild: the unsharded engine instantiates
+/// it over a snapshot's validation partition to *track* which fingerprinted
+/// components a request read (every shard classified kShardFull, no
+/// fetches), which is how delta-aware cache entries learn their
+/// ValidationVector. The sharded engine's SuggestImpl sets all three.
 struct ShardServingContext {
   static constexpr uint32_t kUpmComponent = 0xFFFFFFFFu;
 
   const ShardedBuild* build = nullptr;
+  /// The representation and partition the walk reads. With a ShardedBuild
+  /// these are build->base->mb / &build->partition.
+  const MultiBipartite* mb = nullptr;
+  const ShardPartition* partition = nullptr;
   ShardRouter router;
   /// The request's home shard (query-hash). Its rung is preset kShardFull:
   /// request-level admission already passed there.
@@ -103,6 +114,16 @@ struct ShardServingContext {
   /// first call. Must be called from the coordinating thread.
   uint8_t Touch(size_t s);
   size_t TouchedShards() const;
+
+  /// The representation / partition the walk reads, falling back to the
+  /// ShardedBuild when the explicit pointers were not set (existing tests
+  /// construct contexts with only `build`).
+  const MultiBipartite& rep() const {
+    return mb != nullptr ? *mb : *build->base->mb;
+  }
+  const ShardPartition& part() const {
+    return partition != nullptr ? *partition : build->partition;
+  }
 };
 
 /// CompactWalkBackend over a ShardPartition: hot and primary-owned rows are
@@ -197,6 +218,10 @@ class ShardedEngine {
   const ShardRouter& router() const { return router_; }
   const ShardedEngineOptions& options() const { return options_; }
   const SuggestionCache* cache() const { return cache_.get(); }
+  /// Null when the negative-result cache is disabled.
+  const NegativeSuggestionCache* negative_cache() const {
+    return negative_cache_.get();
+  }
   size_t delta_depth() const;
 
   /// The degradation rung a request admitted now would be served at (same
@@ -226,6 +251,11 @@ class ShardedEngine {
   /// faults::kShardSwap and honors faults::kShardSwapHoldback) and updates
   /// the per-shard generation gauges.
   void Publish(std::shared_ptr<const ShardedBuild> next);
+  /// Post-swap warmup on the rebuild thread: replays the tail of the
+  /// configured JSONL request log through SuggestImpl against `build`, so
+  /// head queries are resident before traffic asks for them. No-op when
+  /// warmup or the cache is disabled.
+  void WarmupCache(const ShardedBuild& build) const;
 
   PqsdaEngineConfig config_;
   ShardedEngineOptions options_;
@@ -233,6 +263,7 @@ class ShardedEngine {
 
   std::vector<std::unique_ptr<ShardState>> states_;
   std::unique_ptr<SuggestionCache> cache_;
+  std::unique_ptr<NegativeSuggestionCache> negative_cache_;
 
   RobustnessOptions robustness_;
   PqsdaDiversifierOptions truncated_options_;

@@ -1,6 +1,7 @@
 #include "obs/request_log.h"
 
 #include <cctype>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
 
@@ -497,6 +498,37 @@ StatusOr<RequestLogEntry> ParseRequestLogEntry(const std::string& line) {
   cur.SkipWs();
   if (!cur.AtEnd()) return malformed();
   return entry;
+}
+
+StatusOr<std::vector<RequestLogEntry>> ReadRequestLog(const std::string& path,
+                                                      size_t max_entries) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open request log: " + path);
+  }
+  std::vector<RequestLogEntry> entries;
+  std::string line;
+  char buf[4096];
+  auto consume_line = [&] {
+    if (line.empty()) return;
+    StatusOr<RequestLogEntry> parsed = ParseRequestLogEntry(line);
+    line.clear();
+    if (parsed.ok()) entries.push_back(std::move(*parsed));
+  };
+  while (std::fgets(buf, sizeof(buf), file) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      consume_line();
+    }
+  }
+  consume_line();  // last line without trailing newline
+  std::fclose(file);
+  if (max_entries > 0 && entries.size() > max_entries) {
+    entries.erase(entries.begin(),
+                  entries.end() - static_cast<ptrdiff_t>(max_entries));
+  }
+  return entries;
 }
 
 }  // namespace pqsda::obs

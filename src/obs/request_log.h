@@ -86,6 +86,15 @@ struct RequestLogEntry {
 /// readable; malformed lines return InvalidArgument.
 StatusOr<RequestLogEntry> ParseRequestLogEntry(const std::string& line);
 
+/// Reads a JSONL request log back, newest `max_entries` parseable entries in
+/// file order (0 = all). Malformed lines are skipped — a log truncated by a
+/// crash or mid-rotation still yields its good prefix. IoError when the file
+/// can't be opened; an empty file yields an empty vector. Used by the
+/// post-swap cache warmup and by tests that hand-write logs via
+/// RequestLog::ToJson.
+StatusOr<std::vector<RequestLogEntry>> ReadRequestLog(const std::string& path,
+                                                      size_t max_entries);
+
 /// Sampled structured JSONL request logging with an asynchronous writer:
 /// Log() classifies the entry (sampled / slow / skipped), enqueues accepted
 /// entries onto a bounded queue, and a background thread renders + appends

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/retire.h"
 #include "obs/stage_profiler.h"
+#include "suggest/suggestion_cache.h"
 
 namespace pqsda::obs {
 
@@ -346,6 +347,39 @@ std::string ServingTelemetry::StatuszJson() const {
   out += ",\"stale_invalidations_total\":" +
          std::to_string(
              reg.GetCounter("pqsda.cache.stale_invalidations_total").Value());
+  out += ",\"mismatch_misses_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.mismatch_misses_total").Value());
+  out += ",\"ghost_hits_total\":" +
+         std::to_string(reg.GetCounter("pqsda.cache.ghost_hits_total").Value());
+  out += ",\"warmup\":{\"replayed_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.warmup_replayed_total").Value());
+  out += ",\"hits_total\":" +
+         std::to_string(reg.GetCounter("pqsda.cache.warmup_hits_total").Value());
+  out += ",\"filled_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.warmup_filled_total").Value());
+  out += "}";
+  out += ",\"negative\":{\"size\":" +
+         Num(reg.GetGauge("pqsda.cache.negative_size").Value());
+  out += ",\"hits_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.negative_hits_total").Value());
+  out += ",\"misses_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.negative_misses_total").Value());
+  out += ",\"insertions_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.negative_insertions_total").Value());
+  out += ",\"invalidations_total\":" +
+         std::to_string(
+             reg.GetCounter("pqsda.cache.negative_invalidations_total")
+                 .Value());
+  out += "}";
+  // Per-instance replacement-policy state (policy kind, occupancy, ARC/CAR
+  // list sizes and adaptation target) for every live cache.
+  out += ",\"instances\":" + SuggestionCachesStatusJson();
   out += "}";
 
   out += ",\"stages\":{";

@@ -1,0 +1,92 @@
+#ifndef PQSDA_SUGGEST_CACHE_POLICY_H_
+#define PQSDA_SUGGEST_CACHE_POLICY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pqsda {
+
+/// Eviction policy of one SuggestionCache shard. LRU is the baseline the
+/// serving path shipped with; CLOCK approximates it with one reference bit
+/// per entry; ARC and CAR adapt the recency/frequency split online using
+/// ghost lists of recently evicted keys, which is what absorbs the
+/// scan-pollution pattern (a cold sweep through many one-shot queries) that
+/// flushes a plain LRU.
+enum class CachePolicyKind {
+  kLru,
+  kClock,
+  kArc,
+  kCar,
+};
+
+/// "lru" / "clock" / "arc" / "car".
+const char* CachePolicyName(CachePolicyKind kind);
+/// Parses a policy name (as accepted by --cache_policy=); false on an
+/// unknown name, leaving `out` untouched.
+bool ParseCachePolicy(const std::string& name, CachePolicyKind* out);
+
+/// Introspection snapshot of one policy instance, surfaced per cache on
+/// /statusz. The T1/T2/B1/B2 split and the adaptation target `p` are only
+/// meaningful for ARC/CAR; LRU/CLOCK report resident entries in t1.
+struct CachePolicyStatus {
+  size_t resident = 0;
+  size_t capacity = 0;
+  size_t t1 = 0;  ///< recency-resident (ARC/CAR); all residents otherwise
+  size_t t2 = 0;  ///< frequency-resident (ARC/CAR)
+  size_t b1 = 0;  ///< recency ghost keys (ARC/CAR)
+  size_t b2 = 0;  ///< frequency ghost keys (ARC/CAR)
+  size_t p = 0;   ///< adaptation target for |T1| (ARC/CAR)
+};
+
+/// Replacement bookkeeping for one cache shard: which keys are resident and
+/// which resident key gives way when the shard is full. The policy tracks
+/// keys only — values live in the owning shard's map — and is deliberately
+/// single-threaded: every call happens under the shard mutex.
+///
+/// The contract the differential oracle (tests/cache_policy_test.cc)
+/// enforces against transparent reference models:
+///  - OnInsert admits a non-resident key, appending every key it evicted to
+///    `evicted` (at most one per call at steady state) and returning whether
+///    the key was found in a ghost list (an ARC/CAR "history hit"; always
+///    false for LRU/CLOCK).
+///  - OnHit updates recency/reference state of a resident key.
+///  - OnErase removes a resident key out-of-band (invalidation); the freed
+///    slot is reusable immediately and ghost lists are not consulted.
+///  - Decisions are deterministic: same op sequence, same evictions, same
+///    StatusNow(), regardless of platform.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  /// A lookup hit on a resident key.
+  virtual void OnHit(const std::string& key) = 0;
+
+  /// Admits `key` (must not be resident). Keys evicted to make room are
+  /// appended to `evicted` (may be null). Returns true when the key hit a
+  /// ghost list.
+  virtual bool OnInsert(const std::string& key,
+                        std::vector<std::string>* evicted) = 0;
+
+  /// Removes a resident key; no-op when the key is not resident. Ghost
+  /// state referring to the key is left untouched (it records history, not
+  /// residency).
+  virtual void OnErase(const std::string& key) = 0;
+
+  /// Drops all resident and ghost state.
+  virtual void Clear() = 0;
+
+  virtual size_t resident() const = 0;
+  virtual CachePolicyStatus StatusNow() const = 0;
+  virtual CachePolicyKind kind() const = 0;
+};
+
+/// Factory: one policy instance managing `capacity` resident slots
+/// (capacity 0 behaves as 1).
+std::unique_ptr<CachePolicy> MakeCachePolicy(CachePolicyKind kind,
+                                             size_t capacity);
+
+}  // namespace pqsda
+
+#endif  // PQSDA_SUGGEST_CACHE_POLICY_H_

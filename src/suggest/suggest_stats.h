@@ -44,6 +44,9 @@ struct SuggestStats {
   size_t degradation_rung = 0;
   /// True when admission control shed the request before any pipeline work.
   bool shed = false;
+  /// True when the NotFound was answered by the negative-result cache — the
+  /// engine never touched the index for this request.
+  bool negative_cache_hit = false;
 
   /// Per-shard serving rung of a scatter-gather request (one slot per
   /// shard, ShardedEngine only; empty on the unsharded engine). kShardFull:

@@ -49,45 +49,107 @@ obs::Counter& StaleInvalidationsCounter() {
       "pqsda.cache.stale_invalidations_total");
   return c;
 }
+obs::Counter& MismatchMissesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.mismatch_misses_total");
+  return c;
+}
+obs::Counter& GhostHitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.ghost_hits_total");
+  return c;
+}
 obs::Gauge& SizeGauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::Default().GetGauge("pqsda.cache.size");
   return g;
 }
 
+obs::Counter& NegativeHitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.negative_hits_total");
+  return c;
+}
+obs::Counter& NegativeMissesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.negative_misses_total");
+  return c;
+}
+obs::Counter& NegativeInsertionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.negative_insertions_total");
+  return c;
+}
+obs::Counter& NegativeEvictionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.negative_evictions_total");
+  return c;
+}
+obs::Counter& NegativeInvalidationsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().GetCounter(
+      "pqsda.cache.negative_invalidations_total");
+  return c;
+}
+obs::Gauge& NegativeSizeGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Default().GetGauge("pqsda.cache.negative_size");
+  return g;
+}
+
+// Registry of live caches for the /statusz "caches" section. Caches are
+// created at engine Build time and destroyed with the engine; registration
+// is cheap enough to take a global mutex.
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+std::vector<const SuggestionCache*>& Registry() {
+  static std::vector<const SuggestionCache*>* v =
+      new std::vector<const SuggestionCache*>;
+  return *v;
+}
+
 }  // namespace
 
 struct SuggestionCache::Shard {
   struct Entry {
-    std::string key;
     std::vector<Suggestion> value;
     /// Empty when the entry's generation lives inside the key string (the
-    /// unsharded path); otherwise the per-component generations the entry
-    /// was built against, checked by validating Lookups.
+    /// whole-generation path); otherwise the per-component generations the
+    /// entry was built against, graded by validating Lookups.
     ValidationVector components;
   };
   mutable std::mutex mu;
-  /// Front = most recently used. The key is stored in the entry so the
-  /// index can hold iterators only.
-  std::list<Entry> lru;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  std::unordered_map<std::string, Entry> index;
+  std::unique_ptr<CachePolicy> policy;
 };
 
-SuggestionCache::SuggestionCache(SuggestionCacheOptions options) {
+SuggestionCache::SuggestionCache(SuggestionCacheOptions options)
+    : policy_(options.policy), name_(std::move(options.name)) {
   const size_t capacity = std::max<size_t>(options.capacity, 1);
   const size_t shards = std::min(std::max<size_t>(options.shards, 1), capacity);
   per_shard_capacity_ = (capacity + shards - 1) / shards;
   capacity_ = per_shard_capacity_ * shards;
   shards_.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    shard->policy = MakeCachePolicy(policy_, per_shard_capacity_);
+    shards_.push_back(std::move(shard));
   }
   obs::MetricsRegistry::Default()
       .GetGauge("pqsda.cache.capacity")
       .Set(static_cast<double>(capacity_));
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    Registry().push_back(this);
+  }
 }
 
-SuggestionCache::~SuggestionCache() = default;
+SuggestionCache::~SuggestionCache() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& reg = Registry();
+  reg.erase(std::remove(reg.begin(), reg.end(), this), reg.end());
+}
 
 SuggestionCache::CacheKey::CacheKey(std::string full_key)
     : hash(std::hash<std::string>{}(full_key)), full(std::move(full_key)) {}
@@ -126,20 +188,32 @@ bool SuggestionCache::Lookup(const CacheKey& key, std::vector<Suggestion>* out,
     MissesCounter().Increment();
     return false;
   }
-  if (validator && !it->second->components.empty() &&
-      !validator(it->second->components)) {
-    // Stale: some component the entry read has been rebuilt since. Erase it
-    // now — keeping it would re-run the validator on every probe and the
-    // entry can never become valid again (generations only move forward).
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-    SizeGauge().Add(-1.0);
-    StaleInvalidationsCounter().Increment();
-    MissesCounter().Increment();
-    return false;
+  if (validator && !it->second.components.empty()) {
+    switch (validator(it->second.components)) {
+      case CacheValidity::kValid:
+        break;
+      case CacheValidity::kStale:
+        // Some component the entry read has been rebuilt since. Erase it
+        // now — keeping it would re-grade it on every probe and the entry
+        // can never become valid again (generations only move forward).
+        shard.policy->OnErase(key.full);
+        shard.index.erase(it);
+        SizeGauge().Add(-1.0);
+        StaleInvalidationsCounter().Increment();
+        MissesCounter().Increment();
+        return false;
+      case CacheValidity::kMismatch:
+        // The entry was built against a *newer* generation than the
+        // caller's pinned snapshot — the caller raced a swap on the
+        // outgoing side. Miss without erasing: the entry is exactly what
+        // post-swap readers want.
+        MismatchMissesCounter().Increment();
+        MissesCounter().Increment();
+        return false;
+    }
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  if (out != nullptr) *out = it->second->value;
+  shard.policy->OnHit(key.full);
+  if (out != nullptr) *out = it->second.value;
   HitsCounter().Increment();
   return true;
 }
@@ -155,28 +229,45 @@ void SuggestionCache::Insert(const CacheKey& key, std::vector<Suggestion> value,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key.full);
   if (it != shard.index.end()) {
-    it->second->value = std::move(value);
-    it->second->components = std::move(components);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second.value = std::move(value);
+    it->second.components = std::move(components);
+    shard.policy->OnHit(key.full);
     return;
   }
-  shard.lru.emplace_front(
-      Shard::Entry{key.full, std::move(value), std::move(components)});
-  shard.index.emplace(key.full, shard.lru.begin());
-  if (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-    EvictionsCounter().Increment();
-  } else {
-    SizeGauge().Add(1.0);
+  std::vector<std::string> evicted;
+  if (shard.policy->OnInsert(key.full, &evicted)) {
+    GhostHitsCounter().Increment();
   }
+  shard.index.emplace(key.full,
+                      Shard::Entry{std::move(value), std::move(components)});
+  for (const std::string& victim : evicted) {
+    shard.index.erase(victim);
+    EvictionsCounter().Increment();
+  }
+  SizeGauge().Add(1.0 - static_cast<double>(evicted.size()));
 }
 
 size_t SuggestionCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->lru.size();
+    total += shard->index.size();
+  }
+  return total;
+}
+
+CachePolicyStatus SuggestionCache::PolicyStatus() const {
+  CachePolicyStatus total;
+  total.capacity = capacity_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const CachePolicyStatus s = shard->policy->StatusNow();
+    total.resident += s.resident;
+    total.t1 += s.t1;
+    total.t2 += s.t2;
+    total.b1 += s.b1;
+    total.b2 += s.b2;
+    total.p += s.p;
   }
   return total;
 }
@@ -184,10 +275,114 @@ size_t SuggestionCache::size() const {
 void SuggestionCache::Clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    SizeGauge().Add(-static_cast<double>(shard->lru.size()));
+    SizeGauge().Add(-static_cast<double>(shard->index.size()));
     shard->index.clear();
-    shard->lru.clear();
+    shard->policy->Clear();
   }
+}
+
+std::string SuggestionCachesStatusJson() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::string json = "[";
+  bool first = true;
+  for (const SuggestionCache* cache : Registry()) {
+    const CachePolicyStatus s = cache->PolicyStatus();
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"name\": \"";
+    json += cache->name();
+    json += "\", \"policy\": \"";
+    json += CachePolicyName(cache->policy());
+    json += "\", \"capacity\": ";
+    json += std::to_string(s.capacity);
+    json += ", \"resident\": ";
+    json += std::to_string(s.resident);
+    json += ", \"t1\": ";
+    json += std::to_string(s.t1);
+    json += ", \"t2\": ";
+    json += std::to_string(s.t2);
+    json += ", \"b1\": ";
+    json += std::to_string(s.b1);
+    json += ", \"b2\": ";
+    json += std::to_string(s.b2);
+    json += ", \"p\": ";
+    json += std::to_string(s.p);
+    json += "}";
+  }
+  json += "]";
+  return json;
+}
+
+NegativeSuggestionCache::NegativeSuggestionCache(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+NegativeSuggestionCache::~NegativeSuggestionCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  NegativeSizeGauge().Add(-static_cast<double>(lru_.size()));
+}
+
+bool NegativeSuggestionCache::Lookup(const CacheKey& key,
+                                     const Validator& validator) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.full);
+  if (it == index_.end()) {
+    NegativeMissesCounter().Increment();
+    return false;
+  }
+  if (validator && !it->second->components.empty()) {
+    switch (validator(it->second->components)) {
+      case CacheValidity::kValid:
+        break;
+      case CacheValidity::kStale:
+        // The owning component was rebuilt — an ingested record may have
+        // made the query known, so the NotFound verdict no longer stands.
+        lru_.erase(it->second);
+        index_.erase(it);
+        NegativeSizeGauge().Add(-1.0);
+        NegativeInvalidationsCounter().Increment();
+        NegativeMissesCounter().Increment();
+        return false;
+      case CacheValidity::kMismatch:
+        NegativeMissesCounter().Increment();
+        return false;
+    }
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  NegativeHitsCounter().Increment();
+  return true;
+}
+
+void NegativeSuggestionCache::Insert(const CacheKey& key,
+                                     ValidationVector components) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.full);
+  if (it != index_.end()) {
+    it->second->components = std::move(components);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(Entry{key.full, std::move(components)});
+  index_.emplace(key.full, lru_.begin());
+  NegativeInsertionsCounter().Increment();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    NegativeEvictionsCounter().Increment();
+  } else {
+    NegativeSizeGauge().Add(1.0);
+  }
+}
+
+size_t NegativeSuggestionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void NegativeSuggestionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  NegativeSizeGauge().Add(-static_cast<double>(lru_.size()));
+  index_.clear();
+  lru_.clear();
 }
 
 }  // namespace pqsda

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "suggest/cache_policy.h"
 #include "suggest/engine.h"
 
 namespace pqsda {
@@ -20,12 +21,34 @@ namespace pqsda {
 struct SuggestionCacheOptions {
   /// Total entries across all shards; 0 behaves as 1.
   size_t capacity = 4096;
-  /// Independent LRU shards, each with its own mutex, so concurrent
-  /// SuggestBatch workers rarely contend; 0 behaves as 1.
+  /// Independent shards, each with its own mutex and its own policy
+  /// instance, so concurrent SuggestBatch workers rarely contend; 0 behaves
+  /// as 1.
   size_t shards = 8;
+  /// Replacement policy of each shard (see CachePolicyKind). LRU is the
+  /// baseline; ARC/CAR adapt against scan pollution.
+  CachePolicyKind policy = CachePolicyKind::kLru;
+  /// Instance name on /statusz ("suggest", "sharded", ...).
+  std::string name = "suggest";
 };
 
-/// Sharded LRU cache of finished suggestion lists, keyed by the full
+/// Verdict of a validating Lookup on an entry's ValidationVector.
+enum class CacheValidity {
+  /// Every component the entry read still carries the generation it was
+  /// built against: serve it.
+  kValid,
+  /// Some component has been rebuilt since (entry generation < current):
+  /// the entry can never become valid again — erase it and miss.
+  kStale,
+  /// Some component is *newer* than what the caller's pinned snapshot
+  /// serves (entry generation > current): the caller is mid-swap on an
+  /// outgoing snapshot. Miss, but keep the entry — it is valid for readers
+  /// of the incoming generation and erasing it would punish them for the
+  /// outgoing reader's race.
+  kMismatch,
+};
+
+/// Sharded cache of finished suggestion lists, keyed by the full
 /// (query, context offsets, user, k, index generation) tuple. Heavy serving
 /// traffic is Zipf-shaped —
 /// the same head queries arrive over and over — so a small cache absorbs a
@@ -40,11 +63,13 @@ struct SuggestionCacheOptions {
 /// one session's list to another; the full serialization is compared on
 /// every hit now and the precomputed hash only routes to a shard.
 ///
-/// All methods are thread-safe. Hits, misses, evictions and stale
-/// invalidations are counted into the default MetricsRegistry
-/// (`pqsda.cache.hits_total`, `pqsda.cache.misses_total`,
+/// All methods are thread-safe. Hits, misses, evictions, stale
+/// invalidations and ghost-list hits are counted into the default
+/// MetricsRegistry (`pqsda.cache.hits_total`, `pqsda.cache.misses_total`,
 /// `pqsda.cache.evictions_total`, `pqsda.cache.stale_invalidations_total`,
-/// `pqsda.cache.size`).
+/// `pqsda.cache.mismatch_misses_total`, `pqsda.cache.ghost_hits_total`,
+/// `pqsda.cache.size`). Live instances additionally register themselves for
+/// the /statusz "caches" section (see SuggestionCachesStatusJson).
 class SuggestionCache {
  public:
   /// A cache key: the full serialized request tuple plus its 64-bit hash,
@@ -69,42 +94,46 @@ class SuggestionCache {
   };
 
   /// What an entry's correctness depended on when it was inserted: a list of
-  /// (component id, generation) pairs. The unsharded engine keys entries by a
-  /// single scalar generation inside the key string; the sharded engine
-  /// instead records the generation of every shard the request touched (plus
-  /// a synthetic UPM component for personalized entries), so a rebuild that
-  /// changes one shard invalidates only entries that actually read that
-  /// shard — entries whose touched shards all carried over are still served.
+  /// (component id, generation) pairs. The whole-generation mode keys
+  /// entries by a single scalar generation inside the key string; the
+  /// delta-aware mode instead records the generation of every index
+  /// component the request read (plus a synthetic UPM component for
+  /// personalized entries), so a rebuild that changes one component
+  /// invalidates only entries that actually read it — entries whose touched
+  /// components all carried their fingerprints over are still served.
   using ValidationVector = std::vector<std::pair<uint32_t, uint64_t>>;
-  /// Checks a stored ValidationVector against current generations; false
-  /// means the entry is stale and must not be served.
-  using Validator = std::function<bool(const ValidationVector&)>;
+  /// Grades a stored ValidationVector against the generations the caller's
+  /// pinned snapshot serves (see CacheValidity).
+  using Validator = std::function<CacheValidity(const ValidationVector&)>;
 
   explicit SuggestionCache(SuggestionCacheOptions options = {});
   ~SuggestionCache();
 
   /// Stable cache key of a request against one index generation. The
   /// generation makes every pre-swap entry unreachable after a rebuild
-  /// publishes a new snapshot — stale lists age out of the LRU instead of
-  /// being served, with no explicit flush on the swap path.
+  /// publishes a new snapshot — stale lists age out instead of being
+  /// served, with no explicit flush on the swap path. Delta-aware callers
+  /// pass generation 0 and carry the real dependencies in the entry's
+  /// ValidationVector instead.
   static CacheKey KeyOf(const SuggestionRequest& request, size_t k,
                         uint64_t generation = 0);
 
-  /// On a hit, copies the cached list into `out`, refreshes the entry's LRU
-  /// position and returns true.
+  /// On a hit, copies the cached list into `out`, refreshes the entry's
+  /// policy position and returns true.
   bool Lookup(const CacheKey& key, std::vector<Suggestion>* out) const;
 
-  /// Lookup that additionally validates the entry's ValidationVector. When
-  /// the entry carries components and `validator` rejects them, the entry is
-  /// erased (counted as `pqsda.cache.stale_invalidations_total`) and the
-  /// call is a miss — a stale list is never served and never lingers to be
-  /// re-validated on every probe. Entries inserted without components are
-  /// always considered valid (the key itself carries their generation).
+  /// Lookup that additionally grades the entry's ValidationVector. kStale
+  /// entries are erased (counted as `pqsda.cache.stale_invalidations_total`)
+  /// and miss; kMismatch entries miss but stay resident (counted as
+  /// `pqsda.cache.mismatch_misses_total`) — they belong to a newer
+  /// generation than the caller's pinned snapshot and other readers can
+  /// still serve them. Entries inserted without components are always valid
+  /// (the key itself carries their generation).
   bool Lookup(const CacheKey& key, std::vector<Suggestion>* out,
               const Validator& validator) const;
 
-  /// Inserts or refreshes `key`, evicting the shard's least-recently-used
-  /// entry when over budget.
+  /// Inserts or refreshes `key`, letting the shard's policy pick victims
+  /// when over budget.
   void Insert(const CacheKey& key, std::vector<Suggestion> value);
 
   /// Insert with a ValidationVector recording what the entry depends on
@@ -122,7 +151,14 @@ class SuggestionCache {
   /// as the `pqsda.cache.capacity` gauge so /statusz can report occupancy.
   size_t capacity() const { return capacity_; }
 
-  /// Drops every entry (counters are left untouched).
+  CachePolicyKind policy() const { return policy_; }
+  const std::string& name() const { return name_; }
+
+  /// Aggregated policy introspection across shards (T1/T2/B1/B2/p summed;
+  /// only meaningful for ARC/CAR).
+  CachePolicyStatus PolicyStatus() const;
+
+  /// Drops every entry and all policy ghost state (counters untouched).
   void Clear();
 
  private:
@@ -132,7 +168,63 @@ class SuggestionCache {
 
   size_t per_shard_capacity_;
   size_t capacity_;
+  CachePolicyKind policy_;
+  std::string name_;
   std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// JSON array describing every live SuggestionCache (name, policy,
+/// occupancy, ARC/CAR list sizes), embedded in /statusz's "caches" field.
+std::string SuggestionCachesStatusJson();
+
+/// Bounded cache of *negative* results: request keys the engine answered
+/// NotFound for, so storms of lookups for unknown queries are absorbed
+/// without re-running expansion against the index every time. Entries carry
+/// a ValidationVector just like positive entries — an ingested record can
+/// make a query known, so a negative entry must die with the component that
+/// would now resolve it (the owning component's content fingerprint covers
+/// the query-string set). LRU, single mutex: the negative path is already
+/// orders of magnitude cheaper than a walk, sharding would be noise.
+///
+/// Counters: `pqsda.cache.negative_hits_total`,
+/// `pqsda.cache.negative_misses_total`,
+/// `pqsda.cache.negative_insertions_total`,
+/// `pqsda.cache.negative_evictions_total`,
+/// `pqsda.cache.negative_invalidations_total`, gauge
+/// `pqsda.cache.negative_size`.
+class NegativeSuggestionCache {
+ public:
+  using CacheKey = SuggestionCache::CacheKey;
+  using ValidationVector = SuggestionCache::ValidationVector;
+  using Validator = SuggestionCache::Validator;
+
+  /// Capacity 0 behaves as 1.
+  explicit NegativeSuggestionCache(size_t capacity);
+  ~NegativeSuggestionCache();
+
+  /// True when `key` is a known-NotFound request whose ValidationVector
+  /// still grades kValid. kStale entries are erased (counted as
+  /// negative_invalidations_total) and miss; kMismatch entries miss but
+  /// stay (same mid-swap rationale as SuggestionCache).
+  bool Lookup(const CacheKey& key, const Validator& validator) const;
+
+  /// Records `key` as NotFound under `components`.
+  void Insert(const CacheKey& key, ValidationVector components);
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    ValidationVector components;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Front = most recently confirmed NotFound.
+  mutable std::list<Entry> lru_;
+  mutable std::unordered_map<std::string, std::list<Entry>::iterator> index_;
 };
 
 }  // namespace pqsda

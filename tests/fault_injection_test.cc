@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <deque>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "core/pqsda_engine.h"
 #include "core/sharded_engine.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/sliding_window.h"
 #include "obs/telemetry.h"
 #include "solver/linear_solvers.h"
@@ -481,6 +483,139 @@ TEST_F(FaultInjectionTest, DegradedResultsAreNotCached) {
   EXPECT_GT(full_stats.hitting_rounds, 0u);  // pipeline actually ran
 }
 
+// ------------------------------------------------- negative cache ----
+
+// A storm of lookups for an unknown query is absorbed by the negative
+// cache: the first request runs the pipeline and records the NotFound,
+// every repeat answers from the remembered verdict without invoking the
+// engine again.
+TEST_F(FaultInjectionTest, NegativeCacheAbsorbsNotFoundStorm) {
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = 4;
+  config.upm.base.gibbs_iterations = 10;
+  config.upm.hyper_rounds = 1;
+  config.cache_capacity = 16;
+  config.negative_cache_capacity = 16;
+  auto built = PqsdaEngine::Build(FaultLog(), config);
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<PqsdaEngine> engine = std::move(built).value();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& neg_hits = reg.GetCounter("pqsda.cache.negative_hits_total");
+  obs::Counter& neg_inserts =
+      reg.GetCounter("pqsda.cache.negative_insertions_total");
+  const uint64_t hits0 = neg_hits.Value();
+  const uint64_t inserts0 = neg_inserts.Value();
+
+  SuggestStats stats = PoisonedStats();
+  auto first = engine->Suggest(FaultRequest("quantum flux capacitor"), 5,
+                               &stats);
+  EXPECT_EQ(first.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(stats.negative_cache_hit);
+  EXPECT_EQ(neg_inserts.Value(), inserts0 + 1);
+
+  for (int i = 0; i < 8; ++i) {
+    SuggestStats storm = PoisonedStats();
+    auto repeat = engine->Suggest(FaultRequest("quantum flux capacitor"), 5,
+                                  &storm);
+    EXPECT_EQ(repeat.status().code(), StatusCode::kNotFound);
+    EXPECT_TRUE(storm.negative_cache_hit);
+    EXPECT_EQ(storm.hitting_rounds, 0u);  // the pipeline never ran
+  }
+  EXPECT_EQ(neg_hits.Value(), hits0 + 8);
+  EXPECT_EQ(neg_inserts.Value(), inserts0 + 1);  // remembered once
+}
+
+// An ingested delta can make a remembered-NotFound query known. The
+// negative entry is stamped with the owning component's generation, so the
+// rebuild that absorbs the delta grades it stale: the entry is erased
+// (counted), the pipeline re-runs, and the query now serves.
+TEST_F(FaultInjectionTest, NegativeCacheInvalidatedWhenIngestMakesQueryKnown) {
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = 4;
+  config.upm.base.gibbs_iterations = 10;
+  config.upm.hyper_rounds = 1;
+  config.cache_capacity = 16;
+  config.negative_cache_capacity = 16;
+  config.cache_delta_aware = true;
+  config.ingest.rebuild_min_records = SIZE_MAX;  // rebuilds only on demand
+  auto built = PqsdaEngine::Build(FaultLog(), config);
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<PqsdaEngine> engine = std::move(built).value();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& neg_invalidations =
+      reg.GetCounter("pqsda.cache.negative_invalidations_total");
+
+  const std::string query = "meteor shower";  // unknown at build time
+  auto miss = engine->Suggest(FaultRequest(query), 5);
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+  SuggestStats storm;
+  auto absorbed = engine->Suggest(FaultRequest(query), 5, &storm);
+  EXPECT_EQ(absorbed.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(storm.negative_cache_hit);
+
+  std::vector<QueryLogRecord> delta = {
+      {7, "meteor shower", "www.nasa.gov", 500},
+      {8, "meteor shower", "www.nasa.gov", 510},
+      {7, "solar system", "www.nasa.gov", 520}};
+  for (QueryLogRecord& record : delta) {
+    ASSERT_TRUE(engine->Ingest(std::move(record)).ok());
+  }
+  ASSERT_TRUE(engine->index_manager().RebuildNow().ok());
+
+  const uint64_t invalidations0 = neg_invalidations.Value();
+  SuggestStats after;
+  auto known = engine->Suggest(FaultRequest(query), 5, &after);
+  ASSERT_TRUE(known.ok()) << known.status().ToString();
+  EXPECT_FALSE(after.negative_cache_hit);
+  EXPECT_FALSE(known->empty());
+  // The stale entry was erased on lookup, not silently bypassed.
+  EXPECT_EQ(neg_invalidations.Value(), invalidations0 + 1);
+}
+
+// A NotFound served on a degraded rung proves nothing about the query —
+// the walk-only path may simply not have looked hard enough — so it must
+// never be remembered. Only the full rung's verdict is cached.
+TEST_F(FaultInjectionTest, DegradedNotFoundIsNeverCachedNegatively) {
+  FaultInjector& injector = FaultInjector::Default();
+  injector.SetClock(0);
+  PqsdaEngineConfig config;
+  config.upm.base.num_topics = 4;
+  config.upm.base.gibbs_iterations = 10;
+  config.upm.hyper_rounds = 1;
+  config.cache_capacity = 16;
+  config.negative_cache_capacity = 16;
+  auto built = PqsdaEngine::Build(FaultLog(), config);
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<PqsdaEngine> engine = std::move(built).value();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& neg_inserts =
+      reg.GetCounter("pqsda.cache.negative_insertions_total");
+  const uint64_t inserts0 = neg_inserts.Value();
+
+  // Budget in the walk-only band: the degraded NotFound is not recorded.
+  CancelToken token(injector.ClockFn());
+  token.SetDeadlineAfter(10 * kMs);
+  SuggestionRequest request = FaultRequest("quantum flux capacitor");
+  request.cancel = &token;
+  SuggestStats stats;
+  auto degraded = engine->Suggest(request, 5, &stats);
+  EXPECT_EQ(degraded.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(stats.degradation_rung, 2u);
+  EXPECT_EQ(neg_inserts.Value(), inserts0);
+
+  // The full-budget request is a genuine miss — nothing was remembered —
+  // and only this full-rung verdict enters the negative cache.
+  SuggestStats full;
+  auto confirmed = engine->Suggest(FaultRequest("quantum flux capacitor"), 5,
+                                   &full);
+  EXPECT_EQ(confirmed.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(full.negative_cache_hit);
+  EXPECT_EQ(neg_inserts.Value(), inserts0 + 1);
+}
+
 // ------------------------------------------------- TSAN deadline storm ----
 
 // Batched serving under a storm of tight real-clock deadlines and
@@ -882,6 +1017,86 @@ TEST_F(FaultInjectionTest, ShardHoldbackMidSwapServesOldBuildConsistently) {
     EXPECT_EQ((*expected)[i].query, (*after)[i].query);
     EXPECT_EQ((*expected)[i].score, (*after)[i].score);
   }
+}
+
+// Regression for the mid-swap invalidation bug: the post-swap warmup fills
+// entries stamped with the INCOMING build's component generations while a
+// held-back shard keeps the served consistent cut on the outgoing build.
+// The hit path used to grade such an entry against the outgoing cut as
+// "stale" and erase it — destroying exactly the entries the warmup just
+// paid for, for the benefit of nobody. The tri-state validator must miss
+// WITHOUT invalidating (a mismatch, not a staleness), and the entry must
+// serve the first reader of the completed swap straight from cache.
+//
+// Every client request runs at the cache-only rung (min_rung = 3) so the
+// probes themselves can neither fill nor overwrite entries — the only
+// writer in the test is the warmup.
+TEST_F(FaultInjectionTest, MidSwapWarmupEntrySurvivesForIncomingReaders) {
+  const std::string log_path = testing::TempDir() + "/midswap_warmup.jsonl";
+  {
+    obs::RequestLogEntry entry;
+    entry.query = "sun";
+    entry.k = 5;
+    entry.user = kNoUser;
+    entry.timestamp = 400;
+    entry.ok = true;
+    std::ofstream out(log_path, std::ios::trunc);
+    out << obs::RequestLog::ToJson(entry) << "\n";
+  }
+
+  PqsdaEngineConfig config;
+  config.personalize = false;
+  config.cache_capacity = 16;
+  config.robustness.min_rung = 3;  // clients only ever read the cache
+  config.cache_warmup.log_path = log_path;
+  config.cache_warmup.max_requests = 8;
+  ShardedEngineOptions options;
+  options.shards = 4;
+  options.hot_row_min_degree = 0;
+  auto built = ShardedEngine::Build(FaultLog(), config, options);
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<ShardedEngine> engine = std::move(built).value();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& mismatches =
+      reg.GetCounter("pqsda.cache.mismatch_misses_total");
+  obs::Counter& stales =
+      reg.GetCounter("pqsda.cache.stale_invalidations_total");
+  obs::Counter& filled = reg.GetCounter("pqsda.cache.warmup_filled_total");
+  obs::Counter& hits = reg.GetCounter("pqsda.cache.hits_total");
+
+  // Build does not warm: the cache-only probe finds nothing.
+  EXPECT_EQ(engine->Suggest(FaultRequest("sun"), 5).status().code(),
+            StatusCode::kNotFound);
+
+  // Shard 1 stalls mid-swap; the rebuild publishes anyway and the warmup
+  // fills "sun" under the incoming build on the rebuild thread.
+  FaultInjector::Default().SetValue(faults::kShardSwapHoldback, 1);
+  const uint64_t filled0 = filled.Value();
+  ASSERT_TRUE(engine->Ingest({7, "sun", "www.nasa.gov", 500}).ok());
+  ASSERT_TRUE(engine->RebuildNow().ok());
+  EXPECT_EQ(filled.Value(), filled0 + 1);
+
+  // The held engine still serves the outgoing cut: the warm entry's
+  // generations run AHEAD of it, so the probe misses as a mismatch — and
+  // must not invalidate the entry.
+  const uint64_t mismatch0 = mismatches.Value();
+  const uint64_t stale0 = stales.Value();
+  EXPECT_EQ(engine->Suggest(FaultRequest("sun"), 5).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(mismatches.Value(), mismatch0 + 1);
+  EXPECT_EQ(stales.Value(), stale0);
+
+  // Swap completes: the retained entry serves the first post-swap reader
+  // from cache at the cache-only rung. (The pre-fix code erased it above
+  // and this request came back NotFound.)
+  FaultInjector::Default().Reset();
+  engine->SyncShards();
+  const uint64_t hits0 = hits.Value();
+  auto served = engine->Suggest(FaultRequest("sun"), 5);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_FALSE(served->empty());
+  EXPECT_EQ(hits.Value(), hits0 + 1);
 }
 
 }  // namespace
